@@ -1,0 +1,46 @@
+"""E16 — ablation: Algorithm 2's outlier-guessing vector versus the naive
+local budget ``z`` on every machine.
+
+This isolates the paper's §3 mechanism: the only difference between the
+two runs is the budget rule, and the naive variant's coordinator storage
+picks up the ``m * z`` term the mechanism removes.
+"""
+
+import numpy as np
+
+from repro import WeightedPointSet
+from repro.experiments import Row, format_table
+from repro.mpc import partition_adversarial_outliers, two_round_coreset
+from repro.workloads import clustered_with_outliers
+
+
+def _run(z: int, m: int = 8, n: int = 3000):
+    rng = np.random.default_rng(0)
+    wl = clustered_with_outliers(n, 4, z, 2, rng=rng)
+    P = wl.point_set()
+    parts = partition_adversarial_outliers(P, wl.outlier_mask, m, rng)
+    with_g = two_round_coreset(parts, 4, z, 0.5, outlier_guessing=True)
+    without = two_round_coreset(parts, 4, z, 0.5, outlier_guessing=False)
+    rows = []
+    for name, res in (("guessing", with_g), ("naive-z", without)):
+        rows.append(Row("E16", name, {"z": z, "m": m},
+                        {"coord_peak": res.stats.coordinator_peak,
+                         "union": res.extras["union_size"],
+                         "budget_sum": sum(res.extras["outlier_budgets"])}))
+    return rows
+
+
+def test_e16_outlier_guessing_ablation(once):
+    rows = once(lambda: _run(16) + _run(128))
+    print()
+    print(format_table(rows, "E16: outlier-guessing ablation"))
+    by = {(r.algorithm, r.params["z"]): r for r in rows}
+    # budgets: guessing sums to <= 2z, naive pays m*z
+    assert by[("guessing", 128)].metrics["budget_sum"] <= 2 * 128
+    assert by[("naive-z", 128)].metrics["budget_sum"] == 8 * 128
+    # the union the coordinator must hold picks up the Theta(m*z) term
+    # without guessing; at z=128 that dwarfs the z=16 gap
+    gap_small = by[("naive-z", 16)].metrics["union"] - by[("guessing", 16)].metrics["union"]
+    gap_large = by[("naive-z", 128)].metrics["union"] - by[("guessing", 128)].metrics["union"]
+    assert gap_large >= 3 * 128, "naive budget must pay ~m*z extra union items"
+    assert gap_large > gap_small, "the gap must grow with z"

@@ -1,0 +1,42 @@
+"""E17 — ablation: coordinator re-compression (Lemma 5) on/off.
+
+The final ``MBCConstruction`` at the coordinator shrinks the shipped union
+to ``O(k/eps^d + z)`` at the cost of tripling the error parameter; this
+ablation quantifies both sides.
+"""
+
+import numpy as np
+
+from repro import WeightedPointSet
+from repro.core import charikar_greedy
+from repro.experiments import Row, format_table
+from repro.mpc import partition_random, two_round_coreset
+from repro.workloads import clustered_with_outliers
+
+
+def _run():
+    rng = np.random.default_rng(0)
+    wl = clustered_with_outliers(3000, 4, 32, 2, rng=rng)
+    P = wl.point_set()
+    parts = partition_random(P, 10, rng)
+    rows = []
+    r_full = charikar_greedy(P, 4, 32).radius
+    for name, flag in (("recompress", True), ("union-only", False)):
+        res = two_round_coreset(parts, 4, 32, 0.5, final_compress=flag)
+        r_core = charikar_greedy(res.coreset, 4, 32).radius
+        rows.append(Row("E17", name, {},
+                        {"coreset": len(res.coreset),
+                         "eps_guarantee": res.eps_guarantee,
+                         "quality": r_core / r_full}))
+    return rows
+
+
+def test_e17_recompress_ablation(once):
+    rows = once(_run)
+    print()
+    print(format_table(rows, "E17: coordinator re-compression ablation"))
+    by = {r.algorithm: r for r in rows}
+    assert by["recompress"].metrics["coreset"] < by["union-only"].metrics["coreset"]
+    assert by["recompress"].metrics["eps_guarantee"] > by["union-only"].metrics["eps_guarantee"]
+    for r in rows:
+        assert 0.2 <= r.metrics["quality"] <= 5.0

@@ -1,0 +1,18 @@
+"""E9 — coreset quality across every upper-bound algorithm.
+
+The end-to-end recipe: build the coreset, solve on it, compare the radius
+with solving on the full data.  All ratios must stay within the combined
+approximation guarantee.
+"""
+
+from repro.experiments import coreset_quality_rows, format_table
+
+
+def test_e9_quality(once):
+    rows = once(coreset_quality_rows, n=1200)
+    print()
+    print(format_table(rows, "E9: end-to-end coreset quality"))
+    for r in rows:
+        # both radii come from the same 3-approximation; the coreset's eps
+        # and the greedy slack bound the ratio in [1/(3(1+eps)), 3(1+eps)]
+        assert 0.2 <= r.metrics["quality"] <= 5.0, r

@@ -1,0 +1,47 @@
+"""E18 — the §5 application: fully dynamic (3+eps)-approximate k-center
+with outliers with update time independent of n.
+
+Times a single insert (the per-update cost: O(log Delta) sketch-bucket
+touches) and a query (greedy on the recovered coreset), and checks the
+radius tracks an offline recomputation.
+"""
+
+import numpy as np
+
+from repro import WeightedPointSet
+from repro.core import charikar_greedy
+from repro.streaming import DynamicKCenter
+from repro.workloads import integer_workload
+
+
+def _build(n=150):
+    rng = np.random.default_rng(3)
+    wl = integer_workload(n, 3, 6, 256, 2, rng=rng)
+    algo = DynamicKCenter(3, 6, 1.0, 256, 2, rng=np.random.default_rng(4))
+    for p in wl.points:
+        algo.insert(p)
+    return algo, wl
+
+
+def test_e18_update_time(benchmark):
+    algo, wl = _build()
+    p = np.array([100, 100])
+
+    def update_cycle():
+        algo.insert(p)
+        algo.delete(p)
+
+    benchmark(update_cycle)
+    live = WeightedPointSet.from_points(wl.points.astype(float))
+    r_dyn = algo.radius()
+    r_off = charikar_greedy(live, 3, 6).radius
+    print(f"\nE18: dynamic radius {r_dyn:.3f} vs offline {r_off:.3f}")
+    assert r_off / 3.5 <= r_dyn <= 3.5 * max(r_off, 1e-9) + 1e-9
+
+
+def test_e18_query_time(benchmark):
+    algo, wl = _build()
+    r = benchmark.pedantic(algo.radius, rounds=3, iterations=1)
+    print(f"\nE18: query radius {r:.3f} on coreset of "
+          f"{len(algo.core.coreset())} cells")
+    assert r > 0

@@ -1,0 +1,30 @@
+"""E10 — Figure 1: the mini-ball covering on the paper's k=2, z=5 scene.
+
+Times ``MBCConstruction`` itself and checks the full Definition 2 /
+Lemma 3 contract on the Figure-1-style instance.
+"""
+
+import numpy as np
+
+from repro import WeightedPointSet, mbc_construction
+from repro.core import mbc_size_bound, verify_mbc
+
+
+def _figure1_instance():
+    rng = np.random.default_rng(1)
+    a = rng.normal((0, 0), 0.5, (200, 2))
+    b = rng.normal((7, 0), 0.7, (160, 2))
+    out = rng.uniform(20, 40, (5, 2))
+    return WeightedPointSet.from_points(np.concatenate([a, b, out]))
+
+
+def test_e10_mbc_construction(benchmark):
+    P = _figure1_instance()
+    k, z, eps = 2, 5, 0.5
+    mbc = benchmark(mbc_construction, P, k, z, eps)
+    print()
+    print(f"E10: |P|={len(P)} -> |P*|={mbc.size} "
+          f"(Lemma 7 bound {mbc_size_bound(k, z, eps, 2)})")
+    assert mbc.size <= mbc_size_bound(k, z, eps, 2)
+    chk = verify_mbc(P, mbc, k, z, eps)
+    assert chk.ok, chk.details

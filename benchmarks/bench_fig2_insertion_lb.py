@@ -1,0 +1,23 @@
+"""E5/E11 — Figures 2-3: the Omega(k/eps^d) insertion-only lower bound.
+
+Mechanism check: an exact maintainer survives only by storing every
+cluster point (the Omega quantity); dropping ANY single cluster point and
+playing the cross gadget makes the coreset provably violate the
+``(1 +- eps)`` guarantee (Claims 13/14 + Lemma 41).
+"""
+
+from repro.experiments import format_table, insertion_lb_rows
+
+
+def test_e5_insertion_lower_bound(once):
+    rows = once(insertion_lb_rows)
+    print()
+    print(format_table(rows, "E5/E11: Lemma 12 adversary"))
+    for r in rows:
+        if r.algorithm == "exact-maintainer":
+            assert r.metrics["survived"] == 1
+            assert r.metrics["stored"] >= r.metrics["required"]
+        else:
+            assert r.metrics["fatal"] == r.metrics["attacks"], (
+                "every dropped cluster point must be fatal"
+            )

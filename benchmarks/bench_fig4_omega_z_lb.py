@@ -1,0 +1,17 @@
+"""E12 — Figure 4: the Omega(z) lower bound on the line (Lemma 15).
+
+Mechanism: with ``k+z`` unit-spaced points, dropping any point lets the
+coreset report radius 0 after one more arrival while the true optimum is
+1/2 — so all ``k+z`` points (hence Omega(z) storage) are mandatory.
+"""
+
+from repro.experiments import format_table, omega_z_lb_rows
+
+
+def test_e12_omega_z_lower_bound(once):
+    rows = once(omega_z_lb_rows)
+    print()
+    print(format_table(rows, "E12: Lemma 15 adversary"))
+    for r in rows:
+        assert r.metrics["exact_survived"] == 1
+        assert r.metrics["fatal"] == r.metrics["attacks"]

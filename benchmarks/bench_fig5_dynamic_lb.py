@@ -1,0 +1,19 @@
+"""E7/E13 — Figure 5: the Omega((k/eps^d) log Delta + z) dynamic bound.
+
+Mechanism: the multi-scale construction's required storage grows linearly
+in ``log Delta`` (the ``g`` scales), and the scaled cross gadget is fatal
+at every scale ``m*`` after the adversary's deletions.
+"""
+
+from repro.experiments import dynamic_lb_rows, format_table
+
+
+def test_e7_dynamic_lower_bound(once):
+    rows = once(dynamic_lb_rows, delta_values=(2**10, 2**12, 2**16))
+    print()
+    print(format_table(rows, "E7/E13: Theorem 28 adversary"))
+    assert [r.metrics["g"] for r in rows] == sorted(r.metrics["g"] for r in rows)
+    req = [r.metrics["required"] for r in rows]
+    assert req == sorted(req) and req[-1] > req[0], "storage grows with log Delta"
+    for r in rows:
+        assert r.metrics["fatal"] == r.metrics["attacks"]

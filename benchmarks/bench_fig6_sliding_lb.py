@@ -1,0 +1,19 @@
+"""E14 — Figures 6-7: the Omega((kz/eps^d) log sigma) sliding-window bound.
+
+Mechanism (Claim 31): at every scale j*, the window optimum drops from
+``2^{j*} zeta (2 lambda) / 2``-scale to at most
+``2^{j*} zeta (2 lambda - 1)/2`` at the instant the attacked point
+expires — a factor below ``1 - 3 eps``, so an algorithm without that
+expiration time stored must err.  Verified with exact continuous optima.
+"""
+
+from repro.experiments import format_table, sliding_lb_rows
+
+
+def test_e14_sliding_window_lower_bound(once):
+    rows = once(sliding_lb_rows, g=4)
+    print()
+    print(format_table(rows, "E14: Theorem 30 / Claim 31"))
+    for r in rows:
+        assert r.metrics["ratio"] <= r.metrics["bound_1_minus_4eps"] + 1e-9
+        assert r.metrics["violates_1pm_eps"] == 1

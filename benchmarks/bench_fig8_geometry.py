@@ -1,0 +1,13 @@
+"""E15 — Figure 8: appendix geometry (Lemmas 37-41) numeric sweeps."""
+
+from repro.experiments import format_table, geometry_rows
+
+
+def test_e15_geometry(once):
+    rows = once(geometry_rows)
+    print()
+    print(format_table(rows, "E15: appendix geometry"))
+    for r in rows:
+        assert r.metrics["lemma41_gap"] > 0, "Lemma 41 must hold strictly"
+        assert r.metrics["claim38_ok"] == 1
+        assert r.metrics["claim39_slack"] >= -1e-9

@@ -1,0 +1,49 @@
+"""E20 — scaling: worker storage versus n (Theorem 10's sqrt(n) shape).
+
+Runs Algorithm 2 at the paper's recommended machine count
+``m = Theta(sqrt(n eps^d / k))`` across a geometric n-sweep and fits the
+growth exponent of the worker-peak storage: the paper predicts ~0.5
+(``sqrt(n k)/eps^d`` per worker), far below linear.
+"""
+
+import numpy as np
+
+from repro.experiments import Row, format_table
+from repro.mpc import partition_contiguous, recommended_num_machines, two_round_coreset
+from repro.workloads import clustered_with_outliers
+
+
+def _run(n_values=(1000, 4000, 16000)):
+    rows = []
+    k, z, eps, d = 4, 16, 0.5, 2
+    for n in n_values:
+        rng = np.random.default_rng(0)
+        wl = clustered_with_outliers(n, k, z, d, rng=rng)
+        P = wl.point_set()
+        m = recommended_num_machines(n, k, z, eps, d)
+        parts = partition_contiguous(P, m)
+        res = two_round_coreset(parts, k, z, eps)
+        rows.append(Row(
+            "E20", "ours-2round", {"n": n, "m": m},
+            {
+                "worker_peak": res.stats.worker_peak,
+                "coord_peak": res.stats.coordinator_peak,
+                "coreset": len(res.coreset),
+            },
+        ))
+    return rows
+
+
+def test_e20_sqrt_n_scaling(once):
+    rows = once(_run)
+    print()
+    print(format_table(rows, "E20: worker storage vs n at m = Theta(sqrt(n))"))
+    ns = np.array([r.params["n"] for r in rows], dtype=float)
+    peaks = np.array([r.metrics["worker_peak"] for r in rows], dtype=float)
+    # fit growth exponent on the log-log sweep
+    exponent = np.polyfit(np.log(ns), np.log(peaks), 1)[0]
+    print(f"fitted worker-peak exponent: {exponent:.3f} (paper: ~0.5)")
+    assert 0.3 <= exponent <= 0.75, exponent
+    # the coreset size is essentially n-independent
+    sizes = [r.metrics["coreset"] for r in rows]
+    assert max(sizes) <= 2.5 * min(sizes)

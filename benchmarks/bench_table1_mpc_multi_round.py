@@ -1,0 +1,19 @@
+"""E3 — Table 1 row 5: the R-round storage trade-off (Algorithm 7).
+
+Paper shape: more rounds => smaller working sets per machine (the
+``n^{1/(R+1)} (k/eps^d + z)^{R/(R+1)}`` bound), at the price of error
+``(1+eps)^R - 1``.
+"""
+
+from repro.experiments import format_table, mpc_multi_round_rows
+
+
+def test_e3_rounds_tradeoff(once):
+    rows = once(mpc_multi_round_rows, n=3000, m=27, rounds_values=(1, 2, 3))
+    print()
+    print(format_table(rows, "E3: R-round trade-off"))
+    by_r = {r.params["R"]: r for r in rows}
+    # coreset delivered to the coordinator shrinks as R grows
+    assert by_r[3].metrics["coreset"] < by_r[1].metrics["coreset"]
+    # and the error guarantee degrades exactly as (1+eps)^R - 1
+    assert by_r[3].metrics["eps_guarantee"] > by_r[1].metrics["eps_guarantee"]

@@ -1,0 +1,18 @@
+"""E1 — Table 1 rows 1-2: randomized 1-round MPC, ours vs CPP19.
+
+Paper shape: both need random distribution; ours avoids the ``1/eps^d``
+factor on the outlier term, so the baseline's coordinator storage and
+coreset size grow much faster in ``z``.
+"""
+
+from repro.experiments import format_table, mpc_one_round_rows
+
+
+def test_e1_one_round_storage_vs_z(once):
+    rows = once(mpc_one_round_rows, n=3000, z_values=(8, 32, 128))
+    print()
+    print(format_table(rows, "E1: randomized 1-round MPC, storage vs z"))
+    ours = {r.params["z"]: r.metrics["coreset"] for r in rows if r.algorithm == "ours-1round"}
+    base = {r.params["z"]: r.metrics["coreset"] for r in rows if r.algorithm == "cpp19-rand"}
+    # the paper's win: baseline coreset blows up in z much faster than ours
+    assert base[128] > 2 * ours[128]

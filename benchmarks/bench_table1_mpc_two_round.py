@@ -1,0 +1,23 @@
+"""E2 — Table 1 rows 3-4: deterministic MPC under adversarial partition.
+
+Paper shape: CPP19 must budget ``z`` outliers on *every* machine
+(``sqrt(n) z`` coordinator term); Algorithm 2's guessing mechanism keeps
+the total budget at ``<= 2z``, so its coreset and coordinator storage stay
+nearly flat in ``z``.
+"""
+
+from repro.experiments import format_table, mpc_two_round_rows
+
+
+def test_e2_two_round_storage_vs_z(once):
+    rows = once(mpc_two_round_rows, n=3000, z_values=(8, 32, 128))
+    print()
+    print(format_table(rows, "E2: deterministic MPC, adversarial outliers"))
+    ours = {r.params["z"]: r for r in rows if r.algorithm == "ours-2round"}
+    base = {r.params["z"]: r for r in rows if r.algorithm == "cpp19-det"}
+    # budget mechanism: sum of guessed budgets <= 2z
+    for z, r in ours.items():
+        assert r.metrics["budget_sum"] <= 2 * z
+    # baseline coreset grows like m*z; ours stays near k/eps^d + z
+    assert base[128].metrics["coreset"] > 3 * ours[128].metrics["coreset"]
+    assert ours[128].metrics["rounds"] == 2

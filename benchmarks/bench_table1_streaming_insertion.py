@@ -1,0 +1,30 @@
+"""E4 — Table 1 rows 6-8: insertion-only streaming storage.
+
+Paper shape: ours stores ``O(k/eps^d + z)`` (additive z, matching the
+lower bound); CPP19 stores ``O((k+z)/eps^d)`` (multiplicative 1/eps^d on
+z); MK08 stores ``O(kz/eps)`` with only a constant-factor radius.
+"""
+
+from repro.experiments import format_table, streaming_insertion_rows
+
+
+def test_e4_insertion_streaming(once):
+    rows = once(
+        streaming_insertion_rows,
+        n=4000, eps_values=(1.0, 0.5), z_values=(8, 64),
+    )
+    print()
+    print(format_table(rows, "E4: insertion-only streaming storage"))
+    get = lambda alg, eps, z: next(
+        r for r in rows
+        if r.algorithm == alg and r.params["eps"] == eps and r.params["z"] == z
+    )
+    # z-dependence: CPP19's threshold is multiplied by 1/eps^d, ours is not
+    assert (
+        get("cpp19-stream", 0.5, 64).metrics["threshold"]
+        > 4 * get("ours-stream", 0.5, 64).metrics["threshold"]
+    )
+    # ours stays within its paper threshold (Theorem 18)
+    for r in rows:
+        if r.algorithm == "ours-stream":
+            assert r.metrics["stored"] <= r.metrics["threshold"]

@@ -1,0 +1,51 @@
+"""repro — full reproduction of *k-Center Clustering with Outliers in the
+MPC and Streaming Model* (de Berg, Biabani, Monemizadeh, 2023).
+
+Public API overview
+-------------------
+
+Core (``repro.core``)
+    :class:`~repro.core.WeightedPointSet`, metrics, the ``Greedy``
+    3-approximation, ``MBCConstruction`` (Algorithm 1), coreset
+    verification.
+MPC (``repro.mpc``)
+    Simulated MPC cluster with storage/communication accounting; the
+    deterministic 2-round (Algorithm 2), randomized 1-round (Algorithm 6)
+    and R-round (Algorithm 7) coreset algorithms, plus
+    Ceccarello-Pietracaprina-Pucci baselines.
+Streaming (``repro.streaming``)
+    Insertion-only streaming (Algorithm 3), the fully dynamic sketch-based
+    algorithm (Algorithm 5), sliding-window and prior-work baselines.
+Sketches (``repro.sketches``)
+    s-sparse recovery and F0 estimation over dynamic streams.
+Lower bounds (``repro.lowerbounds``)
+    Executable versions of every lower-bound construction (§4.1, §4.2,
+    §5.2, §6) and an adversary harness.
+Workloads / experiments (``repro.workloads``, ``repro.experiments``)
+    Synthetic data generators and the drivers that regenerate Table 1.
+"""
+
+from . import core
+from .core import (
+    WeightedPointSet,
+    charikar_greedy,
+    gonzalez,
+    mbc_construction,
+    solve_kcenter_outliers,
+    solve_via_coreset,
+    update_coreset,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "WeightedPointSet",
+    "charikar_greedy",
+    "core",
+    "gonzalez",
+    "mbc_construction",
+    "solve_kcenter_outliers",
+    "solve_via_coreset",
+    "update_coreset",
+    "__version__",
+]

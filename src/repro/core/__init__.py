@@ -1,0 +1,86 @@
+"""Core machinery: weighted points, metrics, offline solvers, and the
+paper's mini-ball-covering coreset construction (§2)."""
+
+from .assignment import ClusterAssignment, extract_clusters
+from .builder import CoresetBuilder
+from .coreset import (
+    CoresetCheck,
+    opt_bounds,
+    verify_covering_property,
+    verify_expansion_property,
+    verify_mbc,
+    verify_sandwich,
+    verify_weight_property,
+)
+from .dyw import DYWResult, dyw_greedy
+from .greedy import GreedyResult, charikar_greedy, gonzalez
+from .mbc import (
+    MiniBallCovering,
+    compose_errors,
+    mbc_construction,
+    mbc_size_bound,
+    update_coreset,
+)
+from .metrics import (
+    CallableMetric,
+    ChebyshevMetric,
+    EuclideanMetric,
+    ManhattanMetric,
+    Metric,
+    PrecomputedMetric,
+    get_metric,
+)
+from .points import WeightedPointSet
+from .radius import (
+    coverage_radius,
+    min_pairwise_distance,
+    nearest_center_distances,
+    uncovered_weight,
+)
+from .solver import (
+    Solution,
+    brute_force_opt,
+    continuous_opt_1d,
+    solve_kcenter_outliers,
+    solve_via_coreset,
+)
+
+__all__ = [
+    "CallableMetric",
+    "ChebyshevMetric",
+    "ClusterAssignment",
+    "CoresetBuilder",
+    "CoresetCheck",
+    "DYWResult",
+    "EuclideanMetric",
+    "GreedyResult",
+    "ManhattanMetric",
+    "Metric",
+    "MiniBallCovering",
+    "PrecomputedMetric",
+    "Solution",
+    "WeightedPointSet",
+    "brute_force_opt",
+    "charikar_greedy",
+    "compose_errors",
+    "continuous_opt_1d",
+    "coverage_radius",
+    "dyw_greedy",
+    "extract_clusters",
+    "get_metric",
+    "gonzalez",
+    "mbc_construction",
+    "mbc_size_bound",
+    "min_pairwise_distance",
+    "nearest_center_distances",
+    "opt_bounds",
+    "solve_kcenter_outliers",
+    "solve_via_coreset",
+    "uncovered_weight",
+    "update_coreset",
+    "verify_covering_property",
+    "verify_expansion_property",
+    "verify_mbc",
+    "verify_sandwich",
+    "verify_weight_property",
+]

@@ -1,0 +1,92 @@
+"""Extracting clusters and outliers from a solution.
+
+The solvers return centers and a radius; applications usually want the
+induced partition: which points belong to which ball, and which are the
+outliers.  :func:`extract_clusters` computes the canonical assignment
+(nearest center, with the weight-heaviest far points declared outliers up
+to the budget ``z`` — exactly the rule :func:`repro.core.coverage_radius`
+prices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .metrics import Metric, get_metric
+from .points import WeightedPointSet
+
+__all__ = ["ClusterAssignment", "extract_clusters"]
+
+
+@dataclass(frozen=True)
+class ClusterAssignment:
+    """A clustering of a weighted point set.
+
+    Attributes
+    ----------
+    labels:
+        For each point, the index of its center, or ``-1`` for outliers.
+    outlier_mask:
+        Boolean mask of the declared outliers.
+    radius:
+        Maximum distance of a non-outlier point to its center.
+    outlier_weight:
+        Total weight declared outlier (at most the requested ``z``).
+    """
+
+    labels: np.ndarray
+    outlier_mask: np.ndarray
+    radius: float
+    outlier_weight: int
+
+    def cluster_indices(self, j: int) -> np.ndarray:
+        """Indices of the points assigned to center ``j``."""
+        return np.flatnonzero(self.labels == j)
+
+
+def extract_clusters(
+    wps: WeightedPointSet,
+    centers: np.ndarray,
+    z: int,
+    metric: "Metric | str | None" = None,
+) -> ClusterAssignment:
+    """Assign points to nearest centers, declaring the farthest points
+    (up to weight ``z``) outliers.
+
+    Ties on equal distance are broken toward keeping points covered, so
+    the reported radius equals
+    :func:`repro.core.coverage_radius` of the same centers.
+    """
+    metric = get_metric(metric)
+    n = len(wps)
+    centers = np.atleast_2d(np.asarray(centers, dtype=float))
+    if n == 0:
+        return ClusterAssignment(
+            np.zeros(0, dtype=np.int64), np.zeros(0, dtype=bool), 0.0, 0
+        )
+    if len(centers) == 0:
+        return ClusterAssignment(
+            np.full(n, -1, dtype=np.int64), np.ones(n, dtype=bool), 0.0,
+            wps.total_weight,
+        )
+    D = metric.pairwise(wps.points, centers)
+    nearest = D.argmin(axis=1).astype(np.int64)
+    dmin = D.min(axis=1)
+    # drop the farthest points while the budget allows (heaviest-distance
+    # first; a partial weight at the cut distance stays covered)
+    order = np.argsort(dmin)[::-1]
+    outlier = np.zeros(n, dtype=bool)
+    spent = 0
+    for idx in order:
+        w = int(wps.weights[idx])
+        if spent + w > z:
+            break
+        outlier[idx] = True
+        spent += w
+    labels = nearest.copy()
+    labels[outlier] = -1
+    covered = ~outlier
+    radius = float(dmin[covered].max()) if covered.any() else 0.0
+    return ClusterAssignment(labels, outlier, radius, spent)

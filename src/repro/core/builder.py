@@ -1,0 +1,106 @@
+"""Composable coreset pipelines with automatic error accounting.
+
+The MPC algorithms are all instances of two operations on mini-ball
+coverings: *merge* (disjoint union — Lemma 4) and *reduce* (re-compress
+with ``MBCConstruction`` — Lemma 5, composing errors as
+``eps + gamma + eps*gamma``).  :class:`CoresetBuilder` packages them as a
+first-class API so applications can assemble their own merge-reduce trees
+(hierarchical aggregation, partial aggregation at the edge, ...) while the
+library tracks the accumulated error guarantee.
+
+Example — a manual two-level tree::
+
+    leaves = [CoresetBuilder.from_points(P_i, k, z_i).reduce(eps) for ...]
+    root = CoresetBuilder.merge_all(leaves).reduce(eps)
+    root.eps          # composed guarantee, e.g. 3*eps for two levels
+    root.coreset      # the weighted coreset
+
+The budget discipline of Lemma 4 (per-piece outlier budgets ``z_i`` with
+``opt_{k,z_i}(P_i) <= opt_{k,z}(P)``) is the caller's responsibility, as
+in the paper; the MPC algorithms show the two standard ways to satisfy it
+(outlier guessing, and whp random-distribution budgets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .mbc import compose_errors, mbc_construction
+from .metrics import get_metric
+from .points import WeightedPointSet
+
+__all__ = ["CoresetBuilder"]
+
+
+@dataclass(frozen=True)
+class CoresetBuilder:
+    """An immutable coreset-pipeline node.
+
+    Attributes
+    ----------
+    coreset:
+        The current weighted point set.
+    k, z:
+        Problem parameters the guarantees refer to.
+    eps:
+        Accumulated error: the node is an ``(eps, k, z)``-mini-ball
+        covering of the union of the original inputs (0 for raw leaves).
+    """
+
+    coreset: WeightedPointSet
+    k: int
+    z: int
+    eps: float = 0.0
+    metric: object = None
+
+    @staticmethod
+    def from_points(
+        wps: WeightedPointSet, k: int, z: int, metric=None
+    ) -> "CoresetBuilder":
+        """A leaf node: the raw points are a ``(0,k,z)``-MBC of themselves."""
+        return CoresetBuilder(wps, int(k), int(z), 0.0, get_metric(metric))
+
+    def reduce(self, eps: float, z_budget: "int | None" = None) -> "CoresetBuilder":
+        """Apply ``MBCConstruction`` (Lemma 5): the result is an
+        ``(eps + self.eps + eps*self.eps, k, z)``-MBC of the original
+        input.  ``z_budget`` overrides the outlier budget of the local
+        construction (Algorithm 2 passes its guessed ``2^j - 1``)."""
+        zb = self.z if z_budget is None else int(z_budget)
+        mbc = mbc_construction(self.coreset, self.k, zb, eps, self.metric)
+        return CoresetBuilder(
+            mbc.coreset, self.k, self.z, compose_errors(self.eps, eps), self.metric
+        )
+
+    def merge(self, other: "CoresetBuilder") -> "CoresetBuilder":
+        """Disjoint union (Lemma 4): error is the max of the pieces."""
+        if (self.k, self.z) != (other.k, other.z):
+            raise ValueError("cannot merge builders with different (k, z)")
+        if len(self.coreset) == 0:
+            union = other.coreset
+        elif len(other.coreset) == 0:
+            union = self.coreset
+        else:
+            union = WeightedPointSet.concat([self.coreset, other.coreset])
+        return CoresetBuilder(
+            union, self.k, self.z, max(self.eps, other.eps), self.metric
+        )
+
+    @staticmethod
+    def merge_all(nodes: "list[CoresetBuilder]") -> "CoresetBuilder":
+        """Fold :meth:`merge` over a list."""
+        if not nodes:
+            raise ValueError("merge_all needs at least one node")
+        acc = nodes[0]
+        for node in nodes[1:]:
+            acc = acc.merge(node)
+        return acc
+
+    @property
+    def size(self) -> int:
+        """Current coreset size."""
+        return len(self.coreset)
+
+    @property
+    def total_weight(self) -> int:
+        """Preserved input weight."""
+        return self.coreset.total_weight

@@ -1,0 +1,144 @@
+"""Ding-Yu-Wang style randomized greedy (the paper's reference [21]).
+
+The paper's dynamic application (§5) runs "a greedy algorithm, say the one
+in [21]" on the maintained coreset after every update.  Ding, Yu and Wang
+(ESA 2019) show that an extremely simple strategy — repeatedly pick a
+random uncovered point and cover a ball around it — yields a bi-criteria
+guarantee: radius ``2 * opt`` while declaring at most ``(1+delta) z``
+outliers, with success probability controlled by the number of trials.
+
+Implementation: for a radius guess ``g`` (binary-searched over pairwise
+candidates), run ``k`` rounds; each round samples a point proportionally
+to weight among the uncovered points (a random uncovered point is an
+inlier with probability ``>= 1 - z/w(U)``, and an inlier sample's
+``2g``-ball covers its whole optimal cluster), covers ``B(q, 2g)``, and
+removes it.  The guess is feasible when uncovered weight drops to
+``(1+delta) z``.  Multiple trials per guess amplify the success
+probability.  The output radius is certified by re-evaluating coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .metrics import Metric, get_metric
+from .points import WeightedPointSet
+from .radius import coverage_radius
+
+__all__ = ["DYWResult", "dyw_greedy"]
+
+
+@dataclass(frozen=True)
+class DYWResult:
+    """Output of :func:`dyw_greedy`.
+
+    Attributes
+    ----------
+    centers_idx:
+        Indices of the chosen centers (``<= k``).
+    radius:
+        Radius at which all but ``outlier_weight`` weight is covered.
+    outlier_weight:
+        Uncovered weight at ``radius`` — at most ``(1+delta) z`` when the
+        search succeeded.
+    guess:
+        The accepted radius guess (``radius <= 2 * guess``).
+    """
+
+    centers_idx: np.ndarray
+    radius: float
+    outlier_weight: int
+    guess: float
+
+
+def _dyw_decision(
+    wps: WeightedPointSet,
+    k: int,
+    budget: float,
+    guess: float,
+    metric: Metric,
+    rng: np.random.Generator,
+    trials: int,
+) -> "tuple[bool, list[int]]":
+    """Try ``trials`` random greedy runs at radius ``guess``; succeed if
+    any leaves uncovered weight at most ``budget``."""
+    n = len(wps)
+    pts, w = wps.points, wps.weights.astype(float)
+    tol = 1e-9 * max(1.0, guess)
+    best: "tuple[float, list[int]] | None" = None
+    for _ in range(trials):
+        uncovered = np.ones(n, dtype=bool)
+        centers: "list[int]" = []
+        for _ in range(k):
+            wu = w * uncovered
+            total = wu.sum()
+            if total <= budget:
+                break
+            q = int(rng.choice(n, p=wu / total))
+            centers.append(q)
+            uncovered &= metric.to_set(pts[q], pts) > 2.0 * guess + tol
+        left = float((w * uncovered).sum())
+        if best is None or left < best[0]:
+            best = (left, centers)
+        if left <= budget:
+            return True, centers
+    return False, best[1] if best else []
+
+
+def dyw_greedy(
+    wps: WeightedPointSet,
+    k: int,
+    z: int,
+    delta: float = 0.5,
+    metric: "Metric | str | None" = None,
+    rng: "np.random.Generator | None" = None,
+    trials: int = 8,
+) -> DYWResult:
+    """Bi-criteria ``(2 * opt, (1+delta) z)`` randomized greedy.
+
+    Binary-searches the smallest pairwise-distance guess whose randomized
+    decision succeeds; the returned radius is the *achieved* coverage
+    radius at outlier budget ``(1+delta) z`` (re-evaluated, so the output
+    is always a valid certificate regardless of sampling luck).
+    """
+    metric = get_metric(metric)
+    rng = rng or np.random.default_rng()
+    n = len(wps)
+    budget = (1.0 + delta) * z
+    if n == 0 or wps.total_weight <= budget or k >= n:
+        idx = np.arange(min(k, n), dtype=int)
+        return DYWResult(idx, 0.0, 0, 0.0)
+    if k <= 0:
+        raise ValueError("k must be positive")
+
+    D = metric.pairwise(wps.points, wps.points)
+    cand = np.unique(D)
+    cand = cand[cand >= 0]
+    lo, hi = 0, len(cand) - 1
+    accepted: "tuple[float, list[int]] | None" = None
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        ok, centers = _dyw_decision(
+            wps, k, budget, float(cand[mid]), metric, rng, trials
+        )
+        if ok:
+            accepted = (float(cand[mid]), centers)
+            hi = mid - 1
+        else:
+            lo = mid + 1
+    if accepted is None:
+        # the diameter guess always succeeds with one center covering all
+        g = float(cand[-1])
+        ok, centers = _dyw_decision(wps, k, budget, g, metric, rng, max(trials, 16))
+        accepted = (g, centers if centers else [0])
+    guess, centers = accepted
+    centers_idx = np.asarray(centers if centers else [0], dtype=int)
+    int_budget = int(np.floor(budget))
+    radius = coverage_radius(wps, wps.points[centers_idx], int_budget, metric)
+    # uncovered weight at the reported radius
+    from .radius import uncovered_weight
+
+    out_w = uncovered_weight(wps, wps.points[centers_idx], radius, metric)
+    return DYWResult(centers_idx, float(radius), int(out_w), guess)

@@ -1,0 +1,276 @@
+"""Offline k-center algorithms.
+
+Two classic algorithms the paper builds on:
+
+* :func:`gonzalez` — Gonzalez's farthest-point traversal, a 2-approximation
+  for k-center *without* outliers.  Used as a cheap certified upper bound
+  on ``opt_{k,0} >= opt_{k,z}`` when seeding radius searches.
+* :func:`charikar_greedy` — the 3-approximation of Charikar, Khuller, Mount
+  and Narasimhan (SODA 2001) for k-center *with* outliers, in the weighted
+  setting.  This is the ``Greedy(P, k, z)`` subroutine of the paper:
+  every MBC construction starts by calling it to obtain a radius
+  ``r in [opt_{k,z}(P), 3 * opt_{k,z}(P)]``.
+
+The decision procedure (``_greedy_disks``) follows Charikar et al.:
+for a radius guess ``g``, repeatedly pick the point whose ball ``B(v, g)``
+covers the maximum uncovered weight, then mark everything in the expanded
+ball ``B(v, 3g)`` covered.  If after ``k`` picks the uncovered weight is at
+most ``z``, the guess is feasible; Charikar et al. prove feasibility for
+every ``g >= opt_{k,z}(P)``.  The returned radius is ``3 * g*`` for the
+smallest feasible guess ``g*``, hence at most ``3 * opt`` (exact-candidate
+mode) or ``3 (1+tol) * opt`` (geometric mode for large inputs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .metrics import Metric, get_metric
+from .points import WeightedPointSet
+from .radius import coverage_radius, nearest_center_distances
+
+__all__ = ["GreedyResult", "gonzalez", "charikar_greedy"]
+
+#: Above this many points the exact pairwise-candidate search switches to a
+#: geometric grid of radius guesses (3(1+tol)-approximation).
+PAIRWISE_LIMIT = 2048
+
+
+@dataclass(frozen=True)
+class GreedyResult:
+    """Output of :func:`charikar_greedy` / :func:`gonzalez`.
+
+    Attributes
+    ----------
+    centers_idx:
+        Indices into the input point set of the chosen centers
+        (``<= k`` of them).
+    radius:
+        Certified covering radius: all but weight ``z`` of the input lies
+        within ``radius`` of the centers, and
+        ``radius <= 3 (1+tol) * opt_{k,z}(P)``.
+    guess:
+        The feasible radius guess ``g*`` (``radius == 3 * guess`` for
+        Charikar; equals ``radius`` for Gonzalez).
+    uncovered:
+        Boolean mask of input points not covered by ``B(c, radius)``
+        (weight at most ``z``).
+    """
+
+    centers_idx: np.ndarray
+    radius: float
+    guess: float
+    uncovered: np.ndarray
+
+    def centers(self, wps: WeightedPointSet) -> np.ndarray:
+        """Coordinates of the chosen centers."""
+        return wps.points[self.centers_idx]
+
+
+def gonzalez(
+    wps: WeightedPointSet,
+    k: int,
+    metric: "Metric | str | None" = None,
+    first: int = 0,
+) -> GreedyResult:
+    """Gonzalez's farthest-point 2-approximation (no outliers).
+
+    Runs in ``O(nk)`` distance evaluations.  ``first`` selects the initial
+    center (the approximation guarantee holds for any choice).
+    """
+    metric = get_metric(metric)
+    n = len(wps)
+    if n == 0:
+        return GreedyResult(np.zeros(0, dtype=int), 0.0, 0.0, np.zeros(0, dtype=bool))
+    k = min(k, n)
+    centers = [int(first)]
+    dmin = metric.to_set(wps.points[first], wps.points)
+    while len(centers) < k:
+        nxt = int(np.argmax(dmin))
+        centers.append(nxt)
+        dmin = np.minimum(dmin, metric.to_set(wps.points[nxt], wps.points))
+    radius = float(dmin.max()) if n else 0.0
+    return GreedyResult(
+        np.asarray(centers, dtype=int), radius, radius, np.zeros(n, dtype=bool)
+    )
+
+
+def _pairwise_matrix(points: np.ndarray, metric: Metric) -> np.ndarray:
+    """Full distance matrix (only called for n <= PAIRWISE_LIMIT)."""
+    return metric.pairwise(points, points)
+
+
+def _greedy_disks(
+    D: np.ndarray, weights: np.ndarray, k: int, z: int, guess: float
+) -> "tuple[bool, list[int], np.ndarray]":
+    """Charikar decision procedure for radius ``guess`` on a precomputed
+    distance matrix ``D``.
+
+    Returns ``(feasible, centers, uncovered_mask)`` where *uncovered* means
+    not within ``3 * guess`` of any chosen center.
+    """
+    n = len(weights)
+    tol = 1e-9 * max(1.0, guess)
+    uncovered = np.ones(n, dtype=bool)
+    centers: list[int] = []
+    within_g = D <= guess + tol
+    within_3g = D <= 3.0 * guess + tol
+    w = weights.astype(float)
+    for _ in range(min(k, n)):
+        if not uncovered.any():
+            break
+        # weight of uncovered points inside B(v, g) for every candidate v
+        gain = within_g @ (w * uncovered)
+        v = int(np.argmax(gain))
+        centers.append(v)
+        uncovered &= ~within_3g[v]
+    feasible = int(weights[uncovered].sum()) <= z
+    return feasible, centers, uncovered
+
+
+def _geometric_decision(
+    wps: WeightedPointSet, metric: Metric, k: int, z: int, guess: float
+) -> "tuple[bool, list[int], np.ndarray]":
+    """Charikar decision without a full distance matrix (chunked).
+
+    ``O(k)`` passes; each pass computes one candidate row block at a time.
+    Used when ``n > PAIRWISE_LIMIT``.
+    """
+    pts, w = wps.points, wps.weights.astype(float)
+    n = len(pts)
+    tol = 1e-9 * max(1.0, guess)
+    uncovered = np.ones(n, dtype=bool)
+    centers: list[int] = []
+    chunk = 1024
+    for _ in range(min(k, n)):
+        if not uncovered.any():
+            break
+        best_gain, best_v = -1.0, -1
+        wu = w * uncovered
+        for i0 in range(0, n, chunk):
+            block = metric.pairwise(pts[i0 : i0 + chunk], pts)
+            gains = (block <= guess + tol) @ wu
+            j = int(np.argmax(gains))
+            if gains[j] > best_gain:
+                best_gain, best_v = float(gains[j]), i0 + j
+        centers.append(best_v)
+        uncovered &= metric.to_set(pts[best_v], pts) > 3.0 * guess + tol
+    feasible = int(wps.weights[uncovered].sum()) <= z
+    return feasible, centers, uncovered
+
+
+def charikar_greedy(
+    wps: WeightedPointSet,
+    k: int,
+    z: int,
+    metric: "Metric | str | None" = None,
+    tol: float = 0.05,
+    pairwise_limit: int = PAIRWISE_LIMIT,
+) -> GreedyResult:
+    """Weighted 3-approximation for k-center with ``z`` outliers.
+
+    This is ``Greedy(P, k, z)`` of the paper.  The returned
+    :attr:`GreedyResult.radius` satisfies
+
+    ``opt_{k,z}(P) <= radius <= 3 (1 + tol') * opt_{k,z}(P)``
+
+    with ``tol' = 0`` when ``len(wps) <= pairwise_limit`` (binary search
+    over all pairwise distances) and ``tol' = tol`` otherwise (geometric
+    grid of guesses).  The lower inequality holds because the returned
+    radius is achieved by ``k`` concrete balls leaving uncovered weight at
+    most ``z``, so the optimum cannot be larger; the upper inequality is
+    Charikar et al.'s guarantee that the decision procedure succeeds for
+    every guess ``>= opt``.  Both directions are exercised by the test
+    suite against brute-force optima.
+
+    Degenerate cases: if the total weight is at most ``z`` (everything can
+    be an outlier) or ``k >= n``, the radius is ``0``.
+    """
+    metric = get_metric(metric)
+    n = len(wps)
+    if n == 0 or wps.total_weight <= z or k >= n:
+        idx = np.arange(min(k, n), dtype=int)
+        return GreedyResult(idx, 0.0, 0.0, np.zeros(n, dtype=bool))
+    if k <= 0:
+        raise ValueError("k must be positive")
+
+    if n <= pairwise_limit:
+        D = _pairwise_matrix(wps.points, metric)
+        # radius 0 can be optimal (duplicates, or light far points absorbed
+        # by the outlier budget); test it outright before the positive
+        # candidates
+        ok0, centers0, uncovered0 = _greedy_disks(D, wps.weights, k, z, 0.0)
+        if ok0:
+            return GreedyResult(
+                np.asarray(centers0, dtype=int), 0.0, 0.0, uncovered0
+            )
+        cand = np.unique(D)
+        cand = cand[cand > 0]
+        if len(cand) == 0:  # all points coincide
+            return GreedyResult(
+                np.zeros(1, dtype=int), 0.0, 0.0, np.zeros(n, dtype=bool)
+            )
+        # Feasibility is monotone for guesses >= opt (Charikar et al.);
+        # binary search for the smallest feasible candidate.
+        lo, hi = 0, len(cand) - 1
+        feasible_hi = _greedy_disks(D, wps.weights, k, z, float(cand[hi]))
+        if not feasible_hi[0]:
+            # cannot happen for guess >= diameter; guard anyway
+            raise RuntimeError("greedy decision failed at maximum candidate radius")
+        best = (float(cand[hi]),) + feasible_hi[1:]
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            g = float(cand[mid])
+            ok, centers, uncovered = _greedy_disks(D, wps.weights, k, z, g)
+            if ok:
+                best = (g, centers, uncovered)
+                hi = mid - 1
+            else:
+                lo = mid + 1
+        guess, centers, uncovered = best
+    else:
+        # geometric search between a positive lower bound and the Gonzalez
+        # (k-center, no outliers) radius, which upper-bounds opt_{k,z}.
+        ok0, centers0, uncovered0 = _geometric_decision(wps, metric, k, z, 0.0)
+        if ok0:
+            return GreedyResult(np.asarray(centers0, dtype=int), 0.0, 0.0, uncovered0)
+        gz = gonzalez(wps, k, metric)
+        hi_r = max(gz.radius, 1e-300)
+        lo_r = hi_r / max(4.0 * n, 4.0)
+        ok, centers, uncovered = _geometric_decision(wps, metric, k, z, lo_r)
+        if ok:
+            guess = lo_r
+        else:
+            # grid of guesses lo_r * (1+tol)^i up to hi_r; binary search
+            ratio = 1.0 + tol
+            m = int(np.ceil(np.log(hi_r / lo_r) / np.log(ratio))) + 1
+            lo_i, hi_i = 0, m
+            best = None
+            while lo_i <= hi_i:
+                mid = (lo_i + hi_i) // 2
+                g = min(lo_r * ratio**mid, hi_r)
+                ok, c, u = _geometric_decision(wps, metric, k, z, g)
+                if ok:
+                    best = (g, c, u)
+                    hi_i = mid - 1
+                else:
+                    lo_i = mid + 1
+            if best is None:
+                # hi_r is always feasible: Gonzalez covers everything
+                g = hi_r
+                ok, c, u = _geometric_decision(wps, metric, k, z, g)
+                best = (g, c, u)
+            guess, centers, uncovered = best
+
+    centers_idx = np.asarray(centers, dtype=int)
+    # Report the coverage radius actually achieved by the chosen centers:
+    # it is at most 3*guess (the decision procedure covered all but weight z
+    # within 3*guess) and at least opt, so the certificate
+    # opt <= radius <= 3(1+tol)*opt is preserved while often being tighter.
+    achieved = coverage_radius(wps, wps.points[centers_idx], z, metric)
+    radius = float(min(3.0 * guess, achieved))
+    d = nearest_center_distances(wps, wps.points[centers_idx], metric)
+    uncovered = d > radius + 1e-9 * max(1.0, radius)
+    return GreedyResult(centers_idx, radius, float(guess), uncovered)

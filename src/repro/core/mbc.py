@@ -1,0 +1,191 @@
+"""Mini-ball coverings (Definition 2, Algorithm 1, Lemmas 3-7).
+
+A *mini-ball covering* (MBC) of a weighted point set ``P`` is a weighted
+subset ``P*`` together with a partition of ``P`` into groups, one per
+``q in P*``, such that every group lies in a ball of radius
+``eps * opt_{k,z}(P)`` around its representative and carries the group's
+total weight.  Lemma 3 shows an MBC is an ``(eps,k,z)``-coreset; Lemma 4
+shows MBCs of a partition union to an MBC of the whole; Lemma 5 shows MBCs
+compose transitively with error ``eps + gamma + eps*gamma``.
+
+:func:`mbc_construction` is Algorithm 1 (``MBCConstruction``): call
+``Greedy(P,k,z)`` for a radius ``r in [opt, 3 opt]``, then greedily absorb
+everything within ``eps * r / 3`` of an arbitrary remaining point.  Lemma 7
+bounds the output size by ``k * (12/eps)^d + z``.
+
+:func:`update_coreset` is Algorithm 4 (``UpdateCoreset``): the same greedy
+absorption at an explicitly given distance ``delta`` (used by the streaming
+algorithm when it doubles its radius estimate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+import numpy as np
+
+from .greedy import charikar_greedy
+from .metrics import Metric, get_metric
+from .points import WeightedPointSet
+
+__all__ = [
+    "MiniBallCovering",
+    "mbc_construction",
+    "update_coreset",
+    "compose_errors",
+    "mbc_size_bound",
+]
+
+
+@dataclass(frozen=True)
+class MiniBallCovering:
+    """An ``(eps,k,z)``-mini-ball covering.
+
+    Attributes
+    ----------
+    coreset:
+        The weighted representative set ``P*`` (a subset of the input
+        coordinates, re-weighted).
+    assignment:
+        For each input point, the index into ``coreset`` of its
+        representative (``assignment[i] == j`` means input point ``i`` lies
+        in the mini-ball of ``coreset`` row ``j``).
+    mini_ball_radius:
+        The absolute absorption radius used (``eps * r / 3`` in
+        Algorithm 1, ``delta`` in Algorithm 4).  Every input point is
+        within this distance of its representative.
+    greedy_radius:
+        The radius ``r`` returned by ``Greedy`` (``nan`` when the covering
+        was built by :func:`update_coreset`, which takes ``delta``
+        directly).
+    eps:
+        The error parameter the covering was built for.
+    """
+
+    coreset: WeightedPointSet
+    assignment: np.ndarray
+    mini_ball_radius: float
+    greedy_radius: float
+    eps: float
+
+    @property
+    def size(self) -> int:
+        """Number of representatives ``|P*|``."""
+        return len(self.coreset)
+
+
+def _greedy_absorb(
+    wps: WeightedPointSet,
+    delta: float,
+    metric: Metric,
+    order: "np.ndarray | None" = None,
+) -> "tuple[WeightedPointSet, np.ndarray]":
+    """Greedy absorption: repeatedly take the first remaining point and
+    absorb every remaining point within ``delta`` of it.
+
+    ``order`` optionally permutes the 'arbitrary point' choice (Algorithm 1
+    line 4 allows any order; tests use this to check order-independence of
+    the guarantees).  Returns the representative set and the assignment.
+    """
+    n = len(wps)
+    if n == 0:
+        return wps, np.zeros(0, dtype=np.int64)
+    pts = wps.points
+    if order is None:
+        order = np.arange(n)
+    remaining = np.ones(n, dtype=bool)
+    assignment = np.full(n, -1, dtype=np.int64)
+    rep_rows: list[int] = []
+    rep_weights: list[int] = []
+    tol = 1e-9 * max(1.0, delta)
+    for idx in order:
+        if not remaining[idx]:
+            continue
+        d = metric.to_set(pts[idx], pts)
+        absorbed = remaining & (d <= delta + tol)
+        assignment[absorbed] = len(rep_rows)
+        rep_rows.append(int(idx))
+        rep_weights.append(int(wps.weights[absorbed].sum()))
+        remaining &= ~absorbed
+    coreset = WeightedPointSet(
+        pts[rep_rows], np.asarray(rep_weights, dtype=np.int64)
+    )
+    return coreset, assignment
+
+
+def mbc_construction(
+    wps: WeightedPointSet,
+    k: int,
+    z: int,
+    eps: float,
+    metric: "Metric | str | None" = None,
+    radius: "float | None" = None,
+    order: "np.ndarray | None" = None,
+) -> MiniBallCovering:
+    """Algorithm 1: ``MBCConstruction(P, k, z, eps)``.
+
+    Parameters
+    ----------
+    radius:
+        Optional externally supplied ``Greedy`` radius (the MPC algorithms
+        reuse radii computed in an earlier round); when ``None``,
+        ``Greedy(P,k,z)`` is invoked.
+    order:
+        Optional permutation controlling which 'arbitrary point' is picked
+        first (the guarantee holds for any order).
+
+    Returns an ``(eps', k, z)``-mini-ball covering with
+    ``eps' = eps * (r / (3 opt)) <= eps`` — i.e. at least as good as
+    requested (Lemma 7).
+    """
+    if eps < 0:
+        raise ValueError("eps must be non-negative")
+    metric = get_metric(metric)
+    if radius is None:
+        radius = charikar_greedy(wps, k, z, metric).radius
+    delta = eps * radius / 3.0
+    coreset, assignment = _greedy_absorb(wps, delta, metric, order)
+    return MiniBallCovering(
+        coreset=coreset,
+        assignment=assignment,
+        mini_ball_radius=delta,
+        greedy_radius=float(radius),
+        eps=float(eps),
+    )
+
+
+def update_coreset(
+    wps: WeightedPointSet,
+    delta: float,
+    metric: "Metric | str | None" = None,
+    order: "np.ndarray | None" = None,
+) -> MiniBallCovering:
+    """Algorithm 4: ``UpdateCoreset(Q, delta)``.
+
+    Greedy absorption at absolute distance ``delta``; used by the streaming
+    algorithm (Algorithm 3 line 10) after doubling its radius estimate.
+    """
+    metric = get_metric(metric)
+    coreset, assignment = _greedy_absorb(wps, delta, metric, order)
+    return MiniBallCovering(
+        coreset=coreset,
+        assignment=assignment,
+        mini_ball_radius=float(delta),
+        greedy_radius=float("nan"),
+        eps=float("nan"),
+    )
+
+
+def compose_errors(gamma: float, eps: float) -> float:
+    """Lemma 5: composing a ``gamma``-MBC with an ``eps``-MBC of it yields
+    an ``(eps + gamma + eps*gamma)``-MBC of the original set."""
+    return eps + gamma + eps * gamma
+
+
+def mbc_size_bound(k: int, z: int, eps: float, d: int) -> int:
+    """Lemma 7's size bound ``k * ceil(12/eps)^d + z`` on Algorithm 1's
+    output (doubling dimension ``d``)."""
+    if eps <= 0:
+        raise ValueError("size bound needs eps > 0")
+    return int(k * ceil(12.0 / eps) ** d + z)

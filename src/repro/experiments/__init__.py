@@ -1,0 +1,34 @@
+"""Experiment drivers (Table 1 rows, figure mechanisms) and reporting."""
+
+from .report import Row, format_table
+from .table1 import (
+    coreset_quality_rows,
+    dynamic_lb_rows,
+    dynamic_rows,
+    geometry_rows,
+    insertion_lb_rows,
+    mpc_multi_round_rows,
+    mpc_one_round_rows,
+    mpc_two_round_rows,
+    omega_z_lb_rows,
+    sliding_lb_rows,
+    sliding_window_rows,
+    streaming_insertion_rows,
+)
+
+__all__ = [
+    "Row",
+    "coreset_quality_rows",
+    "dynamic_lb_rows",
+    "dynamic_rows",
+    "format_table",
+    "geometry_rows",
+    "insertion_lb_rows",
+    "mpc_multi_round_rows",
+    "mpc_one_round_rows",
+    "mpc_two_round_rows",
+    "omega_z_lb_rows",
+    "sliding_lb_rows",
+    "sliding_window_rows",
+    "streaming_insertion_rows",
+]

@@ -1,0 +1,68 @@
+"""Run every experiment driver and print the tables.
+
+Usage::
+
+    python -m repro.experiments            # all experiments (minutes)
+    python -m repro.experiments E2 E14     # a subset by id
+    python -m repro.experiments --quick    # reduced parameters
+"""
+
+from __future__ import annotations
+
+import sys
+
+from . import table1
+from .report import format_table
+
+#: experiment id -> (title, full-run callable, quick-run callable)
+EXPERIMENTS = {
+    "E1": ("randomized 1-round MPC (Table 1 rows 1-2)",
+           lambda: table1.mpc_one_round_rows(),
+           lambda: table1.mpc_one_round_rows(n=800, z_values=(8, 32))),
+    "E2": ("deterministic MPC, adversarial outliers (rows 3-4)",
+           lambda: table1.mpc_two_round_rows(),
+           lambda: table1.mpc_two_round_rows(n=800, z_values=(8, 32))),
+    "E3": ("R-round trade-off (row 5)",
+           lambda: table1.mpc_multi_round_rows(),
+           lambda: table1.mpc_multi_round_rows(n=800, m=8, rounds_values=(1, 2))),
+    "E4": ("insertion-only streaming (rows 6-8)",
+           lambda: table1.streaming_insertion_rows(),
+           lambda: table1.streaming_insertion_rows(n=1000, eps_values=(1.0,), z_values=(8, 64))),
+    "E5": ("insertion-only lower bound (Figures 2-3)",
+           table1.insertion_lb_rows, table1.insertion_lb_rows),
+    "E6": ("fully dynamic streaming (row 12)",
+           lambda: table1.dynamic_rows(),
+           lambda: table1.dynamic_rows(delta_values=(64, 256), n=120, deletions=60)),
+    "E7": ("dynamic lower bound (Figure 5)",
+           table1.dynamic_lb_rows, table1.dynamic_lb_rows),
+    "E8": ("sliding window (rows 9-11)",
+           lambda: table1.sliding_window_rows(),
+           lambda: table1.sliding_window_rows(n=800, window=200)),
+    "E9": ("coreset quality, all algorithms",
+           lambda: table1.coreset_quality_rows(),
+           lambda: table1.coreset_quality_rows(n=500)),
+    "E12": ("Omega(z) lower bound (Figure 4)",
+            table1.omega_z_lb_rows, table1.omega_z_lb_rows),
+    "E14": ("sliding-window lower bound (Figures 6-7)",
+            table1.sliding_lb_rows, table1.sliding_lb_rows),
+    "E15": ("appendix geometry (Figure 8)",
+            table1.geometry_rows, table1.geometry_rows),
+}
+
+
+def main(argv: "list[str]") -> int:
+    quick = "--quick" in argv
+    ids = [a for a in argv if not a.startswith("-")]
+    targets = ids or list(EXPERIMENTS)
+    for eid in targets:
+        if eid not in EXPERIMENTS:
+            print(f"unknown experiment {eid}; known: {', '.join(EXPERIMENTS)}")
+            return 2
+        title, full, fast = EXPERIMENTS[eid]
+        rows = (fast if quick else full)()
+        print(format_table(rows, f"{eid}: {title}"))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,152 @@
+"""Hierarchical grids over the discrete space ``[Delta]^d`` (§5.1).
+
+The fully dynamic streaming algorithm imposes grids
+``G_0, G_1, ..., G_{ceil(log Delta)}`` on ``[Delta]^d = {1,...,Delta}^d``,
+where cells of ``G_i`` are hypercubes of side ``2^i``.  Each non-empty cell
+of a grid is identified by a single integer *cell id* so that it can be fed
+to the linear sketches of :mod:`repro.sketches`.
+
+Coordinates are the paper's 1-based integers in ``{1, ..., Delta}``;
+internally they are shifted to 0-based so cell indices are simple shifts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log2
+
+import numpy as np
+
+__all__ = ["GridLevel", "GridHierarchy"]
+
+
+@dataclass(frozen=True)
+class GridLevel:
+    """One grid ``G_i`` with cells of side ``2^i`` over ``[Delta]^d``.
+
+    Attributes
+    ----------
+    level:
+        The index ``i``; cell side length is ``2**level``.
+    delta:
+        Universe size ``Delta`` (coordinates in ``1..Delta``).
+    dim:
+        Dimension ``d``.
+    """
+
+    level: int
+    delta: int
+    dim: int
+
+    @property
+    def side(self) -> int:
+        """Cell side length ``2^i``."""
+        return 1 << self.level
+
+    @property
+    def cells_per_axis(self) -> int:
+        """Number of cells along each axis, ``ceil(Delta / 2^i)``."""
+        return -(-self.delta // self.side)
+
+    @property
+    def num_cells(self) -> int:
+        """Total number of cells (the sketch universe size for this grid)."""
+        return self.cells_per_axis**self.dim
+
+    def _check(self, pts: np.ndarray) -> np.ndarray:
+        pts = np.atleast_2d(np.asarray(pts, dtype=np.int64))
+        if pts.shape[1] != self.dim:
+            raise ValueError(f"points must have dim {self.dim}, got {pts.shape[1]}")
+        if pts.size and (pts.min() < 1 or pts.max() > self.delta):
+            raise ValueError(f"coordinates must lie in 1..{self.delta}")
+        return pts
+
+    def cell_ids(self, pts: np.ndarray) -> np.ndarray:
+        """Flattened cell id for each point (shape ``(n,)``).
+
+        The id is the mixed-radix encoding of the per-axis cell indices;
+        ids of distinct cells are distinct and lie in
+        ``[0, num_cells)``.
+        """
+        pts = self._check(pts)
+        idx = (pts - 1) >> self.level
+        m = self.cells_per_axis
+        out = np.zeros(len(pts), dtype=np.int64)
+        for a in range(self.dim):
+            out = out * m + idx[:, a]
+        return out
+
+    def cell_id(self, pt) -> int:
+        """Cell id of a single point."""
+        return int(self.cell_ids(np.asarray(pt, dtype=np.int64)[None, :])[0])
+
+    def cell_center(self, cell_id: int) -> np.ndarray:
+        """Geometric centre of a cell, in original (1-based, continuous)
+        coordinates.
+
+        Algorithm 5 uses cell centres as the representatives of a relaxed
+        coreset; any point of the cell is within ``side * sqrt(d) / 2``
+        (Euclidean) of the centre.
+        """
+        m = self.cells_per_axis
+        idx = np.zeros(self.dim, dtype=np.int64)
+        cid = int(cell_id)
+        if cid < 0 or cid >= self.num_cells:
+            raise ValueError(f"cell id {cell_id} out of range")
+        for a in range(self.dim - 1, -1, -1):
+            idx[a] = cid % m
+            cid //= m
+        lo = idx.astype(float) * self.side + 1.0  # smallest coordinate in cell
+        return lo + (self.side - 1) / 2.0
+
+    def cell_diameter_linf(self) -> float:
+        """``L_inf`` diameter of a cell (``side - 1`` on the integer grid,
+        but we use the conservative continuous value ``side``)."""
+        return float(self.side)
+
+
+@dataclass(frozen=True)
+class GridHierarchy:
+    """The full collection ``G_0 .. G_L`` with ``L = ceil(log2 Delta)``.
+
+    Parameters
+    ----------
+    delta:
+        Universe size ``Delta >= 2``.
+    dim:
+        Dimension ``d >= 1``.
+    """
+
+    delta: int
+    dim: int
+
+    def __post_init__(self):
+        if self.delta < 2:
+            raise ValueError("Delta must be at least 2")
+        if self.dim < 1:
+            raise ValueError("dim must be at least 1")
+
+    @property
+    def num_levels(self) -> int:
+        """``ceil(log2 Delta) + 1`` levels (G_0 .. G_L inclusive)."""
+        return int(ceil(log2(self.delta))) + 1
+
+    def level(self, i: int) -> GridLevel:
+        """The grid ``G_i``."""
+        if not 0 <= i < self.num_levels:
+            raise ValueError(f"level {i} out of range 0..{self.num_levels - 1}")
+        return GridLevel(level=i, delta=self.delta, dim=self.dim)
+
+    def levels(self) -> "list[GridLevel]":
+        """All grids, finest (``G_0``) first."""
+        return [self.level(i) for i in range(self.num_levels)]
+
+    def finest_level_for_radius(self, r: float, eps: float) -> int:
+        """The level ``j`` with ``2^j <= (eps / sqrt(d)) * r < 2^{j+1}``
+        (clamped to the valid range) — the grid Lemma 25 proves has at most
+        ``k (4 sqrt(d)/eps)^d + z`` non-empty cells when ``r = opt``."""
+        if r <= 0:
+            return 0
+        target = eps * r / np.sqrt(self.dim)
+        j = int(np.floor(np.log2(max(target, 1e-300))))
+        return max(0, min(self.num_levels - 1, j))

@@ -1,0 +1,83 @@
+"""Packing arguments in doubling metrics (Lemma 6, Lemma 25).
+
+These are the counting tools behind every size bound in the paper:
+
+* :func:`packing_bound` — Lemma 6: a ``delta``-separated subset ``Q`` of a
+  point set with ``opt_{k,z}(P) >= delta`` has
+  ``|Q| <= k * ceil(4 opt / delta)^d + z``.
+* :func:`grid_cell_bound` — Lemma 25 (first claim): at the grid level with
+  ``2^j <= (eps/sqrt(d)) opt < 2^{j+1}``, at most
+  ``k (4 sqrt(d)/eps)^d + z`` cells are non-empty.
+* :func:`separated_subset` — greedy ``delta``-net extraction, used by the
+  tests to *witness* the packing bounds empirically.
+"""
+
+from __future__ import annotations
+
+from math import ceil, sqrt
+
+import numpy as np
+
+from ..core.metrics import Metric, get_metric
+
+__all__ = ["packing_bound", "grid_cell_bound", "separated_subset", "doubling_cover_count"]
+
+
+def packing_bound(k: int, z: int, opt: float, delta: float, d: int) -> int:
+    """Lemma 6's bound ``k * ceil(4*opt/delta)^d + z`` on the size of any
+    ``delta``-separated subset, for ``0 < delta <= opt``.
+
+    ``opt == 0`` (all points coincide up to outliers) returns ``k + z``.
+    """
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    if opt <= 0:
+        return k + z
+    return int(k * ceil(4.0 * opt / delta) ** d + z)
+
+
+def grid_cell_bound(k: int, z: int, eps: float, d: int) -> int:
+    """Lemma 25's bound ``k * (4 sqrt(d)/eps)^d + z`` on the number of
+    non-empty cells of the selected grid; this is also the sparsity
+    parameter ``s`` of Algorithm 5's sketches."""
+    if eps <= 0:
+        raise ValueError("eps must be positive")
+    return int(k * ceil(4.0 * sqrt(d) / eps) ** d + z)
+
+
+def doubling_cover_count(radius_ratio: float, d: int) -> int:
+    """Number of balls of radius ``r/ratio`` needed to cover a ball of
+    radius ``r`` in a doubling space of dimension ``d``:
+    ``2^(d * ceil(log2 ratio))``."""
+    if radius_ratio < 1:
+        raise ValueError("ratio must be >= 1")
+    levels = int(np.ceil(np.log2(max(radius_ratio, 1.0))))
+    return int(2 ** (d * levels))
+
+
+def separated_subset(
+    points: np.ndarray,
+    delta: float,
+    metric: "Metric | str | None" = None,
+) -> np.ndarray:
+    """Greedy maximal ``delta``-separated subset (a ``delta``-net).
+
+    Returns indices into ``points``.  Every pair of selected points is at
+    distance strictly greater than ``delta``, and every input point is
+    within ``delta`` of some selected point (maximality).
+    """
+    metric = get_metric(metric)
+    points = np.atleast_2d(np.asarray(points, dtype=float))
+    n = len(points)
+    if n == 0:
+        return np.zeros(0, dtype=int)
+    chosen: list[int] = [0]
+    dmin = metric.to_set(points[0], points)
+    tol = 1e-12 * max(1.0, delta)
+    while True:
+        far = int(np.argmax(dmin))
+        if dmin[far] <= delta + tol:
+            break
+        chosen.append(far)
+        dmin = np.minimum(dmin, metric.to_set(points[far], points))
+    return np.asarray(chosen, dtype=int)

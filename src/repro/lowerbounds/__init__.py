@@ -1,0 +1,34 @@
+"""Executable lower bounds: the paper's constructions (§4.1, §4.2, §5.2,
+§6) as instance generators, the appendix geometry as numeric checks, and
+an adversary harness that certifies violations against any maintainer."""
+
+from .adversary import (
+    AdversaryReport,
+    DroppingMaintainer,
+    ExactMaintainer,
+    attack_lemma12,
+    attack_lemma15,
+    find_dropped_point,
+)
+from .dynamic import Theorem28Instance
+from .geometry_checks import claim38_check, claim39_radius, lemma41_gap
+from .insertion_only import Lemma12Instance, Lemma15Instance, lemma12_parameters
+from .sliding_window import Theorem30Instance, theorem30_parameters
+
+__all__ = [
+    "AdversaryReport",
+    "DroppingMaintainer",
+    "ExactMaintainer",
+    "Lemma12Instance",
+    "Lemma15Instance",
+    "Theorem28Instance",
+    "Theorem30Instance",
+    "attack_lemma12",
+    "attack_lemma15",
+    "claim38_check",
+    "claim39_radius",
+    "find_dropped_point",
+    "lemma12_parameters",
+    "lemma41_gap",
+    "theorem30_parameters",
+]

@@ -1,0 +1,213 @@
+"""Adversary harness: executable lower bounds.
+
+A lower bound cannot be "run" directly, so we make its *mechanism*
+executable: the adversary feeds a maintainer the paper's prefix, inspects
+the maintainer's coreset for a dropped point, plays the corresponding
+continuation, and measures whether the coreset now provably violates the
+``(1 +- eps)`` guarantee (using the constructions' certified radius
+claims, evaluated numerically on the actual coreset).
+
+A *maintainer* is any object with ``insert(point)`` and
+``coreset() -> WeightedPointSet``;
+:class:`ExactMaintainer` (stores everything — the only way to survive, per
+the bounds) and any capacity-limited streaming structure (e.g.
+:class:`~repro.streaming.insertion_only.InsertionOnlyCoreset` with a small
+``size_cap``) plug in directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.points import WeightedPointSet
+from ..core.radius import coverage_radius
+from ..core.solver import brute_force_opt
+from .insertion_only import Lemma12Instance, Lemma15Instance
+
+__all__ = [
+    "ExactMaintainer",
+    "DroppingMaintainer",
+    "AdversaryReport",
+    "find_dropped_point",
+    "attack_lemma12",
+    "attack_lemma15",
+]
+
+
+class ExactMaintainer:
+    """Stores every inserted point verbatim (the Omega-storage survivor)."""
+
+    def __init__(self, dim: int):
+        self._pts: "list[np.ndarray]" = []
+        self.dim = dim
+
+    def insert(self, p) -> None:
+        self._pts.append(np.asarray(p, dtype=float).reshape(-1))
+
+    @property
+    def size(self) -> int:
+        return len(self._pts)
+
+    def coreset(self) -> WeightedPointSet:
+        if not self._pts:
+            return WeightedPointSet.empty(self.dim)
+        return WeightedPointSet.from_points(np.asarray(self._pts)).merged()
+
+
+class DroppingMaintainer:
+    """Failure-injection maintainer: behaves like :class:`ExactMaintainer`
+    except that it silently discards points matching ``drop`` (coordinates,
+    rounded).  Models any algorithm whose storage budget forces it to
+    forget a specific point — the hypothesis of every proof-by-
+    contradiction in §4-§6."""
+
+    def __init__(self, dim: int, drop, decimals: int = 9):
+        self._inner = ExactMaintainer(dim)
+        drop = np.atleast_2d(np.asarray(drop, dtype=float))
+        self._drop = {tuple(np.round(p, decimals)) for p in drop}
+        self._decimals = decimals
+        self.dropped_count = 0
+
+    def insert(self, p) -> None:
+        key = tuple(np.round(np.asarray(p, dtype=float).reshape(-1), self._decimals))
+        if key in self._drop:
+            self.dropped_count += 1
+            return
+        self._inner.insert(p)
+
+    @property
+    def size(self) -> int:
+        return self._inner.size
+
+    def coreset(self) -> WeightedPointSet:
+        return self._inner.coreset()
+
+
+@dataclass(frozen=True)
+class AdversaryReport:
+    """Outcome of an adversary run.
+
+    Attributes
+    ----------
+    survived:
+        True when the maintainer stored every required point (no attack
+        possible) — it then necessarily paid the Omega storage.
+    storage:
+        The maintainer's coreset size at attack time.
+    required:
+        The construction's required storage (the Omega(.) quantity).
+    dropped:
+        The attacked point ``p*`` (None when survived).
+    opt_full_lb:
+        Certified lower bound on ``opt_{k,z}`` of the true point set after
+        the continuation.
+    opt_coreset_ub:
+        Certified upper bound on ``opt_{k,z}`` of the maintainer's coreset
+        after the continuation (numerically evaluated witness centers).
+    violated:
+        True iff ``(1-eps) * opt_full_lb > opt_coreset_ub`` — the coreset
+        provably fails Definition 1.
+    """
+
+    survived: bool
+    storage: int
+    required: int
+    dropped: "np.ndarray | None"
+    opt_full_lb: float
+    opt_coreset_ub: float
+    violated: bool
+    details: str = ""
+
+
+def find_dropped_point(
+    coreset: WeightedPointSet, required: np.ndarray, decimals: int = 9
+) -> "np.ndarray | None":
+    """First point of ``required`` whose coordinates do not appear in the
+    coreset (the "not explicitly stored" ``p*`` of the proofs)."""
+    stored = {tuple(np.round(p, decimals)) for p in coreset.points}
+    for q in np.atleast_2d(required):
+        if tuple(np.round(q, decimals)) not in stored:
+            return np.asarray(q, dtype=float)
+    return None
+
+
+def attack_lemma12(maintainer, inst: Lemma12Instance) -> AdversaryReport:
+    """Run the §4.1 adversary against ``maintainer``.
+
+    Inserts ``P(t)``; if some cluster point is missing from the coreset,
+    plays the cross gadget (two copies of each point, as in the paper) and
+    measures the violation: the true optimum is at least ``(h+r)/2``
+    (Claim 13) while the coreset admits a ``k``-center solution of radius
+    at most ``r`` via the witness centers (Claim 14), and
+    ``r < (1-eps)(h+r)/2`` (Lemma 41).
+    """
+    for p in inst.prefix_points():
+        maintainer.insert(p)
+    cs = maintainer.coreset()
+    p_star = find_dropped_point(cs, inst.cluster_points)
+    if p_star is None:
+        return AdversaryReport(
+            survived=True, storage=len(cs), required=inst.required_storage,
+            dropped=None, opt_full_lb=float("nan"), opt_coreset_ub=float("nan"),
+            violated=False,
+            details="maintainer stored all cluster points (paid the Omega bound)",
+        )
+    gadget = inst.cross_gadget(p_star)
+    for q in gadget:
+        maintainer.insert(q)
+        maintainer.insert(q)  # weight 2, as two coincident copies
+    cs2 = maintainer.coreset()
+    centers = inst.witness_centers(p_star)
+    # the coreset's optimum is at most the radius these k centers achieve
+    opt_cs_ub = coverage_radius(cs2, centers, inst.z)
+    opt_full_lb = inst.claim13_lower_bound()
+    violated = (1.0 - inst.eps) * opt_full_lb > opt_cs_ub + 1e-9
+    return AdversaryReport(
+        survived=False, storage=len(cs), required=inst.required_storage,
+        dropped=p_star, opt_full_lb=opt_full_lb, opt_coreset_ub=float(opt_cs_ub),
+        violated=violated,
+        details=(
+            f"claim14 bound r={inst.claim14_upper_bound():.6g}, witness-centre "
+            f"radius {opt_cs_ub:.6g}, (1-eps)*lb={(1-inst.eps)*opt_full_lb:.6g}"
+        ),
+    )
+
+
+def attack_lemma15(maintainer, inst: Lemma15Instance) -> AdversaryReport:
+    """Run the §4.2 (Omega(z), weight-restricted) adversary.
+
+    After the continuation point arrives, the true optimum is exactly
+    ``1/2`` while a coreset missing any ``p_i`` admits radius 0 (the proof
+    of Lemma 15; numerically realized with the exact solver when the
+    coreset is small, else via its own best ``k`` centers with outliers).
+    """
+    for p in inst.prefix_points():
+        maintainer.insert(p)
+    cs = maintainer.coreset()
+    p_star = find_dropped_point(cs, inst.prefix_points())
+    if p_star is None:
+        return AdversaryReport(
+            survived=True, storage=len(cs), required=inst.required_storage,
+            dropped=None, opt_full_lb=float("nan"), opt_coreset_ub=float("nan"),
+            violated=False,
+            details="maintainer stored all k+z points (paid the Omega bound)",
+        )
+    maintainer.insert(inst.continuation_point())
+    cs2 = maintainer.coreset()
+    if len(cs2) <= 16:
+        opt_cs_ub = brute_force_opt(cs2, inst.k, inst.z, max_points=16).radius
+    else:
+        # more stored points than k+z is impossible here (the maintainer
+        # dropped p_star and the stream has k+z+1 points), but guard anyway
+        opt_cs_ub = brute_force_opt(cs2, inst.k, inst.z, max_points=len(cs2)).radius
+    opt_full = inst.opt_after_continuation()
+    # The paper's claim is opt(P*) == 0 exactly while opt(P) == 1/2.
+    violated = opt_cs_ub <= 1e-9 < opt_full
+    return AdversaryReport(
+        survived=False, storage=len(cs), required=inst.required_storage,
+        dropped=p_star, opt_full_lb=opt_full, opt_coreset_ub=float(opt_cs_ub),
+        violated=violated,
+        details=f"coreset optimum {opt_cs_ub:.6g} vs true optimum {opt_full}",
+    )

@@ -1,0 +1,181 @@
+"""The fully dynamic lower-bound construction (§5.2, Theorem 28, Figure 5).
+
+Each of the ``k-2d+1`` clusters now consists of ``g = (1/2) log Delta - 2``
+*groups* ``G^1_i .. G^g_i``: group ``m`` is the Lemma-12 grid scaled by
+``2^m`` with its lexicographically smallest octant removed; the omitted
+octant recursively hosts the smaller groups.  Every non-outlier point must
+be stored (Claim 29), giving Omega((k/eps^d) log Delta); adding Lemma 15's
+Omega(z) yields the paper's Omega((k/eps^d) log Delta + z).
+
+The adversary's continuation at scale ``m*``: delete every group at scale
+``>= m*`` except the attacked point's own scale-``m*`` content, then play
+the Lemma-12 cross gadget scaled by ``2^{m*}``; the radius claims scale
+accordingly (``opt >= 2^{m*}(h+r)/2`` versus coreset ``<= 2^{m*} r``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from math import log2
+
+import numpy as np
+
+from ..core.points import WeightedPointSet
+from .insertion_only import lemma12_parameters
+
+__all__ = ["Theorem28Instance"]
+
+
+def _group_offsets(lam: int, d: int) -> np.ndarray:
+    """Grid offsets of one group: ``{0..lam}^d`` minus the lexicographically
+    smallest octant ``{0..lam/2}^d`` (``lam/2`` must be an integer)."""
+    if lam % 2 != 0:
+        raise ValueError("Theorem 28 requires lambda/2 integral (even lambda)")
+    half = lam // 2
+    offs = [
+        x for x in product(range(lam + 1), repeat=d) if not all(xi <= half for xi in x)
+    ]
+    return np.asarray(offs, dtype=float)
+
+
+@dataclass(frozen=True)
+class Theorem28Instance:
+    """The Figure 5 construction.
+
+    Attributes
+    ----------
+    group_points:
+        ``group_points[(i, m)]`` is the array of points of group ``G^m_i``
+        (cluster ``i`` in ``0..k-2d``, scale ``m`` in ``1..g``).
+    outliers:
+        The ``z`` outliers.
+    g:
+        Number of scales per cluster, ``(1/2) log2(Delta) - 2`` .
+    """
+
+    k: int
+    z: int
+    d: int
+    eps: float
+    delta_universe: int
+    g: int
+    lam: int
+    h: float
+    r: float
+    group_points: dict
+    outliers: np.ndarray
+
+    @staticmethod
+    def build(k: int, z: int, d: int, eps: float, delta_universe: int) -> "Theorem28Instance":
+        """Construct the instance (requires ``k >= 2d`` and even
+        ``lambda``)."""
+        if k < 2 * d:
+            raise ValueError("Theorem 28 requires k >= 2d")
+        lam, h, r = lemma12_parameters(d, eps)
+        g = max(1, int(0.5 * log2(delta_universe)) - 2)
+        offs = _group_offsets(lam, d)
+        spacing = float(2 ** (g + 2)) * (h + r)
+        groups: dict = {}
+        num_clusters = k - 2 * d + 1
+        for i in range(num_clusters):
+            origin = np.zeros(d)
+            origin[0] = i * (spacing + lam * 2**g)
+            for m in range(1, g + 1):
+                pts = offs * float(2**m)
+                pts = pts + origin
+                groups[(i, m)] = pts
+        outliers = np.zeros((z, d))
+        for j in range(z):
+            outliers[j, 0] = -spacing * (j + 1)
+        return Theorem28Instance(
+            k=k, z=z, d=d, eps=eps, delta_universe=delta_universe,
+            g=g, lam=lam, h=h, r=r, group_points=groups, outliers=outliers,
+        )
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def num_clusters(self) -> int:
+        return self.k - 2 * self.d + 1
+
+    @property
+    def points_per_group(self) -> int:
+        """``(lambda+1)^d - (lambda/2+1)^d = Omega(1/eps^d)``."""
+        return (self.lam + 1) ** self.d - (self.lam // 2 + 1) ** self.d
+
+    @property
+    def required_storage(self) -> int:
+        """Claim 29's quantity: every non-outlier point must be stored —
+        ``Omega((k/eps^d) log Delta)`` of them."""
+        return self.num_clusters * self.g * self.points_per_group
+
+    def all_points(self) -> np.ndarray:
+        """``P(t)``: all groups plus the outliers."""
+        parts = [self.outliers]
+        for key in sorted(self.group_points):
+            parts.append(self.group_points[key])
+        return np.concatenate(parts)
+
+    def prefix_set(self) -> WeightedPointSet:
+        return WeightedPointSet.from_points(self.all_points())
+
+    def insert_events(self) -> "list[tuple[np.ndarray, int]]":
+        """The insertion phase of the dynamic stream."""
+        return [(p, +1) for p in self.all_points()]
+
+    # -- the adversarial continuation ---------------------------------------
+
+    def deletion_events(self, m_star: int, keep: "tuple[int, int] | None" = None):
+        """Delete every group at scale ``>= m_star`` (optionally keeping
+        one ``(cluster, scale)`` group — the attacked point's own group in
+        Claim 29's continuation)."""
+        events = []
+        for (i, m), pts in sorted(self.group_points.items()):
+            if m >= m_star and (keep is None or (i, m) != keep):
+                events.extend((p, -1) for p in pts)
+        return events
+
+    def cross_gadget(self, p_star: np.ndarray, m_star: int) -> np.ndarray:
+        """The ``2d`` points ``p* +- 2^{m*}(h+r) e_j``, each weight 2."""
+        p_star = np.asarray(p_star, dtype=float).reshape(-1)
+        scale = float(2**m_star)
+        pts = []
+        for j in range(self.d):
+            for sign in (+1.0, -1.0):
+                q = p_star.copy()
+                q[j] += sign * scale * (self.h + self.r)
+                pts.append(q)
+        return np.asarray(pts)
+
+    def claim_lower_bound(self, m_star: int) -> float:
+        """``opt_{k,z}(P(t')) >= 2^{m*} (h+r)/2``."""
+        return float(2**m_star) * (self.h + self.r) / 2.0
+
+    def claim_upper_bound(self, m_star: int) -> float:
+        """Coreset optimum ``<= 2^{m*} r`` when ``p*`` is missing."""
+        return float(2**m_star) * self.r
+
+    def witness_centers(self, p_star: np.ndarray, m_star: int, i_star: int) -> np.ndarray:
+        """The ``k`` centers realizing the upper-bound claim at scale
+        ``m*``: the scaled cross centers around ``p*`` plus one center per
+        other cluster."""
+        p_star = np.asarray(p_star, dtype=float).reshape(-1)
+        scale = float(2**m_star)
+        centers = []
+        for j in range(self.d):
+            for sign in (+1.0, -1.0):
+                c = p_star.copy()
+                c[j] += sign * scale * self.h
+                centers.append(c)
+        for i in range(self.num_clusters):
+            if i == i_star:
+                continue
+            if m_star <= 1:
+                continue  # other clusters were fully deleted; no center needed
+            # centre of the surviving (scales < m_star) nest of cluster i,
+            # whose bounding box is that of its largest surviving group
+            lo = self.group_points[(i, m_star - 1)].min(axis=0)
+            hi = self.group_points[(i, m_star - 1)].max(axis=0)
+            centers.append((lo + hi) / 2.0)
+        return np.asarray(centers)

@@ -1,0 +1,77 @@
+"""Numeric verification of the appendix geometry (Lemmas 37-41, Figure 8).
+
+The lower-bound proofs rest on a handful of concrete geometric
+inequalities.  These helpers evaluate each one exactly so the test-suite
+(and experiment E15) can sweep them over the admissible parameter ranges:
+
+* :func:`lemma41_gap` — ``r < (1-eps)(r+h)/2`` for
+  ``lambda = 1/(4 d eps)``, ``h = d(lambda+2)/2``,
+  ``r = sqrt(h^2 - 2h + d)``;
+* :func:`claim38_check` — the ``2d`` balls of radius ``r`` centred at
+  ``p* +- h e_j`` cover the cluster grid minus ``p*`` together with the
+  cross gadget;
+* :func:`claim39_radius` — ``opt(P(t')) = (h+r)/2`` is achieved by the
+  shifted centre ``c'`` (Figure 8's red ball).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+
+from .insertion_only import lemma12_parameters
+
+__all__ = ["lemma41_gap", "claim38_check", "claim39_radius"]
+
+
+def lemma41_gap(d: int, eps: float) -> float:
+    """The (positive, per Lemma 41) slack ``(1-eps)(r+h)/2 - r``."""
+    _, h, r = lemma12_parameters(d, eps)
+    return (1.0 - eps) * (r + h) / 2.0 - r
+
+
+def claim38_check(d: int, eps: float) -> "tuple[bool, float]":
+    """Verify Claim 38 exhaustively on one cluster: every grid point
+    ``q != p*`` and every gadget point is within ``r`` of its designated
+    cross centre.  Returns ``(ok, worst_margin)`` with
+    ``worst_margin = r - max distance`` (non-negative iff ok).
+
+    ``p*`` is taken as the grid's lexicographic middle, the worst case for
+    the covering (any choice must work; tests sweep others).
+    """
+    lam, h, r = lemma12_parameters(d, eps)
+    grid = np.array(list(product(range(lam + 1), repeat=d)), dtype=float)
+    p_star = np.full(d, lam // 2, dtype=float)
+    centers = []
+    for j in range(d):
+        for sign in (+1.0, -1.0):
+            c = p_star.copy()
+            c[j] += sign * h
+            centers.append(c)
+    centers = np.asarray(centers)
+    worst = -np.inf
+    for q in grid:
+        if np.allclose(q, p_star):
+            continue
+        dists = np.linalg.norm(centers - q, axis=1)
+        worst = max(worst, float(dists.min()))
+    # gadget points p* +- (h+r) e_j are at distance exactly r from their centre
+    worst = max(worst, r)
+    return worst <= r + 1e-9, float(r - worst)
+
+
+def claim39_radius(d: int, eps: float) -> "tuple[float, float]":
+    """Claim 39: the ball ``b(c', (h+r)/2)`` with
+    ``c' = p* - ((h+r)/2) e_1`` contains both ``p*`` and everything the
+    ball ``b(c^-_1, r)`` contained.
+
+    Returns ``(containment_slack, cover_radius)`` where
+    ``containment_slack = (h+r)/2 - (r + dist(c', c^-_1)) >= 0`` certifies
+    ``b(c^-_1, r) subset b(c', (h+r)/2)`` via the triangle inequality, and
+    ``cover_radius = (h+r)/2``.
+    """
+    _, h, r = lemma12_parameters(d, eps)
+    dist_centres = abs((h + r) / 2.0 - h)  # |c'_1 - c^-_1| along axis 1
+    slack = (h + r) / 2.0 - (r + dist_centres)
+    return float(slack), (h + r) / 2.0

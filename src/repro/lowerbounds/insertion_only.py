@@ -1,0 +1,206 @@
+"""The insertion-only lower-bound constructions (§4.1, §4.2, Figures 2-4).
+
+Two instances:
+
+* :class:`Lemma12Instance` — the Omega(k/eps^d) construction: ``k-2d+1``
+  integer-grid clusters of ``(lambda+1)^d`` points each
+  (``lambda = 1/(4 d eps)``) plus ``z`` far-away outliers.  If a coreset
+  fails to store any cluster point ``p*``, the adversary inserts the
+  cross gadget ``P+ / P-`` around ``p*`` (Figure 2(ii)); Claims 13/14 then
+  force the coreset to underestimate the optimal radius by more than the
+  allowed ``(1-eps)`` factor.
+* :class:`Lemma15Instance` — the Omega(z) construction: ``k+z`` unit-
+  spaced collinear points; dropping any of them lets the coreset report
+  radius 0 after one more arrival while the true optimum is 1/2.
+
+Both expose exactly the paper's coordinates so the adversary harness
+(:mod:`repro.lowerbounds.adversary`) can certify violations numerically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from math import sqrt
+
+import numpy as np
+
+from ..core.points import WeightedPointSet
+
+__all__ = ["lemma12_parameters", "Lemma12Instance", "Lemma15Instance"]
+
+
+def lemma12_parameters(d: int, eps: float) -> "tuple[int, float, float]":
+    """The construction constants ``(lambda, h, r)``.
+
+    ``lambda = 1/(4 d eps)`` must be a positive integer (the paper's
+    "without loss of generality"); ``h = d(lambda+2)/2``;
+    ``r = sqrt(h^2 - 2h + d)``.
+    """
+    if d < 1:
+        raise ValueError("d must be >= 1")
+    if not 0 < eps <= 1.0 / (8 * d):
+        raise ValueError(f"Lemma 12 requires 0 < eps <= 1/(8d) = {1.0/(8*d):.6g}")
+    lam = 1.0 / (4.0 * d * eps)
+    if abs(lam - round(lam)) > 1e-9:
+        raise ValueError(f"lambda = 1/(4 d eps) = {lam} must be an integer")
+    lam = int(round(lam))
+    h = d * (lam + 2) / 2.0
+    r = sqrt(h * h - 2.0 * h + d)
+    return lam, h, r
+
+
+@dataclass(frozen=True)
+class Lemma12Instance:
+    """The Figure 2 construction for given ``(k, z, d, eps)``.
+
+    Attributes
+    ----------
+    cluster_points:
+        Array of all cluster points, ordered cluster by cluster.
+    cluster_index:
+        For each cluster point, which cluster ``C_i`` it belongs to.
+    outliers:
+        The ``z`` outlier points ``o_1..o_z``.
+    lam, h, r:
+        Construction constants (see :func:`lemma12_parameters`).
+    """
+
+    k: int
+    z: int
+    d: int
+    eps: float
+    cluster_points: np.ndarray
+    cluster_index: np.ndarray
+    outliers: np.ndarray
+    lam: int
+    h: float
+    r: float
+
+    @staticmethod
+    def build(k: int, z: int, d: int, eps: float) -> "Lemma12Instance":
+        """Construct the instance (requires ``k >= 2d``)."""
+        if k < 2 * d:
+            raise ValueError("Lemma 12 requires k >= 2d")
+        lam, h, r = lemma12_parameters(d, eps)
+        num_clusters = k - 2 * d + 1
+        base = np.array(list(product(range(lam + 1), repeat=d)), dtype=float)
+        shift = lam + 4.0 * (h + r)
+        clusters = []
+        index = []
+        for i in range(num_clusters):
+            c = base.copy()
+            c[:, 0] += i * shift
+            clusters.append(c)
+            index.extend([i] * len(base))
+        outliers = np.zeros((z, d))
+        for i in range(z):
+            outliers[i, 0] = -4.0 * (h + r) * (i + 1)
+        return Lemma12Instance(
+            k=k, z=z, d=d, eps=eps,
+            cluster_points=np.concatenate(clusters) if clusters else np.zeros((0, d)),
+            cluster_index=np.asarray(index, dtype=int),
+            outliers=outliers,
+            lam=lam, h=h, r=r,
+        )
+
+    # -- stream views ------------------------------------------------------
+
+    def prefix_points(self) -> np.ndarray:
+        """``P(t)``: outliers first, then the clusters (any fixed order
+        works; the lower bound is order-independent)."""
+        return np.concatenate([self.outliers, self.cluster_points])
+
+    def prefix_set(self) -> WeightedPointSet:
+        """``P(t)`` as a weighted point set."""
+        return WeightedPointSet.from_points(self.prefix_points())
+
+    @property
+    def points_per_cluster(self) -> int:
+        """``(lambda+1)^d = Omega(1/eps^d)``."""
+        return (self.lam + 1) ** self.d
+
+    @property
+    def required_storage(self) -> int:
+        """The Omega(k/eps^d) quantity: every cluster point must be
+        stored."""
+        return len(self.cluster_points)
+
+    # -- the adversarial continuation ---------------------------------------
+
+    def cross_gadget(self, p_star: np.ndarray) -> np.ndarray:
+        """``P+ and P-``: the ``2d`` points ``p* +- (h+r) e_j``
+        (Figure 2(ii)); each is inserted with weight 2 (two copies)."""
+        p_star = np.asarray(p_star, dtype=float).reshape(-1)
+        if p_star.shape != (self.d,):
+            raise ValueError("p_star has wrong dimension")
+        pts = []
+        for j in range(self.d):
+            for sign in (+1.0, -1.0):
+                q = p_star.copy()
+                q[j] += sign * (self.h + self.r)
+                pts.append(q)
+        return np.asarray(pts)
+
+    def claim13_lower_bound(self) -> float:
+        """Claim 13: ``opt_{k,z}(P(t')) >= (h+r)/2``."""
+        return (self.h + self.r) / 2.0
+
+    def claim14_upper_bound(self) -> float:
+        """Claim 14 / Lemma 37: ``opt_{k,z}(P*(t')) <= r`` when ``p*`` is
+        missing from the coreset."""
+        return self.r
+
+    def witness_centers(self, p_star: np.ndarray) -> np.ndarray:
+        """The ``k`` centers realizing Claim 14: ``c+-_j = p* +- h e_j``
+        (2d of them) plus one arbitrary point per cluster other than
+        ``p*``'s (``k - 2d`` of them)."""
+        p_star = np.asarray(p_star, dtype=float).reshape(-1)
+        centers = []
+        for j in range(self.d):
+            for sign in (+1.0, -1.0):
+                c = p_star.copy()
+                c[j] += sign * self.h
+                centers.append(c)
+        # identify p*'s cluster by the x-shift
+        shift = self.lam + 4.0 * (self.h + self.r)
+        i_star = int(round(p_star[0] // shift)) if shift > 0 else 0
+        i_star = max(0, min(self.k - 2 * self.d, i_star))
+        for i in range(self.k - 2 * self.d + 1):
+            if i == i_star:
+                continue
+            # cluster centre: middle of the grid
+            c = np.full(self.d, self.lam / 2.0)
+            c[0] += i * shift
+            centers.append(c)
+        return np.asarray(centers)
+
+
+@dataclass(frozen=True)
+class Lemma15Instance:
+    """The Omega(z) line construction (Figure 4): points ``p_i = i`` for
+    ``i = 1..k+z`` in ``R^1``, continuation ``p_{k+z+1} = k+z+1``."""
+
+    k: int
+    z: int
+
+    def prefix_points(self) -> np.ndarray:
+        """``P(t)``: the first ``k+z`` unit-spaced points."""
+        return np.arange(1, self.k + self.z + 1, dtype=float).reshape(-1, 1)
+
+    def prefix_set(self) -> WeightedPointSet:
+        return WeightedPointSet.from_points(self.prefix_points())
+
+    def continuation_point(self) -> np.ndarray:
+        """``p_{k+z+1}``."""
+        return np.array([float(self.k + self.z + 1)])
+
+    def opt_after_continuation(self) -> float:
+        """``opt_{k,z}(P(t+1)) = 1/2`` (k+z+1 unit-spaced points, k
+        centers, z outliers: some ball must contain two points)."""
+        return 0.5
+
+    @property
+    def required_storage(self) -> int:
+        """Every one of the ``k+z`` points must be stored."""
+        return self.k + self.z

@@ -1,0 +1,212 @@
+"""The sliding-window lower-bound construction (§6, Theorem 30, Figures 6-7).
+
+The paper's final result: any deterministic ``(1+-eps)``-approximation in
+the sliding-window model (in the expiration-time lower-bound framework of
+De Berg-Monemizadeh-Zhong) must store Omega((kz/eps^d) log sigma)
+expiration times — matching the DBMZ algorithm and answering their open
+question negatively.
+
+Construction (under ``L_inf``): ``k-2d+1`` clusters, each of ``g =
+(1/2)log sigma - 1`` scales; scale ``j`` holds ``s = lambda^d -
+((lambda+1)/2)^d`` subgroups of ``z+1`` points each (``lambda = 1/(8
+eps)`` odd); subgroups sit in the odd cells of a ``(2 lambda - 1)^d`` grid
+of side ``2^j zeta`` (``zeta = floor(z^{1/d})``) minus the recursive
+octant.  Claim 31's mechanism: if the expiration time of a stored point
+``p*`` is forgotten, the adversary inserts the ``2d`` flanking sets
+``P+-_alpha`` (each ``z+1`` points at distance ``2^{j*} zeta (2 lambda)``)
+and re-inserts the rest of ``p*``'s subgroup; the optimal radius then
+drops by a factor ``(2 lambda - 1)/(2 lambda) = 1 - 4 eps`` exactly when
+``p*`` expires, so an algorithm that cannot react at that instant errs by
+more than ``1 +- eps``.
+
+:meth:`Theorem30Instance.claim31_windows` returns the two window contents
+(just before / just after the expiration) so the drop can be verified with
+an exact offline solver — experiment E14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from math import floor
+
+import numpy as np
+
+from ..core.metrics import ChebyshevMetric
+from ..core.points import WeightedPointSet
+
+__all__ = ["theorem30_parameters", "Theorem30Instance"]
+
+
+def theorem30_parameters(d: int, eps: float, z: int) -> "tuple[int, int, int]":
+    """Constants ``(lambda, s, zeta)``: ``lambda = 1/(8 eps)`` odd integer,
+    ``s = lambda^d - ((lambda+1)/2)^d`` subgroups per scale,
+    ``zeta = floor(z^(1/d))``."""
+    if not 0 < eps <= 1.0 / 24.0:
+        raise ValueError("Theorem 30 requires 0 < eps <= 1/24")
+    lam = 1.0 / (8.0 * eps)
+    if abs(lam - round(lam)) > 1e-9 or int(round(lam)) % 2 == 0:
+        raise ValueError(f"lambda = 1/(8 eps) = {lam} must be an odd integer")
+    lam = int(round(lam))
+    s = lam**d - ((lam + 1) // 2) ** d
+    zeta = max(1, int(floor(z ** (1.0 / d) + 1e-9)))
+    return lam, s, zeta
+
+
+def _odd_cells_minus_octant(lam: int, d: int) -> "list[tuple[int, ...]]":
+    """Odd cells of the ``(2 lambda - 1)^d`` grid, excluding the
+    lexicographically smallest octant ``{pi : all pi_i <= lambda}`` —
+    the set ``Gamma_j`` of the paper (``|Gamma_j| = s``)."""
+    cells = []
+    for pi in product(range(1, 2 * lam, 2), repeat=d):
+        if all(c <= lam for c in pi):
+            continue
+        cells.append(pi)
+    return cells
+
+
+@dataclass(frozen=True)
+class Theorem30Instance:
+    """The Figures 6-7 construction.
+
+    ``subgroup_points[(i, j, l)]`` holds the ``z+1`` points of subgroup
+    ``G^{j,l}_i`` (cluster ``i`` in ``0..k-2d``, scale ``j`` in ``1..g``,
+    subgroup ``l`` in ``0..s-1``).  Distances are ``L_inf``.
+    """
+
+    k: int
+    z: int
+    d: int
+    eps: float
+    g: int
+    lam: int
+    s: int
+    zeta: int
+    subgroup_points: dict
+
+    @staticmethod
+    def build(k: int, z: int, d: int, eps: float, g: int) -> "Theorem30Instance":
+        """Construct with ``g`` scales (``g = (1/2) log sigma - 1`` in the
+        paper; pass it directly)."""
+        if k < 2 * d:
+            raise ValueError("Theorem 30 requires k >= 2d")
+        lam, s, zeta = theorem30_parameters(d, eps, z)
+        cells = _odd_cells_minus_octant(lam, d)
+        assert len(cells) == s, (len(cells), s)
+        # z+1 lexicographically smallest points of the (zeta+1)^d grid
+        grid_pts = sorted(product(range(zeta + 1), repeat=d))[: z + 1]
+        cluster_gap = 4.0 * (2**g) * zeta * (2 * lam)
+        subgroups: dict = {}
+        for i in range(k - 2 * d + 1):
+            origin = np.zeros(d)
+            origin[0] = i * cluster_gap
+            for j in range(1, g + 1):
+                cell_side = float(2**j) * zeta
+                for l, cell in enumerate(cells):
+                    cell_lo = origin + (np.asarray(cell, dtype=float) - 1.0) * cell_side
+                    pts = cell_lo + np.asarray(grid_pts, dtype=float) * float(2**j)
+                    subgroups[(i, j, l)] = pts
+        return Theorem30Instance(
+            k=k, z=z, d=d, eps=eps, g=g, lam=lam, s=s, zeta=zeta,
+            subgroup_points=subgroups,
+        )
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def num_clusters(self) -> int:
+        return self.k - 2 * self.d + 1
+
+    @property
+    def required_expirations(self) -> int:
+        """Claim 31's count: one stored expiration per point of every
+        subgroup with ``j > 1 or l > 0`` — Omega(k z g / eps^d) =
+        Omega((kz/eps^d) log sigma)."""
+        per_cluster = (self.g * self.s - 1) * (self.z + 1)
+        return self.num_clusters * per_cluster
+
+    def arrival_order(self) -> "list[np.ndarray]":
+        """The paper's arrival order: subgroup ``G^{j,l}_i`` precedes
+        ``G^{j',l'}_{i'}`` iff ``j > j'``, or (``j == j'`` and ``l > l'``),
+        or (``j == j'``, ``l == l'`` and ``i > i'``)."""
+        keys = sorted(
+            self.subgroup_points,
+            key=lambda key: (-key[1], -key[2], -key[0]),
+        )
+        out: "list[np.ndarray]" = []
+        for key in keys:
+            out.extend(self.subgroup_points[key])
+        return out
+
+    # -- Claim 31 ----------------------------------------------------------------
+
+    def flank_sets(self, i_star: int, j_star: int, l_star: int) -> np.ndarray:
+        """The ``2d`` flanking sets ``P+-_alpha`` of Claim 31: for each
+        axis ``alpha``, ``z+1`` points at ``L_inf`` distance
+        ``2^{j*} zeta (2 lambda)`` from the attacked subgroup, spread along
+        the other axes across the subgroup's extent."""
+        G = self.subgroup_points[(i_star, j_star, l_star)]
+        xmin, xmax = G.min(axis=0), G.max(axis=0)
+        offset = float(2**j_star) * self.zeta * (2 * self.lam)
+        pts = []
+        for alpha in range(self.d):
+            for sign in (+1.0, -1.0):
+                for iota in range(self.z + 1):
+                    q = np.empty(self.d)
+                    for beta in range(self.d):
+                        if beta == alpha:
+                            q[beta] = (xmax if sign > 0 else xmin)[beta] + sign * offset
+                        else:
+                            span = xmax[beta] - xmin[beta]
+                            q[beta] = xmin[beta] + (
+                                iota * span / self.z if self.z > 0 else 0.0
+                            )
+                    pts.append(q)
+        return np.asarray(pts)
+
+    def claim31_windows(
+        self, i_star: int, j_star: int, l_star: int, p_star_idx: int = 0
+    ) -> "tuple[WeightedPointSet, WeightedPointSet, float]":
+        """Window contents just before / just after ``p*`` expires, plus
+        the guaranteed ratio bound ``1 - 4 eps``.
+
+        Both windows contain: the live remainder of every cluster (at
+        least ``z+1`` points from scales ``< j*`` or subgroups ``< l*``),
+        the attacked subgroup (minus ``p*`` in the *after* window), and
+        the ``2d`` flanking sets.  Per Claim 31,
+        ``opt(after) / opt(before) <= (2 lambda - 1)/(2 lambda)``.
+        """
+        key = (i_star, j_star, l_star)
+        if key not in self.subgroup_points:
+            raise KeyError(f"no subgroup {key}")
+        if j_star == 1 and l_star == 0:
+            raise ValueError("Claim 31 requires j* > 1 or l* > 0")
+        G = self.subgroup_points[key]
+        if not 0 <= p_star_idx < len(G):
+            raise ValueError("p_star_idx out of range")
+        flanks = self.flank_sets(i_star, j_star, l_star)
+
+        # live remainder per cluster: the not-yet-expired older content —
+        # per the arrival order, everything arriving *after* G^{j*,l*},
+        # i.e. scales j < j* and same-scale subgroups l < l*.
+        rest = []
+        for (i, j, l), pts in self.subgroup_points.items():
+            if j < j_star or (j == j_star and l < l_star):
+                rest.append(pts)
+        rest_arr = np.concatenate(rest) if rest else np.zeros((0, self.d))
+
+        before = np.concatenate([rest_arr, G, flanks])
+        after = np.concatenate(
+            [rest_arr, np.delete(G, p_star_idx, axis=0), flanks]
+        )
+        ratio_bound = (2.0 * self.lam - 1.0) / (2.0 * self.lam)
+        return (
+            WeightedPointSet.from_points(before),
+            WeightedPointSet.from_points(after),
+            ratio_bound,
+        )
+
+    @staticmethod
+    def metric() -> ChebyshevMetric:
+        """The construction's metric (``L_inf``)."""
+        return ChebyshevMetric()

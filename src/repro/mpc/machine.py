@@ -1,0 +1,63 @@
+"""A simulated MPC machine with storage accounting.
+
+The MPC model's resource of interest is the peak number of *items* (points,
+vector entries, coreset rows) a machine holds at any moment; Table 1 is a
+table of such peaks.  :class:`Machine` tracks the running and peak item
+counts; algorithms call :meth:`charge`/:meth:`release` around the
+structures they materialize, and the cluster charges inboxes automatically
+on delivery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Machine"]
+
+
+@dataclass
+class Machine:
+    """One machine of the simulated cluster.
+
+    Attributes
+    ----------
+    mid:
+        Machine index (0-based; index 0 is the coordinator by convention).
+    is_coordinator:
+        Whether this machine is the designated coordinator (the paper
+        allows it more storage than the workers).
+    inbox:
+        Messages delivered at the last communication round, as
+        ``(src, payload)`` pairs.
+    current_items / peak_items:
+        Running and peak storage in items.
+    """
+
+    mid: int
+    is_coordinator: bool = False
+    inbox: list = field(default_factory=list)
+    current_items: int = 0
+    peak_items: int = 0
+
+    def charge(self, items: int) -> None:
+        """Account for ``items`` additional stored items."""
+        if items < 0:
+            raise ValueError("use release() to free storage")
+        self.current_items += int(items)
+        self.peak_items = max(self.peak_items, self.current_items)
+
+    def release(self, items: int) -> None:
+        """Free previously charged storage."""
+        items = int(items)
+        if items < 0 or items > self.current_items:
+            raise ValueError("release exceeds current storage")
+        self.current_items -= items
+
+    def reset_inbox(self) -> None:
+        """Drop delivered messages (storage for them must be released by
+        the algorithm when it discards the payloads)."""
+        self.inbox = []
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        role = "coordinator" if self.is_coordinator else "worker"
+        return f"Machine({self.mid}, {role}, peak={self.peak_items})"

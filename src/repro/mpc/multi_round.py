@@ -1,0 +1,93 @@
+"""Algorithm 7 — the deterministic R-round MPC coreset (§7.2, Theorem 35).
+
+A rounds-versus-storage trade-off: machines form a ``beta``-ary reduction
+tree with ``beta = ceil(m^{1/R})``.  In every round each active machine
+compresses the union of what it received into an ``(eps,k,z)``-mini-ball
+covering and forwards it up the tree; after ``R`` rounds the coordinator
+holds a ``((1+eps)^R - 1, k, z)``-coreset (error composes by Lemma 5,
+unions are safe by Lemma 4).
+"""
+
+from __future__ import annotations
+
+from math import ceil
+
+from ..core.mbc import mbc_construction
+from ..core.metrics import get_metric
+from ..core.points import WeightedPointSet
+from .cluster import SimulatedMPC
+from .result import MPCCoresetResult
+
+__all__ = ["multi_round_coreset"]
+
+
+def multi_round_coreset(
+    parts: "list[WeightedPointSet]",
+    k: int,
+    z: int,
+    eps: float,
+    rounds: int,
+    metric=None,
+    cluster: "SimulatedMPC | None" = None,
+) -> MPCCoresetResult:
+    """Run Algorithm 7 with ``R = rounds`` communication rounds.
+
+    ``parts[i]`` is machine ``i``'s initial data (machine 0 is the paper's
+    ``M_1``, the coordinator).  ``eps_guarantee = (1+eps)^rounds - 1``.
+    """
+    metric = get_metric(metric)
+    m = len(parts)
+    if m < 1:
+        raise ValueError("need at least one machine")
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    cluster = cluster or SimulatedMPC(m)
+    if cluster.m != m:
+        raise ValueError("cluster size does not match number of parts")
+    machines = cluster.machines
+    beta = max(2, int(ceil(m ** (1.0 / rounds))))
+    dim = parts[0].dim
+
+    # Q[i] holds machine i's current working set.
+    Q: "list[WeightedPointSet]" = []
+    for i, part in enumerate(parts):
+        machines[i].charge(len(part))
+        Q.append(part)
+
+    active = m
+    for _t in range(rounds):
+        next_active = int(ceil(active / beta))
+        self_deliveries: "list[tuple[int, WeightedPointSet]]" = []
+        for i in range(active):
+            dest = i // beta  # paper's ceil(i/beta) in 1-based indexing
+            mbc = mbc_construction(Q[i], k, z, eps, metric)
+            machines[i].charge(mbc.size)
+            if dest == i:
+                # self-delivery: no network traffic, but the storage stays;
+                # appended after end_round() so reset_inbox cannot drop it
+                self_deliveries.append((i, mbc.coreset))
+            else:
+                cluster.send(i, dest, mbc.coreset, items=mbc.size)
+        cluster.end_round()
+        for i, payload in self_deliveries:
+            machines[i].inbox.append((i, payload))
+        newQ: "list[WeightedPointSet]" = []
+        for i in range(next_active):
+            payloads = [p for _, p in machines[i].inbox if len(p)]
+            newQ.append(
+                WeightedPointSet.concat(payloads)
+                if payloads
+                else WeightedPointSet.empty(dim)
+            )
+        Q = newQ
+        active = next_active
+    assert active == 1, "reduction tree must end at the coordinator"
+
+    coreset = Q[0]
+    eps_out = (1.0 + eps) ** rounds - 1.0
+    return MPCCoresetResult(
+        coreset=coreset,
+        eps_guarantee=eps_out,
+        stats=cluster.stats(),
+        extras={"beta": beta},
+    )

@@ -1,0 +1,95 @@
+"""Algorithm 6 — the randomized 1-round MPC coreset (§7.1, Theorem 33).
+
+The algorithm itself is deterministic; the randomness is the assumption
+that the input is distributed uniformly at random over the machines, so
+each machine holds at most ``z' = min(6z/m + 3 log n, z)`` outliers with
+high probability (Lemma 32).  Each machine builds
+``MBCConstruction(P_i, k, z', eps)`` and ships it to the coordinator in a
+single round; the coordinator unions (Lemma 4) and re-compresses
+(Lemma 5) into a ``(3 eps, k, z)``-coreset.
+"""
+
+from __future__ import annotations
+
+from math import ceil, log2
+
+from ..core.mbc import compose_errors, mbc_construction
+from ..core.metrics import get_metric
+from ..core.points import WeightedPointSet
+from .cluster import SimulatedMPC, parallel_map
+from .result import MPCCoresetResult
+
+__all__ = ["random_outlier_budget", "one_round_coreset"]
+
+
+def random_outlier_budget(n: int, m: int, z: int) -> int:
+    """Lemma 32's whp bound ``min(6z/m + 3 log n, z)`` on per-machine
+    outliers under random distribution (log base 2; the constant inside a
+    log does not affect the guarantee)."""
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    if z == 0:
+        return 0
+    whp = ceil(6.0 * z / m + 3.0 * log2(max(n, 2)))
+    return int(min(whp, z))
+
+
+def one_round_coreset(
+    parts: "list[WeightedPointSet]",
+    k: int,
+    z: int,
+    eps: float,
+    metric=None,
+    final_compress: bool = True,
+    cluster: "SimulatedMPC | None" = None,
+    parallel: bool = False,
+) -> MPCCoresetResult:
+    """Run Algorithm 6 on randomly partitioned input.
+
+    The caller is responsible for the random-distribution assumption
+    (use :func:`repro.mpc.partition.partition_random`); with an
+    adversarial partition the output can silently miss outliers — that
+    failure mode is demonstrated by experiment E2.
+    """
+    metric = get_metric(metric)
+    m = len(parts)
+    if m < 1:
+        raise ValueError("need at least one machine")
+    cluster = cluster or SimulatedMPC(m)
+    if cluster.m != m:
+        raise ValueError("cluster size does not match number of parts")
+    machines = cluster.machines
+    n = sum(len(p) for p in parts)
+    zprime = random_outlier_budget(n, m, z)
+
+    mbcs = parallel_map(
+        lambda part: mbc_construction(part, k, zprime, eps, metric),
+        parts,
+        parallel,
+    )
+    for i, (part, mbc) in enumerate(zip(parts, mbcs)):
+        machines[i].charge(len(part))
+        machines[i].charge(mbc.size)
+        cluster.send(i, 0, mbc.coreset, items=mbc.size)
+    cluster.end_round()
+
+    received = [payload for _, payload in machines[0].inbox]
+    union = (
+        WeightedPointSet.concat([s for s in received if len(s)])
+        if any(len(s) for s in received)
+        else WeightedPointSet.empty(parts[0].dim)
+    )
+    if final_compress and len(union):
+        final_mbc = mbc_construction(union, k, z, eps, metric)
+        coreset = final_mbc.coreset
+        machines[0].charge(final_mbc.size)
+        eps_out = compose_errors(eps, eps)
+    else:
+        coreset = union
+        eps_out = eps
+    return MPCCoresetResult(
+        coreset=coreset,
+        eps_guarantee=eps_out,
+        stats=cluster.stats(),
+        extras={"zprime": zprime, "union_size": len(union)},
+    )

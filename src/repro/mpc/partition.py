@@ -1,0 +1,82 @@
+"""Distributing the input over MPC machines.
+
+The paper distinguishes three regimes:
+
+* *arbitrary (possibly adversarial)* distribution — the setting of the
+  deterministic 2-round and R-round algorithms;
+* *random* distribution — the assumption under which the 1-round
+  randomized algorithm (and Ceccarello et al.'s) works;
+* the adversarial worst case that breaks naive outlier budgeting: all
+  outliers crowded onto few machines (:func:`partition_adversarial_outliers`),
+  used by experiment E2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.points import WeightedPointSet
+
+__all__ = [
+    "partition_contiguous",
+    "partition_random",
+    "partition_adversarial_outliers",
+    "recommended_num_machines",
+]
+
+
+def partition_contiguous(wps: WeightedPointSet, m: int) -> "list[WeightedPointSet]":
+    """Split into ``m`` (almost) equal contiguous chunks — an *arbitrary*
+    distribution in the paper's sense (the input order is adversarial)."""
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    idx = np.array_split(np.arange(len(wps)), m)
+    return [wps.subset(ix) for ix in idx]
+
+
+def partition_random(
+    wps: WeightedPointSet, m: int, rng: "np.random.Generator | None" = None
+) -> "list[WeightedPointSet]":
+    """Assign each point to a uniformly random machine (the randomized
+    1-round algorithms' input model)."""
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    rng = rng or np.random.default_rng()
+    assign = rng.integers(0, m, size=len(wps))
+    return [wps.subset(assign == i) for i in range(m)]
+
+
+def partition_adversarial_outliers(
+    wps: WeightedPointSet,
+    outlier_mask: np.ndarray,
+    m: int,
+    rng: "np.random.Generator | None" = None,
+) -> "list[WeightedPointSet]":
+    """Adversarial split: *all* outliers go to machine 1 (a worker), the
+    inliers are spread evenly over all machines.
+
+    This is the distribution that makes per-machine outlier counts
+    maximally uneven — the regime motivating the paper's outlier-guessing
+    mechanism (§3).
+    """
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    rng = rng or np.random.default_rng(0)
+    outlier_mask = np.asarray(outlier_mask, dtype=bool)
+    if outlier_mask.shape != (len(wps),):
+        raise ValueError("outlier mask length mismatch")
+    inlier_idx = np.flatnonzero(~outlier_mask)
+    outlier_idx = np.flatnonzero(outlier_mask)
+    parts_idx = [list(ix) for ix in np.array_split(inlier_idx, m)]
+    victim = 1 % m
+    parts_idx[victim] = parts_idx[victim] + list(outlier_idx)
+    return [wps.subset(np.asarray(sorted(ix), dtype=int)) for ix in parts_idx]
+
+
+def recommended_num_machines(n: int, k: int, z: int, eps: float, d: int) -> int:
+    """The paper's machine count ``m = O(sqrt(n * eps^d / k))`` (Theorem
+    10), clamped to at least 2 so a worker exists."""
+    if n <= 0:
+        return 2
+    m = int(np.sqrt(n * (eps**d) / max(k, 1)))
+    return max(2, m)

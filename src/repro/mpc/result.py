@@ -1,0 +1,36 @@
+"""Common result type for the MPC coreset algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.points import WeightedPointSet
+from .cluster import MPCStats
+
+__all__ = ["MPCCoresetResult"]
+
+
+@dataclass(frozen=True)
+class MPCCoresetResult:
+    """Output of an MPC coreset computation.
+
+    Attributes
+    ----------
+    coreset:
+        The final weighted coreset held by the coordinator.
+    eps_guarantee:
+        The error parameter the output provably satisfies as an
+        ``(eps,k,z)``-coreset of the full input (e.g. ``3*eps`` for
+        Algorithm 2 per Theorem 10, ``(1+eps)^R - 1`` for Algorithm 7 per
+        Theorem 35).
+    stats:
+        Rounds / storage / communication accounting.
+    extras:
+        Algorithm-specific diagnostics (e.g. Algorithm 2's ``rhat`` and
+        per-machine outlier guesses ``2^jhat - 1``).
+    """
+
+    coreset: WeightedPointSet
+    eps_guarantee: float
+    stats: MPCStats
+    extras: dict = field(default_factory=dict)

@@ -1,0 +1,21 @@
+"""Linear-sketch substrates for the fully dynamic streaming algorithm
+(§5.1): k-wise hashing, 1-sparse cells, s-sparse recovery (Lemma 20) and
+F0 estimation (Lemma 19)."""
+
+from .f0 import F0Estimator
+from .hashing import MERSENNE_P, KWiseHash
+from .onesparse import OneSparseCell
+from .sparse_recovery import SparseRecoveryResult, SSparseRecovery
+from .vandermonde import PRIME_31, VandermondeSketch, berlekamp_massey
+
+__all__ = [
+    "F0Estimator",
+    "KWiseHash",
+    "MERSENNE_P",
+    "OneSparseCell",
+    "PRIME_31",
+    "SSparseRecovery",
+    "SparseRecoveryResult",
+    "VandermondeSketch",
+    "berlekamp_massey",
+]

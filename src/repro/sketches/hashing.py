@@ -1,0 +1,70 @@
+"""k-wise independent hashing over a prime field.
+
+The sparse-recovery sketch (Lemma 20) and the F0 estimator (Lemma 19) both
+need hash functions with bounded independence.  We use polynomial hashing
+over the Mersenne prime ``p = 2^61 - 1``: a random degree-``(k-1)``
+polynomial evaluated at the key is k-wise independent.  Evaluation is
+vectorized over NumPy arrays using Python-int arithmetic per coefficient
+step (object dtype) to avoid overflow, which is fast enough for the sketch
+sizes the paper needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MERSENNE_P", "KWiseHash"]
+
+#: The Mersenne prime 2^61 - 1 used as the field size.
+MERSENNE_P = (1 << 61) - 1
+
+
+class KWiseHash:
+    """A k-wise independent hash ``h : [U] -> [m]``.
+
+    Parameters
+    ----------
+    m:
+        Range size (outputs are in ``0..m-1``).
+    k:
+        Independence (degree of the random polynomial); ``k >= 2``.
+    rng:
+        NumPy random generator supplying the coefficients.
+
+    Notes
+    -----
+    Outputs are ``(poly(x) mod p) mod m``; the modular bias is at most
+    ``m / p``, negligible for ``m << 2^61``.
+    """
+
+    def __init__(self, m: int, k: int = 2, rng: "np.random.Generator | None" = None):
+        if m <= 0:
+            raise ValueError("range m must be positive")
+        if k < 1:
+            raise ValueError("independence k must be >= 1")
+        rng = rng or np.random.default_rng()
+        self.m = int(m)
+        self.k = int(k)
+        # leading coefficient non-zero to keep full degree
+        coeffs = [int(rng.integers(1, MERSENNE_P))]
+        coeffs += [int(rng.integers(0, MERSENNE_P)) for _ in range(k - 1)]
+        self.coeffs = coeffs
+
+    def __call__(self, keys) -> np.ndarray:
+        """Hash an integer array (or scalar), returning ``int64`` values in
+        ``0..m-1``."""
+        scalar = np.isscalar(keys)
+        arr = np.atleast_1d(np.asarray(keys, dtype=object))
+        acc = np.zeros(arr.shape, dtype=object)
+        for c in self.coeffs:
+            acc = (acc * arr + c) % MERSENNE_P
+        out = (acc % self.m).astype(np.int64)
+        return int(out[0]) if scalar else out
+
+    def hash_int(self, key: int) -> int:
+        """Hash a single Python int (no array overhead)."""
+        acc = 0
+        key = int(key)
+        for c in self.coeffs:
+            acc = (acc * key + c) % MERSENNE_P
+        return int(acc % self.m)

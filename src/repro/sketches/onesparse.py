@@ -1,0 +1,81 @@
+"""1-sparse recovery cells.
+
+The basic building block of the s-sparse recovery sketch: a constant-size
+summary of a frequency vector restricted to one bucket, able to
+
+* detect that the bucket is empty,
+* detect (whp) that the bucket holds exactly one distinct key and recover
+  that key with its exact frequency, and
+* otherwise report "collision".
+
+We store ``(w, ws, fp)`` where ``w = sum_i F[i]``,
+``ws = sum_i F[i] * i`` and ``fp = sum_i F[i] * zeta^i  (mod p)`` for a
+random evaluation point ``zeta``.  If exactly one key ``a`` is present,
+``ws / w == a`` and ``fp == w * zeta^a``; a collision passes this test with
+probability at most ``U / p`` over the choice of ``zeta`` (Schwartz-Zippel).
+"""
+
+from __future__ import annotations
+
+from .hashing import MERSENNE_P
+
+__all__ = ["OneSparseCell"]
+
+
+class OneSparseCell:
+    """A single 1-sparse recovery cell (supports +/- integer updates).
+
+    Parameters
+    ----------
+    zeta:
+        Fingerprint evaluation point, shared by all cells of one sketch
+        row so decodes are consistent.
+    """
+
+    __slots__ = ("w", "ws", "fp", "zeta")
+
+    def __init__(self, zeta: int):
+        self.w = 0  # total frequency in the bucket
+        self.ws = 0  # frequency-weighted key sum
+        self.fp = 0  # fingerprint sum mod p
+        self.zeta = int(zeta)
+
+    def update(self, key: int, delta: int) -> None:
+        """Apply ``F[key] += delta``."""
+        key = int(key)
+        delta = int(delta)
+        self.w += delta
+        self.ws += delta * key
+        self.fp = (self.fp + delta * pow(self.zeta, key, MERSENNE_P)) % MERSENNE_P
+
+    def subtract_item(self, key: int, weight: int) -> None:
+        """Remove a decoded item (used by the peeling decoder)."""
+        self.update(key, -weight)
+
+    @property
+    def is_zero(self) -> bool:
+        """True when the cell summarises the all-zero vector (exactly, for
+        the ``w``/``ws`` part; whp for the fingerprint)."""
+        return self.w == 0 and self.ws == 0 and self.fp == 0
+
+    def decode(self) -> "tuple[int, int] | None":
+        """Return ``(key, frequency)`` if the cell is (whp) 1-sparse with a
+        positive frequency, else ``None``.
+
+        Strict-turnstile streams (the paper's setting, §5.1) guarantee
+        true frequencies are non-negative, so ``w <= 0`` cells are never
+        singletons.
+        """
+        if self.w <= 0:
+            return None
+        if self.ws % self.w != 0:
+            return None
+        key = self.ws // self.w
+        if key < 0:
+            return None
+        if self.fp != (self.w * pow(self.zeta, key, MERSENNE_P)) % MERSENNE_P:
+            return None
+        return int(key), int(self.w)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OneSparseCell(w={self.w}, ws={self.ws})"

@@ -1,0 +1,96 @@
+"""Stream event model.
+
+Three stream flavours appear in the paper:
+
+* insertion-only (§4): points arrive one by one, adversarially ordered;
+* fully dynamic (§5): signed updates ``(point, +-1)`` over ``[Delta]^d``
+  in the strict turnstile model;
+* sliding window (§6): arrivals with implicit expiration after ``W``
+  steps.
+
+:class:`UpdateEvent` is the common currency; the helpers build event
+sequences from arrays and replay them into any object exposing
+``insert`` / ``delete`` methods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+__all__ = [
+    "UpdateEvent",
+    "insertion_stream",
+    "dynamic_stream",
+    "replay",
+    "live_set",
+]
+
+
+@dataclass(frozen=True)
+class UpdateEvent:
+    """A single stream update.
+
+    Attributes
+    ----------
+    point:
+        Coordinates (tuple, so events are hashable and immutable).
+    sign:
+        ``+1`` for insert, ``-1`` for delete.
+    time:
+        Arrival index (0-based position in the stream).
+    """
+
+    point: tuple
+    sign: int
+    time: int
+
+    def __post_init__(self):
+        if self.sign not in (1, -1):
+            raise ValueError("sign must be +1 or -1")
+
+
+def insertion_stream(points: np.ndarray) -> "list[UpdateEvent]":
+    """Wrap an array of points as a pure-insertion event sequence."""
+    pts = np.atleast_2d(np.asarray(points))
+    return [UpdateEvent(tuple(p.tolist()), 1, t) for t, p in enumerate(pts)]
+
+
+def dynamic_stream(
+    updates: "Iterable[tuple[np.ndarray, int]]",
+) -> "list[UpdateEvent]":
+    """Wrap ``(point, sign)`` pairs as an event sequence, checking the
+    strict-turnstile invariant (no multiset element goes negative)."""
+    events = []
+    live: dict[tuple, int] = {}
+    for t, (p, sign) in enumerate(updates):
+        key = tuple(np.asarray(p).tolist())
+        cnt = live.get(key, 0) + int(sign)
+        if cnt < 0:
+            raise ValueError(f"turnstile violation at t={t}: deleting absent {key}")
+        live[key] = cnt
+        events.append(UpdateEvent(key, int(sign), t))
+    return events
+
+
+def replay(events: "Iterable[UpdateEvent]", sink) -> None:
+    """Feed events into ``sink`` (``insert(point)`` / ``delete(point)``)."""
+    for ev in events:
+        if ev.sign > 0:
+            sink.insert(np.asarray(ev.point))
+        else:
+            sink.delete(np.asarray(ev.point))
+
+
+def live_set(events: "Iterable[UpdateEvent]") -> "list[tuple]":
+    """The multiset of currently live points after replaying ``events``
+    (used by tests to compare sketches against ground truth)."""
+    live: dict[tuple, int] = {}
+    for ev in events:
+        live[ev.point] = live.get(ev.point, 0) + ev.sign
+    out: list[tuple] = []
+    for p, c in live.items():
+        out.extend([p] * c)
+    return out

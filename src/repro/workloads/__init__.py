@@ -1,0 +1,23 @@
+"""Workload generators for experiments, examples and benches."""
+
+from .graph import (
+    estimate_doubling_dimension,
+    graph_clustered_workload,
+    grid_graph_metric,
+)
+from .synthetic import (
+    ClusteredWorkload,
+    clustered_with_outliers,
+    drifting_stream,
+    integer_workload,
+)
+
+__all__ = [
+    "ClusteredWorkload",
+    "clustered_with_outliers",
+    "drifting_stream",
+    "estimate_doubling_dimension",
+    "graph_clustered_workload",
+    "grid_graph_metric",
+    "integer_workload",
+]

@@ -1,0 +1,132 @@
+"""Graph-metric workloads (general metric spaces of bounded doubling
+dimension).
+
+The paper's algorithms are stated for arbitrary metric spaces of doubling
+dimension ``d`` — not just ``R^d``.  Shortest-path metrics of grid-like
+graphs (road networks) are the canonical such spaces: a planar grid graph
+has doubling dimension O(1).  These helpers build a networkx graph, turn
+its shortest-path matrix into a
+:class:`~repro.core.metrics.PrecomputedMetric`, and plant a
+clusters-plus-outliers workload directly in the graph: cluster points are
+nodes inside small balls around hub nodes, outliers are nodes far from
+every hub.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.metrics import PrecomputedMetric
+from ..core.points import WeightedPointSet
+
+__all__ = [
+    "grid_graph_metric",
+    "graph_clustered_workload",
+    "estimate_doubling_dimension",
+]
+
+
+def grid_graph_metric(
+    rows: int,
+    cols: int,
+    perturb: float = 0.0,
+    rng: "np.random.Generator | None" = None,
+) -> PrecomputedMetric:
+    """Shortest-path metric of an ``rows x cols`` grid graph.
+
+    ``perturb > 0`` adds random edge weights in ``[1, 1+perturb]`` so
+    distances are generic (no massive ties).  Grid graphs have constant
+    doubling dimension (~2), recorded on the returned metric.
+    """
+    import networkx as nx
+
+    rng = rng or np.random.default_rng()
+    G = nx.grid_2d_graph(rows, cols)
+    if perturb > 0:
+        for u, v in G.edges:
+            G.edges[u, v]["weight"] = 1.0 + float(rng.uniform(0, perturb))
+        lengths = dict(nx.all_pairs_dijkstra_path_length(G))
+    else:
+        lengths = dict(nx.all_pairs_shortest_path_length(G))
+    nodes = sorted(G.nodes)
+    index = {v: i for i, v in enumerate(nodes)}
+    n = len(nodes)
+    D = np.zeros((n, n))
+    for u, dists in lengths.items():
+        for v, d in dists.items():
+            D[index[u], index[v]] = float(d)
+    metric = PrecomputedMetric(D, name=f"grid{rows}x{cols}", doubling=2)
+    return metric
+
+
+def graph_clustered_workload(
+    metric: PrecomputedMetric,
+    k: int,
+    z: int,
+    cluster_radius: float,
+    rng: "np.random.Generator | None" = None,
+) -> "tuple[WeightedPointSet, np.ndarray, np.ndarray]":
+    """Plant ``k`` hub-ball clusters and ``z`` far outliers in a finite
+    metric space.
+
+    Hubs are chosen by farthest-point traversal (well separated); cluster
+    members are every node within ``cluster_radius`` of a hub; the ``z``
+    outliers are the nodes farthest from all hubs.  Returns
+    ``(point_set, outlier_mask, hub_ids)`` where the point set's
+    "coordinates" are single-column element ids.
+    """
+    rng = rng or np.random.default_rng()
+    n = metric.n_elements
+    D = metric.D
+    if k < 1 or z < 0 or k + z > n:
+        raise ValueError("need 1 <= k and k + z <= n")
+    # farthest-point hubs
+    hubs = [int(rng.integers(0, n))]
+    dmin = D[hubs[0]].copy()
+    while len(hubs) < k:
+        nxt = int(np.argmax(dmin))
+        hubs.append(nxt)
+        dmin = np.minimum(dmin, D[nxt])
+    hub_dist = D[np.asarray(hubs)].min(axis=0)
+    members = np.flatnonzero(hub_dist <= cluster_radius)
+    # outliers: farthest nodes from every hub, excluding cluster members
+    order = np.argsort(hub_dist)[::-1]
+    outliers = [int(i) for i in order if i not in set(members.tolist())][:z]
+    ids = np.concatenate([members, np.asarray(outliers, dtype=np.int64)])
+    mask = np.zeros(len(ids), dtype=bool)
+    mask[len(members):] = True
+    perm = rng.permutation(len(ids))
+    pts = ids[perm].astype(float).reshape(-1, 1)
+    return WeightedPointSet.from_points(pts), mask[perm], np.asarray(hubs)
+
+
+def estimate_doubling_dimension(
+    metric: PrecomputedMetric, trials: int = 32,
+    rng: "np.random.Generator | None" = None,
+) -> float:
+    """Empirical doubling dimension: the maximum over sampled balls
+    ``b(p, r)`` of ``log2`` of the number of ``r/2``-balls needed to cover
+    it (greedy cover)."""
+    rng = rng or np.random.default_rng()
+    D = metric.D
+    n = len(D)
+    worst = 1.0
+    radii = np.unique(D[D > 0])
+    if len(radii) == 0:
+        return 0.0
+    for _ in range(trials):
+        p = int(rng.integers(0, n))
+        r = float(rng.choice(radii))
+        ball = np.flatnonzero(D[p] <= r)
+        if len(ball) <= 1:
+            continue
+        # greedy cover of `ball` by r/2-balls centred at its points
+        uncovered = set(ball.tolist())
+        count = 0
+        while uncovered:
+            q = next(iter(uncovered))
+            cover = {int(i) for i in ball if D[q, i] <= r / 2.0}
+            uncovered -= cover | {q}
+            count += 1
+        worst = max(worst, float(count))
+    return float(np.log2(worst))

@@ -1,0 +1,148 @@
+"""Synthetic workload generators.
+
+The paper's algorithms are motivated by large noisy data sets (§1): sensor
+fleets, image features, health records — clustered mass plus sparse
+anomalies.  These generators produce exactly that structure with full
+control over ``k`` (true clusters), ``z`` (planted outliers), dimension
+and spread, plus the adversarial orderings the streaming sections assume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.points import WeightedPointSet
+
+__all__ = [
+    "ClusteredWorkload",
+    "clustered_with_outliers",
+    "drifting_stream",
+    "integer_workload",
+]
+
+
+class ClusteredWorkload:
+    """A generated instance: points plus planted structure.
+
+    Attributes
+    ----------
+    points:
+        ``(n, d)`` array; the first ``n - z`` rows are cluster points, the
+        last ``z`` rows are planted outliers (before shuffling; use
+        ``outlier_mask``).
+    outlier_mask:
+        Boolean mask of the planted outliers.
+    centers:
+        True cluster centres (for reference only; algorithms never see
+        them).
+    """
+
+    def __init__(self, points: np.ndarray, outlier_mask: np.ndarray, centers: np.ndarray):
+        self.points = points
+        self.outlier_mask = outlier_mask
+        self.centers = centers
+
+    def point_set(self) -> WeightedPointSet:
+        """Unit-weight :class:`WeightedPointSet` over all points."""
+        return WeightedPointSet.from_points(self.points)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+def clustered_with_outliers(
+    n: int,
+    k: int,
+    z: int,
+    d: int = 2,
+    cluster_std: float = 0.5,
+    center_spread: float = 20.0,
+    outlier_spread: float = 100.0,
+    rng: "np.random.Generator | None" = None,
+    shuffle: bool = True,
+) -> ClusteredWorkload:
+    """Gaussian mixture of ``k`` clusters plus ``z`` uniform outliers.
+
+    ``n`` counts all points (``n - z`` cluster points).  Outliers are
+    sampled uniformly from a shell well outside the cluster region, so
+    they are unambiguous at the generated scales.
+    """
+    rng = rng or np.random.default_rng()
+    if z > n:
+        raise ValueError("z cannot exceed n")
+    centers = rng.uniform(-center_spread, center_spread, size=(k, d))
+    n_in = n - z
+    assign = rng.integers(0, k, size=n_in)
+    cluster_pts = centers[assign] + rng.normal(0.0, cluster_std, size=(n_in, d))
+    # outliers on a distant shell
+    dirs = rng.normal(size=(z, d))
+    norms = np.linalg.norm(dirs, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    radii = rng.uniform(outlier_spread, 2 * outlier_spread, size=(z, 1))
+    outliers = dirs / norms * radii
+    pts = np.concatenate([cluster_pts, outliers]) if z else cluster_pts
+    mask = np.zeros(n, dtype=bool)
+    mask[n_in:] = True
+    if shuffle:
+        perm = rng.permutation(n)
+        pts, mask = pts[perm], mask[perm]
+    return ClusteredWorkload(pts, mask, centers)
+
+
+def drifting_stream(
+    n: int,
+    k: int,
+    z: int,
+    d: int = 2,
+    drift: float = 0.01,
+    cluster_std: float = 0.3,
+    outlier_spread: float = 50.0,
+    rng: "np.random.Generator | None" = None,
+) -> np.ndarray:
+    """A stream whose cluster centres drift over time — the sliding-window
+    and streaming scenario (recent points form tight clusters; outliers
+    are injected uniformly at random times)."""
+    rng = rng or np.random.default_rng()
+    centers = rng.uniform(-10, 10, size=(k, d))
+    velocity = rng.normal(0, drift, size=(k, d))
+    out = np.empty((n, d))
+    outlier_times = set(rng.choice(n, size=min(z, n), replace=False).tolist())
+    for t in range(n):
+        centers = centers + velocity
+        if t in outlier_times:
+            v = rng.normal(size=d)
+            v /= max(np.linalg.norm(v), 1e-12)
+            out[t] = v * rng.uniform(outlier_spread, 2 * outlier_spread)
+        else:
+            c = int(rng.integers(0, k))
+            out[t] = centers[c] + rng.normal(0, cluster_std, size=d)
+    return out
+
+
+def integer_workload(
+    n: int,
+    k: int,
+    z: int,
+    delta_universe: int,
+    d: int = 2,
+    cluster_radius: int = 4,
+    rng: "np.random.Generator | None" = None,
+) -> ClusteredWorkload:
+    """Clustered points on the integer grid ``[Delta]^d`` — the fully
+    dynamic algorithm's input domain (§5)."""
+    rng = rng or np.random.default_rng()
+    if delta_universe < 4 * cluster_radius:
+        raise ValueError("universe too small for the cluster radius")
+    lo = 1 + cluster_radius
+    hi = delta_universe - cluster_radius
+    centers = rng.integers(lo, hi + 1, size=(k, d))
+    n_in = n - z
+    assign = rng.integers(0, k, size=n_in)
+    offsets = rng.integers(-cluster_radius, cluster_radius + 1, size=(n_in, d))
+    cluster_pts = np.clip(centers[assign] + offsets, 1, delta_universe)
+    outliers = rng.integers(1, delta_universe + 1, size=(z, d))
+    pts = np.concatenate([cluster_pts, outliers]) if z else cluster_pts
+    mask = np.zeros(n, dtype=bool)
+    mask[n_in:] = True
+    perm = rng.permutation(n)
+    return ClusteredWorkload(pts[perm].astype(np.int64), mask[perm], centers)

@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro import WeightedPointSet
+from repro.workloads import clustered_with_outliers
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_planar(rng):
+    """Two tight planar clusters plus 4 planted outliers (k=2, z=4)."""
+    wl = clustered_with_outliers(
+        120, k=2, z=4, d=2, cluster_std=0.3, center_spread=10.0,
+        outlier_spread=80.0, rng=rng,
+    )
+    return wl
+
+
+@pytest.fixture
+def small_set(small_planar):
+    return small_planar.point_set()
+
+
+@pytest.fixture
+def tiny_set(rng):
+    """12 random points — small enough for brute force."""
+    return WeightedPointSet.from_points(rng.uniform(0, 10, size=(12, 2)))
+
+
+@pytest.fixture
+def line_set():
+    """Ten collinear unit-spaced points."""
+    return WeightedPointSet.from_points(np.arange(10, dtype=float).reshape(-1, 1))

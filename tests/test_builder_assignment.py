@@ -1,0 +1,115 @@
+"""Tests for CoresetBuilder (merge/reduce API) and cluster extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ClusterAssignment,
+    CoresetBuilder,
+    WeightedPointSet,
+    charikar_greedy,
+    coverage_radius,
+    extract_clusters,
+    verify_sandwich,
+)
+from repro.workloads import clustered_with_outliers
+
+
+class TestCoresetBuilder:
+    def test_leaf_has_zero_eps(self, small_set):
+        b = CoresetBuilder.from_points(small_set, 2, 4)
+        assert b.eps == 0.0 and b.size == len(small_set)
+
+    def test_reduce_composes_error(self, small_set):
+        b = CoresetBuilder.from_points(small_set, 2, 4).reduce(0.3).reduce(0.3)
+        # compose(0, 0.3) = 0.3; compose(0.3, 0.3) = 0.3 + 0.3 + 0.09
+        assert b.eps == pytest.approx(0.69)
+
+    def test_merge_preserves_weight(self, small_set):
+        half = len(small_set) // 2
+        a = CoresetBuilder.from_points(small_set.subset(np.arange(half)), 2, 4)
+        b = CoresetBuilder.from_points(
+            small_set.subset(np.arange(half, len(small_set))), 2, 4
+        )
+        m = a.merge(b)
+        assert m.total_weight == small_set.total_weight
+        assert m.eps == 0.0
+
+    def test_merge_takes_max_eps(self, small_set):
+        half = len(small_set) // 2
+        a = CoresetBuilder.from_points(small_set.subset(np.arange(half)), 2, 4).reduce(0.5)
+        b = CoresetBuilder.from_points(
+            small_set.subset(np.arange(half, len(small_set))), 2, 4
+        )
+        assert a.merge(b).eps == a.eps
+
+    def test_merge_kz_mismatch(self, small_set):
+        a = CoresetBuilder.from_points(small_set, 2, 4)
+        b = CoresetBuilder.from_points(small_set, 3, 4)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_all_tree_is_valid_coreset(self, rng):
+        """A hand-built two-level merge-reduce tree produces a valid
+        coreset with the tracked eps."""
+        wl = clustered_with_outliers(400, 2, 8, d=2, rng=rng)
+        P = wl.point_set()
+        chunks = [P.subset(np.arange(i, len(P), 4)) for i in range(4)]
+        leaves = [
+            CoresetBuilder.from_points(c, 2, 8).reduce(0.3, z_budget=8)
+            for c in chunks
+        ]
+        root = CoresetBuilder.merge_all(leaves).reduce(0.3)
+        assert root.total_weight == P.total_weight
+        assert verify_sandwich(P, root.coreset, 2, 8, root.eps).ok
+
+    def test_merge_all_empty_list(self):
+        with pytest.raises(ValueError):
+            CoresetBuilder.merge_all([])
+
+    def test_merge_with_empty_piece(self, small_set):
+        a = CoresetBuilder.from_points(small_set, 2, 4)
+        b = CoresetBuilder.from_points(WeightedPointSet.empty(2), 2, 4)
+        assert a.merge(b).size == len(small_set)
+        assert b.merge(a).size == len(small_set)
+
+
+class TestExtractClusters:
+    def test_matches_coverage_radius(self, small_set):
+        res = charikar_greedy(small_set, 2, 4)
+        centers = small_set.points[res.centers_idx]
+        asg = extract_clusters(small_set, centers, 4)
+        assert asg.radius == pytest.approx(coverage_radius(small_set, centers, 4))
+
+    def test_outlier_budget_respected(self, small_set):
+        res = charikar_greedy(small_set, 2, 4)
+        asg = extract_clusters(small_set, small_set.points[res.centers_idx], 4)
+        assert asg.outlier_weight <= 4
+        assert asg.outlier_mask.sum() == (asg.labels == -1).sum()
+
+    def test_planted_outliers_found(self, small_planar):
+        P = small_planar.point_set()
+        res = charikar_greedy(P, 2, 4)
+        asg = extract_clusters(P, P.points[res.centers_idx], 4)
+        assert (asg.outlier_mask == small_planar.outlier_mask).all()
+
+    def test_cluster_indices(self, small_set):
+        res = charikar_greedy(small_set, 2, 4)
+        asg = extract_clusters(small_set, small_set.points[res.centers_idx], 4)
+        total = sum(len(asg.cluster_indices(j)) for j in range(2))
+        assert total + asg.outlier_mask.sum() == len(small_set)
+
+    def test_empty_inputs(self):
+        P = WeightedPointSet.empty(2)
+        asg = extract_clusters(P, np.zeros((1, 2)), 0)
+        assert len(asg.labels) == 0
+        P2 = WeightedPointSet.from_points(np.zeros((3, 2)))
+        asg2 = extract_clusters(P2, np.zeros((0, 2)), 0)
+        assert (asg2.labels == -1).all() and asg2.outlier_weight == 3
+
+    def test_weighted_outlier_cut(self):
+        """A heavy far point that exceeds the budget stays covered."""
+        P = WeightedPointSet(np.array([[0.0], [10.0], [20.0]]), [1, 1, 5])
+        asg = extract_clusters(P, np.array([[0.0]]), 2)
+        assert not asg.outlier_mask[2]  # weight 5 > z=2
+        assert asg.radius == pytest.approx(20.0)

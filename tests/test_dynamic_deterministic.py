@@ -1,0 +1,93 @@
+"""Tests for the deterministic fully dynamic coreset (§5 discussion)."""
+
+import numpy as np
+import pytest
+
+from repro.core import WeightedPointSet, charikar_greedy
+from repro.streaming import DeterministicDynamicCoreset, DynamicCoreset
+from repro.workloads import integer_workload
+
+
+@pytest.fixture
+def det(request):
+    return DeterministicDynamicCoreset(2, 3, 1.0, 64, 2, s_override=32)
+
+
+class TestDeterministicDynamic:
+    def test_weight_recovery(self, det, rng):
+        pts = rng.integers(1, 65, size=(25, 2))
+        for p in pts:
+            det.insert(p)
+        assert det.coreset().total_weight == 25
+
+    def test_deletions(self, det, rng):
+        pts = rng.integers(1, 65, size=(25, 2))
+        for p in pts:
+            det.insert(p)
+        for p in pts[:10]:
+            det.delete(p)
+        assert det.coreset().total_weight == 15
+
+    def test_empty_after_full_deletion(self, det, rng):
+        pts = rng.integers(1, 65, size=(10, 2))
+        for p in pts:
+            det.insert(p)
+        for p in pts:
+            det.delete(p)
+        cs = det.coreset()
+        assert len(cs) == 0 and det.selected_level() == 0
+
+    def test_bit_for_bit_determinism(self, rng):
+        pts = rng.integers(1, 65, size=(30, 2))
+        results = []
+        for _ in range(2):
+            d = DeterministicDynamicCoreset(2, 3, 1.0, 64, 2, s_override=24)
+            for p in pts:
+                d.insert(p)
+            cs = d.coreset()
+            results.append((cs.points.tobytes(), cs.weights.tobytes()))
+        assert results[0] == results[1]
+
+    def test_falls_back_to_coarser_grid(self, rng):
+        d = DeterministicDynamicCoreset(1, 0, 1.0, 64, 2, s_override=4)
+        pts = rng.integers(1, 65, size=(40, 2))
+        for p in pts:
+            d.insert(p)
+        assert d.selected_level() > 0
+        assert d.coreset().total_weight == 40
+
+    def test_matches_randomized_weight(self, rng):
+        wl = integer_workload(40, 2, 3, 64, 2, rng=rng)
+        det = DeterministicDynamicCoreset(2, 3, 1.0, 64, 2, s_override=40)
+        ran = DynamicCoreset(2, 3, 1.0, 64, 2, rng=np.random.default_rng(0))
+        for p in wl.points:
+            det.insert(p)
+            ran.insert(p)
+        assert det.coreset().total_weight == ran.coreset().total_weight == 40
+
+    def test_radius_quality(self, rng):
+        wl = integer_workload(50, 2, 4, 64, 2, rng=rng)
+        d = DeterministicDynamicCoreset(2, 4, 1.0, 64, 2, s_override=50)
+        for p in wl.points:
+            d.insert(p)
+        P = WeightedPointSet.from_points(wl.points.astype(float))
+        r_full = charikar_greedy(P, 2, 4).radius
+        r_core = charikar_greedy(d.coreset(), 2, 4).radius
+        side = d.hier.level(d.selected_level()).side
+        assert abs(r_core - r_full) <= 3 * r_full + 2 * side
+
+    def test_universe_guard(self):
+        with pytest.raises(ValueError):
+            DeterministicDynamicCoreset(1, 0, 1.0, 2**16, 2)  # 2^32 cells
+
+    def test_eps_validation(self):
+        with pytest.raises(ValueError):
+            DeterministicDynamicCoreset(1, 0, 0.0, 64, 1)
+
+    def test_storage_grows_logarithmically(self):
+        small = DeterministicDynamicCoreset(1, 0, 1.0, 16, 1, s_override=8)
+        big = DeterministicDynamicCoreset(1, 0, 1.0, 4096, 1, s_override=8)
+        # (2s + check) * num_levels: linear in log Delta
+        assert big.storage_cells / small.storage_cells == pytest.approx(
+            13 / 5, rel=0.01
+        )

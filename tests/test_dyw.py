@@ -1,0 +1,66 @@
+"""Tests for the Ding-Yu-Wang style randomized greedy (reference [21])."""
+
+import numpy as np
+import pytest
+
+from repro.core import WeightedPointSet, brute_force_opt, dyw_greedy
+from repro.workloads import clustered_with_outliers
+
+
+class TestDYWGreedy:
+    def test_bi_criteria_outlier_budget(self, rng):
+        wl = clustered_with_outliers(200, 3, 8, d=2, rng=rng)
+        res = dyw_greedy(wl.point_set(), 3, 8, delta=0.5, rng=rng)
+        assert res.outlier_weight <= int(np.floor(1.5 * 8))
+
+    def test_radius_constant_factor(self, rng):
+        P = WeightedPointSet.from_points(rng.uniform(0, 10, size=(12, 2)))
+        opt = brute_force_opt(P, 2, 1).radius
+        res = dyw_greedy(P, 2, 1, delta=0.5, rng=rng, trials=16)
+        # bi-criteria: radius within a small constant of opt (2x in theory
+        # for the relaxed budget; allow slack for sampling)
+        assert res.radius <= 4 * opt + 1e-9
+
+    def test_certificate_consistency(self, rng):
+        """The returned (radius, outlier_weight) pair is always a valid
+        certificate regardless of sampling luck."""
+        wl = clustered_with_outliers(150, 2, 6, d=2, rng=rng)
+        P = wl.point_set()
+        res = dyw_greedy(P, 2, 6, delta=0.3, rng=rng)
+        from repro.core import uncovered_weight
+        assert uncovered_weight(
+            P, P.points[res.centers_idx], res.radius
+        ) == res.outlier_weight
+
+    def test_clustered_instance_finds_structure(self, rng):
+        wl = clustered_with_outliers(300, 3, 10, d=2, cluster_std=0.2,
+                                     rng=rng)
+        P = wl.point_set()
+        res = dyw_greedy(P, 3, 10, delta=0.5, rng=rng, trials=16)
+        # the planted clusters have radius << spacing; DYW must find them
+        assert res.radius < 10.0
+
+    def test_degenerate_cases(self, rng):
+        empty = WeightedPointSet.empty(2)
+        assert dyw_greedy(empty, 2, 1, rng=rng).radius == 0.0
+        P = WeightedPointSet.from_points(np.zeros((5, 2)))
+        assert dyw_greedy(P, 1, 0, rng=rng).radius == 0.0
+        # total weight below the relaxed budget
+        P2 = WeightedPointSet.from_points(np.array([[0.0], [100.0]]))
+        assert dyw_greedy(P2, 1, 2, rng=rng).radius == 0.0
+
+    def test_k_validation(self, rng):
+        P = WeightedPointSet.from_points(np.arange(10, dtype=float).reshape(-1, 1))
+        with pytest.raises(ValueError):
+            dyw_greedy(P, 0, 0, rng=rng)
+
+    def test_weighted_sampling(self, rng):
+        """Weight-proportional sampling: heavy inlier mass is found even
+        with many light outliers."""
+        pts = np.concatenate([np.zeros((1, 1)), rng.uniform(50, 100, (10, 1))])
+        weights = np.concatenate([[1000], np.ones(10, dtype=int)]).astype(int)
+        P = WeightedPointSet(pts, weights)
+        res = dyw_greedy(P, 1, 10, delta=0.2, rng=rng, trials=8)
+        # the heavy point at 0 must be covered
+        assert res.radius <= 100.0
+        assert res.outlier_weight <= 12

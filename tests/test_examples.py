@@ -1,0 +1,44 @@
+"""Smoke tests that the example scripts stay runnable.
+
+The three fastest examples run end-to-end in a subprocess; the heavier
+streaming/dynamic ones are compile-checked (they run in the benchmark
+suite's time budget, not the unit suite's).
+"""
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST = ["quickstart.py", "graph_road_network.py"]
+HEAVY = [
+    "mpc_sensor_fleet.py",
+    "streaming_intrusion.py",
+    "dynamic_inventory.py",
+    "sliding_window_traffic.py",
+    "composable_pipeline.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST)
+def test_fast_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=240,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+@pytest.mark.parametrize("script", FAST + HEAVY)
+def test_example_compiles(script):
+    py_compile.compile(str(EXAMPLES / script), doraise=True)
+
+
+def test_all_examples_listed():
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == set(FAST + HEAVY)

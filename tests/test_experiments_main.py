@@ -1,0 +1,31 @@
+"""Tests for the `python -m repro.experiments` runner."""
+
+import pytest
+
+from repro.experiments.__main__ import EXPERIMENTS, main
+
+
+class TestRunner:
+    def test_quick_single_experiment(self, capsys):
+        rc = main(["--quick", "E15"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "E15" in out and "lemma41_gap" in out
+
+    def test_unknown_id(self, capsys):
+        rc = main(["E99"])
+        assert rc == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_multiple_ids(self, capsys):
+        rc = main(["--quick", "E5", "E12"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Lemma 12" in out or "E5" in out
+        assert "E12" in out
+
+    def test_registry_ids_well_formed(self):
+        for eid, (title, full, quick) in EXPERIMENTS.items():
+            assert eid.startswith("E")
+            assert callable(full) and callable(quick)
+            assert title

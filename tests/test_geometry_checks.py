@@ -1,0 +1,32 @@
+"""Tests for the appendix geometry checks (Lemmas 37-41)."""
+
+import pytest
+
+from repro.lowerbounds import claim38_check, claim39_radius, lemma41_gap
+
+ADMISSIBLE = [(1, 1 / 8), (1, 1 / 16), (1, 1 / 32), (2, 1 / 16), (2, 1 / 32), (3, 1 / 24)]
+
+
+class TestLemma41:
+    @pytest.mark.parametrize("d,eps", ADMISSIBLE)
+    def test_strictly_positive_gap(self, d, eps):
+        assert lemma41_gap(d, eps) > 0
+
+    def test_gap_shrinks_with_dimension(self):
+        # larger d tightens the inequality at comparable lambda
+        assert lemma41_gap(3, 1 / 24) < lemma41_gap(1, 1 / 16)
+
+
+class TestClaim38:
+    @pytest.mark.parametrize("d,eps", ADMISSIBLE)
+    def test_cross_balls_cover(self, d, eps):
+        ok, margin = claim38_check(d, eps)
+        assert ok and margin >= -1e-9
+
+
+class TestClaim39:
+    @pytest.mark.parametrize("d,eps", ADMISSIBLE)
+    def test_containment_slack_nonnegative(self, d, eps):
+        slack, cover = claim39_radius(d, eps)
+        assert slack >= -1e-9
+        assert cover > 0

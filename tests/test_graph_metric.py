@@ -1,0 +1,143 @@
+"""Tests for general metric spaces: PrecomputedMetric + graph workloads.
+
+The paper's algorithms are stated for arbitrary doubling metrics; these
+tests run the whole stack (Greedy, MBC, streaming, MPC) on a shortest-path
+metric of a grid graph.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PrecomputedMetric,
+    WeightedPointSet,
+    brute_force_opt,
+    charikar_greedy,
+    mbc_construction,
+    verify_covering_property,
+    verify_weight_property,
+)
+from repro.workloads import (
+    estimate_doubling_dimension,
+    graph_clustered_workload,
+    grid_graph_metric,
+)
+
+
+@pytest.fixture(scope="module")
+def grid_metric():
+    return grid_graph_metric(8, 8, perturb=0.1, rng=np.random.default_rng(0))
+
+
+@pytest.fixture
+def graph_workload(grid_metric, rng):
+    P, mask, hubs = graph_clustered_workload(
+        grid_metric, k=2, z=3, cluster_radius=2.5, rng=rng
+    )
+    return P, mask, hubs
+
+
+class TestPrecomputedMetric:
+    def test_lookup(self):
+        D = np.array([[0.0, 1.0, 3.0], [1.0, 0.0, 2.0], [3.0, 2.0, 0.0]])
+        m = PrecomputedMetric(D)
+        a = np.array([[0.0], [2.0]])
+        b = np.array([[1.0]])
+        assert m.pairwise(a, b)[:, 0].tolist() == [1.0, 2.0]
+        assert m.distance([0], [2]) == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrecomputedMetric(np.array([[0.0, 1.0], [2.0, 0.0]]))  # asymmetric
+        with pytest.raises(ValueError):
+            PrecomputedMetric(np.array([[1.0]]))  # nonzero diagonal
+        with pytest.raises(ValueError):
+            PrecomputedMetric(-np.ones((2, 2)))
+
+    def test_id_range_checked(self):
+        m = PrecomputedMetric(np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            m.pairwise(np.array([[5.0]]), np.array([[0.0]]))
+
+    def test_multi_column_rejected(self):
+        m = PrecomputedMetric(np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            m.pairwise(np.zeros((1, 2)), np.zeros((1, 2)))
+
+    def test_doubling_override(self, grid_metric):
+        assert grid_metric.doubling_dimension(1) == 2
+
+
+class TestGridGraphMetric:
+    def test_unweighted_distances(self):
+        m = grid_graph_metric(3, 3)
+        # corner to corner of a 3x3 grid: manhattan distance 4
+        assert m.D.max() == 4.0
+        assert m.n_elements == 9
+
+    def test_triangle_inequality_sampled(self, grid_metric, rng):
+        D = grid_metric.D
+        n = len(D)
+        for _ in range(200):
+            i, j, k = rng.integers(0, n, 3)
+            assert D[i, j] <= D[i, k] + D[k, j] + 1e-9
+
+    def test_doubling_dimension_small(self, grid_metric, rng):
+        dd = estimate_doubling_dimension(grid_metric, trials=16, rng=rng)
+        assert dd <= 4.0  # grid graphs are genuinely low-dimensional
+
+
+class TestAlgorithmsOnGraphMetric:
+    def test_charikar_certificate(self, grid_metric, graph_workload):
+        P, mask, hubs = graph_workload
+        sub = P.subset(np.arange(min(len(P), 14)))
+        opt = brute_force_opt(sub, 2, 1, grid_metric, max_points=14).radius
+        res = charikar_greedy(sub, 2, 1, grid_metric)
+        assert opt <= res.radius + 1e-9 <= 3 * opt + 1e-6
+
+    def test_mbc_on_graph(self, grid_metric, graph_workload):
+        P, mask, hubs = graph_workload
+        z = int(mask.sum())
+        mbc = mbc_construction(P, 2, z, 0.5, grid_metric)
+        assert verify_weight_property(P, mbc.coreset).ok
+        assert verify_covering_property(
+            P, mbc, mbc.mini_ball_radius, grid_metric
+        ).ok
+        assert mbc.size <= len(P)
+
+    def test_planted_structure_recovered(self, grid_metric, graph_workload):
+        """The greedy radius with the planted z matches the planted
+        cluster radius scale, far below the no-outlier radius."""
+        P, mask, hubs = graph_workload
+        z = int(mask.sum())
+        r_with = charikar_greedy(P, 2, z, grid_metric).radius
+        r_without = charikar_greedy(P, 2, 0, grid_metric).radius
+        assert r_with <= r_without
+
+    def test_streaming_on_graph_metric(self, grid_metric, graph_workload):
+        from repro.streaming import InsertionOnlyCoreset
+        P, mask, _ = graph_workload
+        z = int(mask.sum())
+        st = InsertionOnlyCoreset(2, z, 1.0, d=2, metric=grid_metric)
+        st.extend(P.points)
+        assert st.coreset().total_weight == len(P)
+
+    def test_mpc_on_graph_metric(self, grid_metric, graph_workload):
+        from repro.mpc import partition_contiguous, two_round_coreset
+        P, mask, _ = graph_workload
+        z = int(mask.sum())
+        parts = partition_contiguous(P, 3)
+        res = two_round_coreset(parts, 2, z, 0.5, metric=grid_metric)
+        assert res.coreset.total_weight == P.total_weight
+
+
+class TestGraphWorkload:
+    def test_mask_and_sizes(self, graph_workload):
+        P, mask, hubs = graph_workload
+        assert mask.sum() == 3
+        assert len(hubs) == 2
+
+    def test_validation(self, grid_metric, rng):
+        with pytest.raises(ValueError):
+            graph_clustered_workload(grid_metric, k=0, z=1, cluster_radius=1,
+                                     rng=rng)

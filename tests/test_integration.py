@@ -1,0 +1,115 @@
+"""Cross-module integration tests: the paper's end-to-end pipelines."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    WeightedPointSet,
+    charikar_greedy,
+    solve_via_coreset,
+    verify_sandwich,
+)
+from repro.mpc import (
+    one_round_coreset,
+    partition_adversarial_outliers,
+    partition_random,
+    two_round_coreset,
+)
+from repro.streaming import DynamicCoreset, InsertionOnlyCoreset, SlidingWindowCoreset
+from repro.workloads import clustered_with_outliers, drifting_stream, integer_workload
+
+
+class TestMPCPipelines:
+    def test_mpc_to_solver_pipeline(self, rng):
+        """Partition -> Algorithm 2 -> offline solve on the coreset: the
+        final radius approximates the full-data radius."""
+        wl = clustered_with_outliers(800, 3, 20, d=2, rng=rng)
+        P = wl.point_set()
+        parts = partition_adversarial_outliers(P, wl.outlier_mask, 8, rng)
+        res = two_round_coreset(parts, 3, 20, 0.4)
+        sol = solve_via_coreset(res.coreset, 3, 20)
+        r_full = charikar_greedy(P, 3, 20).radius
+        ratio = sol.radius / r_full
+        assert 1 / 5 <= ratio <= 5
+
+    def test_streaming_feeds_mpc(self, rng):
+        """Composability: per-machine streaming coresets can seed an MPC
+        union (the Lemma 4/5 machinery end to end)."""
+        wl = clustered_with_outliers(600, 2, 10, d=2, rng=rng)
+        P = wl.point_set()
+        parts = partition_random(P, 4, rng)
+        # each "machine" streams its shard through Algorithm 3
+        pieces = []
+        for part in parts:
+            st = InsertionOnlyCoreset(2, 10, 0.4, d=2)
+            st.extend(part.points)  # weights are 1 in this workload
+            pieces.append(st.coreset())
+        union = WeightedPointSet.concat(pieces)
+        assert union.total_weight == P.total_weight
+        assert verify_sandwich(P, union, 2, 10, 1.0).ok
+
+
+class TestStreamingPipelines:
+    def test_dynamic_matches_insertion_when_no_deletes(self, rng):
+        """On a pure-insert integer stream, the dynamic sketch's coreset
+        and Algorithm 3's coreset induce comparable radii."""
+        wl = integer_workload(150, 2, 5, 128, 2, rng=rng)
+        dyn = DynamicCoreset(2, 5, 1.0, 128, 2, rng=np.random.default_rng(1))
+        ins = InsertionOnlyCoreset(2, 5, 1.0, d=2)
+        for p in wl.points:
+            dyn.insert(p)
+            ins.insert(p.astype(float))
+        r_dyn = charikar_greedy(dyn.coreset(), 2, 5).radius
+        r_ins = charikar_greedy(ins.coreset(), 2, 5).radius
+        scale = max(r_ins, 1.0)
+        assert abs(r_dyn - r_ins) <= 3 * scale
+
+    def test_sliding_window_equals_insertion_when_window_covers_stream(self, rng):
+        """W >= n: the window is the whole stream, answers must agree."""
+        stream = drifting_stream(200, 2, 6, d=1, rng=rng)
+        sw = SlidingWindowCoreset(2, 6, 0.5, 1, window=1000, r_min=0.01, r_max=500)
+        sw.extend(stream)
+        P = WeightedPointSet.from_points(stream)
+        r_off = charikar_greedy(P, 2, 6).radius
+        r_sw = sw.radius()
+        assert r_sw <= 3 * r_off + 1e-9 and r_off <= 3 * r_sw + 1e-9
+
+    def test_full_lifecycle_insert_delete_reinsert(self, rng):
+        dyn = DynamicCoreset(2, 3, 1.0, 64, 2, rng=np.random.default_rng(2))
+        pts = rng.integers(1, 65, size=(50, 2))
+        for p in pts:
+            dyn.insert(p)
+        for p in pts:
+            dyn.delete(p)
+        for p in pts[:20]:
+            dyn.insert(p)
+        assert dyn.coreset().total_weight == 20
+
+
+class TestWeightedInputs:
+    def test_weighted_problem_end_to_end(self, rng):
+        """The weighted version (§1): total outlier WEIGHT at most z."""
+        pts = np.concatenate([rng.normal(0, 0.2, (30, 2)), [[50.0, 50.0]]])
+        weights = np.concatenate([np.ones(30, dtype=int), [5]])
+        P = WeightedPointSet(pts, weights)
+        # z=4 < 5: the heavy far point cannot be an outlier
+        r_small_z = charikar_greedy(P, 1, 4).radius
+        # z=5: it can
+        r_big_z = charikar_greedy(P, 1, 5).radius
+        assert r_small_z > 30 and r_big_z < 5
+
+    def test_mpc_weighted(self, rng):
+        pts = rng.normal(0, 1.0, (60, 2))
+        weights = rng.integers(1, 5, size=60)
+        P = WeightedPointSet(pts, weights)
+        parts = [P.subset(np.arange(0, 30)), P.subset(np.arange(30, 60))]
+        res = two_round_coreset(parts, 2, 3, 0.5)
+        assert res.coreset.total_weight == P.total_weight
+
+    def test_one_round_weighted(self, rng):
+        pts = rng.normal(0, 1.0, (60, 2))
+        weights = rng.integers(1, 5, size=60)
+        P = WeightedPointSet(pts, weights)
+        parts = [P.subset(np.arange(0, 30)), P.subset(np.arange(30, 60))]
+        res = one_round_coreset(parts, 2, 3, 0.5)
+        assert res.coreset.total_weight == P.total_weight

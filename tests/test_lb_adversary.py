@@ -1,0 +1,98 @@
+"""Tests for the adversary harness (executable lower bounds)."""
+
+import numpy as np
+import pytest
+
+from repro.lowerbounds import (
+    DroppingMaintainer,
+    ExactMaintainer,
+    Lemma12Instance,
+    Lemma15Instance,
+    attack_lemma12,
+    attack_lemma15,
+    find_dropped_point,
+)
+from repro.streaming import InsertionOnlyCoreset
+
+
+@pytest.fixture
+def inst12():
+    return Lemma12Instance.build(k=2, z=2, d=1, eps=1 / 8)
+
+
+class TestMaintainers:
+    def test_exact_maintainer_stores_all(self):
+        m = ExactMaintainer(1)
+        m.insert([1.0])
+        m.insert([2.0])
+        m.insert([1.0])
+        cs = m.coreset()
+        assert len(cs) == 2 and cs.total_weight == 3
+
+    def test_dropping_maintainer_drops_target(self):
+        m = DroppingMaintainer(1, [[2.0]])
+        for x in [1.0, 2.0, 3.0]:
+            m.insert([x])
+        assert m.dropped_count == 1
+        assert find_dropped_point(m.coreset(), np.array([[2.0]])) is not None
+        assert find_dropped_point(m.coreset(), np.array([[1.0]])) is None
+
+
+class TestFindDroppedPoint:
+    def test_none_when_all_present(self, inst12):
+        m = ExactMaintainer(1)
+        for p in inst12.prefix_points():
+            m.insert(p)
+        assert find_dropped_point(m.coreset(), inst12.cluster_points) is None
+
+    def test_finds_first_missing(self):
+        from repro.core import WeightedPointSet
+        cs = WeightedPointSet.from_points(np.array([[0.0], [2.0]]))
+        missing = find_dropped_point(cs, np.array([[0.0], [1.0], [2.0]]))
+        assert missing[0] == 1.0
+
+
+class TestLemma12Attack:
+    def test_exact_survives(self, inst12):
+        rep = attack_lemma12(ExactMaintainer(1), inst12)
+        assert rep.survived and not rep.violated
+        assert rep.storage >= rep.required
+
+    @pytest.mark.parametrize("idx", [0, 1, 2])
+    def test_dropping_any_point_is_fatal(self, inst12, idx):
+        p = inst12.cluster_points[idx]
+        rep = attack_lemma12(DroppingMaintainer(1, p), inst12)
+        assert not rep.survived
+        assert rep.violated
+        assert (1 - inst12.eps) * rep.opt_full_lb > rep.opt_coreset_ub
+
+    def test_fatal_in_2d(self):
+        inst = Lemma12Instance.build(k=4, z=2, d=2, eps=1 / 16)
+        p = inst.cluster_points[3]
+        rep = attack_lemma12(DroppingMaintainer(2, p), inst)
+        assert rep.violated
+
+    def test_compressing_maintainer_fails(self):
+        """A real streaming structure with a cap below the bound either
+        stores all cluster points or gets caught."""
+        inst = Lemma12Instance.build(k=4, z=2, d=1, eps=1 / 16)
+        cap = inst.required_storage // 2 + 2  # below Omega(k/eps^d)
+        st = InsertionOnlyCoreset(4, 2, 1.0, d=1, size_cap=max(cap, 4 + 2 + 2))
+        rep = attack_lemma12(st, inst)
+        assert rep.survived or rep.violated  # compression is caught when it bites
+
+
+class TestLemma15Attack:
+    def test_exact_survives(self):
+        inst = Lemma15Instance(k=2, z=3)
+        rep = attack_lemma15(ExactMaintainer(1), inst)
+        assert rep.survived
+
+    @pytest.mark.parametrize("idx", [0, 2, 4])
+    def test_dropping_any_point_is_fatal(self, idx):
+        inst = Lemma15Instance(k=2, z=3)
+        p = inst.prefix_points()[idx]
+        rep = attack_lemma15(DroppingMaintainer(1, p), inst)
+        assert rep.violated
+        assert rep.opt_coreset_ub == 0.0
+        assert rep.opt_full_lb == 0.5

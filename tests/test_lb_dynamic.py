@@ -1,0 +1,104 @@
+"""Tests for the Theorem 28 dynamic lower-bound construction (§5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import WeightedPointSet, coverage_radius
+from repro.lowerbounds import Theorem28Instance
+
+
+@pytest.fixture
+def inst():
+    return Theorem28Instance.build(k=2, z=2, d=1, eps=1 / 16, delta_universe=2**12)
+
+
+class TestConstruction:
+    def test_scale_count(self, inst):
+        assert inst.g == int(0.5 * 12) - 2  # (1/2) log2(Delta) - 2
+
+    def test_group_sizes(self, inst):
+        # (lambda+1)^d - (lambda/2+1)^d = 5 - 3 = 2 for lambda=4, d=1
+        assert inst.points_per_group == 2
+        for pts in inst.group_points.values():
+            assert len(pts) == 2
+
+    def test_required_storage_counts_all_scales(self, inst):
+        assert inst.required_storage == inst.num_clusters * inst.g * 2
+
+    def test_groups_nest(self, inst):
+        """Group m's points exceed the octant; smaller groups live inside
+        the omitted octant region."""
+        for m in range(2, inst.g + 1):
+            big = inst.group_points[(0, m)]
+            small = inst.group_points[(0, m - 1)]
+            # the smaller group's extent fits below the bigger group's
+            # octant cutoff (lam/2 * 2^m)
+            assert small.max() <= inst.lam / 2 * (2**m) + 1e-9
+            assert big.max() > small.max()
+
+    def test_k_constraint(self):
+        with pytest.raises(ValueError):
+            Theorem28Instance.build(k=1, z=0, d=1, eps=1 / 16, delta_universe=64)
+
+    def test_odd_lambda_rejected(self):
+        # eps = 1/12 gives lambda = 3 (odd) -> Theorem 28 needs lambda even
+        with pytest.raises(ValueError):
+            Theorem28Instance.build(k=2, z=0, d=1, eps=1 / 12, delta_universe=64)
+
+
+class TestStreamViews:
+    def test_insert_then_delete_events(self, inst):
+        ins = inst.insert_events()
+        assert len(ins) == inst.required_storage + inst.z
+        dels = inst.deletion_events(m_star=2)
+        expected = sum(
+            len(pts) for (i, m), pts in inst.group_points.items() if m >= 2
+        )
+        assert len(dels) == expected
+        assert all(s == -1 for _, s in dels)
+
+    def test_deletion_keeps_attacked_group(self, inst):
+        dels = inst.deletion_events(m_star=2, keep=(0, 2))
+        deleted = {tuple(p) for p, _ in dels}
+        kept = {tuple(p) for p in inst.group_points[(0, 2)]}
+        assert not (deleted & kept)
+
+
+class TestClaims:
+    @pytest.mark.parametrize("m_star", [1, 2, 3])
+    def test_scaled_gap(self, inst, m_star):
+        """(1-eps) * lb > ub at every scale (the scaled Lemma 41)."""
+        lb = inst.claim_lower_bound(m_star)
+        ub = inst.claim_upper_bound(m_star)
+        assert (1 - inst.eps) * lb > ub
+
+    @pytest.mark.parametrize("m_star", [2, 3])
+    def test_witness_centers_realize_ub(self, inst, m_star):
+        """After the deletions, the witness centers cover the surviving
+        coreset (minus p*) within 2^{m*} r with z outliers."""
+        key = (0, m_star)
+        p_star = inst.group_points[key][0]
+        survivors = [inst.outliers]
+        for (i, m), pts in inst.group_points.items():
+            if m < m_star or (i, m) == key:
+                survivors.append(pts)
+        live = np.concatenate(survivors)
+        live = live[~np.all(np.isclose(live, p_star), axis=1)]
+        gadget = inst.cross_gadget(p_star, m_star)
+        coreset = WeightedPointSet(
+            np.concatenate([live, gadget]),
+            np.concatenate([
+                np.ones(len(live), dtype=np.int64),
+                np.full(len(gadget), 2, dtype=np.int64),
+            ]),
+        )
+        centers = inst.witness_centers(p_star, m_star, 0)
+        r_cov = coverage_radius(coreset, centers, inst.z)
+        assert r_cov <= inst.claim_upper_bound(m_star) + 1e-9
+
+    def test_required_storage_grows_with_delta(self):
+        small = Theorem28Instance.build(2, 2, 1, 1 / 16, 2**10)
+        big = Theorem28Instance.build(2, 2, 1, 1 / 16, 2**20)
+        assert big.required_storage > small.required_storage
+        # linear in log Delta
+        assert big.g - small.g == 5

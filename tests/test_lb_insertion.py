@@ -1,0 +1,128 @@
+"""Tests for the insertion-only lower-bound constructions (§4.1-4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import WeightedPointSet, coverage_radius
+from repro.lowerbounds import (
+    Lemma12Instance,
+    Lemma15Instance,
+    lemma12_parameters,
+)
+
+
+class TestLemma12Parameters:
+    def test_values_d1(self):
+        lam, h, r = lemma12_parameters(1, 1 / 8)
+        assert lam == 2 and h == 2.0 and r == pytest.approx(1.0)
+
+    def test_constraints(self):
+        with pytest.raises(ValueError):
+            lemma12_parameters(1, 0.2)  # eps > 1/(8d)
+        with pytest.raises(ValueError):
+            lemma12_parameters(1, 1 / 10)  # lambda = 2.5 not an integer
+        # d=2, eps=1/24 gives lambda = 3 (valid)
+        lam, _, _ = lemma12_parameters(2, 1 / 24)
+        assert lam == 3
+
+    def test_r_formula(self):
+        lam, h, r = lemma12_parameters(2, 1 / 16)
+        assert r == pytest.approx(np.sqrt(h * h - 2 * h + 2))
+
+
+class TestLemma12Instance:
+    @pytest.fixture
+    def inst(self):
+        return Lemma12Instance.build(k=4, z=3, d=1, eps=1 / 16)
+
+    def test_cluster_count_and_size(self, inst):
+        # k - 2d + 1 = 3 clusters of (lambda+1)^d = 5 points
+        assert inst.required_storage == 3 * 5
+        assert inst.points_per_cluster == 5
+
+    def test_outlier_count(self, inst):
+        assert len(inst.outliers) == 3
+
+    def test_requires_k_geq_2d(self):
+        with pytest.raises(ValueError):
+            Lemma12Instance.build(k=1, z=1, d=1, eps=1 / 8)
+
+    def test_separations(self, inst):
+        """Clusters and outliers are pairwise >= 4(h+r) apart (the proof's
+        separation requirement)."""
+        gap = 4 * (inst.h + inst.r)
+        # consecutive clusters
+        for i in range(2):
+            a = inst.cluster_points[inst.cluster_index == i]
+            b = inst.cluster_points[inst.cluster_index == i + 1]
+            d = abs(b[:, None, 0] - a[None, :, 0]).min()
+            assert d >= gap - 1e-9
+        # outliers vs cluster 0
+        c0 = inst.cluster_points[inst.cluster_index == 0]
+        d = abs(inst.outliers[:, None, 0] - c0[None, :, 0]).min()
+        assert d >= gap - 1e-9
+
+    def test_cross_gadget_geometry(self, inst):
+        p = inst.cluster_points[0]
+        g = inst.cross_gadget(p)
+        assert len(g) == 2 * inst.d
+        d = np.abs(g - p).max(axis=1)
+        assert np.allclose(d, inst.h + inst.r)
+
+    def test_claim13_claim14_gap(self, inst):
+        """The whole point: (1-eps) * lb > ub (via Lemma 41)."""
+        assert (1 - inst.eps) * inst.claim13_lower_bound() > inst.claim14_upper_bound()
+
+    def test_witness_centers_cover_coreset_minus_pstar(self, inst):
+        """Claim 14 realized: the k witness centers cover everything except
+        the outliers (budget z) at radius <= r, when p* is dropped."""
+        p_star = inst.cluster_points[7]
+        keep = ~np.all(np.isclose(inst.cluster_points, p_star), axis=1)
+        pts = [inst.outliers, inst.cluster_points[keep], inst.cross_gadget(p_star)]
+        weights = [np.ones(len(inst.outliers), dtype=np.int64),
+                   np.ones(int(keep.sum()), dtype=np.int64),
+                   np.full(2 * inst.d, 2, dtype=np.int64)]
+        coreset = WeightedPointSet(np.concatenate(pts), np.concatenate(weights))
+        centers = inst.witness_centers(p_star)
+        assert len(centers) <= inst.k
+        r_cov = coverage_radius(coreset, centers, inst.z)
+        assert r_cov <= inst.claim14_upper_bound() + 1e-9
+
+    def test_claim13_numeric_2d(self):
+        """Claim 13 numerically on a small d=2 instance: the pairwise
+        separations imply opt >= (h+r)/2 on the witness set X."""
+        inst = Lemma12Instance.build(k=4, z=2, d=2, eps=1 / 16)
+        p_star = inst.cluster_points[0]
+        gadget = inst.cross_gadget(p_star)
+        # one point per other cluster + p* + gadget + outliers
+        X = [p_star[None, :], gadget, inst.outliers]
+        for i in range(1, inst.k - 2 * inst.d + 1):
+            X.append(inst.cluster_points[inst.cluster_index == i][:1])
+        X = np.concatenate(X)
+        from scipy.spatial.distance import pdist
+        assert pdist(X).min() >= (inst.h + inst.r) - 1e-9
+
+    def test_prefix_set(self, inst):
+        P = inst.prefix_set()
+        assert len(P) == inst.required_storage + inst.z
+
+
+class TestLemma15Instance:
+    def test_prefix_is_unit_spaced(self):
+        inst = Lemma15Instance(k=2, z=3)
+        pts = inst.prefix_points()[:, 0]
+        assert pts.tolist() == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_continuation_extends_line(self):
+        inst = Lemma15Instance(k=2, z=3)
+        assert inst.continuation_point()[0] == 6.0
+
+    def test_opt_after_continuation_exact(self):
+        from repro.core import continuous_opt_1d
+        inst = Lemma15Instance(k=2, z=3)
+        P = WeightedPointSet.from_points(
+            np.concatenate([inst.prefix_points(), inst.continuation_point()[None, :]])
+        )
+        assert continuous_opt_1d(P, 2, 3) == pytest.approx(
+            inst.opt_after_continuation()
+        )

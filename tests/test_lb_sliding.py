@@ -1,0 +1,111 @@
+"""Tests for the Theorem 30 sliding-window lower bound (§6)."""
+
+import numpy as np
+import pytest
+
+from repro.core import continuous_opt_1d
+from repro.lowerbounds import Theorem30Instance, theorem30_parameters
+
+
+class TestParameters:
+    def test_d1(self):
+        lam, s, zeta = theorem30_parameters(1, 1 / 24, z=3)
+        assert lam == 3 and s == 1 and zeta == 3
+
+    def test_d2(self):
+        lam, s, zeta = theorem30_parameters(2, 1 / 24, z=9)
+        assert lam == 3 and s == 9 - 4 and zeta == 3
+
+    def test_eps_range(self):
+        with pytest.raises(ValueError):
+            theorem30_parameters(1, 1 / 8, z=1)  # eps > 1/24
+
+    def test_lambda_must_be_odd_integer(self):
+        with pytest.raises(ValueError):
+            theorem30_parameters(1, 1 / 32, z=1)  # lambda = 4 even
+
+
+@pytest.fixture
+def inst():
+    return Theorem30Instance.build(k=2, z=3, d=1, eps=1 / 24, g=3)
+
+
+class TestConstruction:
+    def test_subgroup_sizes(self, inst):
+        for pts in inst.subgroup_points.values():
+            assert len(pts) == inst.z + 1
+
+    def test_counts(self, inst):
+        assert len(inst.subgroup_points) == inst.num_clusters * inst.g * inst.s
+
+    def test_required_expirations(self, inst):
+        per_cluster = (inst.g * inst.s - 1) * (inst.z + 1)
+        assert inst.required_expirations == inst.num_clusters * per_cluster
+
+    def test_subgroup_diameter(self, inst):
+        """Subgroup L_inf diameter is 2^j zeta."""
+        for (i, j, l), pts in inst.subgroup_points.items():
+            diam = np.abs(pts[:, None, :] - pts[None, :, :]).max()
+            assert diam <= (2**j) * inst.zeta + 1e-9
+
+    def test_arrival_order(self, inst):
+        """Larger scales arrive first (so they expire first)."""
+        order = inst.arrival_order()
+        assert len(order) == len(inst.subgroup_points) * (inst.z + 1)
+        # first arrivals are scale-g points, last are scale-1
+        g_pts = {tuple(p) for p in inst.subgroup_points[(0, inst.g, 0)]}
+        first = {tuple(p) for p in order[: inst.z + 1]}
+        assert first <= g_pts
+
+    def test_k_constraint(self):
+        with pytest.raises(ValueError):
+            Theorem30Instance.build(k=1, z=1, d=1, eps=1 / 24, g=2)
+
+
+class TestClaim31:
+    def test_flank_distances(self, inst):
+        """Flanking sets sit at L_inf distance 2^{j*} zeta (2 lambda) from
+        the subgroup."""
+        j_star = 2
+        G = inst.subgroup_points[(0, j_star, 0)]
+        flanks = inst.flank_sets(0, j_star, 0)
+        offset = (2**j_star) * inst.zeta * 2 * inst.lam
+        from scipy.spatial.distance import cdist
+        d = cdist(flanks, G, metric="chebyshev").min(axis=1)
+        assert np.allclose(d, offset)
+
+    @pytest.mark.parametrize("j_star", [2, 3])
+    def test_radius_drop_exact(self, inst, j_star):
+        """The Claim 31 mechanism with exact continuous optima: the drop
+        at expiration exceeds the 1 - 3 eps tolerance."""
+        before, after, bound = inst.claim31_windows(0, j_star, 0)
+        rb = continuous_opt_1d(before, inst.k, inst.z)
+        ra = continuous_opt_1d(after, inst.k, inst.z)
+        assert rb >= (2**j_star) * inst.zeta * inst.lam - 1e-9  # paper lb
+        assert ra <= (2**j_star) * inst.zeta * (2 * inst.lam - 1) / 2 + 1e-9
+        assert ra / rb <= bound + 1e-9
+        assert ra / rb < 1 - 3 * inst.eps
+
+    def test_windows_differ_by_p_star(self, inst):
+        before, after, _ = inst.claim31_windows(0, 2, 0)
+        assert len(before) == len(after) + 1
+
+    def test_invalid_target_rejected(self, inst):
+        with pytest.raises(ValueError):
+            inst.claim31_windows(0, 1, 0)  # j*=1, l*=0 excluded by Claim 31
+        with pytest.raises(KeyError):
+            inst.claim31_windows(5, 2, 0)
+
+    def test_spread_ratio_bounded(self, inst):
+        """The construction's spread stays within the sigma the paper
+        allows (log sigma' <= 1 + g + log(kz/eps))."""
+        all_pts = np.concatenate(
+            [pts for pts in inst.subgroup_points.values()]
+            + [inst.flank_sets(0, inst.g, 0)]
+        )
+        from scipy.spatial.distance import pdist
+        D = pdist(all_pts.reshape(len(all_pts), -1), metric="chebyshev")
+        D = D[D > 0]
+        sigma_prime = D.max() / D.min()
+        kz_eps = inst.k * inst.z / inst.eps
+        assert np.log2(sigma_prime) <= 1 + inst.g + np.log2(kz_eps) + 2

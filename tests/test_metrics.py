@@ -1,0 +1,85 @@
+"""Unit tests for repro.core.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CallableMetric,
+    ChebyshevMetric,
+    EuclideanMetric,
+    ManhattanMetric,
+    get_metric,
+)
+
+A = np.array([[0.0, 0.0], [3.0, 4.0]])
+B = np.array([[0.0, 0.0], [1.0, 1.0], [3.0, 0.0]])
+
+
+class TestEuclidean:
+    def test_pairwise_values(self):
+        D = EuclideanMetric().pairwise(A, B)
+        assert D.shape == (2, 3)
+        assert D[1, 0] == pytest.approx(5.0)
+        assert D[0, 1] == pytest.approx(np.sqrt(2))
+
+    def test_to_set(self):
+        d = EuclideanMetric().to_set(np.array([3.0, 4.0]), B)
+        assert d[0] == pytest.approx(5.0)
+
+    def test_distance_scalar(self):
+        assert EuclideanMetric().distance([0, 0], [3, 4]) == pytest.approx(5.0)
+
+    def test_empty_inputs(self):
+        assert EuclideanMetric().pairwise(np.zeros((0, 2)), B).shape == (0, 3)
+        assert EuclideanMetric().to_set(np.zeros(2), np.zeros((0, 2))).shape == (0,)
+
+
+class TestOtherNorms:
+    def test_chebyshev(self):
+        assert ChebyshevMetric().distance([0, 0], [3, 4]) == pytest.approx(4.0)
+
+    def test_manhattan(self):
+        assert ManhattanMetric().distance([0, 0], [3, 4]) == pytest.approx(7.0)
+
+    def test_norm_ordering(self):
+        """L_inf <= L2 <= L1 pointwise."""
+        p, q = np.array([1.0, 2.0, 3.0]), np.array([-1.0, 5.0, 2.0])
+        linf = ChebyshevMetric().distance(p, q)
+        l2 = EuclideanMetric().distance(p, q)
+        l1 = ManhattanMetric().distance(p, q)
+        assert linf <= l2 <= l1
+
+    def test_doubling_dimension_default(self):
+        assert ChebyshevMetric().doubling_dimension(3) == 3
+
+
+class TestCallableMetric:
+    def test_wraps_scalar_function(self):
+        m = CallableMetric(lambda p, q: float(abs(p[0] - q[0])), name="x-only")
+        D = m.pairwise(A, B)
+        assert D[1, 2] == pytest.approx(0.0)
+
+    def test_doubling_override(self):
+        m = CallableMetric(lambda p, q: 0.0, doubling=5)
+        assert m.doubling_dimension(100) == 5
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name,cls", [
+        ("euclidean", EuclideanMetric), ("l2", EuclideanMetric),
+        ("linf", ChebyshevMetric), ("chebyshev", ChebyshevMetric),
+        ("l1", ManhattanMetric), ("manhattan", ManhattanMetric),
+    ])
+    def test_names(self, name, cls):
+        assert isinstance(get_metric(name), cls)
+
+    def test_none_defaults_euclidean(self):
+        assert isinstance(get_metric(None), EuclideanMetric)
+
+    def test_passthrough_instance(self):
+        m = ChebyshevMetric()
+        assert get_metric(m) is m
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            get_metric("hamming")

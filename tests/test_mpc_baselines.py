@@ -1,0 +1,67 @@
+"""Tests for the Ceccarello et al. MPC baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core import WeightedPointSet, nearest_center_distances, opt_bounds, verify_sandwich
+from repro.mpc import (
+    ceccarello_one_round_deterministic,
+    ceccarello_one_round_randomized,
+    cpp_local_coreset,
+    partition_adversarial_outliers,
+    partition_random,
+    two_round_coreset,
+)
+from repro.workloads import clustered_with_outliers
+
+
+class TestLocalCoreset:
+    def test_weight_preserved(self, small_set):
+        local = cpp_local_coreset(small_set, 2, 4, 0.5)
+        assert local.total_weight == small_set.total_weight
+
+    def test_covering_distance(self, small_set):
+        """Every point within eps * 2 * opt_ub of a representative."""
+        eps = 0.5
+        local = cpp_local_coreset(small_set, 2, 4, eps)
+        _, hi = opt_bounds(small_set, 2, 4)
+        d = nearest_center_distances(small_set, local.points)
+        assert d.max() <= 2 * eps * hi + 1e-9
+
+    def test_empty(self):
+        P = WeightedPointSet.empty(2)
+        assert len(cpp_local_coreset(P, 2, 4, 0.5)) == 0
+
+    def test_coincident_points(self):
+        P = WeightedPointSet.from_points(np.zeros((10, 2)))
+        local = cpp_local_coreset(P, 2, 1, 0.5)
+        assert len(local) == 1 and local.total_weight == 10
+
+
+class TestBaselineRuns:
+    def test_deterministic_valid_coreset(self, small_planar, rng):
+        P = small_planar.point_set()
+        parts = partition_adversarial_outliers(P, small_planar.outlier_mask, 4, rng)
+        res = ceccarello_one_round_deterministic(parts, 2, 4, 0.5)
+        assert res.stats.rounds == 1
+        assert res.coreset.total_weight == P.total_weight
+        assert verify_sandwich(P, res.coreset, 2, 4, 2 * 0.5).ok
+
+    def test_randomized_valid_coreset(self, small_planar, rng):
+        P = small_planar.point_set()
+        parts = partition_random(P, 4, rng)
+        res = ceccarello_one_round_randomized(parts, 2, 4, 0.5)
+        assert res.coreset.total_weight == P.total_weight
+        assert verify_sandwich(P, res.coreset, 2, 4, 2 * 0.5).ok
+
+    def test_z_shape_vs_ours(self, rng):
+        """The headline comparison: under adversarial distribution with
+        large z, the baseline's shipped union carries Theta(m z) items that
+        Algorithm 2 avoids."""
+        z, m = 120, 6
+        wl = clustered_with_outliers(1200, k=3, z=z, d=2, rng=rng)
+        P = wl.point_set()
+        parts = partition_adversarial_outliers(P, wl.outlier_mask, m, rng)
+        base = ceccarello_one_round_deterministic(parts, 3, z, 0.5)
+        ours = two_round_coreset(parts, 3, z, 0.5)
+        assert len(base.coreset) > 2 * len(ours.coreset)

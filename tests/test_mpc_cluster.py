@@ -1,0 +1,140 @@
+"""Unit tests for the simulated MPC substrate (machine, cluster, partition)."""
+
+import numpy as np
+import pytest
+
+from repro.core import WeightedPointSet
+from repro.mpc import (
+    Machine,
+    SimulatedMPC,
+    partition_adversarial_outliers,
+    partition_contiguous,
+    partition_random,
+    recommended_num_machines,
+)
+
+
+class TestMachine:
+    def test_charge_tracks_peak(self):
+        m = Machine(0)
+        m.charge(10)
+        m.charge(5)
+        m.release(12)
+        m.charge(1)
+        assert m.peak_items == 15 and m.current_items == 4
+
+    def test_release_validation(self):
+        m = Machine(0)
+        m.charge(3)
+        with pytest.raises(ValueError):
+            m.release(4)
+        with pytest.raises(ValueError):
+            m.release(-1)
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            Machine(0).charge(-1)
+
+
+class TestSimulatedMPC:
+    def test_roles(self):
+        c = SimulatedMPC(4)
+        assert c.coordinator.is_coordinator
+        assert len(c.workers) == 3
+        assert all(not w.is_coordinator for w in c.workers)
+
+    def test_message_delivery_and_rounds(self):
+        c = SimulatedMPC(3)
+        c.send(1, 0, "hello", items=5)
+        c.send(2, 0, "world", items=7)
+        assert c.coordinator.inbox == []  # not delivered yet
+        c.end_round()
+        payloads = sorted(p for _, p in c.coordinator.inbox)
+        assert payloads == ["hello", "world"]
+        assert c.stats().rounds == 1
+        assert c.stats().total_communication == 12
+
+    def test_inbox_charged_to_recipient(self):
+        c = SimulatedMPC(2)
+        c.send(1, 0, "x", items=9)
+        c.end_round()
+        assert c.coordinator.peak_items == 9
+
+    def test_inbox_cleared_between_rounds(self):
+        c = SimulatedMPC(2)
+        c.send(1, 0, "a", items=1)
+        c.end_round()
+        c.end_round()
+        assert c.coordinator.inbox == []
+
+    def test_broadcast(self):
+        c = SimulatedMPC(4)
+        c.broadcast(2, "v", items=3)
+        c.end_round()
+        for m in c.machines:
+            if m.mid == 2:
+                assert m.inbox == []
+            else:
+                assert m.inbox == [(2, "v")]
+        assert c.stats().total_communication == 9
+
+    def test_stats_worker_peak(self):
+        c = SimulatedMPC(3)
+        c.machines[1].charge(100)
+        c.machines[0].charge(7)
+        st = c.stats()
+        assert st.worker_peak == 100 and st.coordinator_peak == 7
+        assert st.per_machine_peak == (7, 100, 0)
+
+    def test_send_validation(self):
+        c = SimulatedMPC(2)
+        with pytest.raises(ValueError):
+            c.send(0, 5, "x", items=1)
+        with pytest.raises(ValueError):
+            c.send(0, 1, "x", items=-1)
+
+    def test_needs_one_machine(self):
+        with pytest.raises(ValueError):
+            SimulatedMPC(0)
+
+
+class TestPartitions:
+    def test_contiguous_covers_everything(self, small_set):
+        parts = partition_contiguous(small_set, 5)
+        assert sum(len(p) for p in parts) == len(small_set)
+        assert WeightedPointSet.concat(parts).total_weight == small_set.total_weight
+
+    def test_contiguous_balanced(self, small_set):
+        parts = partition_contiguous(small_set, 5)
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_random_covers_everything(self, small_set, rng):
+        parts = partition_random(small_set, 5, rng)
+        assert sum(len(p) for p in parts) == len(small_set)
+
+    def test_random_roughly_balanced(self, rng):
+        P = WeightedPointSet.from_points(rng.normal(size=(5000, 1)))
+        parts = partition_random(P, 5, rng)
+        sizes = np.array([len(p) for p in parts])
+        assert sizes.min() > 800 and sizes.max() < 1200
+
+    def test_adversarial_outliers_on_one_machine(self, small_planar, rng):
+        P = small_planar.point_set()
+        parts = partition_adversarial_outliers(P, small_planar.outlier_mask, 4, rng)
+        assert sum(len(p) for p in parts) == len(P)
+        # all outlier coordinates are in part 1
+        out_coords = {tuple(p) for p in P.points[small_planar.outlier_mask]}
+        part1 = {tuple(p) for p in parts[1].points}
+        assert out_coords <= part1
+        for i in (0, 2, 3):
+            assert not (out_coords & {tuple(p) for p in parts[i].points})
+
+    def test_adversarial_mask_validation(self, small_set, rng):
+        with pytest.raises(ValueError):
+            partition_adversarial_outliers(small_set, np.zeros(3, bool), 4, rng)
+
+    def test_recommended_num_machines(self):
+        m = recommended_num_machines(10**6, k=4, z=10, eps=0.5, d=2)
+        assert 2 <= m < 10**6
+        assert recommended_num_machines(0, 1, 0, 1.0, 1) == 2

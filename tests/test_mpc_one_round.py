@@ -1,0 +1,121 @@
+"""Tests for Algorithm 6 (randomized 1-round MPC) and Algorithm 7 (R-round)."""
+
+import numpy as np
+import pytest
+
+from repro.core import WeightedPointSet, verify_sandwich
+from repro.mpc import (
+    multi_round_coreset,
+    one_round_coreset,
+    partition_contiguous,
+    partition_random,
+    random_outlier_budget,
+    two_round_coreset,
+)
+from repro.workloads import clustered_with_outliers
+
+
+@pytest.fixture
+def random_setup(rng):
+    wl = clustered_with_outliers(400, k=3, z=10, d=2, rng=rng)
+    P = wl.point_set()
+    parts = partition_random(P, 6, rng)
+    return P, parts
+
+
+class TestRandomOutlierBudget:
+    def test_caps_at_z(self):
+        assert random_outlier_budget(n=100, m=2, z=3) == 3
+
+    def test_whp_formula_used_when_smaller(self):
+        b = random_outlier_budget(n=1024, m=100, z=10**6)
+        assert b == int(np.ceil(6 * 10**6 / 100 + 3 * 10))
+
+    def test_zero_z(self):
+        assert random_outlier_budget(100, 4, 0) == 0
+
+    def test_m_validation(self):
+        with pytest.raises(ValueError):
+            random_outlier_budget(10, 0, 1)
+
+
+class TestOneRound:
+    def test_single_round(self, random_setup):
+        P, parts = random_setup
+        res = one_round_coreset(parts, 3, 10, 0.5)
+        assert res.stats.rounds == 1
+
+    def test_coreset_valid(self, random_setup):
+        P, parts = random_setup
+        res = one_round_coreset(parts, 3, 10, 0.5)
+        assert res.coreset.total_weight == P.total_weight
+        assert verify_sandwich(P, res.coreset, 3, 10, res.eps_guarantee).ok
+
+    def test_zprime_recorded(self, random_setup):
+        P, parts = random_setup
+        res = one_round_coreset(parts, 3, 10, 0.5)
+        assert 0 <= res.extras["zprime"] <= 10
+
+    def test_no_final_compress(self, random_setup):
+        P, parts = random_setup
+        res = one_round_coreset(parts, 3, 10, 0.5, final_compress=False)
+        assert res.eps_guarantee == 0.5
+        assert res.coreset.total_weight == P.total_weight
+
+    def test_single_machine(self, small_set):
+        res = one_round_coreset([small_set], 2, 4, 0.5)
+        assert verify_sandwich(small_set, res.coreset, 2, 4, res.eps_guarantee).ok
+
+
+class TestMultiRound:
+    @pytest.mark.parametrize("R", [1, 2, 3])
+    def test_valid_coreset_each_R(self, random_setup, R):
+        P, parts = random_setup
+        res = multi_round_coreset(parts, 3, 10, 0.2, rounds=R)
+        assert res.stats.rounds == R
+        assert res.coreset.total_weight == P.total_weight
+        assert res.eps_guarantee == pytest.approx((1.2) ** R - 1)
+        assert verify_sandwich(P, res.coreset, 3, 10, res.eps_guarantee).ok
+
+    def test_beta_reduction(self, random_setup):
+        P, parts = random_setup
+        res = multi_round_coreset(parts, 3, 10, 0.2, rounds=2)
+        assert res.extras["beta"] >= int(np.ceil(len(parts) ** 0.5))
+
+    def test_R1_equals_all_to_coordinator(self, random_setup):
+        P, parts = random_setup
+        res = multi_round_coreset(parts, 3, 10, 0.2, rounds=1)
+        # one round: every machine compresses once and ships to M1
+        assert res.stats.rounds == 1
+
+    def test_more_machines_than_needed(self, small_set):
+        parts = partition_contiguous(small_set, 9)
+        res = multi_round_coreset(parts, 2, 4, 0.2, rounds=2)
+        assert res.coreset.total_weight == small_set.total_weight
+
+    def test_rounds_validation(self, small_set):
+        with pytest.raises(ValueError):
+            multi_round_coreset([small_set], 2, 4, 0.2, rounds=0)
+
+    def test_single_machine(self, small_set):
+        res = multi_round_coreset([small_set], 2, 4, 0.2, rounds=2)
+        assert res.coreset.total_weight == small_set.total_weight
+
+
+class TestCrossAlgorithmConsistency:
+    def test_all_three_agree_on_radius(self, rng):
+        """All MPC algorithms' coresets give consistent radii on the same
+        input (within their guarantees)."""
+        from repro.core import charikar_greedy
+        wl = clustered_with_outliers(300, k=2, z=6, d=2, rng=rng)
+        P = wl.point_set()
+        parts = partition_random(P, 4, rng)
+        radii = {}
+        for name, res in (
+            ("two", two_round_coreset(parts, 2, 6, 0.3)),
+            ("one", one_round_coreset(parts, 2, 6, 0.3)),
+            ("multi", multi_round_coreset(parts, 2, 6, 0.3, rounds=2)),
+        ):
+            radii[name] = charikar_greedy(res.coreset, 2, 6).radius
+        vals = list(radii.values())
+        assert max(vals) <= 10 * min(vals) + 1e-9, radii

@@ -1,0 +1,83 @@
+"""Unit tests for repro.geometry.packing (Lemma 6 and friends)."""
+
+import numpy as np
+import pytest
+
+from repro.core import WeightedPointSet, brute_force_opt
+from repro.geometry import (
+    doubling_cover_count,
+    grid_cell_bound,
+    packing_bound,
+    separated_subset,
+)
+
+
+class TestPackingBound:
+    def test_formula(self):
+        from math import ceil
+        assert packing_bound(2, 3, opt=1.0, delta=0.5, d=2) == 2 * ceil(8) ** 2 + 3
+
+    def test_zero_opt(self):
+        assert packing_bound(2, 3, opt=0.0, delta=0.5, d=2) == 5
+
+    def test_delta_positive_required(self):
+        with pytest.raises(ValueError):
+            packing_bound(1, 0, 1.0, 0.0, 1)
+
+    def test_lemma6_witnessed_empirically(self, rng):
+        """Any delta-separated subset of a clustered instance respects the
+        Lemma 6 bound computed from the true optimum."""
+        pts = np.concatenate([
+            rng.normal(0, 0.5, (40, 2)), rng.normal(10, 0.5, (40, 2)),
+            rng.uniform(50, 60, (2, 2)),
+        ])
+        P = WeightedPointSet.from_points(pts[rng.choice(len(pts), 12, replace=False)])
+        k, z = 2, 2
+        opt = brute_force_opt(P, k, z).radius
+        for delta_frac in (0.25, 0.5, 1.0):
+            delta = max(opt * delta_frac, 1e-9)
+            sep = separated_subset(P.points, delta)
+            assert len(sep) <= packing_bound(k, z, opt, delta, 2)
+
+
+class TestGridCellBound:
+    def test_formula(self):
+        from math import ceil, sqrt
+        assert grid_cell_bound(2, 3, 0.5, 2) == 2 * ceil(8 * sqrt(2)) ** 2 + 3
+
+    def test_eps_positive(self):
+        with pytest.raises(ValueError):
+            grid_cell_bound(1, 0, 0.0, 1)
+
+
+class TestDoublingCoverCount:
+    def test_powers(self):
+        assert doubling_cover_count(2.0, 2) == 4
+        assert doubling_cover_count(4.0, 2) == 16
+        assert doubling_cover_count(1.0, 3) == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            doubling_cover_count(0.5, 2)
+
+
+class TestSeparatedSubset:
+    def test_pairwise_separation(self, rng):
+        pts = rng.uniform(0, 10, size=(100, 2))
+        idx = separated_subset(pts, 1.0)
+        from scipy.spatial.distance import pdist
+        if len(idx) > 1:
+            assert pdist(pts[idx]).min() > 1.0
+
+    def test_maximality_covering(self, rng):
+        pts = rng.uniform(0, 10, size=(100, 2))
+        idx = separated_subset(pts, 1.0)
+        from scipy.spatial.distance import cdist
+        d = cdist(pts, pts[idx]).min(axis=1)
+        assert d.max() <= 1.0 + 1e-9
+
+    def test_empty(self):
+        assert len(separated_subset(np.zeros((0, 2)), 1.0)) == 0
+
+    def test_single_point(self):
+        assert separated_subset(np.zeros((1, 2)), 1.0).tolist() == [0]

@@ -1,0 +1,52 @@
+"""Tests for the thread-parallel MPC execution mode."""
+
+import numpy as np
+
+from repro.mpc import (
+    one_round_coreset,
+    parallel_map,
+    partition_adversarial_outliers,
+    partition_random,
+    two_round_coreset,
+)
+from repro.workloads import clustered_with_outliers
+
+
+class TestParallelMap:
+    def test_preserves_order(self):
+        out = parallel_map(lambda x: x * x, range(20), parallel=True)
+        assert out == [x * x for x in range(20)]
+
+    def test_sequential_identical(self):
+        seq = parallel_map(lambda x: x + 1, range(10), parallel=False)
+        par = parallel_map(lambda x: x + 1, range(10), parallel=True)
+        assert seq == par
+
+    def test_single_item_shortcut(self):
+        assert parallel_map(lambda x: -x, [5], parallel=True) == [-5]
+
+    def test_empty(self):
+        assert parallel_map(lambda x: x, [], parallel=True) == []
+
+
+class TestParallelAlgorithms:
+    def test_two_round_parallel_identical(self, rng):
+        wl = clustered_with_outliers(400, 3, 12, d=2, rng=rng)
+        P = wl.point_set()
+        parts = partition_adversarial_outliers(P, wl.outlier_mask, 5, rng)
+        seq = two_round_coreset(parts, 3, 12, 0.5, parallel=False)
+        par = two_round_coreset(parts, 3, 12, 0.5, parallel=True)
+        assert np.array_equal(seq.coreset.points, par.coreset.points)
+        assert np.array_equal(seq.coreset.weights, par.coreset.weights)
+        assert seq.extras["rhat"] == par.extras["rhat"]
+        assert seq.extras["jhats"] == par.extras["jhats"]
+
+    def test_one_round_parallel_identical(self, rng):
+        wl = clustered_with_outliers(400, 3, 12, d=2, rng=rng)
+        P = wl.point_set()
+        parts = partition_random(P, 5, rng)
+        seq = one_round_coreset(parts, 3, 12, 0.5, parallel=False)
+        par = one_round_coreset(parts, 3, 12, 0.5, parallel=True)
+        assert np.array_equal(seq.coreset.points, par.coreset.points)
+        assert np.array_equal(seq.coreset.weights, par.coreset.weights)
+        assert seq.stats == par.stats

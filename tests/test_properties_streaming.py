@@ -1,0 +1,106 @@
+"""Property-based tests on the streaming structures and grids."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import WeightedPointSet, brute_force_opt, charikar_greedy
+from repro.geometry import GridHierarchy
+from repro.sketches import VandermondeSketch
+from repro.streaming import InsertionOnlyCoreset
+
+coords = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False, width=32)
+
+
+class TestInsertionOnlyInvariants:
+    @given(xs=st.lists(coords, min_size=1, max_size=14))
+    @settings(max_examples=40, deadline=None)
+    def test_weight_and_radius_lower_bound(self, xs):
+        """On any tiny stream: total weight preserved, and the radius
+        estimate never exceeds the exact optimum (paper threshold)."""
+        st_ = InsertionOnlyCoreset(2, 1, 1.0, d=1)
+        pts = np.asarray(xs, dtype=float).reshape(-1, 1)
+        st_.extend(pts)
+        cs = st_.coreset()
+        assert cs.total_weight == len(xs)
+        P = WeightedPointSet.from_points(pts)
+        opt = brute_force_opt(P, 2, 1, max_points=14).radius
+        assert st_.r <= opt + 1e-9
+
+    @given(xs=st.lists(coords, min_size=3, max_size=14))
+    @settings(max_examples=30, deadline=None)
+    def test_coreset_radius_sandwich(self, xs):
+        """opt on the coreset within (1 +- eps) * 3-approx slack of opt on
+        the stream, for every hypothesis-generated stream."""
+        st_ = InsertionOnlyCoreset(2, 1, 1.0, d=1)
+        pts = np.asarray(xs, dtype=float).reshape(-1, 1)
+        st_.extend(pts)
+        P = WeightedPointSet.from_points(pts)
+        opt_p = brute_force_opt(P, 2, 1, max_points=14).radius
+        cs = st_.coreset()
+        opt_c = brute_force_opt(cs, 2, 1, max_points=len(cs)).radius
+        # Definition 1 with eps = 1: opt_c in [0, 2 opt_p] and the
+        # covering property bounds the other side
+        assert opt_c <= 2 * opt_p + 1e-9
+        assert opt_p <= opt_c + 2 * 1.0 * max(opt_p, st_.r) + 1e-9
+
+
+class TestGridProperties:
+    @given(
+        delta_pow=st.integers(2, 10),
+        level=st.integers(0, 5),
+        pts=st.lists(st.tuples(st.integers(1, 1023), st.integers(1, 1023)),
+                     min_size=1, max_size=20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cell_id_consistent_with_geometry(self, delta_pow, level, pts):
+        delta = 1 << delta_pow
+        level = min(level, delta_pow)
+        g = GridHierarchy(delta, 2).level(level)
+        arr = np.asarray([(min(x, delta), min(y, delta)) for x, y in pts],
+                         dtype=np.int64)
+        ids = g.cell_ids(arr)
+        # two points share an id iff they share every axis cell index
+        idx = (arr - 1) >> level
+        for i in range(len(arr)):
+            for j in range(i + 1, len(arr)):
+                same_geom = bool((idx[i] == idx[j]).all())
+                assert same_geom == (ids[i] == ids[j])
+
+    @given(
+        delta_pow=st.integers(2, 8),
+        pt=st.tuples(st.integers(1, 255), st.integers(1, 255)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_cell_center_within_half_side(self, delta_pow, pt):
+        delta = 1 << delta_pow
+        h = GridHierarchy(delta, 2)
+        p = np.asarray([min(pt[0], delta), min(pt[1], delta)], dtype=np.int64)
+        for lvl in h.levels():
+            c = lvl.cell_center(lvl.cell_id(p))
+            assert np.abs(c - p).max() <= lvl.side / 2.0
+
+
+class TestVandermondeProperties:
+    @given(items=st.dictionaries(st.integers(0, 9999), st.integers(1, 100),
+                                 min_size=0, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip(self, items):
+        sk = VandermondeSketch(6, 10000)
+        for k, w in items.items():
+            sk.update(k, w)
+        res = sk.decode()
+        assert res.success and res.items == items
+
+    @given(items=st.dictionaries(st.integers(0, 999), st.integers(1, 9),
+                                 min_size=1, max_size=6),
+           extra=st.integers(0, 999))
+    @settings(max_examples=30, deadline=None)
+    def test_linearity(self, items, extra):
+        """Insert-then-delete any overlay leaves the base decodable."""
+        sk = VandermondeSketch(6, 1000)
+        for k, w in items.items():
+            sk.update(k, w)
+        sk.update(extra, 3)
+        sk.update(extra, -3)
+        res = sk.decode()
+        assert res.success and res.items == items

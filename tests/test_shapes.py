@@ -1,0 +1,88 @@
+"""Scaled-down Table-1 shape checks inside the unit suite.
+
+The benchmarks assert the paper's headline shapes at full size; these
+miniatures witness the same claims in seconds so `pytest tests/` alone
+covers them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import WeightedPointSet
+from repro.mpc import (
+    ceccarello_one_round_deterministic,
+    partition_adversarial_outliers,
+    two_round_coreset,
+)
+from repro.streaming import (
+    CeccarelloStreamingCoreset,
+    InsertionOnlyCoreset,
+    SlidingWindowCoreset,
+    cpp_size_threshold,
+    paper_size_threshold,
+)
+from repro.workloads import clustered_with_outliers, drifting_stream
+
+
+class TestMPCShapes:
+    def test_ours_flat_in_z_baseline_linear(self, rng):
+        """Table 1 rows 3-4: coreset growth in z under adversarial
+        distribution."""
+        sizes_ours, sizes_base = [], []
+        for z in (8, 64):
+            wl = clustered_with_outliers(600, 3, z, d=2,
+                                         rng=np.random.default_rng(0))
+            P = wl.point_set()
+            parts = partition_adversarial_outliers(P, wl.outlier_mask, 6, rng)
+            sizes_ours.append(len(two_round_coreset(parts, 3, z, 0.5).coreset))
+            sizes_base.append(
+                len(ceccarello_one_round_deterministic(parts, 3, z, 0.5).coreset)
+            )
+        growth_ours = sizes_ours[1] / sizes_ours[0]
+        growth_base = sizes_base[1] / sizes_base[0]
+        assert growth_base > growth_ours
+
+
+class TestStreamingShapes:
+    def test_threshold_shapes(self):
+        """Rows 6-7: ours additive in z, CPP multiplicative."""
+        k, d = 3, 1
+        for eps in (1.0, 0.5):
+            ours_gap = paper_size_threshold(k, 256, eps, d) - paper_size_threshold(
+                k, 0, eps, d
+            )
+            cpp_gap = cpp_size_threshold(k, 256, eps, d) - cpp_size_threshold(
+                k, 0, eps, d
+            )
+            assert ours_gap == 256  # exactly additive
+            assert cpp_gap == 256 * int(np.ceil(16 / eps))  # multiplied
+
+    def test_measured_storage_near_lower_bound(self, rng):
+        """Row 6 vs row 8: measured storage within a small constant of the
+        Omega(k/eps^d + z) value."""
+        k, z, eps, d = 2, 16, 1.0, 1
+        stream = drifting_stream(1500, k, z, d, rng=rng)
+        st = InsertionOnlyCoreset(k, z, eps, d)
+        st.extend(stream)
+        lb = k / eps**d + z
+        assert st.size <= 6 * lb
+
+    def test_cpp_stores_more_at_large_z(self, rng):
+        k, z, eps, d = 2, 48, 0.5, 1
+        stream = drifting_stream(1500, k, z, d, rng=rng)
+        ours = InsertionOnlyCoreset(k, z, eps, d)
+        cpp = CeccarelloStreamingCoreset(k, z, eps, d)
+        ours.extend(stream)
+        cpp.extend(stream)
+        assert cpp.size > ours.size
+
+
+class TestSlidingWindowShapes:
+    def test_storage_scales_with_ladder(self, rng):
+        stream = drifting_stream(300, 2, 6, d=1, rng=rng)
+        short = SlidingWindowCoreset(2, 2, 0.5, 1, 100, r_min=1.0, r_max=8.0)
+        long = SlidingWindowCoreset(2, 2, 0.5, 1, 100, r_min=0.01, r_max=800.0)
+        short.extend(stream)
+        long.extend(stream)
+        assert long.num_guesses > short.num_guesses
+        assert long.stored_items >= short.stored_items

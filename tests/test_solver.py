@@ -1,0 +1,118 @@
+"""Unit tests for repro.core.solver."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    WeightedPointSet,
+    brute_force_opt,
+    charikar_greedy,
+    continuous_opt_1d,
+    coverage_radius,
+    solve_kcenter_outliers,
+    solve_via_coreset,
+)
+from repro.core.mbc import mbc_construction
+
+
+class TestBruteForce:
+    def test_single_cluster(self):
+        P = WeightedPointSet.from_points(np.array([[0.0], [1.0], [2.0]]))
+        # centre on the middle point covers within 1
+        assert brute_force_opt(P, 1, 0).radius == pytest.approx(1.0)
+
+    def test_outlier_removes_extreme(self):
+        P = WeightedPointSet.from_points(np.array([[0.0], [1.0], [100.0]]))
+        assert brute_force_opt(P, 1, 1).radius == pytest.approx(1.0)
+
+    def test_k_two(self):
+        P = WeightedPointSet.from_points(np.array([[0.0], [1.0], [10.0], [11.0]]))
+        assert brute_force_opt(P, 2, 0).radius == pytest.approx(1.0)
+
+    def test_weighted_outliers(self):
+        P = WeightedPointSet(np.array([[0.0], [100.0]]), [2, 3])
+        # neither point's weight fits in z=1, so both must be covered
+        assert brute_force_opt(P, 1, 1).radius == pytest.approx(100.0)
+        # z=2 lets the weight-2 point at 0 be dropped
+        assert brute_force_opt(P, 1, 2).radius == pytest.approx(0.0)
+
+    def test_total_weight_at_most_z(self):
+        P = WeightedPointSet.from_points(np.array([[0.0], [9.0]]))
+        assert brute_force_opt(P, 1, 2).radius == 0.0
+
+    def test_max_points_guard(self, rng):
+        P = WeightedPointSet.from_points(rng.normal(size=(20, 2)))
+        with pytest.raises(ValueError):
+            brute_force_opt(P, 2, 0)
+
+    def test_duplicate_coordinates_handled(self):
+        P = WeightedPointSet.from_points(np.array([[0.0], [0.0], [5.0]]))
+        assert brute_force_opt(P, 2, 0).radius == pytest.approx(0.0)
+
+
+class TestContinuous1D:
+    def test_matches_half_span_k1(self):
+        P = WeightedPointSet.from_points(np.array([0.0, 4.0, 10.0]))
+        assert continuous_opt_1d(P, 1, 0) == pytest.approx(5.0)
+
+    def test_outlier(self):
+        P = WeightedPointSet.from_points(np.array([0.0, 4.0, 100.0]))
+        assert continuous_opt_1d(P, 1, 1) == pytest.approx(2.0)
+
+    def test_k2(self):
+        P = WeightedPointSet.from_points(np.array([0.0, 1.0, 10.0, 12.0]))
+        assert continuous_opt_1d(P, 2, 0) == pytest.approx(1.0)
+
+    def test_weighted(self):
+        P = WeightedPointSet(np.array([[0.0], [10.0]]), [3, 3])
+        # neither weight-3 point fits in z=2: cover both from the midpoint
+        assert continuous_opt_1d(P, 1, 2) == pytest.approx(5.0)
+        # z=3 lets one point be dropped entirely
+        assert continuous_opt_1d(P, 1, 3) == pytest.approx(0.0)
+
+    def test_at_most_z_weight(self):
+        P = WeightedPointSet.from_points(np.array([0.0, 1.0]))
+        assert continuous_opt_1d(P, 1, 2) == 0.0
+
+    def test_rejects_2d(self, tiny_set):
+        with pytest.raises(ValueError):
+            continuous_opt_1d(tiny_set, 1, 0)
+
+    def test_at_most_discrete(self, rng):
+        """Continuous optimum <= discrete (centers from P) optimum."""
+        xs = np.sort(rng.uniform(0, 20, size=10))
+        P = WeightedPointSet.from_points(xs)
+        cont = continuous_opt_1d(P, 2, 1)
+        disc = brute_force_opt(P, 2, 1).radius
+        assert cont <= disc + 1e-9
+        assert cont >= disc / 2 - 1e-9  # and within the classic factor 2
+
+    def test_unit_line_k_z(self):
+        """k+z+1 unit-spaced points: optimum exactly 1/2 (Lemma 15)."""
+        for k, z in [(2, 3), (3, 1)]:
+            P = WeightedPointSet.from_points(np.arange(1.0, k + z + 2))
+            assert continuous_opt_1d(P, k, z) == pytest.approx(0.5)
+
+
+class TestSolverFrontend:
+    def test_methods_agree_on_easy_instance(self, tiny_set):
+        b = solve_kcenter_outliers(tiny_set, 2, 1, method="brute")
+        g = solve_kcenter_outliers(tiny_set, 2, 1, method="greedy3")
+        assert b.radius <= g.radius + 1e-9 <= 3 * b.radius + 1e-6
+
+    def test_unknown_method(self, tiny_set):
+        with pytest.raises(ValueError):
+            solve_kcenter_outliers(tiny_set, 2, 1, method="magic")
+
+    def test_solve_via_coreset_quality(self, small_set):
+        mbc = mbc_construction(small_set, 2, 4, 0.3)
+        sol = solve_via_coreset(mbc.coreset, 2, 4)
+        full = charikar_greedy(small_set, 2, 4)
+        # both 3-approximations of optima within (1 +- eps) of each other
+        assert sol.radius <= 3 * (1 + 0.3) * full.radius + 1e-9
+        assert sol.radius * 3 * (1 + 0.3) >= full.radius / 3 - 1e-9
+
+    def test_solution_covers_with_outliers(self, small_set):
+        sol = solve_kcenter_outliers(small_set, 2, 4)
+        r = coverage_radius(small_set, sol.centers, 4)
+        assert r <= sol.radius + 1e-9

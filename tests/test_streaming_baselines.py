@@ -1,0 +1,82 @@
+"""Tests for the streaming baselines (CPP19, McCutchen-Khuller)."""
+
+import numpy as np
+import pytest
+
+from repro.core import WeightedPointSet, brute_force_opt, charikar_greedy, verify_sandwich
+from repro.streaming import (
+    CeccarelloStreamingCoreset,
+    McCutchenKhuller,
+    MKInstance,
+    cpp_size_threshold,
+)
+from repro.workloads import drifting_stream
+
+
+class TestCPPStreaming:
+    def test_threshold_shape(self):
+        # (k+z)/eps^d versus ours' k/eps^d + z: baseline grows in z
+        ours_like = 2 * 32 + 100
+        assert cpp_size_threshold(2, 100, 0.5, 1) == 102 * 32 > 4 * ours_like
+
+    def test_valid_coreset(self, rng):
+        stream = drifting_stream(500, 2, 5, d=1, rng=rng)
+        cpp = CeccarelloStreamingCoreset(2, 5, 1.0, d=1)
+        cpp.extend(stream)
+        P = WeightedPointSet.from_points(stream)
+        assert cpp.coreset().total_weight == 500
+        assert verify_sandwich(P, cpp.coreset(), 2, 5, 1.0).ok
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            cpp_size_threshold(1, 0, 0.0, 1)
+
+
+class TestMKInstance:
+    def test_capacity_respected(self, rng):
+        inst = MKInstance(2, 3, __import__("repro.core", fromlist=["get_metric"]).get_metric(None))
+        for p in rng.uniform(0, 100, size=(200, 1)):
+            inst.insert(p)
+        assert inst.size <= inst.capacity
+
+    def test_weight_preserved(self, rng):
+        from repro.core import get_metric
+        inst = MKInstance(2, 3, get_metric(None))
+        for p in rng.uniform(0, 100, size=(150, 1)):
+            inst.insert(p)
+        assert sum(inst._w) == 150
+
+
+class TestMcCutchenKhuller:
+    def test_storage_shape(self, rng):
+        mk = McCutchenKhuller(3, 10, eps=0.5)
+        for p in rng.uniform(0, 100, size=(300, 2)):
+            mk.insert(p)
+        # per instance k(z+1)+z+1; 2 staggered instances at eps=0.5
+        assert mk.size <= 2 * (3 * 11 + 11)
+
+    def test_estimate_constant_factor(self, rng):
+        pts = np.concatenate([
+            rng.normal(0, 0.3, (100, 1)), rng.normal(50, 0.3, (100, 1)),
+            rng.uniform(500, 600, (3, 1)),
+        ])
+        rng.shuffle(pts)
+        mk = McCutchenKhuller(2, 3, eps=0.5)
+        mk.extend(pts)
+        P = WeightedPointSet.from_points(pts)
+        greedy = charikar_greedy(P, 2, 3)
+        opt_lb, opt_ub = greedy.radius / 3, greedy.radius
+        est = mk.estimate()
+        # constant-factor window around the optimum interval
+        assert est <= 16 * opt_ub + 1e-9
+        assert est >= opt_lb / 16 - 1e-9
+
+    def test_zero_estimate_before_capacity(self):
+        mk = McCutchenKhuller(2, 3, eps=1.0, instances=1)
+        mk.insert([0.0])
+        # stored points (1) below k+z: exact answer is 0 via k centers
+        assert mk.estimate() == 0.0
+
+    def test_instances_default(self):
+        mk = McCutchenKhuller(2, 3, eps=0.25)
+        assert len(mk.instances) == 4

@@ -1,0 +1,143 @@
+"""Tests for Algorithm 3 (insertion-only streaming coreset)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    WeightedPointSet,
+    brute_force_opt,
+    verify_sandwich,
+)
+from repro.streaming import InsertionOnlyCoreset, paper_size_threshold
+from repro.workloads import drifting_stream
+
+
+class TestThreshold:
+    def test_formula(self):
+        from math import ceil
+        assert paper_size_threshold(2, 5, 0.5, 1) == 2 * ceil(32) + 5
+
+    def test_eps_validation(self):
+        with pytest.raises(ValueError):
+            paper_size_threshold(1, 0, 0.0, 1)
+
+
+class TestBasicStreaming:
+    def test_weight_equals_stream_length(self, rng):
+        st = InsertionOnlyCoreset(2, 3, 1.0, d=1)
+        pts = rng.normal(size=(200, 1))
+        st.extend(pts)
+        assert st.coreset().total_weight == 200
+        assert st.points_seen == 200
+
+    def test_size_within_threshold(self, rng):
+        st = InsertionOnlyCoreset(2, 3, 1.0, d=1, size_cap=30)
+        st.extend(rng.normal(size=(500, 1)))
+        assert st.size <= 30
+
+    def test_r_lower_bounds_opt(self, rng):
+        """Lemma 17's invariant r <= opt_{k,z}(P(t)): holds when running
+        with the paper threshold (it is exactly what `size_cap` trades
+        away).  Checked against the exact discrete optimum, which upper
+        bounds the continuous one."""
+        pts = rng.uniform(0, 10, size=(60, 1))
+        st = InsertionOnlyCoreset(1, 0, 1.0, d=1)  # threshold k*16+z = 16
+        st.extend(pts)
+        assert st.doublings > 0  # the interesting regime is exercised
+        opt = brute_force_opt(
+            WeightedPointSet.from_points(pts), 1, 0, max_points=60
+        ).radius
+        assert st.r <= opt + 1e-9
+
+    def test_coreset_sandwich(self, rng):
+        stream = drifting_stream(600, 2, 5, d=1, rng=rng)
+        st = InsertionOnlyCoreset(2, 5, 1.0, d=1)
+        st.extend(stream)
+        P = WeightedPointSet.from_points(stream)
+        assert verify_sandwich(P, st.coreset(), 2, 5, 1.0).ok
+
+    def test_duplicate_points_absorbed_at_r0(self):
+        st = InsertionOnlyCoreset(1, 0, 1.0, d=1)
+        for _ in range(10):
+            st.insert([5.0])
+        assert st.size == 1 and st.coreset().total_weight == 10
+
+    def test_r_initialization_at_k_plus_z_plus_1(self):
+        st = InsertionOnlyCoreset(2, 1, 1.0, d=1)
+        for x in [0.0, 10.0, 20.0]:
+            st.insert([x])
+        assert st.r == 0.0
+        st.insert([30.0])  # k + z + 1 = 4th distinct point
+        assert st.r == pytest.approx(5.0)  # min pairwise 10 / 2
+
+    def test_doubling_occurs_when_capped(self, rng):
+        st = InsertionOnlyCoreset(2, 2, 1.0, d=1, size_cap=8)
+        st.extend(rng.uniform(0, 100, size=(300, 1)))
+        assert st.doublings > 0
+        assert st.size <= 8
+
+    def test_dim_mismatch_rejected(self):
+        st = InsertionOnlyCoreset(1, 0, 1.0, d=2)
+        st.insert([0.0, 0.0])
+        with pytest.raises(ValueError):
+            st.insert([0.0])
+
+    def test_empty_coreset(self):
+        st = InsertionOnlyCoreset(1, 0, 1.0, d=1)
+        assert len(st.coreset()) == 0
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            InsertionOnlyCoreset(1, 0, 0.0, d=1)
+        with pytest.raises(ValueError):
+            InsertionOnlyCoreset(0, 0, 0.5, d=1)
+        with pytest.raises(ValueError):
+            InsertionOnlyCoreset(2, 3, 0.5, d=1, size_cap=4)  # < k+z+2
+
+
+class TestAdversarialOrder:
+    def test_sorted_order(self, rng):
+        """Sorted arrival is the classic adversarial order for doubling
+        algorithms."""
+        pts = np.sort(rng.uniform(0, 100, size=(400,))).reshape(-1, 1)
+        st = InsertionOnlyCoreset(2, 4, 1.0, d=1)
+        st.extend(pts)
+        P = WeightedPointSet.from_points(pts)
+        assert verify_sandwich(P, st.coreset(), 2, 4, 1.0).ok
+        assert st.size <= st.threshold
+
+    def test_outliers_first(self, rng):
+        """All outliers before any cluster point."""
+        outliers = rng.uniform(1000, 2000, size=(5, 1))
+        clusters = np.concatenate([
+            rng.normal(0, 0.1, (100, 1)), rng.normal(50, 0.1, (100, 1)),
+        ])
+        pts = np.concatenate([outliers, clusters])
+        st = InsertionOnlyCoreset(2, 5, 1.0, d=1)
+        st.extend(pts)
+        P = WeightedPointSet.from_points(pts)
+        assert verify_sandwich(P, st.coreset(), 2, 5, 1.0).ok
+
+    def test_interleaved_scales(self, rng):
+        """Alternating near/far points stress the radius doubling."""
+        near = rng.normal(0, 0.01, size=(200, 1))
+        far = rng.normal(1000, 0.01, size=(200, 1))
+        pts = np.empty((400, 1))
+        pts[0::2] = near
+        pts[1::2] = far
+        st = InsertionOnlyCoreset(2, 2, 1.0, d=1)
+        st.extend(pts)
+        P = WeightedPointSet.from_points(pts)
+        assert verify_sandwich(P, st.coreset(), 2, 2, 1.0).ok
+
+
+class TestPrefixProperty:
+    def test_coreset_valid_at_every_checkpoint(self, rng):
+        """Theorem 18 holds for every prefix, not just the final state."""
+        stream = drifting_stream(300, 2, 4, d=1, rng=rng)
+        st = InsertionOnlyCoreset(2, 4, 1.0, d=1)
+        for t, p in enumerate(stream, 1):
+            st.insert(p)
+            if t in (50, 150, 300):
+                P = WeightedPointSet.from_points(stream[:t])
+                assert verify_sandwich(P, st.coreset(), 2, 4, 1.0).ok, f"t={t}"

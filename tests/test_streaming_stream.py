@@ -1,0 +1,63 @@
+"""Tests for the stream event model."""
+
+import numpy as np
+import pytest
+
+from repro.streaming import UpdateEvent, dynamic_stream, insertion_stream, live_set, replay
+
+
+class TestUpdateEvent:
+    def test_sign_validation(self):
+        with pytest.raises(ValueError):
+            UpdateEvent((0.0,), 2, 0)
+
+    def test_hashable(self):
+        assert hash(UpdateEvent((1.0, 2.0), 1, 0)) is not None
+
+
+class TestInsertionStream:
+    def test_wraps_points(self):
+        evs = insertion_stream(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        assert [e.point for e in evs] == [(1.0, 2.0), (3.0, 4.0)]
+        assert all(e.sign == 1 for e in evs)
+        assert [e.time for e in evs] == [0, 1]
+
+
+class TestDynamicStream:
+    def test_valid_turnstile(self):
+        evs = dynamic_stream([(np.array([1.0]), 1), (np.array([1.0]), -1)])
+        assert [e.sign for e in evs] == [1, -1]
+
+    def test_turnstile_violation(self):
+        with pytest.raises(ValueError):
+            dynamic_stream([(np.array([1.0]), -1)])
+
+    def test_violation_after_balance(self):
+        with pytest.raises(ValueError):
+            dynamic_stream([
+                (np.array([1.0]), 1), (np.array([1.0]), -1), (np.array([1.0]), -1),
+            ])
+
+
+class TestLiveSetAndReplay:
+    def test_live_set_multiset(self):
+        evs = dynamic_stream([
+            (np.array([1.0]), 1), (np.array([1.0]), 1), (np.array([2.0]), 1),
+            (np.array([1.0]), -1),
+        ])
+        live = live_set(evs)
+        assert sorted(live) == [(1.0,), (2.0,)]
+
+    def test_replay_into_sink(self):
+        class Sink:
+            def __init__(self):
+                self.ops = []
+            def insert(self, p):
+                self.ops.append(("i", float(p[0])))
+            def delete(self, p):
+                self.ops.append(("d", float(p[0])))
+
+        evs = dynamic_stream([(np.array([1.0]), 1), (np.array([1.0]), -1)])
+        s = Sink()
+        replay(evs, s)
+        assert s.ops == [("i", 1.0), ("d", 1.0)]

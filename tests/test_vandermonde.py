@@ -1,0 +1,123 @@
+"""Tests for the deterministic Vandermonde sparse recovery (§5 discussion)."""
+
+import numpy as np
+import pytest
+
+from repro.sketches import PRIME_31, VandermondeSketch, berlekamp_massey
+
+
+class TestBerlekampMassey:
+    def test_geometric_sequence(self):
+        p = PRIME_31
+        seq = [pow(5, t, p) for t in range(6)]
+        loc = berlekamp_massey(seq, p)
+        assert len(loc) - 1 == 1
+        # Lambda(x) = 1 - 5x
+        assert loc[1] == (-5) % p
+
+    def test_two_term_prony(self):
+        p = PRIME_31
+        seq = [(2 * pow(3, t, p) + 5 * pow(7, t, p)) % p for t in range(8)]
+        loc = berlekamp_massey(seq, p)
+        assert len(loc) - 1 == 2
+        # (1-3x)(1-7x) = 1 - 10x + 21x^2
+        assert loc[1] == (-10) % p and loc[2] == 21
+
+    def test_zero_sequence(self):
+        assert berlekamp_massey([0, 0, 0, 0]) == [1]
+
+    def test_recurrence_validates(self):
+        p = PRIME_31
+        rng = np.random.default_rng(0)
+        roots = [int(rng.integers(2, 1000)) for _ in range(4)]
+        ws = [int(rng.integers(1, 50)) for _ in range(4)]
+        seq = [sum(w * pow(r, t, p) for w, r in zip(ws, roots)) % p for t in range(10)]
+        loc = berlekamp_massey(seq, p)
+        L = len(loc) - 1
+        for n in range(L, 10):
+            acc = sum(loc[i] * seq[n - i] for i in range(L + 1)) % p
+            assert acc == 0
+
+
+class TestVandermondeSketch:
+    def test_exact_recovery(self, rng):
+        sk = VandermondeSketch(10, 10**6)
+        truth = {}
+        for _ in range(10):
+            k = int(rng.integers(0, 10**6))
+            w = int(rng.integers(1, 100))
+            sk.update(k, w)
+            truth[k] = truth.get(k, 0) + w
+        res = sk.decode()
+        assert res.success and res.items == truth
+
+    def test_recovery_after_deletions(self, rng):
+        sk = VandermondeSketch(6, 10**4)
+        for i in range(100):
+            sk.update(i, 1)
+        for i in range(96):
+            sk.update(i, -1)
+        res = sk.decode()
+        assert res.success and res.items == {96: 1, 97: 1, 98: 1, 99: 1}
+
+    def test_deterministic_no_rng(self):
+        """Two sketches over the same stream are bit-identical — the whole
+        point of the §5 extension."""
+        a, b = VandermondeSketch(4, 1000), VandermondeSketch(4, 1000)
+        for sk in (a, b):
+            sk.update(1, 2)
+            sk.update(999, 7)
+        assert np.array_equal(a._y, b._y)
+        assert a.decode().items == b.decode().items == {1: 2, 999: 7}
+
+    def test_empty(self):
+        sk = VandermondeSketch(4, 100)
+        assert sk.is_empty
+        res = sk.decode()
+        assert res.success and res.items == {}
+
+    def test_overload_detected_within_check_window(self):
+        # support s < ||F||_0 <= s + check is PROVABLY detected
+        sk = VandermondeSketch(4, 10**4, check=4)
+        for i in range(6):  # 6 in (4, 8]
+            sk.update(i * 97 + 1, 1)
+        assert not sk.decode().success
+
+    def test_heavy_overload_detected(self):
+        sk = VandermondeSketch(4, 10**4, check=4)
+        for i in range(50):
+            sk.update(i * 13 + 2, 1)
+        assert not sk.decode().success
+
+    def test_boundary_sparsity(self):
+        sk = VandermondeSketch(5, 1000)
+        truth = {i * 37: i + 1 for i in range(5)}
+        for k, w in truth.items():
+            sk.update(k, w)
+        res = sk.decode()
+        assert res.success and res.items == truth
+
+    def test_key_zero_and_max(self):
+        sk = VandermondeSketch(2, 1000)
+        sk.update(0, 3)
+        sk.update(999, 4)
+        assert sk.decode().items == {0: 3, 999: 4}
+
+    def test_insert_delete_cancels_exactly(self):
+        sk = VandermondeSketch(3, 100)
+        sk.update(42, 5)
+        sk.update(42, -5)
+        assert sk.is_empty and sk.decode().items == {}
+
+    def test_storage_accounting(self):
+        sk = VandermondeSketch(8, 100, check=4)
+        assert sk.storage_cells == 2 * 8 + 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VandermondeSketch(0, 100)
+        with pytest.raises(ValueError):
+            VandermondeSketch(4, PRIME_31)
+        sk = VandermondeSketch(2, 10)
+        with pytest.raises(ValueError):
+            sk.update(10, 1)

@@ -1,0 +1,61 @@
+"""Tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import clustered_with_outliers, drifting_stream, integer_workload
+
+
+class TestClusteredWithOutliers:
+    def test_shapes(self, rng):
+        wl = clustered_with_outliers(100, 3, 7, d=4, rng=rng)
+        assert wl.points.shape == (100, 4)
+        assert wl.outlier_mask.sum() == 7
+        assert wl.centers.shape == (3, 4)
+
+    def test_outliers_are_far(self, rng):
+        wl = clustered_with_outliers(200, 2, 10, d=2, rng=rng)
+        from scipy.spatial.distance import cdist
+        d_out = cdist(wl.points[wl.outlier_mask], wl.centers).min(axis=1)
+        d_in = cdist(wl.points[~wl.outlier_mask], wl.centers).min(axis=1)
+        assert d_out.min() > d_in.max()
+
+    def test_z_greater_than_n_rejected(self, rng):
+        with pytest.raises(ValueError):
+            clustered_with_outliers(5, 1, 10, rng=rng)
+
+    def test_no_shuffle_order(self, rng):
+        wl = clustered_with_outliers(50, 2, 5, rng=rng, shuffle=False)
+        assert wl.outlier_mask[-5:].all() and not wl.outlier_mask[:-5].any()
+
+    def test_point_set_roundtrip(self, rng):
+        wl = clustered_with_outliers(50, 2, 5, rng=rng)
+        P = wl.point_set()
+        assert len(P) == 50 and P.total_weight == 50
+
+    def test_reproducible(self):
+        a = clustered_with_outliers(50, 2, 5, rng=np.random.default_rng(1))
+        b = clustered_with_outliers(50, 2, 5, rng=np.random.default_rng(1))
+        assert np.array_equal(a.points, b.points)
+
+
+class TestDriftingStream:
+    def test_shape(self, rng):
+        s = drifting_stream(300, 2, 10, d=3, rng=rng)
+        assert s.shape == (300, 3)
+
+    def test_outlier_magnitudes(self, rng):
+        s = drifting_stream(300, 2, 10, d=2, outlier_spread=100, rng=rng)
+        norms = np.linalg.norm(s, axis=1)
+        assert (norms > 80).sum() >= 10
+
+
+class TestIntegerWorkload:
+    def test_in_universe(self, rng):
+        wl = integer_workload(100, 2, 5, delta_universe=64, d=2, rng=rng)
+        assert wl.points.dtype == np.int64
+        assert wl.points.min() >= 1 and wl.points.max() <= 64
+
+    def test_universe_too_small(self, rng):
+        with pytest.raises(ValueError):
+            integer_workload(10, 1, 0, delta_universe=4, cluster_radius=4, rng=rng)
