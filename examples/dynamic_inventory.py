@@ -1,53 +1,51 @@
 """Fully dynamic example: warehouse slotting under churn.
 
 Items occupy integer grid positions in a warehouse ([Delta]^2); stock
-arrives and ships out all day (inserts AND deletes).  Algorithm 5
-maintains linear sketches over a grid hierarchy, so at any moment we can
-recover a relaxed (eps,k,z)-coreset of the *live* inventory and re-solve
-k-center with outliers — the paper's fully dynamic (3+eps)-approximation
-with update time independent of the inventory size.
+arrives and ships out all day (inserts AND deletes).  The 'dynamic'
+backend (Algorithm 5) maintains linear sketches over a grid hierarchy,
+so at any moment the session can recover a relaxed (eps,k,z)-coreset of
+the *live* inventory and re-solve k-center with outliers — the paper's
+fully dynamic (3+eps)-approximation with update time independent of the
+inventory size.
 
 Run:  python examples/dynamic_inventory.py
 """
 
 import numpy as np
 
-from repro import WeightedPointSet
-from repro.core import charikar_greedy
-from repro.streaming import DynamicKCenter
+from repro.api import KCenterSession, ProblemSpec
 from repro.workloads import integer_workload
 
 rng = np.random.default_rng(23)
-delta, d, k, z = 512, 2, 3, 8
+delta = 512
+spec = ProblemSpec(k=3, z=8, eps=1.0, dim=2, seed=99)
 
-wl = integer_workload(400, k, z, delta, d, rng=rng)
-algo = DynamicKCenter(k, z, eps=1.0, delta_universe=delta, dim=d,
-                      rng=np.random.default_rng(99))
+wl = integer_workload(400, spec.k, spec.z, delta, spec.dim, rng=rng)
+session = KCenterSession.from_spec(spec, backend="dynamic",
+                                   delta_universe=delta)
 
-print(f"warehouse grid [1..{delta}]^2, k={k} staging areas, z={z} stray items")
+print(f"warehouse grid [1..{delta}]^2, k={spec.k} staging areas, "
+      f"z={spec.z} stray items")
 
-# morning: stock arrives
-for p in wl.points:
-    algo.insert(p)
-live = [tuple(p) for p in wl.points]
-print(f"after {len(live)} arrivals: radius {algo.radius():.2f} "
-      f"(sketch cells {algo.core.storage_cells})")
+# morning: stock arrives (batched sketch updates — one cell-id pass/grid)
+session.extend(wl.points)
+sol = session.solve()
+print(f"after {session.updates_seen} arrivals: radius {sol.radius:.2f} "
+      f"(sketch cells {sol.stats['storage_cells']})")
 
 # afternoon: half the stock ships out (deletes), new stock lands
-ship_out = wl.points[:200]
-for p in ship_out:
-    algo.delete(p)
-restock = integer_workload(150, k, 2, delta, d, rng=rng)
-for p in restock.points:
-    algo.insert(p)
-print(f"after 200 deletions + 150 arrivals: radius {algo.radius():.2f}")
+for p in wl.points[:200]:
+    session.delete(p)
+restock = integer_workload(150, spec.k, 2, delta, spec.dim, rng=rng)
+session.extend(restock.points)
+print(f"after 200 deletions + 150 arrivals: radius {session.solve().radius:.2f}")
 
 # ground truth comparison on the live multiset
 live_pts = np.concatenate([wl.points[200:], restock.points]).astype(float)
-P = WeightedPointSet.from_points(live_pts)
-r_true = charikar_greedy(P, k, z).radius
-print(f"offline greedy on live inventory: {r_true:.2f} "
+truth = KCenterSession.from_spec(spec, backend="offline")
+truth.extend(live_pts)
+print(f"offline greedy on live inventory: {truth.solve().radius:.2f} "
       f"(dynamic estimate within a small constant factor)")
-cs = algo.core.coreset()
+cs = session.coreset()
 print(f"recovered coreset: {len(cs)} cells, total weight {cs.total_weight} "
       f"== live items {len(live_pts)}: {cs.total_weight == len(live_pts)}")

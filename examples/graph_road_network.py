@@ -2,15 +2,18 @@
 
 The paper's algorithms work in any metric space of bounded doubling
 dimension — not just R^d.  Here the space is the shortest-path metric of
-a (perturbed) grid road network: place k service depots so that all but z
-dead-end/blocked addresses are within a minimal drive radius.
+a (perturbed) grid road network: place k service depots so that all but
+z dead-end/blocked addresses are within a minimal drive radius.  The
+facade carries the metric inside the ProblemSpec, so the same session
+API drives a graph metric exactly like a Euclidean one.
 
 Run:  python examples/graph_road_network.py
 """
 
 import numpy as np
 
-from repro.core import charikar_greedy, extract_clusters, mbc_construction
+from repro.api import KCenterSession, ProblemSpec
+from repro.core import extract_clusters
 from repro.workloads import (
     estimate_doubling_dimension,
     graph_clustered_workload,
@@ -29,23 +32,26 @@ print(f"road network: {metric.n_elements} intersections, "
 P, outlier_mask, hubs = graph_clustered_workload(
     metric, k=3, z=5, cluster_radius=4.5, rng=rng
 )
-k, z = 3, 5
+spec = ProblemSpec(k=3, z=5, eps=1.0, metric=metric, dim=1)
 print(f"addresses: {len(P)} ({int(outlier_mask.sum())} remote)")
 
 # -- compress to a coreset in the graph metric --------------------------------
-mbc = mbc_construction(P, k, z, eps=1.0, metric=metric)
-print(f"coreset: {mbc.size} weighted addresses "
-      f"(compression {len(P) / mbc.size:.1f}x)")
+session = KCenterSession.from_spec(spec, backend="offline")
+session.extend(P.points)
+coreset = session.coreset()
+print(f"coreset: {len(coreset)} weighted addresses "
+      f"(compression {len(P) / len(coreset):.1f}x)")
 
 # -- place depots on the coreset ----------------------------------------------
-sol = charikar_greedy(mbc.coreset, k, z, metric)
-depots = mbc.coreset.points[sol.centers_idx]
-full = charikar_greedy(P, k, z, metric)
+sol = session.solve()
+depots = sol.centers
+full = KCenterSession.from_spec(spec.replace(eps=0.01), backend="offline")
+full.extend(P.points)
 print(f"drive radius via coreset : {sol.radius:.2f}")
-print(f"drive radius via full set: {full.radius:.2f}")
+print(f"drive radius via full set: {full.solve().radius:.2f}")
 
 # -- who is served by which depot, and who is out of reach --------------------
-assignment = extract_clusters(P, depots, z, metric)
+assignment = extract_clusters(P, depots, spec.z, metric)
 for j in range(len(depots)):
     members = assignment.cluster_indices(j)
     print(f"depot at intersection {int(depots[j][0])}: serves {len(members)} addresses")

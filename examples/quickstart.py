@@ -1,15 +1,17 @@
 """Quickstart: coresets for k-center with outliers in five minutes.
 
-Reproduces the Figure 1 scenario: a planar point set covered by k=2 balls
-with z=5 outliers, compressed to a mini-ball covering whose weighted
-representatives preserve the clustering radius up to (1 +- eps).
+Reproduces the Figure 1 scenario through the unified `repro.api` facade:
+a planar point set covered by k=2 balls with z=5 outliers, compressed to
+a mini-ball covering whose weighted representatives preserve the
+clustering radius up to (1 +- eps).
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import WeightedPointSet, charikar_greedy, mbc_construction, solve_via_coreset
+from repro import available_backends
+from repro.api import KCenterSession, ProblemSpec
 from repro.core import brute_force_opt, verify_mbc
 
 rng = np.random.default_rng(42)
@@ -19,36 +21,40 @@ cluster_a = rng.normal((0.0, 0.0), 0.4, size=(220, 2))
 cluster_b = rng.normal((6.0, 1.5), 0.6, size=(180, 2))
 anomalies = rng.uniform(15.0, 30.0, size=(5, 2))
 points = np.concatenate([cluster_a, cluster_b, anomalies])
-P = WeightedPointSet.from_points(points)
-k, z, eps = 2, 5, 0.3
 
-print(f"input: {len(P)} points, k={k}, z={z}, eps={eps}")
+# -- one spec drives every model in the library ------------------------------
+spec = ProblemSpec(k=2, z=5, eps=0.3, dim=2, seed=0)
+print(f"spec: {spec}")
+print(f"registered backends: {available_backends()}")
 
-# -- the paper's Greedy subroutine (Charikar et al. 3-approximation) --------
-greedy = charikar_greedy(P, k, z)
-print(f"Greedy(P,k,z): radius {greedy.radius:.3f} "
-      f"(certified within [opt, 3*opt]; opt >= {greedy.radius / 3:.3f})")
-
-# -- Algorithm 1: MBCConstruction -------------------------------------------
-mbc = mbc_construction(P, k, z, eps)
-print(f"mini-ball covering: {mbc.size} weighted points "
-      f"(compression {len(P) / mbc.size:.1f}x), "
-      f"mini-ball radius {mbc.mini_ball_radius:.4f}")
-assert mbc.coreset.total_weight == P.total_weight, "weight preservation"
+# -- the offline backend runs Algorithm 1 (MBCConstruction) ------------------
+session = KCenterSession.from_spec(spec, backend="offline")
+session.extend(points)                      # batched ingest: one call
+coreset = session.coreset()
+print(f"mini-ball covering: {len(coreset)} weighted points "
+      f"(compression {len(points) / len(coreset):.1f}x)")
+assert coreset.total_weight == len(points), "weight preservation"
 
 # -- solve on the coreset instead of the full data ---------------------------
-sol_full = charikar_greedy(P, k, z)
-sol_core = solve_via_coreset(mbc.coreset, k, z)
-print(f"radius solving on full data : {sol_full.radius:.3f}")
-print(f"radius solving on coreset   : {sol_core.radius:.3f} "
-      f"(ratio {sol_core.radius / sol_full.radius:.3f})")
+sol = session.solve()                       # enriched, provenance-carrying
+full = KCenterSession.from_spec(spec, backend="offline")
+full.extend(points)
+r_full = full.solve().radius                # same recipe on the same data
+print(f"radius via coreset : {sol.radius:.3f} "
+      f"(backend={sol.backend}, eps_guarantee={sol.eps_guarantee}, "
+      f"coreset_size={sol.coreset_size}, updates={sol.updates})")
+print(f"approximation      : {sol.approx_factor} * opt  "
+      f"(wall time {sol.wall_time * 1e3:.1f} ms)")
 
 # -- certify the coreset (Definition 1 via Lemma 3) --------------------------
-check = verify_mbc(P, mbc, k, z, eps)
+P = session.backend.point_set()
+check = verify_mbc(P, session.backend.last_mbc, spec.k, spec.z, spec.eps)
 print(f"coreset verification: {'OK' if check.ok else 'FAILED'}")
 print(f"  {check.details}")
 
 # -- tiny instances admit exact optima ----------------------------------------
-small = WeightedPointSet.from_points(points[rng.choice(len(points), 12, replace=False)])
-exact = brute_force_opt(small, k, 2)
+small_idx = rng.choice(len(points), 12, replace=False)
+small = KCenterSession.from_spec(spec.replace(z=2), backend="offline")
+small.extend(points[small_idx])
+exact = brute_force_opt(small.backend.point_set(), spec.k, 2)
 print(f"exact optimum on a 12-point subsample: {exact.radius:.3f}")

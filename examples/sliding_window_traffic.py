@@ -1,41 +1,45 @@
 """Sliding-window example: road-traffic monitoring over the last W probes.
 
 GPS probe positions stream in; operations only care about the last W
-probes (older traffic is stale).  The DBMZ sliding-window structure keeps
-per-radius-guess covers with z+1 recency buffers — O((kz/eps^d) log sigma)
-space, which §6 of the paper proves optimal — and answers k-center with
-outliers on the current window at any time.
+probes (older traffic is stale).  The 'sliding-window' backend (the DBMZ
+structure) keeps per-radius-guess covers with z+1 recency buffers —
+O((kz/eps^d) log sigma) space, which §6 of the paper proves optimal —
+and answers k-center with outliers on the current window at any time.
 
 Run:  python examples/sliding_window_traffic.py
 """
 
 import numpy as np
 
-from repro import WeightedPointSet
-from repro.core import charikar_greedy
-from repro.streaming import SlidingWindowCoreset
+from repro.api import KCenterSession, ProblemSpec
 from repro.workloads import drifting_stream
 
 rng = np.random.default_rng(31)
-n, window, k, z, eps, d = 5000, 500, 2, 6, 0.5, 2
+n, window = 5000, 500
+spec = ProblemSpec(k=2, z=6, eps=0.5, dim=2, seed=0)
 
-stream = drifting_stream(n, k, 60, d, drift=0.01, rng=rng)
-sw = SlidingWindowCoreset(k, z, eps, d, window, r_min=0.05, r_max=300.0)
+stream = drifting_stream(n, spec.k, 60, spec.dim, drift=0.01, rng=rng)
+session = KCenterSession.from_spec(
+    spec, backend="sliding-window", window=window, r_min=0.05, r_max=300.0
+)
 
-print(f"stream: {n} probes, window W={window}, k={k}, z={z}")
-print(f"radius-guess ladder: {sw.num_guesses} rungs (the log sigma factor)")
+print(f"stream: {n} probes, window W={window}, k={spec.k}, z={spec.z}")
+print(f"radius-guess ladder: {session.stats()['guesses']} rungs "
+      f"(the log sigma factor)")
 
-for t, p in enumerate(stream, 1):
-    sw.insert(p)
-    if t % 1000 == 0:
-        r_sw = sw.radius()
-        wpts = WeightedPointSet.from_points(stream[max(0, t - window):t])
-        r_off = charikar_greedy(wpts, k, z).radius
-        print(f"  t={t:5d}  stored={sw.stored_items:5d}  "
-              f"window-radius {r_sw:7.3f}  offline {r_off:7.3f}  "
-              f"ratio {r_sw / r_off if r_off else float('nan'):.3f}")
+offline = ProblemSpec(k=spec.k, z=spec.z, eps=spec.eps, dim=spec.dim)
+for t in range(1000, n + 1, 1000):
+    session.extend(stream[t - 1000:t])      # batched ingest per block
+    sol = session.solve()
+    ref = KCenterSession.from_spec(offline, backend="offline")
+    ref.extend(stream[max(0, t - window):t])
+    r_off = ref.solve().radius
+    print(f"  t={t:5d}  stored={sol.stats['stored']:5d}  "
+          f"window-radius {sol.radius:7.3f}  offline {r_off:7.3f}  "
+          f"ratio {sol.radius / r_off if r_off else float('nan'):.3f}")
 
-print(f"\nfinal storage: {sw.stored_items} items for a window of {window} "
-      f"points across {sw.num_guesses} guesses")
+final = session.stats()
+print(f"\nfinal storage: {final['stored']} items for a window of {window} "
+      f"points across {final['guesses']} guesses")
 print("storage is independent of the stream length n — only W-recent "
       "content is retained, per-cell capped at z+1 timestamps")

@@ -1,52 +1,56 @@
 """Streaming example: intrusion detection over a connection-feature stream.
 
-Connection features (latency, payload entropy) arrive one at a time;
-normal traffic forms a few drifting clusters while intrusions are isolated
-outliers.  Algorithm 3 maintains an (eps,k,z)-coreset in O(k/eps^d + z)
-space — optimal by the paper's §4 lower bound — from which the clustering
-radius (and hence an anomaly threshold) can be recomputed at any time.
+Connection features (latency, payload entropy) arrive in batches; normal
+traffic forms a few drifting clusters while intrusions are isolated
+outliers.  The 'insertion-only' backend (Algorithm 3) maintains an
+(eps,k,z)-coreset in O(k/eps^d + z) space — optimal by the paper's §4
+lower bound — and the session's batched `extend` ingests each batch with
+one metric-matrix evaluation instead of a per-point Python loop.
 
 Run:  python examples/streaming_intrusion.py
 """
 
 import numpy as np
 
-from repro import WeightedPointSet
-from repro.core import charikar_greedy
-from repro.streaming import InsertionOnlyCoreset, paper_size_threshold
+from repro.api import KCenterSession, ProblemSpec
+from repro.streaming import paper_size_threshold
 from repro.workloads import drifting_stream
 
 rng = np.random.default_rng(11)
-n, k, z, eps, d = 8000, 3, 40, 0.8, 2
+n = 8000
+spec = ProblemSpec(k=3, z=40, eps=0.8, dim=2, seed=0)
 
-stream = drifting_stream(n, k, z, d, drift=0.002, rng=rng)
-print(f"stream: {n} connection records, k={k} traffic regimes, z={z} intrusions")
-print(f"paper size threshold k(16/eps)^d + z = {paper_size_threshold(k, z, eps, d)}")
+stream = drifting_stream(n, spec.k, spec.z, spec.dim, drift=0.002, rng=rng)
+print(f"stream: {n} connection records, k={spec.k} traffic regimes, "
+      f"z={spec.z} intrusions")
+print(f"paper size threshold k(16/eps)^d + z = "
+      f"{paper_size_threshold(spec.k, spec.z, spec.eps, spec.dim)}")
 
-sketch = InsertionOnlyCoreset(k, z, eps, d)
+session = KCenterSession.from_spec(spec, backend="insertion-only")
 checkpoints = [n // 8, n // 4, n // 2, n]
-next_cp = 0
-for t, p in enumerate(stream, 1):
-    sketch.insert(p)
-    if next_cp < len(checkpoints) and t == checkpoints[next_cp]:
-        cs = sketch.coreset()
-        r = charikar_greedy(cs, k, z).radius
-        print(f"  t={t:5d}  stored={sketch.size:4d}  r-estimate={sketch.r:.4f}  "
-              f"radius(coreset)={r:.3f}  doublings={sketch.doublings}")
-        next_cp += 1
+prev = 0
+for cp in checkpoints:
+    session.extend(stream[prev:cp])         # batched ingest per checkpoint
+    prev = cp
+    sol = session.solve()
+    st = sol.stats
+    print(f"  t={cp:5d}  stored={st['stored']:4d}  r-estimate={st['r']:.4f}  "
+          f"radius(coreset)={sol.radius:.3f}  doublings={st['doublings']}")
 
 # -- compare against offline on the full stream ------------------------------
-P = WeightedPointSet.from_points(stream)
-r_full = charikar_greedy(P, k, z).radius
-r_core = charikar_greedy(sketch.coreset(), k, z).radius
-print(f"\nfinal: {sketch.size} stored vs {n} seen "
-      f"({n / sketch.size:.0f}x compression)")
-print(f"radius offline {r_full:.3f} vs via coreset {r_core:.3f} "
-      f"(ratio {r_core / r_full:.3f})")
+offline = KCenterSession.from_spec(spec, backend="offline")
+offline.extend(stream)
+r_full = offline.solve().radius
+final = session.solve()
+print(f"\nfinal: {final.coreset_size} stored vs {final.updates} seen "
+      f"({final.updates / final.coreset_size:.0f}x compression, "
+      f"ingest wall time {session.wall_time * 1e3:.0f} ms)")
+print(f"radius offline {r_full:.3f} vs via coreset {final.radius:.3f} "
+      f"(ratio {final.radius / r_full:.3f})")
 
 # anomaly report: coreset points of weight 1 far from heavy mass are the
 # intrusion candidates
-cs = sketch.coreset()
+cs = session.coreset()
 heavy = cs.points[cs.weights > 1]
 light = cs.points[cs.weights == 1]
 print(f"coreset: {len(heavy)} aggregated representatives, "

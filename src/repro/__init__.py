@@ -4,6 +4,13 @@ MPC and Streaming Model* (de Berg, Biabani, Monemizadeh, 2023).
 Public API overview
 -------------------
 
+Facade (``repro.api``)
+    The unified entry point: :class:`~repro.api.ProblemSpec` (validated
+    ``k, z, eps, metric, seed, dim``), the string-keyed backend registry
+    (``register_backend`` / ``get_backend`` / ``available_backends``)
+    over every coreset algorithm in the library, and
+    :class:`~repro.api.KCenterSession` with batched ``extend`` and an
+    enriched, provenance-carrying ``solve()``.
 Core (``repro.core``)
     :class:`~repro.core.WeightedPointSet`, metrics, the ``Greedy``
     3-approximation, ``MBCConstruction`` (Algorithm 1), coreset
@@ -25,7 +32,14 @@ Workloads / experiments (``repro.workloads``, ``repro.experiments``)
     Synthetic data generators and the drivers that regenerate Table 1.
 """
 
-from . import core
+from . import api, core
+from .api import (
+    KCenterSession,
+    ProblemSpec,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 from .core import (
     WeightedPointSet,
     charikar_greedy,
@@ -36,14 +50,20 @@ from .core import (
     update_coreset,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "KCenterSession",
+    "ProblemSpec",
     "WeightedPointSet",
+    "api",
+    "available_backends",
     "charikar_greedy",
     "core",
+    "get_backend",
     "gonzalez",
     "mbc_construction",
+    "register_backend",
     "solve_kcenter_outliers",
     "solve_via_coreset",
     "update_coreset",

@@ -1,0 +1,769 @@
+"""The common backend protocol and the built-in backend adapters.
+
+The paper's thesis is that one object — the ``(eps, k, z)``-mini-ball-
+covering coreset — underlies every computational model it studies.  This
+module makes that concrete in code: every coreset algorithm in the
+library (offline, insertion-only streaming, fully dynamic, sliding
+window, and the three MPC algorithms plus prior-work baselines) is
+wrapped in a :class:`CoresetBackend` with the same five operations
+
+    ``insert / delete / extend / coreset() / guarantee()``
+
+and self-registered in :mod:`repro.api.registry` under a stable name.
+:class:`~repro.api.session.KCenterSession` drives any of them
+interchangeably.
+
+Batch discipline: ``extend(array)`` is the hot path.  Adapters forward to
+the wrapped structure's vectorized batch entry point where one exists
+(one metric-matrix / cell-id evaluation per batch) and buffer whole
+arrays where the algorithm is inherently offline, so per-point Python
+loops never appear on the facade's ingest path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from ..core.mbc import MiniBallCovering, compose_errors, mbc_construction
+from ..core.points import WeightedPointSet
+from ..mpc.baselines import (
+    ceccarello_one_round_deterministic,
+    ceccarello_one_round_randomized,
+)
+from ..mpc.multi_round import multi_round_coreset
+from ..mpc.one_round import one_round_coreset
+from ..mpc.partition import (
+    partition_contiguous,
+    partition_random,
+    recommended_num_machines,
+)
+from ..mpc.result import MPCCoresetResult
+from ..mpc.two_round import two_round_coreset
+from ..streaming.baseline_ceccarello import CeccarelloStreamingCoreset
+from ..streaming.dynamic import DynamicCoreset
+from ..streaming.dynamic_deterministic import DeterministicDynamicCoreset
+from ..streaming.insertion_only import InsertionOnlyCoreset
+from ..streaming.sliding_window import SlidingWindowCoreset
+from .registry import register_backend
+from .spec import ProblemSpec
+
+__all__ = [
+    "Guarantee",
+    "UnsupportedOperationError",
+    "CoresetBackend",
+    "OfflineMBCBackend",
+    "InsertionOnlyBackend",
+    "CeccarelloStreamBackend",
+    "DynamicBackend",
+    "DeterministicDynamicBackend",
+    "SlidingWindowBackend",
+    "MPCBackend",
+    "TwoRoundMPCBackend",
+    "OneRoundMPCBackend",
+    "MultiRoundMPCBackend",
+    "CPPDeterministicMPCBackend",
+    "CPPRandomizedMPCBackend",
+]
+
+
+class UnsupportedOperationError(NotImplementedError):
+    """An operation the backend's computational model does not offer
+    (e.g. ``delete`` on an insertion-only stream)."""
+
+
+@dataclass(frozen=True)
+class Guarantee:
+    """What the backend's ``coreset()`` provably is.
+
+    Attributes
+    ----------
+    eps:
+        The composed error: the output is an ``(eps, k, z)``-coreset of
+        the ingested input (whp for randomized backends).
+    model:
+        Computational model the guarantee holds in.
+    space:
+        Asymptotic storage statement from the paper's Table 1.
+    note:
+        Caveats (distribution assumptions, relaxed coresets, ...).
+    """
+
+    eps: float
+    model: str
+    space: str = ""
+    note: str = ""
+
+
+@runtime_checkable
+class CoresetBackend(Protocol):
+    """Structural protocol every registered backend satisfies."""
+
+    spec: ProblemSpec
+
+    def insert(self, point) -> None: ...
+
+    def delete(self, point) -> None: ...
+
+    def extend(self, points) -> None: ...
+
+    def coreset(self) -> WeightedPointSet: ...
+
+    def guarantee(self) -> Guarantee: ...
+
+
+class _BackendBase:
+    """Shared plumbing: spec storage and default method behaviour."""
+
+    def __init__(self, spec: ProblemSpec):
+        if not isinstance(spec, ProblemSpec):
+            raise TypeError(f"spec must be a ProblemSpec, got {type(spec).__name__}")
+        self.spec = spec
+
+    def insert(self, point) -> None:
+        raise NotImplementedError
+
+    def delete(self, point) -> None:
+        raise UnsupportedOperationError(
+            f"{type(self).__name__} does not support deletions; use a "
+            "fully-dynamic backend ('dynamic' or 'dynamic-deterministic')"
+        )
+
+    def extend(self, points) -> None:
+        for p in np.atleast_2d(np.asarray(points, dtype=float)):
+            self.insert(p)
+
+    def coreset(self) -> WeightedPointSet:
+        raise NotImplementedError
+
+    def guarantee(self) -> Guarantee:
+        raise NotImplementedError
+
+    def stats(self) -> dict:
+        """Backend-specific diagnostics (sizes, thresholds, sketch cells)."""
+        return {}
+
+
+class _BufferedBackendBase(_BackendBase):
+    """Shared plumbing for batch backends that buffer raw input and run
+    their algorithm at ``coreset()`` time (offline MBC, the MPC round
+    protocols).  Subclasses override :meth:`_invalidate` to drop their
+    cached result when the buffer changes."""
+
+    def __init__(self, spec: ProblemSpec):
+        super().__init__(spec)
+        self._chunks: "list[np.ndarray]" = []
+        self._weights: "list[np.ndarray]" = []
+
+    def _invalidate(self) -> None:
+        """Called whenever the buffered input changes."""
+
+    def insert(self, point) -> None:
+        self.extend(np.asarray(point, dtype=float).reshape(1, -1))
+
+    def extend(self, points) -> None:
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        if len(pts) == 0:
+            return
+        self._chunks.append(pts)
+        self._weights.append(np.ones(len(pts), dtype=np.int64))
+        self._invalidate()
+
+    def extend_weighted(self, wps: WeightedPointSet) -> None:
+        """Ingest an already-weighted point set (coreset hand-off)."""
+        if len(wps) == 0:
+            return
+        self._chunks.append(np.asarray(wps.points, dtype=float))
+        self._weights.append(np.asarray(wps.weights, dtype=np.int64))
+        self._invalidate()
+
+    def point_set(self) -> WeightedPointSet:
+        """The buffered input as one weighted point set."""
+        if not self._chunks:
+            return WeightedPointSet.empty(self.spec.dim or 1)
+        return WeightedPointSet(
+            np.concatenate(self._chunks, axis=0),
+            np.concatenate(self._weights),
+        )
+
+    @property
+    def buffered(self) -> int:
+        """Number of buffered input rows."""
+        return int(sum(len(c) for c in self._chunks))
+
+
+# ---------------------------------------------------------------------------
+# Offline (Algorithm 1)
+# ---------------------------------------------------------------------------
+
+
+@register_backend(
+    "offline",
+    model="offline",
+    algorithm="Algorithm 1, MBCConstruction (Lemma 7)",
+    guarantee="(eps,k,z)-coreset of size k*(12/eps)^d + z",
+)
+class OfflineMBCBackend(_BufferedBackendBase):
+    """Buffers the input and runs ``MBCConstruction`` at query time.
+
+    The buffered points are the ground truth; ``last_mbc`` retains the
+    full :class:`MiniBallCovering` (with its assignment) from the most
+    recent ``coreset()`` call so callers can verify the covering
+    properties.
+    """
+
+    def __init__(self, spec: ProblemSpec):
+        super().__init__(spec)
+        self.last_mbc: "MiniBallCovering | None" = None
+
+    def _invalidate(self) -> None:
+        self.last_mbc = None
+
+    def coreset(self) -> WeightedPointSet:
+        if self.last_mbc is not None:  # buffer unchanged since last query
+            return self.last_mbc.coreset
+        P = self.point_set()
+        if len(P) == 0:
+            return P
+        self.last_mbc = mbc_construction(
+            P, self.spec.k, self.spec.z, self.spec.eps, self.spec.resolved_metric
+        )
+        return self.last_mbc.coreset
+
+    def guarantee(self) -> Guarantee:
+        return Guarantee(
+            eps=self.spec.eps,
+            model="offline",
+            space="k*(12/eps)^d + z (Lemma 7)",
+        )
+
+    def stats(self) -> dict:
+        return {
+            "buffered": self.buffered,
+            "coreset": self.last_mbc.size if self.last_mbc else None,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Insertion-only streaming (Algorithm 3) and the CPP19 baseline
+# ---------------------------------------------------------------------------
+
+
+class _StreamingBackendBase(_BackendBase):
+    """Common adapter over the Algorithm-3-shaped streaming structures."""
+
+    algo: InsertionOnlyCoreset
+
+    def insert(self, point) -> None:
+        self.algo.insert(point)
+
+    def extend(self, points) -> None:
+        # vectorized batch path: one pairwise matrix per recompression epoch
+        self.algo.extend(points)
+
+    def coreset(self) -> WeightedPointSet:
+        return self.algo.coreset()
+
+    def stats(self) -> dict:
+        return {
+            "stored": self.algo.size,
+            "threshold": self.algo.threshold,
+            "r": self.algo.r,
+            "doublings": self.algo.doublings,
+        }
+
+
+@register_backend(
+    "insertion-only",
+    model="insertion-only",
+    algorithm="Algorithm 3 (Theorem 18)",
+    guarantee="(eps,k,z)-coreset, O(k/eps^d + z) space (optimal)",
+)
+class InsertionOnlyBackend(_StreamingBackendBase):
+    """The paper's space-optimal insertion-only streaming coreset."""
+
+    def __init__(self, spec: ProblemSpec, size_cap: "int | None" = None):
+        super().__init__(spec)
+        self.algo = InsertionOnlyCoreset(
+            spec.k, spec.z, spec.eps, spec.require_dim(),
+            metric=spec.resolved_metric, size_cap=size_cap,
+        )
+
+    def guarantee(self) -> Guarantee:
+        return Guarantee(
+            eps=self.spec.eps,
+            model="insertion-only",
+            space="k*(16/eps)^d + z (Theorem 18)",
+        )
+
+
+@register_backend(
+    "ceccarello-stream",
+    model="insertion-only",
+    algorithm="CPP19 streaming baseline (Table 1 row 6)",
+    guarantee="(eps,k,z)-coreset, O((k+z)/eps^d) space",
+)
+class CeccarelloStreamBackend(_StreamingBackendBase):
+    """Prior-work baseline whose storage pays 1/eps^d on the z term."""
+
+    def __init__(self, spec: ProblemSpec):
+        super().__init__(spec)
+        self.algo = CeccarelloStreamingCoreset(
+            spec.k, spec.z, spec.eps, spec.require_dim(),
+            metric=spec.resolved_metric,
+        )
+
+    def guarantee(self) -> Guarantee:
+        return Guarantee(
+            eps=self.spec.eps,
+            model="insertion-only",
+            space="(k+z)*(16/eps)^d (CPP19)",
+        )
+
+
+# ---------------------------------------------------------------------------
+# Fully dynamic (Algorithm 5 and the deterministic variant)
+# ---------------------------------------------------------------------------
+
+
+@register_backend(
+    "dynamic",
+    model="fully-dynamic",
+    algorithm="Algorithm 5 (Theorem 21)",
+    guarantee="relaxed (eps,k,z)-coreset whp, O((k/eps^d+z) polylog) space",
+    supports_delete=True,
+    deterministic=False,
+)
+class DynamicBackend(_BackendBase):
+    """Sketch-based fully dynamic coreset over ``[Delta]^d``.
+
+    Options
+    -------
+    delta_universe:
+        Universe size ``Delta`` (coordinates are integers in
+        ``1..Delta``).  Required.
+    failure, use_f0, s_override:
+        Forwarded to :class:`DynamicCoreset`.
+    """
+
+    def __init__(
+        self,
+        spec: ProblemSpec,
+        delta_universe: "int | None" = None,
+        failure: float = 0.05,
+        use_f0: bool = True,
+        s_override: "int | None" = None,
+    ):
+        super().__init__(spec)
+        if delta_universe is None:
+            raise ValueError(
+                "the 'dynamic' backend needs delta_universe (the integer "
+                "universe size); pass it as a session option"
+            )
+        self.algo = DynamicCoreset(
+            spec.k, spec.z, spec.eps, int(delta_universe), spec.require_dim(),
+            failure=failure, rng=spec.rng(), use_f0=use_f0,
+            s_override=s_override,
+        )
+
+    def insert(self, point) -> None:
+        self.algo.insert(point)
+
+    def delete(self, point) -> None:
+        self.algo.delete(point)
+
+    def extend(self, points) -> None:
+        self.algo.extend(points)
+
+    def delete_many(self, points) -> None:
+        self.algo.delete_many(points)
+
+    def coreset(self) -> WeightedPointSet:
+        return self.algo.coreset()
+
+    def guarantee(self) -> Guarantee:
+        return Guarantee(
+            eps=self.spec.eps,
+            model="fully-dynamic",
+            space="O((k/eps^d + z) log^4(k Delta / eps delta)) (Theorem 21)",
+            note="relaxed coreset; holds with high probability",
+        )
+
+    def stats(self) -> dict:
+        return {
+            "storage_cells": self.algo.storage_cells,
+            "sketch_updates": self.algo.updates_seen,
+            "levels": self.algo.hier.num_levels,
+        }
+
+
+@register_backend(
+    "dynamic-deterministic",
+    model="fully-dynamic",
+    algorithm="§5 deterministic variant (Vandermonde sketches)",
+    guarantee="relaxed (eps,k,z)-coreset, O((k/eps^d+z) log Delta) space",
+    supports_delete=True,
+)
+class DeterministicDynamicBackend(_BackendBase):
+    """Deterministic fully dynamic coreset (no randomness anywhere).
+
+    Options: ``delta_universe`` (required), ``check``, ``s_override``.
+    """
+
+    def __init__(
+        self,
+        spec: ProblemSpec,
+        delta_universe: "int | None" = None,
+        check: int = 4,
+        s_override: "int | None" = None,
+    ):
+        super().__init__(spec)
+        if delta_universe is None:
+            raise ValueError(
+                "the 'dynamic-deterministic' backend needs delta_universe; "
+                "pass it as a session option"
+            )
+        self.algo = DeterministicDynamicCoreset(
+            spec.k, spec.z, spec.eps, int(delta_universe), spec.require_dim(),
+            check=check, s_override=s_override,
+        )
+
+    def insert(self, point) -> None:
+        self.algo.insert(point)
+
+    def delete(self, point) -> None:
+        self.algo.delete(point)
+
+    def extend(self, points) -> None:
+        self.algo.extend(points)
+
+    def delete_many(self, points) -> None:
+        self.algo.delete_many(points)
+
+    def coreset(self) -> WeightedPointSet:
+        return self.algo.coreset()
+
+    def guarantee(self) -> Guarantee:
+        return Guarantee(
+            eps=self.spec.eps,
+            model="fully-dynamic",
+            space="O((k/eps^d + z) log Delta) field elements",
+            note="deterministic; sparsity test is the decoder consistency check",
+        )
+
+    def stats(self) -> dict:
+        return {
+            "storage_cells": self.algo.storage_cells,
+            "sketch_updates": self.algo.updates_seen,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Sliding window (DBMZ substrate, §6)
+# ---------------------------------------------------------------------------
+
+
+@register_backend(
+    "sliding-window",
+    model="sliding-window",
+    algorithm="DBMZ (ESA 2021) substrate; optimal by Theorem 30",
+    guarantee="window coreset, O((kz/eps^d) log sigma) space",
+)
+class SlidingWindowBackend(_BackendBase):
+    """Per-radius-guess covers of the last ``W`` arrivals.
+
+    Options
+    -------
+    window:
+        Window length ``W`` in arrivals.  Required.
+    r_min, r_max:
+        Distance-scale bounds of the guess ladder.  Required.
+    ladder_ratio, capacity:
+        Forwarded to :class:`SlidingWindowCoreset`.
+    """
+
+    def __init__(
+        self,
+        spec: ProblemSpec,
+        window: "int | None" = None,
+        r_min: "float | None" = None,
+        r_max: "float | None" = None,
+        ladder_ratio: float = 2.0,
+        capacity: "int | None" = None,
+    ):
+        super().__init__(spec)
+        if window is None or r_min is None or r_max is None:
+            raise ValueError(
+                "the 'sliding-window' backend needs window, r_min and r_max; "
+                "pass them as session options"
+            )
+        self.algo = SlidingWindowCoreset(
+            spec.k, spec.z, spec.eps, spec.require_dim(), int(window),
+            r_min=float(r_min), r_max=float(r_max),
+            metric=spec.resolved_metric, ladder_ratio=ladder_ratio,
+            capacity=capacity,
+        )
+
+    def insert(self, point) -> None:
+        self.algo.insert(point)
+
+    def extend(self, points) -> None:
+        self.algo.extend(points)
+
+    def coreset(self) -> WeightedPointSet:
+        return self.algo.coreset()
+
+    def guarantee(self) -> Guarantee:
+        return Guarantee(
+            eps=self.spec.eps,
+            model="sliding-window",
+            space="O((k z / eps^d) log sigma) (optimal, Theorem 30)",
+            note="coreset of the current window only",
+        )
+
+    def stats(self) -> dict:
+        return {
+            "stored": self.algo.stored_items,
+            "guesses": self.algo.num_guesses,
+            "now": self.algo.now,
+        }
+
+
+# ---------------------------------------------------------------------------
+# MPC (Algorithms 2, 6, 7 and the CPP19 baselines)
+# ---------------------------------------------------------------------------
+
+
+class MPCBackend(_BufferedBackendBase):
+    """Shared machinery for the simulated-MPC backends.
+
+    Points are buffered locally (the facade plays the role of the data
+    source); ``coreset()`` partitions them over ``m`` machines and runs
+    the round protocol, retaining the full :class:`MPCCoresetResult`
+    (round/storage/communication accounting) as ``last_result``.
+
+    Options
+    -------
+    num_machines:
+        ``m``; ``None`` uses the paper's ``O(sqrt(n eps^d / k))``
+        recommendation at query time.
+    partition:
+        ``"contiguous"`` (arbitrary/adversarial order), ``"random"``
+        (the randomized algorithms' input model), or a callable
+        ``P -> list[WeightedPointSet]`` for custom distributions.
+    """
+
+    #: default partition scheme; deterministic algorithms tolerate any
+    default_partition = "contiguous"
+
+    def __init__(
+        self,
+        spec: ProblemSpec,
+        num_machines: "int | None" = None,
+        partition=None,
+    ):
+        super().__init__(spec)
+        self.num_machines = num_machines
+        self.partition = partition if partition is not None else self.default_partition
+        self.last_result: "MPCCoresetResult | None" = None
+
+    def _invalidate(self) -> None:
+        self.last_result = None
+
+    def _partition(self, P: WeightedPointSet) -> "list[WeightedPointSet]":
+        if callable(self.partition):
+            return self.partition(P)
+        m = self.num_machines
+        if m is None:
+            d = self.spec.dim if self.spec.dim is not None else P.dim
+            m = recommended_num_machines(
+                len(P), self.spec.k, self.spec.z, self.spec.eps, d
+            )
+        if self.partition == "contiguous":
+            return partition_contiguous(P, m)
+        if self.partition == "random":
+            return partition_random(P, m, self.spec.rng(salt=1))
+        raise ValueError(
+            f"unknown partition scheme {self.partition!r}; use 'contiguous', "
+            "'random', or a callable"
+        )
+
+    def _run(self, parts: "list[WeightedPointSet]") -> MPCCoresetResult:
+        raise NotImplementedError
+
+    def coreset(self) -> WeightedPointSet:
+        if self.last_result is not None:  # buffer unchanged since last query
+            return self.last_result.coreset
+        P = self.point_set()
+        if len(P) == 0:
+            return P
+        self.last_result = self._run(self._partition(P))
+        return self.last_result.coreset
+
+    def stats(self) -> dict:
+        out = {"buffered": self.buffered}
+        if self.last_result is not None:
+            s = self.last_result.stats
+            out.update({
+                "rounds": s.rounds,
+                "coordinator_peak": s.coordinator_peak,
+                "worker_peak": s.worker_peak,
+                "coreset": len(self.last_result.coreset),
+            })
+        return out
+
+
+@register_backend(
+    "mpc-two-round",
+    model="mpc",
+    algorithm="Algorithm 2 (Theorem 10)",
+    guarantee="(3eps,k,z)-coreset in 2 rounds, arbitrary distribution",
+)
+class TwoRoundMPCBackend(MPCBackend):
+    """Deterministic 2-round algorithm with outlier guessing."""
+
+    def __init__(self, spec, num_machines=None, partition=None,
+                 parallel: bool = False, final_compress: bool = True,
+                 outlier_guessing: bool = True):
+        super().__init__(spec, num_machines, partition)
+        self.parallel = bool(parallel)
+        self.final_compress = bool(final_compress)
+        self.outlier_guessing = bool(outlier_guessing)
+
+    def _run(self, parts):
+        return two_round_coreset(
+            parts, self.spec.k, self.spec.z, self.spec.eps,
+            metric=self.spec.resolved_metric,
+            final_compress=self.final_compress,
+            outlier_guessing=self.outlier_guessing,
+            parallel=self.parallel,
+        )
+
+    def guarantee(self) -> Guarantee:
+        eps = self.spec.eps
+        return Guarantee(
+            eps=compose_errors(eps, eps) if self.final_compress else eps,
+            model="mpc",
+            space="O(sqrt(nk/eps^d) + k/eps^d + z) per machine (Theorem 10)",
+            note="deterministic; any input distribution",
+        )
+
+
+@register_backend(
+    "mpc-one-round",
+    model="mpc",
+    algorithm="Algorithm 6 (Theorem 33)",
+    guarantee="(3eps,k,z)-coreset whp in 1 round, random distribution",
+    deterministic=False,
+)
+class OneRoundMPCBackend(MPCBackend):
+    """Randomized 1-round algorithm (random-distribution assumption)."""
+
+    default_partition = "random"
+
+    def __init__(self, spec, num_machines=None, partition=None,
+                 parallel: bool = False, final_compress: bool = True):
+        super().__init__(spec, num_machines, partition)
+        self.parallel = bool(parallel)
+        self.final_compress = bool(final_compress)
+
+    def _run(self, parts):
+        return one_round_coreset(
+            parts, self.spec.k, self.spec.z, self.spec.eps,
+            metric=self.spec.resolved_metric,
+            final_compress=self.final_compress,
+            parallel=self.parallel,
+        )
+
+    def guarantee(self) -> Guarantee:
+        eps = self.spec.eps
+        return Guarantee(
+            eps=compose_errors(eps, eps) if self.final_compress else eps,
+            model="mpc",
+            space="O(sqrt(nk/eps^d) + k/eps^d + z) per machine (Theorem 33)",
+            note="requires randomly distributed input; holds whp",
+        )
+
+
+@register_backend(
+    "mpc-multi-round",
+    model="mpc",
+    algorithm="Algorithm 7 (Theorem 35)",
+    guarantee="((1+eps)^R - 1, k, z)-coreset in R rounds",
+)
+class MultiRoundMPCBackend(MPCBackend):
+    """Deterministic R-round reduction tree (rounds/storage trade-off)."""
+
+    def __init__(self, spec, num_machines=None, partition=None,
+                 rounds: int = 2):
+        super().__init__(spec, num_machines, partition)
+        if int(rounds) < 1:
+            raise ValueError("rounds must be >= 1")
+        self.rounds = int(rounds)
+
+    def _run(self, parts):
+        return multi_round_coreset(
+            parts, self.spec.k, self.spec.z, self.spec.eps,
+            rounds=self.rounds, metric=self.spec.resolved_metric,
+        )
+
+    def guarantee(self) -> Guarantee:
+        return Guarantee(
+            eps=(1.0 + self.spec.eps) ** self.rounds - 1.0,
+            model="mpc",
+            space="O(m^(1/R) * (k/eps^d + z)) per machine (Theorem 35)",
+            note=f"R={self.rounds} rounds; deterministic",
+        )
+
+
+@register_backend(
+    "cpp-mpc-deterministic",
+    model="mpc",
+    algorithm="CPP19 deterministic 1-round (Table 1 row 3)",
+    guarantee="(eps,k,z)-coreset; every machine budgets the full z",
+)
+class CPPDeterministicMPCBackend(MPCBackend):
+    """Prior-work deterministic baseline (no outlier guessing)."""
+
+    def _run(self, parts):
+        return ceccarello_one_round_deterministic(
+            parts, self.spec.k, self.spec.z, self.spec.eps,
+            metric=self.spec.resolved_metric,
+        )
+
+    def guarantee(self) -> Guarantee:
+        return Guarantee(
+            eps=self.spec.eps,
+            model="mpc",
+            space="O((k+z)/eps^d) per machine (CPP19)",
+            note="deterministic baseline; z budget on every machine",
+        )
+
+
+@register_backend(
+    "cpp-mpc-randomized",
+    model="mpc",
+    algorithm="CPP19 randomized 1-round (Table 1 row 1)",
+    guarantee="(eps,k,z)-coreset whp, random distribution",
+    deterministic=False,
+)
+class CPPRandomizedMPCBackend(MPCBackend):
+    """Prior-work randomized baseline (random-distribution budgets)."""
+
+    default_partition = "random"
+
+    def _run(self, parts):
+        return ceccarello_one_round_randomized(
+            parts, self.spec.k, self.spec.z, self.spec.eps,
+            metric=self.spec.resolved_metric,
+        )
+
+    def guarantee(self) -> Guarantee:
+        return Guarantee(
+            eps=self.spec.eps,
+            model="mpc",
+            space="O((k + z/m + log n)/eps^d) per machine (CPP19)",
+            note="requires randomly distributed input; holds whp",
+        )

@@ -1,0 +1,175 @@
+"""String-keyed backend registry.
+
+Every coreset algorithm in the library self-registers here under a stable
+name (``"insertion-only"``, ``"mpc-two-round"``, ...), so drivers,
+benchmarks and services select implementations by configuration string
+instead of importing concrete classes — the registry/driver pattern that
+lets a comparison harness sweep ``available_backends()`` and lets future
+sharding/caching layers target one construction point.
+
+A registration carries metadata (paper algorithm, guarantee, model,
+capabilities) alongside the factory, so ``backend_table()`` doubles as the
+README's algorithm index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .backends import CoresetBackend
+    from .spec import ProblemSpec
+
+__all__ = [
+    "BackendInfo",
+    "BackendError",
+    "UnknownBackendError",
+    "DuplicateBackendError",
+    "register_backend",
+    "unregister_backend",
+    "get_backend",
+    "available_backends",
+    "backend_table",
+]
+
+
+class BackendError(KeyError):
+    """Base class for registry lookup/registration failures."""
+
+    def __str__(self) -> str:  # KeyError quotes its payload; keep prose
+        return self.args[0] if self.args else ""
+
+
+class UnknownBackendError(BackendError):
+    """Raised by :func:`get_backend` for an unregistered name."""
+
+
+class DuplicateBackendError(BackendError):
+    """Raised by :func:`register_backend` on a name collision."""
+
+
+@dataclass(frozen=True)
+class BackendInfo:
+    """A registered backend: factory plus provenance metadata.
+
+    Attributes
+    ----------
+    name:
+        Registry key.
+    factory:
+        ``factory(spec, **options) -> CoresetBackend``.
+    model:
+        Computational model: ``"offline"``, ``"insertion-only"``,
+        ``"fully-dynamic"``, ``"sliding-window"`` or ``"mpc"``.
+    algorithm:
+        Paper reference (e.g. ``"Algorithm 3 (Theorem 18)"``).
+    guarantee:
+        Human-readable guarantee/space statement for the backend table.
+    supports_delete:
+        Whether :meth:`CoresetBackend.delete` is implemented.
+    deterministic:
+        Whether equal specs (same seed irrelevant) give equal outputs.
+    """
+
+    name: str
+    factory: "Callable[..., CoresetBackend]" = field(compare=False)
+    model: str = "offline"
+    algorithm: str = ""
+    guarantee: str = ""
+    supports_delete: bool = False
+    deterministic: bool = True
+
+    def create(self, spec: "ProblemSpec", **options) -> "CoresetBackend":
+        """Instantiate the backend for ``spec``."""
+        return self.factory(spec, **options)
+
+
+_BACKENDS: "dict[str, BackendInfo]" = {}
+
+
+def register_backend(
+    name: str,
+    factory: "Callable[..., CoresetBackend] | None" = None,
+    *,
+    model: str = "offline",
+    algorithm: str = "",
+    guarantee: str = "",
+    supports_delete: bool = False,
+    deterministic: bool = True,
+    overwrite: bool = False,
+) -> "Callable":
+    """Register ``factory`` under ``name``.
+
+    Usable directly (``register_backend("x", make_x)``) or as a class/
+    function decorator::
+
+        @register_backend("insertion-only", model="insertion-only", ...)
+        class InsertionOnlyBackend: ...
+
+    Raises :class:`DuplicateBackendError` when the name is taken and
+    ``overwrite`` is False (tests and plugins pass ``overwrite=True`` to
+    shadow a builtin deliberately).
+    """
+
+    def _register(f):
+        if not name or not isinstance(name, str):
+            raise ValueError("backend name must be a non-empty string")
+        if name in _BACKENDS and not overwrite:
+            raise DuplicateBackendError(
+                f"backend {name!r} is already registered; pass overwrite=True "
+                "to replace it"
+            )
+        _BACKENDS[name] = BackendInfo(
+            name=name,
+            factory=f,
+            model=model,
+            algorithm=algorithm,
+            guarantee=guarantee,
+            supports_delete=supports_delete,
+            deterministic=deterministic,
+        )
+        return f
+
+    if factory is not None:
+        return _register(factory)
+    return _register
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a registration (primarily for test isolation)."""
+    if name not in _BACKENDS:
+        raise UnknownBackendError(f"backend {name!r} is not registered")
+    del _BACKENDS[name]
+
+
+def get_backend(name: str) -> BackendInfo:
+    """Look up a registered backend by name.
+
+    Raises :class:`UnknownBackendError` listing the known names — the
+    error message is the discovery mechanism for CLI/config typos.
+    """
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise UnknownBackendError(
+            f"unknown backend {name!r}; available: {available_backends()}"
+        ) from None
+
+
+def available_backends(model: "str | None" = None) -> "list[str]":
+    """Sorted names of all registered backends.
+
+    ``model`` filters by computational model (``"mpc"``,
+    ``"insertion-only"``, ...).
+    """
+    names = [
+        n for n, info in _BACKENDS.items()
+        if model is None or info.model == model
+    ]
+    return sorted(names)
+
+
+def backend_table() -> "list[BackendInfo]":
+    """All registrations, sorted by name (the README's backend table)."""
+    return [_BACKENDS[n] for n in available_backends()]

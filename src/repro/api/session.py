@@ -1,0 +1,224 @@
+"""`KCenterSession` — one facade over every computational model.
+
+A session binds a :class:`~repro.api.spec.ProblemSpec` to a registered
+backend and exposes the uniform stream/query surface::
+
+    spec = ProblemSpec(k=3, z=10, eps=0.5, dim=2, seed=0)
+    sess = KCenterSession.from_spec(spec, backend="insertion-only")
+    sess.extend(points)           # vectorized batched ingest (hot path)
+    sol = sess.solve()            # enriched Solution with provenance
+
+``extend(array)`` is the hot path: the array is handed to the backend in
+one call, so vectorized backends evaluate one metric matrix (or one
+cell-id pass) per batch instead of a per-point Python loop — the
+difference ``benchmarks/bench_api_batched.py`` measures.
+
+``solve()`` runs an offline solver on the maintained coreset (the
+paper's end-to-end recipe) and returns a :class:`Solution` carrying full
+provenance: backend name, the composed ``eps`` guarantee, coreset size,
+update count and wall-clock time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.greedy import charikar_greedy
+from ..core.points import WeightedPointSet
+from ..core.solver import solve_kcenter_outliers
+from .backends import CoresetBackend, Guarantee
+from .registry import BackendInfo, get_backend
+from .spec import ProblemSpec
+
+__all__ = ["Solution", "KCenterSession"]
+
+
+@dataclass(frozen=True)
+class Solution:
+    """A k-center-with-outliers solution with provenance.
+
+    Extends the shape of :class:`repro.core.Solution` (``centers``,
+    ``radius``, ``method``) with the facade's provenance record, so a
+    result can be logged, compared across backends, and audited.
+    """
+
+    centers: np.ndarray
+    radius: float
+    method: str
+    backend: str
+    spec: ProblemSpec
+    eps_guarantee: float
+    coreset_size: int
+    updates: int
+    wall_time: float
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def approx_factor(self) -> str:
+        """The end-to-end approximation statement of the Table 1 recipe."""
+        if self.method == "brute":
+            return f"(1 + {self.eps_guarantee:.3g})"
+        return f"3 * (1 + {self.eps_guarantee:.3g})"
+
+
+class KCenterSession:
+    """Spec-driven facade over any registered coreset backend.
+
+    Parameters
+    ----------
+    spec:
+        The validated problem instance.
+    backend:
+        Registry name (see :func:`repro.api.available_backends`).
+    **options:
+        Backend-specific options (``delta_universe``, ``window``,
+        ``num_machines``, ...), forwarded to the backend factory.
+    """
+
+    def __init__(self, spec: ProblemSpec, backend: str = "insertion-only",
+                 **options):
+        self.spec = spec
+        self.info: BackendInfo = get_backend(backend)
+        self.backend: CoresetBackend = self.info.create(spec, **options)
+        self._updates = 0
+        self._wall_time = 0.0
+
+    @classmethod
+    def from_spec(cls, spec: ProblemSpec, backend: str = "insertion-only",
+                  **options) -> "KCenterSession":
+        """Construct a session (the canonical entry point)."""
+        return cls(spec, backend=backend, **options)
+
+    # -- ingest ------------------------------------------------------------
+
+    def insert(self, point) -> None:
+        """Insert a single point."""
+        t0 = time.perf_counter()
+        self.backend.insert(point)
+        self._updates += 1
+        self._wall_time += time.perf_counter() - t0
+
+    def delete(self, point) -> None:
+        """Delete a point (fully-dynamic backends only)."""
+        t0 = time.perf_counter()
+        self.backend.delete(point)
+        self._updates += 1
+        self._wall_time += time.perf_counter() - t0
+
+    def extend(self, points) -> None:
+        """Batched ingest: the whole array goes to the backend in one
+        call (the vectorized hot path)."""
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        t0 = time.perf_counter()
+        self.backend.extend(pts)
+        self._updates += len(pts)
+        self._wall_time += time.perf_counter() - t0
+
+    def delete_many(self, points) -> None:
+        """Batched deletion (fully-dynamic backends only)."""
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        t0 = time.perf_counter()
+        delete_many = getattr(self.backend, "delete_many", None)
+        if delete_many is not None:
+            delete_many(pts)
+        else:
+            for p in pts:
+                self.backend.delete(p)
+        self._updates += len(pts)
+        self._wall_time += time.perf_counter() - t0
+
+    # -- queries -----------------------------------------------------------
+
+    def coreset(self) -> WeightedPointSet:
+        """The backend's current ``(eps,k,z)``-coreset."""
+        t0 = time.perf_counter()
+        out = self.backend.coreset()
+        self._wall_time += time.perf_counter() - t0
+        return out
+
+    def radius(self) -> float:
+        """Greedy 3-approximate radius on the current coreset."""
+        return self.solve(method="greedy3").radius
+
+    def guarantee(self) -> Guarantee:
+        """The backend's composed guarantee for its current output."""
+        return self.backend.guarantee()
+
+    def solve(self, method: str = "greedy3") -> Solution:
+        """Run an offline solver on the maintained coreset.
+
+        ``method="greedy3"`` (Charikar et al.) gives a
+        ``3(1+eps)``-approximation; ``method="brute"`` an exact solve on
+        the coreset, i.e. a ``(1+eps)``-approximation of the original
+        instance (Definition 1).
+        """
+        t0 = time.perf_counter()
+        cs = self.backend.coreset()
+        spec = self.spec
+        if len(cs) == 0 or cs.total_weight <= spec.z:
+            centers = np.zeros((0, cs.dim if len(cs) else (spec.dim or 1)))
+            radius = 0.0
+        elif method == "greedy3":
+            res = charikar_greedy(cs, spec.k, spec.z, spec.resolved_metric)
+            centers, radius = cs.points[res.centers_idx], res.radius
+        else:
+            sol = solve_kcenter_outliers(
+                cs, spec.k, spec.z, spec.resolved_metric, method=method
+            )
+            centers, radius = sol.centers, sol.radius
+        self._wall_time += time.perf_counter() - t0
+        return Solution(
+            centers=centers,
+            radius=float(radius),
+            method=method,
+            backend=self.info.name,
+            spec=spec,
+            eps_guarantee=self.backend.guarantee().eps,
+            coreset_size=len(cs),
+            updates=self._updates,
+            wall_time=self._wall_time,
+            stats=self.backend.stats(),
+        )
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the active backend."""
+        return self.info.name
+
+    @property
+    def updates_seen(self) -> int:
+        """Points ingested (inserts + deletes + batched rows)."""
+        return self._updates
+
+    @property
+    def wall_time(self) -> float:
+        """Accumulated seconds spent inside backend calls."""
+        return self._wall_time
+
+    def stats(self) -> dict:
+        """Merged provenance: spec, backend stats, session accounting.
+
+        Session-level keys (``backend``, ``model``, ``updates``,
+        ``wall_time``) are authoritative and cannot be shadowed by a
+        backend's own stats.
+        """
+        out = dict(self.spec.as_dict())
+        out.update(self.backend.stats())
+        out.update({
+            "backend": self.info.name,
+            "model": self.info.model,
+            "updates": self._updates,
+            "wall_time": self._wall_time,
+        })
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"KCenterSession(backend={self.info.name!r}, spec={self.spec!r}, "
+            f"updates={self._updates})"
+        )

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..api import KCenterSession, ProblemSpec
 from ..core.greedy import charikar_greedy
 from ..core.points import WeightedPointSet
 from ..core.solver import continuous_opt_1d
@@ -25,23 +26,12 @@ from ..lowerbounds.geometry_checks import claim38_check, claim39_radius, lemma41
 from ..lowerbounds.insertion_only import Lemma12Instance, Lemma15Instance
 from ..lowerbounds.dynamic import Theorem28Instance
 from ..lowerbounds.sliding_window import Theorem30Instance
-from ..mpc.baselines import (
-    ceccarello_one_round_deterministic,
-    ceccarello_one_round_randomized,
-)
-from ..mpc.multi_round import multi_round_coreset
-from ..mpc.one_round import one_round_coreset
 from ..mpc.partition import (
     partition_adversarial_outliers,
     partition_random,
     recommended_num_machines,
 )
-from ..mpc.two_round import two_round_coreset
-from ..streaming.baseline_ceccarello import CeccarelloStreamingCoreset
-from ..streaming.dynamic import DynamicCoreset
-from ..streaming.insertion_only import InsertionOnlyCoreset
 from ..streaming.mccutchen_khuller import McCutchenKhuller
-from ..streaming.sliding_window import SlidingWindowCoreset
 from ..workloads.synthetic import (
     clustered_with_outliers,
     drifting_stream,
@@ -65,7 +55,8 @@ __all__ = [
 ]
 
 
-def _quality(full: WeightedPointSet, coreset: WeightedPointSet, k: int, z: int, metric=None) -> float:
+def _quality(full: WeightedPointSet, coreset: WeightedPointSet, k: int, z: int,
+             metric=None) -> float:
     """Radius achieved by solving on the coreset, relative to solving on
     the full set (both via the 3-approximation) — the end-to-end quality
     metric of the paper's 'run an offline algorithm on the coreset'
@@ -81,6 +72,17 @@ def _quality(full: WeightedPointSet, coreset: WeightedPointSet, k: int, z: int, 
 # E1 / E2 / E3 — MPC rows of Table 1
 # ---------------------------------------------------------------------------
 
+def _mpc_session(
+    spec: ProblemSpec, backend: str, P: WeightedPointSet, parts, **options
+) -> KCenterSession:
+    """Build an MPC-model session over a fixed pre-computed partition."""
+    sess = KCenterSession.from_spec(
+        spec, backend=backend, partition=lambda _: parts, **options
+    )
+    sess.backend.extend_weighted(P)
+    return sess
+
+
 def mpc_one_round_rows(
     n: int = 3000, k: int = 4, eps: float = 0.5, d: int = 2,
     z_values=(8, 32, 128), seed: int = 0,
@@ -92,18 +94,22 @@ def mpc_one_round_rows(
         rng = np.random.default_rng(seed)
         wl = clustered_with_outliers(n, k, z, d, rng=rng)
         P = wl.point_set()
+        spec = ProblemSpec(k=k, z=z, eps=eps, dim=d, seed=seed)
         m = recommended_num_machines(n, k, z, eps, d)
         parts = partition_random(P, m, rng)
-        ours = one_round_coreset(parts, k, z, eps)
-        base = ceccarello_one_round_randomized(parts, k, z, eps)
-        for name, res in (("ours-1round", ours), ("cpp19-rand", base)):
+        for name, backend in (
+            ("ours-1round", "mpc-one-round"), ("cpp19-rand", "cpp-mpc-randomized"),
+        ):
+            sess = _mpc_session(spec, backend, P, parts)
+            cs = sess.coreset()
+            res = sess.backend.last_result
             rows.append(Row(
                 "E1", name, {"n": n, "z": z, "m": m, "eps": eps},
                 {
                     "coord_peak": res.stats.coordinator_peak,
                     "worker_peak": res.stats.worker_peak,
-                    "coreset": len(res.coreset),
-                    "quality": _quality(P, res.coreset, k, z),
+                    "coreset": len(cs),
+                    "quality": _quality(P, cs, k, z),
                 },
             ))
     return rows
@@ -122,20 +128,25 @@ def mpc_two_round_rows(
         rng = np.random.default_rng(seed)
         wl = clustered_with_outliers(n, k, z, d, rng=rng)
         P = wl.point_set()
+        spec = ProblemSpec(k=k, z=z, eps=eps, dim=d, seed=seed)
         parts = partition_adversarial_outliers(P, wl.outlier_mask, m, rng)
-        ours = two_round_coreset(parts, k, z, eps)
-        base = ceccarello_one_round_deterministic(parts, k, z, eps)
-        budget_total = sum(ours.extras["outlier_budgets"])
-        for name, res in (("ours-2round", ours), ("cpp19-det", base)):
+        ours = _mpc_session(spec, "mpc-two-round", P, parts)
+        base = _mpc_session(spec, "cpp-mpc-deterministic", P, parts)
+        ours_cs, base_cs = ours.coreset(), base.coreset()
+        budget_total = sum(ours.backend.last_result.extras["outlier_budgets"])
+        for name, sess, cs in (
+            ("ours-2round", ours, ours_cs), ("cpp19-det", base, base_cs),
+        ):
+            res = sess.backend.last_result
             rows.append(Row(
                 "E2", name, {"n": n, "z": z, "m": m, "eps": eps},
                 {
                     "coord_peak": res.stats.coordinator_peak,
                     "worker_peak": res.stats.worker_peak,
-                    "coreset": len(res.coreset),
+                    "coreset": len(cs),
                     "rounds": res.stats.rounds,
                     "budget_sum": budget_total if name == "ours-2round" else m * z,
-                    "quality": _quality(P, res.coreset, k, z),
+                    "quality": _quality(P, cs, k, z),
                 },
             ))
     return rows
@@ -149,18 +160,21 @@ def mpc_multi_round_rows(
     rng = np.random.default_rng(seed)
     wl = clustered_with_outliers(n, k, z, d, rng=rng)
     P = wl.point_set()
+    spec = ProblemSpec(k=k, z=z, eps=eps, dim=d, seed=seed)
     parts = partition_random(P, m, rng)
     rows = []
     for R in rounds_values:
-        res = multi_round_coreset(parts, k, z, eps, rounds=R)
+        sess = _mpc_session(spec, "mpc-multi-round", P, parts, rounds=R)
+        cs = sess.coreset()
+        res = sess.backend.last_result
         rows.append(Row(
             "E3", f"ours-R{R}", {"n": n, "z": z, "m": m, "R": R, "eps": eps},
             {
                 "coord_peak": res.stats.coordinator_peak,
                 "max_peak": max(res.stats.per_machine_peak),
-                "coreset": len(res.coreset),
+                "coreset": len(cs),
                 "eps_guarantee": res.eps_guarantee,
-                "quality": _quality(P, res.coreset, k, z),
+                "quality": _quality(P, cs, k, z),
             },
         ))
     return rows
@@ -182,27 +196,23 @@ def streaming_insertion_rows(
             rng = np.random.default_rng(seed)
             stream = drifting_stream(n, k, z, d, rng=rng)
             P = WeightedPointSet.from_points(stream)
-            ours = InsertionOnlyCoreset(k, z, eps, d)
-            ours.extend(stream)
-            cpp = CeccarelloStreamingCoreset(k, z, eps, d)
-            cpp.extend(stream)
+            spec = ProblemSpec(k=k, z=z, eps=eps, dim=d, seed=seed)
             lb = int(k / (eps**d) + z)
-            rows.append(Row(
-                "E4", "ours-stream", {"n": n, "z": z, "eps": eps},
-                {
-                    "stored": ours.size, "threshold": ours.threshold,
-                    "lower_bound": lb,
-                    "quality": _quality(P, ours.coreset(), k, z),
-                },
-            ))
-            rows.append(Row(
-                "E4", "cpp19-stream", {"n": n, "z": z, "eps": eps},
-                {
-                    "stored": cpp.size, "threshold": cpp.threshold,
-                    "lower_bound": lb,
-                    "quality": _quality(P, cpp.coreset(), k, z),
-                },
-            ))
+            for name, backend in (
+                ("ours-stream", "insertion-only"),
+                ("cpp19-stream", "ceccarello-stream"),
+            ):
+                sess = KCenterSession.from_spec(spec, backend=backend)
+                sess.extend(stream)
+                st = sess.stats()
+                rows.append(Row(
+                    "E4", name, {"n": n, "z": z, "eps": eps},
+                    {
+                        "stored": st["stored"], "threshold": st["threshold"],
+                        "lower_bound": lb,
+                        "quality": _quality(P, sess.coreset(), k, z),
+                    },
+                ))
             mk = McCutchenKhuller(k, z, eps=max(eps, 0.5))
             mk.extend(stream)
             r_full = charikar_greedy(P, k, z).radius
@@ -231,18 +241,19 @@ def dynamic_rows(
     for delta in delta_values:
         rng = np.random.default_rng(seed)
         wl = integer_workload(n, k, z, delta, d, rng=rng)
-        dc = DynamicCoreset(k, z, eps, delta, d, rng=np.random.default_rng(seed + 1))
-        for p in wl.points:
-            dc.insert(p)
-        for p in wl.points[:deletions]:
-            dc.delete(p)
+        spec = ProblemSpec(k=k, z=z, eps=eps, dim=d, seed=seed + 1)
+        sess = KCenterSession.from_spec(spec, backend="dynamic",
+                                        delta_universe=delta)
+        sess.extend(wl.points)
+        sess.delete_many(wl.points[:deletions])
         live = WeightedPointSet.from_points(wl.points[deletions:].astype(float))
-        cs = dc.coreset()
+        cs = sess.coreset()
+        st = sess.stats()
         rows.append(Row(
             "E6", "dynamic-sketch", {"Delta": delta, "n": n, "del": deletions},
             {
-                "storage_cells": dc.storage_cells,
-                "levels": dc.hier.num_levels,
+                "storage_cells": st["storage_cells"],
+                "levels": st["levels"],
                 "coreset": len(cs),
                 "weight_ok": int(cs.total_weight == live.total_weight),
                 "quality": _quality(live, cs, k, z),
@@ -266,19 +277,21 @@ def sliding_window_rows(
     for z in z_values:
         rng = np.random.default_rng(seed)
         stream = drifting_stream(n, k, max(z * 3, 8), d, rng=rng)
-        sw = SlidingWindowCoreset(k, z, eps, d, window, r_min=0.05, r_max=200.0)
-        sw.extend(stream)
+        spec = ProblemSpec(k=k, z=z, eps=eps, dim=d, seed=seed)
+        sess = KCenterSession.from_spec(spec, backend="sliding-window",
+                                        window=window, r_min=0.05, r_max=200.0)
+        sess.extend(stream)
         wpts = WeightedPointSet.from_points(stream[-window:])
         r_off = charikar_greedy(wpts, k, z).radius
-        r_sw = sw.radius()
+        sol = sess.solve()
         rows.append(Row(
             "E8", "dbmz-window", {"n": n, "W": window, "z": z, "eps": eps},
             {
-                "stored": sw.stored_items,
-                "guesses": sw.num_guesses,
-                "radius": r_sw,
+                "stored": sol.stats["stored"],
+                "guesses": sol.stats["guesses"],
+                "radius": sol.radius,
                 "offline": r_off,
-                "quality": r_sw / r_off if r_off else float("nan"),
+                "quality": sol.radius / r_off if r_off else float("nan"),
             },
         ))
     return rows
@@ -458,19 +471,23 @@ def coreset_quality_rows(
     rng = np.random.default_rng(seed)
     wl = clustered_with_outliers(n, k, z, d, rng=rng)
     P = wl.point_set()
+    spec = ProblemSpec(k=k, z=z, eps=eps, dim=d, seed=seed)
     rows = []
 
     parts = partition_random(P, 8, rng)
-    for name, res in (
-        ("mpc-2round", two_round_coreset(parts, k, z, eps)),
-        ("mpc-1round", one_round_coreset(parts, k, z, eps)),
-        ("mpc-Rround", multi_round_coreset(parts, k, z, eps, rounds=3)),
+    for name, backend, options in (
+        ("mpc-2round", "mpc-two-round", {}),
+        ("mpc-1round", "mpc-one-round", {}),
+        ("mpc-Rround", "mpc-multi-round", {"rounds": 3}),
     ):
+        sess = _mpc_session(spec, backend, P, parts, **options)
+        cs = sess.coreset()
         rows.append(Row("E9", name, {"eps": eps},
-                        {"coreset": len(res.coreset),
-                         "quality": _quality(P, res.coreset, k, z)}))
-    st = InsertionOnlyCoreset(k, z, eps, d)
-    st.extend(wl.points)
+                        {"coreset": len(cs),
+                         "quality": _quality(P, cs, k, z)}))
+    sess = KCenterSession.from_spec(spec, backend="insertion-only")
+    sess.extend(wl.points)
+    cs = sess.coreset()
     rows.append(Row("E9", "stream-insertion", {"eps": eps},
-                    {"coreset": st.size, "quality": _quality(P, st.coreset(), k, z)}))
+                    {"coreset": len(cs), "quality": _quality(P, cs, k, z)}))
     return rows

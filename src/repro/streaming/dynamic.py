@@ -118,6 +118,30 @@ class DynamicCoreset:
         """Delete one previously inserted point (strict turnstile)."""
         self._update(point, -1)
 
+    def _apply_batch(self, points, sign: int) -> None:
+        """Batched ``+-1`` updates: per grid, ONE vectorized cell-id pass
+        plus one sketch update per distinct touched cell.  The sketches
+        are linear, so the final state is identical to per-point updates.
+        """
+        pts = np.atleast_2d(np.asarray(points, dtype=np.int64))
+        if len(pts) == 0:
+            return
+        self._updates += len(pts)
+        for lvl, sk, f0 in zip(self._levels, self._sparse, self._f0):
+            cids, counts = np.unique(lvl.cell_ids(pts), return_counts=True)
+            for cid, c in zip(cids.tolist(), counts.tolist()):
+                sk.update(int(cid), sign * int(c))
+                if f0 is not None:
+                    f0.update(int(cid), sign * int(c))
+
+    def extend(self, points) -> None:
+        """Insert a batch of points (vectorized cell-id computation)."""
+        self._apply_batch(points, +1)
+
+    def delete_many(self, points) -> None:
+        """Delete a batch of previously inserted points."""
+        self._apply_batch(points, -1)
+
     # -- accounting --------------------------------------------------------
 
     @property

@@ -95,6 +95,27 @@ class DeterministicDynamicCoreset:
         """Delete a previously inserted point (strict turnstile)."""
         self._update(point, -1)
 
+    def _apply_batch(self, points, sign: int) -> None:
+        """Batched updates: one vectorized cell-id pass per grid, one
+        field update per distinct touched cell (linearity makes this
+        exactly equivalent to per-point updates)."""
+        pts = np.atleast_2d(np.asarray(points, dtype=np.int64))
+        if len(pts) == 0:
+            return
+        self._updates += len(pts)
+        for lvl, sk in zip(self._levels, self._sketches):
+            cids, counts = np.unique(lvl.cell_ids(pts), return_counts=True)
+            for cid, c in zip(cids.tolist(), counts.tolist()):
+                sk.update(int(cid), sign * int(c))
+
+    def extend(self, points) -> None:
+        """Insert a batch of points (vectorized cell-id computation)."""
+        self._apply_batch(points, +1)
+
+    def delete_many(self, points) -> None:
+        """Delete a batch of previously inserted points."""
+        self._apply_batch(points, -1)
+
     # -- accounting --------------------------------------------------------
 
     @property

@@ -96,6 +96,15 @@ class InsertionOnlyCoreset:
             raise ValueError("size_cap must be at least k + z + 2")
         self.r = 0.0
         self.doublings = 0
+        #: rows per vectorized chunk in :meth:`extend`; bounds the distance
+        #: matrix at chunk_rows x |P*| and, more importantly, the work
+        #: thrown away when a mid-chunk recompression invalidates it
+        #: (256 empirically beats larger chunks across absorb- and
+        #: rep-heavy regimes)
+        self._batch_chunk = 256
+        #: adaptive flag: True while chunks mostly create representatives,
+        #: in which case the scalar loop outpaces the vectorized path
+        self._batch_dense = False
         self._n = 0
         self._dim: "int | None" = None
         self._buf = np.zeros((0, 0))
@@ -173,6 +182,116 @@ class InsertionOnlyCoreset:
             self._set_reps(mbc.coreset)
 
     def extend(self, points) -> None:
-        """Insert a batch of points in order."""
-        for p in np.atleast_2d(np.asarray(points, dtype=float)):
-            self.insert(p)
+        """Insert a batch of points in order — the vectorized hot path.
+
+        Semantically identical to calling :meth:`insert` per row (same
+        representatives, weights and radius estimate, bit for bit), but
+        processed in chunks whose distances to ``P*`` are evaluated as
+        ONE metric matrix, with runs of absorptions applied as a single
+        ``bincount`` weight update.  A radius doubling (which rebuilds
+        ``P*``) invalidates the chunk matrix, so the loop restarts from
+        the next unprocessed row.
+
+        The vectorized path only pays off while the structure absorbs;
+        when a chunk turns mostly into new representatives (the coreset
+        is still growing towards its threshold), the per-chunk adaptive
+        switch falls back to the scalar loop and re-evaluates on every
+        subsequent chunk.
+        """
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        if pts.shape[0] == 0:
+            return
+        n_batch = len(pts)
+        i = 0
+        while i < n_batch:
+            hi = min(n_batch, i + self._batch_chunk)
+            size0, doublings0 = self._size, self.doublings
+            if self._batch_dense:
+                for j in range(i, hi):
+                    self.insert(pts[j])
+                consumed = hi - i
+            else:
+                consumed = self._extend_chunk(pts[i:hi])
+            i += consumed
+            # adapt: a chunk that mostly created representatives means the
+            # structure is not absorbing yet — scalar inserts are cheaper
+            # there.  Skip the update when a recompression shrank P* mid-
+            # chunk (the size delta is meaningless then).
+            if consumed and self.doublings == doublings0:
+                self._batch_dense = (self._size - size0) / consumed > 0.6
+
+    def _extend_chunk(self, chunk: np.ndarray) -> int:
+        """Vectorized insertion of ``chunk`` rows in order.
+
+        Returns the number of rows consumed — fewer than ``len(chunk)``
+        when a recompression invalidated the distance matrix (the caller
+        restarts from the next row).
+        """
+        self._ensure_capacity(chunk.shape[1])
+        m = len(chunk)
+        base = self._size
+        # ONE matrix for the chunk against the current P*; the per-point
+        # running (min distance, argmin rep) is then maintained with one
+        # vectorized column per representative created mid-chunk.
+        if base:
+            D = self.metric.pairwise(chunk, self._buf[:base])
+            cur_arg = np.argmin(D, axis=1)
+            cur_min = D[np.arange(m), cur_arg]
+        else:
+            cur_arg = np.full(m, -1, dtype=np.int64)
+            cur_min = np.full(m, np.inf)
+        j = 0
+        while j < m:
+            # the absorb radius only changes at representative events
+            # (r init / recompression), so every point up to the next
+            # non-absorbable one is a plain weight increment: find the
+            # run and apply it with one bincount.
+            absorb = self.eps / 2.0 * self.r
+            tol = 1e-12 * max(1.0, absorb)
+            absorbable = (cur_arg[j:] >= 0) & (cur_min[j:] <= absorb + tol)
+            run = int(np.argmin(absorbable)) if not absorbable.all() else m - j
+            if run:
+                self._w[: self._size] += np.bincount(
+                    cur_arg[j: j + run], minlength=self._size
+                )
+                self._n += run
+                j += run
+                if j >= m:
+                    break
+            # chunk[j] opens a new representative
+            p = chunk[j]
+            self._n += 1
+            ridx = self._size
+            self._buf[ridx] = p
+            self._w[ridx] = 1
+            self._size += 1
+            self._ensure_capacity(len(p))
+            if j + 1 < m:
+                # strict < keeps np.argmin's earliest-index tie-break
+                # (the new representative has the highest index)
+                col = self.metric.pairwise(chunk[j + 1:], p[None, :])[:, 0]
+                upd = col < cur_min[j + 1:]
+                cur_min[j + 1:][upd] = col[upd]
+                cur_arg[j + 1:][upd] = ridx
+            j += 1
+            if self.r == 0.0 and self._size >= self.k + self.z + 1:
+                delta_min = min_pairwise_distance(
+                    self._buf[: self._size], self.metric
+                )
+                if delta_min > 0:
+                    self.r = delta_min / 2.0
+                # P* is unchanged, so the maintained distances stay
+                # valid; only the absorb radius (recomputed per run)
+                # has grown
+            if self.r > 0.0 and self._size >= self.threshold:
+                while self.r > 0.0 and self._size >= self.threshold:
+                    self.r *= 2.0
+                    self.doublings += 1
+                    mbc = update_coreset(
+                        self.coreset(), self.eps / 2.0 * self.r, self.metric
+                    )
+                    self._set_reps(mbc.coreset)
+                # P* was rebuilt: the maintained distances are stale;
+                # hand the remaining rows back to the caller
+                return j
+        return m

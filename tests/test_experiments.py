@@ -1,6 +1,5 @@
 """Smoke tests for the experiment drivers (small parameters)."""
 
-import pytest
 
 from repro.experiments import (
     Row,

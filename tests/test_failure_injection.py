@@ -2,7 +2,6 @@
 that the breakage is *detected* rather than silent."""
 
 import numpy as np
-import pytest
 
 from repro.core import WeightedPointSet, verify_sandwich
 from repro.lowerbounds import (

@@ -10,7 +10,6 @@ import pytest
 
 from repro.core import (
     PrecomputedMetric,
-    WeightedPointSet,
     brute_force_opt,
     charikar_greedy,
     mbc_construction,

@@ -1,7 +1,6 @@
 """Cross-module integration tests: the paper's end-to-end pipelines."""
 
 import numpy as np
-import pytest
 
 from repro.core import (
     WeightedPointSet,

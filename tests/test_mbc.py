@@ -5,7 +5,6 @@ import pytest
 
 from repro.core import (
     WeightedPointSet,
-    brute_force_opt,
     charikar_greedy,
     compose_errors,
     mbc_construction,

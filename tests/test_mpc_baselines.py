@@ -1,7 +1,6 @@
 """Tests for the Ceccarello et al. MPC baselines."""
 
 import numpy as np
-import pytest
 
 from repro.core import WeightedPointSet, nearest_center_distances, opt_bounds, verify_sandwich
 from repro.mpc import (

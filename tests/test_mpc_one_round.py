@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import WeightedPointSet, verify_sandwich
+from repro.core import verify_sandwich
 from repro.mpc import (
     multi_round_coreset,
     one_round_coreset,

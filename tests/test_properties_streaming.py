@@ -3,7 +3,7 @@
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
-from repro.core import WeightedPointSet, brute_force_opt, charikar_greedy
+from repro.core import WeightedPointSet, brute_force_opt
 from repro.geometry import GridHierarchy
 from repro.sketches import VandermondeSketch
 from repro.streaming import InsertionOnlyCoreset

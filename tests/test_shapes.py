@@ -8,7 +8,6 @@ covers them.
 import numpy as np
 import pytest
 
-from repro.core import WeightedPointSet
 from repro.mpc import (
     ceccarello_one_round_deterministic,
     partition_adversarial_outliers,

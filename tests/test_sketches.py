@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.sketches import (
-    MERSENNE_P,
     F0Estimator,
     KWiseHash,
     OneSparseCell,

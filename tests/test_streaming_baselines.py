@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import WeightedPointSet, brute_force_opt, charikar_greedy, verify_sandwich
+from repro.core import WeightedPointSet, charikar_greedy, verify_sandwich
 from repro.streaming import (
     CeccarelloStreamingCoreset,
     McCutchenKhuller,
