@@ -15,6 +15,11 @@ Core (``repro.core``)
     :class:`~repro.core.WeightedPointSet`, metrics, the ``Greedy``
     3-approximation, ``MBCConstruction`` (Algorithm 1), coreset
     verification.
+Engine (``repro.engine``)
+    The parallel execution layer: interchangeable serial/thread/process
+    executors with bit-identical results, deterministic per-task seed
+    derivation, machine-accounting-preserving fan-out, and the on-disk
+    experiment results cache.
 MPC (``repro.mpc``)
     Simulated MPC cluster with storage/communication accounting; the
     deterministic 2-round (Algorithm 2), randomized 1-round (Algorithm 6)
@@ -32,7 +37,7 @@ Workloads / experiments (``repro.workloads``, ``repro.experiments``)
     Synthetic data generators and the drivers that regenerate Table 1.
 """
 
-from . import api, core
+from . import api, core, engine
 from .api import (
     KCenterSession,
     ProblemSpec,
@@ -50,7 +55,7 @@ from .core import (
     update_coreset,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "KCenterSession",
@@ -60,6 +65,7 @@ __all__ = [
     "available_backends",
     "charikar_greedy",
     "core",
+    "engine",
     "get_backend",
     "gonzalez",
     "mbc_construction",

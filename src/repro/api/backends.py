@@ -553,6 +553,11 @@ class MPCBackend(_BufferedBackendBase):
         ``"contiguous"`` (arbitrary/adversarial order), ``"random"``
         (the randomized algorithms' input model), or a callable
         ``P -> list[WeightedPointSet]`` for custom distributions.
+    executor, jobs:
+        How machine-local work fans out (see :mod:`repro.engine`):
+        executor name or instance plus worker count.  Defaults to the
+        spec's ``executor``/``jobs`` fields; ``jobs`` alone implies a
+        thread pool.  Results are bit-identical under every executor.
     """
 
     #: default partition scheme; deterministic algorithms tolerate any
@@ -563,11 +568,25 @@ class MPCBackend(_BufferedBackendBase):
         spec: ProblemSpec,
         num_machines: "int | None" = None,
         partition=None,
+        executor=None,
+        jobs: "int | None" = None,
     ):
         super().__init__(spec)
         self.num_machines = num_machines
         self.partition = partition if partition is not None else self.default_partition
+        self.executor = self._resolve_executor(executor, jobs)
         self.last_result: "MPCCoresetResult | None" = None
+
+    def _resolve_executor(self, executor, jobs):
+        """Session options override the spec's knobs; ``None`` (no knob
+        anywhere) defers to the protocol's legacy ``parallel`` flag."""
+        name = executor if executor is not None else self.spec.executor
+        j = jobs if jobs is not None else self.spec.jobs
+        if name is None and j is None:
+            return None
+        from ..engine import get_executor
+
+        return get_executor(name if name is not None else "thread", j)
 
     def _invalidate(self) -> None:
         self.last_result = None
@@ -626,8 +645,9 @@ class TwoRoundMPCBackend(MPCBackend):
 
     def __init__(self, spec, num_machines=None, partition=None,
                  parallel: bool = False, final_compress: bool = True,
-                 outlier_guessing: bool = True):
-        super().__init__(spec, num_machines, partition)
+                 outlier_guessing: bool = True, executor=None,
+                 jobs: "int | None" = None):
+        super().__init__(spec, num_machines, partition, executor, jobs)
         self.parallel = bool(parallel)
         self.final_compress = bool(final_compress)
         self.outlier_guessing = bool(outlier_guessing)
@@ -639,6 +659,7 @@ class TwoRoundMPCBackend(MPCBackend):
             final_compress=self.final_compress,
             outlier_guessing=self.outlier_guessing,
             parallel=self.parallel,
+            executor=self.executor,
         )
 
     def guarantee(self) -> Guarantee:
@@ -664,8 +685,9 @@ class OneRoundMPCBackend(MPCBackend):
     default_partition = "random"
 
     def __init__(self, spec, num_machines=None, partition=None,
-                 parallel: bool = False, final_compress: bool = True):
-        super().__init__(spec, num_machines, partition)
+                 parallel: bool = False, final_compress: bool = True,
+                 executor=None, jobs: "int | None" = None):
+        super().__init__(spec, num_machines, partition, executor, jobs)
         self.parallel = bool(parallel)
         self.final_compress = bool(final_compress)
 
@@ -675,6 +697,7 @@ class OneRoundMPCBackend(MPCBackend):
             metric=self.spec.resolved_metric,
             final_compress=self.final_compress,
             parallel=self.parallel,
+            executor=self.executor,
         )
 
     def guarantee(self) -> Guarantee:
@@ -697,8 +720,8 @@ class MultiRoundMPCBackend(MPCBackend):
     """Deterministic R-round reduction tree (rounds/storage trade-off)."""
 
     def __init__(self, spec, num_machines=None, partition=None,
-                 rounds: int = 2):
-        super().__init__(spec, num_machines, partition)
+                 rounds: int = 2, executor=None, jobs: "int | None" = None):
+        super().__init__(spec, num_machines, partition, executor, jobs)
         if int(rounds) < 1:
             raise ValueError("rounds must be >= 1")
         self.rounds = int(rounds)
@@ -707,6 +730,7 @@ class MultiRoundMPCBackend(MPCBackend):
         return multi_round_coreset(
             parts, self.spec.k, self.spec.z, self.spec.eps,
             rounds=self.rounds, metric=self.spec.resolved_metric,
+            executor=self.executor,
         )
 
     def guarantee(self) -> Guarantee:
@@ -730,7 +754,7 @@ class CPPDeterministicMPCBackend(MPCBackend):
     def _run(self, parts):
         return ceccarello_one_round_deterministic(
             parts, self.spec.k, self.spec.z, self.spec.eps,
-            metric=self.spec.resolved_metric,
+            metric=self.spec.resolved_metric, executor=self.executor,
         )
 
     def guarantee(self) -> Guarantee:
@@ -757,7 +781,7 @@ class CPPRandomizedMPCBackend(MPCBackend):
     def _run(self, parts):
         return ceccarello_one_round_randomized(
             parts, self.spec.k, self.spec.z, self.spec.eps,
-            metric=self.spec.resolved_metric,
+            metric=self.spec.resolved_metric, executor=self.executor,
         )
 
     def guarantee(self) -> Guarantee:

@@ -49,6 +49,15 @@ class ProblemSpec:
         backends whose size thresholds depend on the doubling dimension
         (streaming, sliding-window, dynamic); ``None`` is accepted for
         purely offline/MPC use.
+    executor:
+        How backends fan out their machine-local work: ``"serial"``,
+        ``"thread"``, ``"process"`` (optionally ``"thread:8"`` with an
+        inline job count), or ``None`` for serial.  Honored by the MPC
+        backends; results are bit-identical under every executor (see
+        :mod:`repro.engine`).
+    jobs:
+        Worker count for the executor; ``None`` means one worker per
+        item up to the CPU count.
     """
 
     k: int
@@ -57,6 +66,8 @@ class ProblemSpec:
     metric: "Metric | str | None" = None
     seed: "int | None" = None
     dim: "int | None" = None
+    executor: "str | None" = None
+    jobs: "int | None" = None
     _metric_obj: Metric = field(init=False, repr=False, compare=False)
 
     def __post_init__(self):
@@ -70,6 +81,14 @@ class ProblemSpec:
             raise ValueError(f"dim must be >= 1, got {self.dim}")
         if self.seed is not None and int(self.seed) < 0:
             raise ValueError(f"seed must be non-negative, got {self.seed}")
+        if self.executor is not None and not isinstance(self.executor, str):
+            raise ValueError(
+                f"executor must be an executor name or None, got {self.executor!r}"
+            )
+        if self.jobs is not None and int(self.jobs) < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.jobs is not None:
+            object.__setattr__(self, "jobs", int(self.jobs))
         object.__setattr__(self, "k", int(self.k))
         object.__setattr__(self, "z", int(self.z))
         object.__setattr__(self, "eps", float(self.eps))
@@ -110,6 +129,19 @@ class ProblemSpec:
             return np.random.default_rng()
         return np.random.default_rng(self.seed + salt)
 
+    def resolved_executor(self):
+        """The :class:`~repro.engine.Executor` the spec's ``executor`` /
+        ``jobs`` knobs describe (a fresh instance per call).  Same rule
+        the MPC backends apply: ``jobs`` alone implies a thread pool,
+        neither knob means serial."""
+        from ..engine import get_executor  # local: keep spec import-light
+
+        if self.executor is None and self.jobs is None:
+            return get_executor(None)
+        return get_executor(
+            self.executor if self.executor is not None else "thread", self.jobs
+        )
+
     # -- derivation --------------------------------------------------------
 
     def replace(self, **changes) -> "ProblemSpec":
@@ -117,6 +149,7 @@ class ProblemSpec:
         base = {
             "k": self.k, "z": self.z, "eps": self.eps,
             "metric": self.metric, "seed": self.seed, "dim": self.dim,
+            "executor": self.executor, "jobs": self.jobs,
         }
         base.update(changes)
         return ProblemSpec(**base)
@@ -130,6 +163,8 @@ class ProblemSpec:
             "metric": self.metric_name,
             "seed": self.seed,
             "dim": self.dim,
+            "executor": self.executor,
+            "jobs": self.jobs,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -1,0 +1,106 @@
+"""On-disk result cache for experiment drivers.
+
+Each entry is keyed by an experiment id plus a JSON-canonicalized
+parameter dict; the payload (a list of
+:class:`~repro.experiments.report.Row`) is pickled, and a human-readable
+JSON sidecar records the key, parameters and row count so a results
+directory can be audited without unpickling anything.
+
+The point is cheap re-runs: the sharded experiment runner checks the
+cache before dispatching a driver, so a crashed or interrupted sweep
+re-executes only the missing experiments, and iterating on one table
+never re-pays for the others.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import time
+
+__all__ = ["ResultsCache", "default_results_dir"]
+
+#: environment override for the cache location
+RESULTS_DIR_ENV = "REPRO_RESULTS_DIR"
+
+
+def default_results_dir() -> str:
+    """``$REPRO_RESULTS_DIR`` when set, else ``.repro-results`` in cwd."""
+    return os.environ.get(RESULTS_DIR_ENV) or os.path.join(os.curdir, ".repro-results")
+
+
+class ResultsCache:
+    """Pickle/JSON cache of driver outputs under one directory.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created lazily on first :meth:`put`); ``None``
+        resolves via :func:`default_results_dir`.
+    """
+
+    def __init__(self, root: "str | None" = None):
+        self.root = root if root is not None else default_results_dir()
+
+    # -- keying ------------------------------------------------------------
+
+    @staticmethod
+    def key(experiment_id: str, params: "dict | None" = None) -> str:
+        """Stable key: id plus a short hash of the canonicalized params."""
+        canon = json.dumps(params or {}, sort_keys=True, default=str)
+        digest = hashlib.sha256(canon.encode()).hexdigest()[:12]
+        return f"{experiment_id}-{digest}"
+
+    def _paths(self, experiment_id: str, params: "dict | None") -> "tuple[str, str]":
+        key = self.key(experiment_id, params)
+        base = os.path.join(self.root, key)
+        return base + ".pkl", base + ".json"
+
+    # -- access ------------------------------------------------------------
+
+    def get(self, experiment_id: str, params: "dict | None" = None):
+        """The cached payload, or ``None`` on a miss (including any
+        corrupted/unreadable/stale entry — unpickling can fail dozens of
+        ways (garbage bytes, renamed classes, version skew) and a miss
+        just means recompute, so everything short of interrupts is a
+        miss)."""
+        pkl, _ = self._paths(experiment_id, params)
+        try:
+            with open(pkl, "rb") as f:
+                return pickle.load(f)
+        except Exception:
+            return None
+
+    def put(self, experiment_id: str, params: "dict | None", payload) -> str:
+        """Store ``payload``; returns the pickle path.  The write is
+        atomic (temp file + rename) so a concurrent shard never reads a
+        half-written entry."""
+        os.makedirs(self.root, exist_ok=True)
+        pkl, meta = self._paths(experiment_id, params)
+        tmp = pkl + f".tmp.{os.getpid()}"
+        with open(tmp, "wb") as f:
+            pickle.dump(payload, f)
+        os.replace(tmp, pkl)
+        with open(meta, "w") as f:
+            json.dump(
+                {
+                    "experiment": experiment_id,
+                    "params": params or {},
+                    "rows": len(payload) if hasattr(payload, "__len__") else None,
+                    "written_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+                },
+                f,
+                indent=2,
+                default=str,
+            )
+        return pkl
+
+    def __contains__(self, key_tuple) -> bool:
+        experiment_id, params = key_tuple
+        pkl, _ = self._paths(experiment_id, params)
+        return os.path.exists(pkl)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultsCache({self.root!r})"

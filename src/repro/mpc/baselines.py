@@ -24,9 +24,11 @@ from ..core.greedy import gonzalez
 from ..core.mbc import update_coreset
 from ..core.metrics import get_metric
 from ..core.points import WeightedPointSet
-from .cluster import SimulatedMPC
+from ..engine import map_machines
+from .cluster import SimulatedMPC, resolve_executor
 from .one_round import random_outlier_budget
 from .result import MPCCoresetResult
+from .tasks import cpp_local_task
 
 __all__ = [
     "cpp_local_coreset",
@@ -65,16 +67,23 @@ def _run_one_round(
     budgets: "list[int]",
     metric,
     cluster: "SimulatedMPC | None",
+    executor=None,
 ) -> MPCCoresetResult:
     m = len(parts)
     cluster = cluster or SimulatedMPC(m)
     if cluster.m != m:
         raise ValueError("cluster size does not match number of parts")
     machines = cluster.machines
-    for i, part in enumerate(parts):
-        machines[i].charge(len(part))
-        local = cpp_local_coreset(part, k, budgets[i], eps, metric)
-        machines[i].charge(len(local))
+    locals_ = map_machines(
+        resolve_executor(executor),
+        cpp_local_task,
+        [(part, k, budgets[i], eps, metric) for i, part in enumerate(parts)],
+        machines=machines,
+        charge=lambda mach, task, local: (
+            mach.charge(len(task[0])), mach.charge(len(local))
+        ),
+    )
+    for i, local in enumerate(locals_):
         cluster.send(i, 0, local, items=len(local))
     cluster.end_round()
     received = [payload for _, payload in machines[0].inbox]
@@ -98,11 +107,14 @@ def ceccarello_one_round_deterministic(
     eps: float,
     metric=None,
     cluster: "SimulatedMPC | None" = None,
+    executor=None,
 ) -> MPCCoresetResult:
     """CPP19 deterministic 1-round baseline (Table 1 row 3): every machine
     must budget the full ``z`` because the distribution is arbitrary."""
     metric = get_metric(metric)
-    return _run_one_round(parts, k, z, eps, [z] * len(parts), metric, cluster)
+    return _run_one_round(
+        parts, k, z, eps, [z] * len(parts), metric, cluster, executor=executor
+    )
 
 
 def ceccarello_one_round_randomized(
@@ -112,6 +124,7 @@ def ceccarello_one_round_randomized(
     eps: float,
     metric=None,
     cluster: "SimulatedMPC | None" = None,
+    executor=None,
 ) -> MPCCoresetResult:
     """CPP19 randomized 1-round baseline (Table 1 row 1): per-machine
     budget ``min(6z/m + 3 log n, z)`` under random distribution."""
@@ -119,4 +132,6 @@ def ceccarello_one_round_randomized(
     m = len(parts)
     n = sum(len(p) for p in parts)
     zp = random_outlier_budget(n, m, z)
-    return _run_one_round(parts, k, z, eps, [zp] * m, metric, cluster)
+    return _run_one_round(
+        parts, k, z, eps, [zp] * m, metric, cluster, executor=executor
+    )

@@ -17,29 +17,38 @@ accounting matches the unit of Table 1.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
+from ..engine import Executor, get_executor
 from .machine import Machine
 
-__all__ = ["MPCStats", "SimulatedMPC", "parallel_map"]
+__all__ = ["MPCStats", "SimulatedMPC", "parallel_map", "resolve_executor"]
+
+
+def resolve_executor(executor, parallel: bool = False) -> Executor:
+    """Resolve the protocols' ``(executor, parallel)`` knob pair.
+
+    ``executor`` wins when given (name, ``Executor`` instance, or
+    ``None``); the legacy ``parallel=True`` flag means a thread pool.
+    """
+    if executor is not None:
+        return get_executor(executor)
+    return get_executor("thread" if parallel else None)
 
 
 def parallel_map(fn, items, parallel: bool = False, max_workers: "int | None" = None):
     """Order-preserving map over per-machine work items.
 
-    With ``parallel=True`` the machine-local computations run on a thread
-    pool — the simulator's stand-in for genuinely parallel workers.  The
-    heavy kernels (pairwise distances, greedy passes) spend their time in
-    BLAS/C code that releases the GIL, so threads give real speedup while
-    keeping results deterministic (ordering is preserved and the
-    algorithms share no mutable state across machines).
+    Legacy shim kept for API stability; new code should go through
+    :mod:`repro.engine` directly.  ``parallel=True`` maps on a
+    :class:`~repro.engine.ThreadExecutor` — the heavy kernels (pairwise
+    distances, greedy passes) spend their time in BLAS/C code that
+    releases the GIL, so threads give real speedup while keeping results
+    deterministic (ordering is preserved and the algorithms share no
+    mutable state across machines).
     """
-    items = list(items)
-    if not parallel or len(items) <= 1:
-        return [fn(x) for x in items]
-    with ThreadPoolExecutor(max_workers=max_workers) as pool:
-        return list(pool.map(fn, items))
+    executor = get_executor("thread" if parallel else None, jobs=max_workers)
+    return executor.map(fn, items)
 
 
 @dataclass(frozen=True)

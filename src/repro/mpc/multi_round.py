@@ -12,11 +12,12 @@ from __future__ import annotations
 
 from math import ceil
 
-from ..core.mbc import mbc_construction
 from ..core.metrics import get_metric
 from ..core.points import WeightedPointSet
-from .cluster import SimulatedMPC
+from ..engine import map_machines
+from .cluster import SimulatedMPC, resolve_executor
 from .result import MPCCoresetResult
+from .tasks import mbc_task
 
 __all__ = ["multi_round_coreset"]
 
@@ -29,11 +30,16 @@ def multi_round_coreset(
     rounds: int,
     metric=None,
     cluster: "SimulatedMPC | None" = None,
+    parallel: bool = False,
+    executor=None,
 ) -> MPCCoresetResult:
     """Run Algorithm 7 with ``R = rounds`` communication rounds.
 
     ``parts[i]`` is machine ``i``'s initial data (machine 0 is the paper's
     ``M_1``, the coordinator).  ``eps_guarantee = (1+eps)^rounds - 1``.
+    The per-round machine-local MBC constructions fan out through
+    ``executor`` (bit-identical results under every executor);
+    ``parallel=True`` is the legacy spelling of ``executor="thread"``.
     """
     metric = get_metric(metric)
     m = len(parts)
@@ -45,6 +51,7 @@ def multi_round_coreset(
     if cluster.m != m:
         raise ValueError("cluster size does not match number of parts")
     machines = cluster.machines
+    exec_ = resolve_executor(executor, parallel)
     beta = max(2, int(ceil(m ** (1.0 / rounds))))
     dim = parts[0].dim
 
@@ -58,10 +65,15 @@ def multi_round_coreset(
     for _t in range(rounds):
         next_active = int(ceil(active / beta))
         self_deliveries: "list[tuple[int, WeightedPointSet]]" = []
-        for i in range(active):
+        mbcs = map_machines(
+            exec_,
+            mbc_task,
+            [(Q[i], k, z, eps, metric, None) for i in range(active)],
+            machines=machines[:active],
+            charge=lambda mach, task, mbc: mach.charge(mbc.size),
+        )
+        for i, mbc in enumerate(mbcs):
             dest = i // beta  # paper's ceil(i/beta) in 1-based indexing
-            mbc = mbc_construction(Q[i], k, z, eps, metric)
-            machines[i].charge(mbc.size)
             if dest == i:
                 # self-delivery: no network traffic, but the storage stays;
                 # appended after end_round() so reset_inbox cannot drop it

@@ -16,8 +16,10 @@ from math import ceil, log2
 from ..core.mbc import compose_errors, mbc_construction
 from ..core.metrics import get_metric
 from ..core.points import WeightedPointSet
-from .cluster import SimulatedMPC, parallel_map
+from ..engine import map_machines
+from .cluster import SimulatedMPC, resolve_executor
 from .result import MPCCoresetResult
+from .tasks import mbc_task
 
 __all__ = ["random_outlier_budget", "one_round_coreset"]
 
@@ -43,6 +45,7 @@ def one_round_coreset(
     final_compress: bool = True,
     cluster: "SimulatedMPC | None" = None,
     parallel: bool = False,
+    executor=None,
 ) -> MPCCoresetResult:
     """Run Algorithm 6 on randomly partitioned input.
 
@@ -50,6 +53,11 @@ def one_round_coreset(
     (use :func:`repro.mpc.partition.partition_random`); with an
     adversarial partition the output can silently miss outliers — that
     failure mode is demonstrated by experiment E2.
+
+    ``executor`` selects how the machine-local MBC constructions run
+    (name, :class:`~repro.engine.Executor`, or ``None`` for serial);
+    results are bit-identical under every executor.  ``parallel=True``
+    is the legacy spelling of ``executor="thread"``.
     """
     metric = get_metric(metric)
     m = len(parts)
@@ -62,14 +70,14 @@ def one_round_coreset(
     n = sum(len(p) for p in parts)
     zprime = random_outlier_budget(n, m, z)
 
-    mbcs = parallel_map(
-        lambda part: mbc_construction(part, k, zprime, eps, metric),
-        parts,
-        parallel,
+    mbcs = map_machines(
+        resolve_executor(executor, parallel),
+        mbc_task,
+        [(part, k, zprime, eps, metric, None) for part in parts],
+        machines=machines,
+        charge=lambda mach, task, mbc: (mach.charge(len(task[0])), mach.charge(mbc.size)),
     )
-    for i, (part, mbc) in enumerate(zip(parts, mbcs)):
-        machines[i].charge(len(part))
-        machines[i].charge(mbc.size)
+    for i, mbc in enumerate(mbcs):
         cluster.send(i, 0, mbc.coreset, items=mbc.size)
     cluster.end_round()
 

@@ -33,12 +33,13 @@ from math import ceil, log2
 
 import numpy as np
 
-from ..core.greedy import charikar_greedy
 from ..core.mbc import compose_errors, mbc_construction
 from ..core.metrics import get_metric
 from ..core.points import WeightedPointSet
-from .cluster import SimulatedMPC, parallel_map
+from ..engine import map_machines
+from .cluster import SimulatedMPC, resolve_executor
 from .result import MPCCoresetResult
+from .tasks import mbc_task, radius_vector_task
 
 __all__ = ["outlier_vector_length", "compute_rhat", "two_round_coreset"]
 
@@ -103,6 +104,7 @@ def two_round_coreset(
     outlier_guessing: bool = True,
     cluster: "SimulatedMPC | None" = None,
     parallel: bool = False,
+    executor=None,
 ) -> MPCCoresetResult:
     """Run Algorithm 2 on pre-partitioned input.
 
@@ -119,9 +121,12 @@ def two_round_coreset(
         The paper's mechanism (True) versus naive local budget ``z``
         (False) — ablation E16.  The naive variant needs one round only.
     parallel:
-        Run the machine-local computations on a thread pool (see
-        :func:`repro.mpc.cluster.parallel_map`); results are identical to
-        the sequential run.
+        Legacy spelling of ``executor="thread"``.
+    executor:
+        How the machine-local computations run: an executor name
+        (``"serial"``, ``"thread"``, ``"process"``), a
+        :class:`~repro.engine.Executor` instance, or ``None`` (serial).
+        Results are bit-identical under every executor.
 
     Returns the coordinator's coreset with ``eps_guarantee = 3*eps`` when
     re-compressed, ``eps`` otherwise.
@@ -134,6 +139,7 @@ def two_round_coreset(
     if cluster.m != m:
         raise ValueError("cluster size does not match number of parts")
     machines = cluster.machines
+    exec_ = resolve_executor(executor, parallel)
     for i, part in enumerate(parts):
         machines[i].charge(len(part))  # local input
 
@@ -143,16 +149,14 @@ def two_round_coreset(
 
     if outlier_guessing:
         # ---- Round 1: local radius vectors, broadcast -------------------
-        def _local_vector(part: WeightedPointSet) -> np.ndarray:
-            v = np.zeros(veclen)
-            for j in range(veclen):
-                zj = (1 << j) - 1
-                v[j] = charikar_greedy(part, k, zj, metric).radius
-            return v
-
-        vectors = parallel_map(_local_vector, parts, parallel)
+        vectors = map_machines(
+            exec_,
+            radius_vector_task,
+            [(part, k, veclen, metric) for part in parts],
+            machines=machines,
+            charge=lambda mach, task, vec: mach.charge(veclen),  # own vector
+        )
         for i, v in enumerate(vectors):
-            machines[i].charge(veclen)  # own vector
             cluster.broadcast(i, v, items=veclen)
         cluster.end_round()
 
@@ -161,24 +165,30 @@ def two_round_coreset(
         # m vectors; we run it once and charge everyone for holding them.
         rhat, jhats = compute_rhat(vectors, z)
 
-        def _local_mbc(args):
-            part, jhat, vec = args
-            zi = (1 << jhat) - 1
-            return mbc_construction(part, k, zi, eps, metric, radius=float(vec[jhat]))
-
-        mbcs = parallel_map(_local_mbc, zip(parts, jhats, vectors), parallel)
+        mbcs = map_machines(
+            exec_,
+            mbc_task,
+            [
+                (part, k, (1 << jhat) - 1, eps, metric, float(vec[jhat]))
+                for part, jhat, vec in zip(parts, jhats, vectors)
+            ],
+            machines=machines,
+            charge=lambda mach, task, mbc: mach.charge(mbc.size),
+        )
         for i, mbc in enumerate(mbcs):
-            machines[i].charge(mbc.size)
             cluster.send(i, 0, mbc.coreset, items=mbc.size)
         cluster.end_round()
         budgets = [(1 << j) - 1 for j in jhats]
     else:
         # ---- Naive ablation: one round, local budget z everywhere -------
-        local_mbcs = []
-        for i, part in enumerate(parts):
-            mbc = mbc_construction(part, k, z, eps, metric)
-            local_mbcs.append(mbc.coreset)
-            machines[i].charge(mbc.size)
+        mbcs = map_machines(
+            exec_,
+            mbc_task,
+            [(part, k, z, eps, metric, None) for part in parts],
+            machines=machines,
+            charge=lambda mach, task, mbc: mach.charge(mbc.size),
+        )
+        for i, mbc in enumerate(mbcs):
             cluster.send(i, 0, mbc.coreset, items=mbc.size)
         cluster.end_round()
         budgets = [z] * m

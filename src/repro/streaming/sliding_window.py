@@ -30,6 +30,7 @@ beyond ``z+1`` can never be declared outliers).
 
 from __future__ import annotations
 
+import heapq
 from math import ceil, sqrt
 
 import numpy as np
@@ -71,6 +72,11 @@ class GuessStructure:
         self.cells: "dict[tuple, list[tuple[int, np.ndarray]]]" = {}
         #: queries whose window still contains an evicted arrival are invalid
         self.invalid_through: int = -1
+        #: lazy min-heap of (newest-arrival time, key) used by the batch
+        #: path; entries go stale when a cell receives a newer arrival and
+        #: are skipped on pop.  None until first batch (the scalar path
+        #: invalidates it rather than maintaining it).
+        self._recency: "list[tuple[int, tuple]] | None" = None
 
     def _key(self, p: np.ndarray) -> tuple:
         return tuple(np.floor(np.asarray(p, dtype=float) / self.side).astype(np.int64).tolist())
@@ -83,7 +89,10 @@ class GuessStructure:
 
     def insert(self, p: np.ndarray, t: int) -> None:
         """Record arrival of ``p`` at time ``t`` (times must be
-        non-decreasing)."""
+        non-decreasing).  This is the scalar reference path; the batch
+        path (:meth:`extend`) is bit-identical to it (the parity test in
+        ``tests/test_sliding_window.py`` proves both)."""
+        self._recency = None  # scalar path does not maintain the heap
         p = np.asarray(p, dtype=float).reshape(-1)
         key = self._key(p)
         buf = self.cells.setdefault(key, [])
@@ -98,6 +107,60 @@ class GuessStructure:
             # windows [tq-W+1, tq] containing `newest` are poisoned
             self.invalid_through = max(self.invalid_through, newest + self.window - 1)
             del self.cells[victim]
+
+    def _live_top(self) -> "tuple[int, tuple]":
+        """Smallest (newest-arrival, key) over live cells, skipping stale
+        heap entries.  Newest times are unique (one arrival per time per
+        guess), so this is exactly the scalar path's ``min()`` victim."""
+        heap = self._recency
+        while True:
+            tn, key = heap[0]
+            buf = self.cells.get(key)
+            if buf is None or buf[-1][0] != tn:
+                heapq.heappop(heap)
+                continue
+            return tn, key
+
+    def extend(self, pts: np.ndarray, t0: int, keys: "np.ndarray | None" = None) -> None:
+        """Record a batch of arrivals at times ``t0, t0+1, ...``.
+
+        Bit-identical to ``insert`` per row, but the cell keys for the
+        whole batch are computed in one vectorized pass (``keys`` lets
+        :class:`SlidingWindowCoreset` hand in keys computed for the whole
+        ladder at once) and expiry/eviction run off a recency heap
+        instead of a full scan per point.
+        """
+        pts = np.atleast_2d(np.asarray(pts, dtype=float))
+        if len(pts) == 0:
+            return
+        if keys is None:
+            keys = np.floor(pts / self.side).astype(np.int64)
+        if self._recency is None:
+            self._recency = [(buf[-1][0], key) for key, buf in self.cells.items()]
+            heapq.heapify(self._recency)
+        heap = self._recency
+        cap = self.z + 1
+        for i in range(len(pts)):
+            t = int(t0) + i
+            key = tuple(keys[i].tolist())
+            buf = self.cells.setdefault(key, [])
+            buf.append((t, pts[i].copy()))
+            if len(buf) > cap:
+                buf.pop(0)
+            heapq.heappush(heap, (t, key))
+            # purge: drop every cell whose newest arrival expired
+            cutoff = t - self.window + 1
+            while self.cells:
+                tn, kk = self._live_top()
+                if tn >= cutoff:
+                    break
+                heapq.heappop(heap)
+                del self.cells[kk]
+            while len(self.cells) > self.capacity:
+                tn, kk = self._live_top()
+                self.invalid_through = max(self.invalid_through, tn + self.window - 1)
+                heapq.heappop(heap)
+                del self.cells[kk]
 
     @property
     def stored_items(self) -> int:
@@ -176,14 +239,30 @@ class SlidingWindowCoreset:
         return self._t
 
     def insert(self, p) -> None:
-        """Process the next arrival (time advances by one per insert)."""
+        """Process the next arrival (time advances by one per insert;
+        scalar reference path)."""
         self._t += 1
         for g in self.guesses:
             g.insert(np.asarray(p, dtype=float), self._t)
 
     def extend(self, points) -> None:
-        for p in np.atleast_2d(np.asarray(points, dtype=float)):
-            self.insert(p)
+        """Process a batch of arrivals (the vectorized hot path).
+
+        Cell keys for the whole batch are computed against every rung of
+        the guess ladder in a single broadcast ``floor(points / side)``
+        pass; each :class:`GuessStructure` then only does per-point
+        bookkeeping.  Bit-identical to per-point :meth:`insert`.
+        """
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        if len(pts) == 0:
+            return
+        t0 = self._t + 1
+        self._t += len(pts)
+        sides = np.array([g.side for g in self.guesses])
+        # (rungs, n, d) key tensor: one vectorized pass for the whole ladder
+        ladder_keys = np.floor(pts[None, :, :] / sides[:, None, None]).astype(np.int64)
+        for g, keys in zip(self.guesses, ladder_keys):
+            g.extend(pts, t0, keys=keys)
 
     def coreset(self) -> WeightedPointSet:
         """Coreset of the current window from the smallest serving guess."""

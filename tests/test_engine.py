@@ -1,0 +1,183 @@
+"""Tests for the repro.engine execution layer."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    Executor,
+    ProcessExecutor,
+    ResultsCache,
+    SerialExecutor,
+    ThreadExecutor,
+    derive_rngs,
+    derive_seeds,
+    get_executor,
+    map_machines,
+)
+from repro.mpc import Machine
+
+
+def _square(x):
+    return x * x  # module-level so ProcessExecutor can pickle it
+
+
+def _draw(seed_seq):
+    return np.random.default_rng(seed_seq).integers(0, 1 << 30)
+
+
+EXECUTORS = [SerialExecutor(), ThreadExecutor(jobs=3), ProcessExecutor(jobs=2)]
+
+
+class TestExecutors:
+    @pytest.mark.parametrize("ex", EXECUTORS, ids=lambda e: e.name)
+    def test_map_order_preserved(self, ex):
+        assert ex.map(_square, range(17)) == [x * x for x in range(17)]
+
+    @pytest.mark.parametrize("ex", EXECUTORS, ids=lambda e: e.name)
+    def test_map_empty_and_singleton(self, ex):
+        assert ex.map(_square, []) == []
+        assert ex.map(_square, [7]) == [49]
+
+    def test_protocol_conformance(self):
+        for ex in EXECUTORS:
+            assert isinstance(ex, Executor)
+
+    def test_bad_jobs(self):
+        with pytest.raises(ValueError):
+            ThreadExecutor(jobs=0)
+
+    def test_pool_reused_across_maps(self):
+        ex = ThreadExecutor(jobs=2)
+        ex.map(_square, range(4))
+        pool = ex._pool
+        ex.map(_square, range(4))
+        assert ex._pool is pool  # no per-map pool churn
+        ex.close()
+        assert ex._pool is None
+
+    def test_context_manager_closes(self):
+        with ThreadExecutor(jobs=2) as ex:
+            assert ex.map(_square, [2, 3]) == [4, 9]
+        assert ex._pool is None
+        with SerialExecutor() as ex:
+            assert ex.map(_square, [2]) == [4]
+
+
+class TestGetExecutor:
+    def test_default_serial(self):
+        assert isinstance(get_executor(), SerialExecutor)
+        assert isinstance(get_executor(None), SerialExecutor)
+
+    def test_names(self):
+        assert isinstance(get_executor("serial"), SerialExecutor)
+        assert isinstance(get_executor("thread"), ThreadExecutor)
+        assert isinstance(get_executor("process"), ProcessExecutor)
+
+    def test_inline_jobs(self):
+        ex = get_executor("thread:5")
+        assert isinstance(ex, ThreadExecutor) and ex.jobs == 5
+
+    def test_inline_jobs_conflict(self):
+        with pytest.raises(ValueError):
+            get_executor("thread:5", jobs=3)
+        assert get_executor("thread:5", jobs=5).jobs == 5
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            get_executor("gpu")
+
+    def test_instance_passthrough(self):
+        ex = ThreadExecutor(jobs=2)
+        assert get_executor(ex) is ex
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            get_executor(3.14)
+
+
+class TestSeedDerivation:
+    def test_deterministic(self):
+        a = [s.generate_state(4).tolist() for s in derive_seeds(42, 5)]
+        b = [s.generate_state(4).tolist() for s in derive_seeds(42, 5)]
+        assert a == b
+
+    def test_children_differ(self):
+        states = {tuple(s.generate_state(4)) for s in derive_seeds(0, 10)}
+        assert len(states) == 10
+
+    def test_executor_independent(self):
+        """Per-task draws depend only on (seed, index), not the executor."""
+        seeds = derive_seeds(7, 8)
+        draws = {ex.name: ex.map(_draw, seeds) for ex in EXECUTORS}
+        assert draws["serial"] == draws["thread"] == draws["process"]
+
+    def test_derive_rngs(self):
+        r1 = [g.random() for g in derive_rngs(3, 4)]
+        r2 = [g.random() for g in derive_rngs(3, 4)]
+        assert r1 == r2
+
+    def test_negative_n(self):
+        with pytest.raises(ValueError):
+            derive_seeds(0, -1)
+
+
+class TestMapMachines:
+    @pytest.mark.parametrize("ex", EXECUTORS, ids=lambda e: e.name)
+    def test_charging_in_caller(self, ex):
+        """Accounting lands on the caller's Machine objects, in order,
+        under every executor."""
+        machines = [Machine(i) for i in range(6)]
+        results = map_machines(
+            ex, _square, list(range(6)),
+            machines=machines,
+            charge=lambda mach, task, res: mach.charge(res),
+        )
+        assert results == [x * x for x in range(6)]
+        assert [m.peak_items for m in machines] == [x * x for x in range(6)]
+
+    def test_charge_requires_machines(self):
+        with pytest.raises(ValueError):
+            map_machines(None, _square, [1], charge=lambda *a: None)
+
+    def test_no_charge_is_plain_map(self):
+        assert map_machines("serial", _square, [2, 3]) == [4, 9]
+
+
+class TestResultsCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultsCache(str(tmp_path))
+        payload = [{"rows": [1, 2, 3]}]
+        cache.put("E1", {"n": 800}, payload)
+        assert cache.get("E1", {"n": 800}) == payload
+
+    def test_miss(self, tmp_path):
+        cache = ResultsCache(str(tmp_path))
+        assert cache.get("E1", {"n": 800}) is None
+
+    def test_key_depends_on_params(self):
+        assert ResultsCache.key("E1", {"n": 800}) != ResultsCache.key("E1", {"n": 900})
+        assert ResultsCache.key("E1", {"n": 800}) == ResultsCache.key("E1", {"n": 800})
+
+    def test_contains(self, tmp_path):
+        cache = ResultsCache(str(tmp_path))
+        assert ("E2", {"z": 1}) not in cache
+        cache.put("E2", {"z": 1}, [1])
+        assert ("E2", {"z": 1}) in cache
+
+    def test_corrupt_entry_is_miss(self, tmp_path):
+        cache = ResultsCache(str(tmp_path))
+        path = cache.put("E3", None, [1, 2])
+        with open(path, "wb") as f:
+            f.write(b"not a pickle")
+        assert cache.get("E3", None) is None
+
+    def test_json_sidecar(self, tmp_path):
+        import json
+
+        cache = ResultsCache(str(tmp_path))
+        pkl = cache.put("E4", {"n": 5}, [1, 2, 3])
+        with open(pkl.replace(".pkl", ".json")) as f:
+            meta = json.load(f)
+        assert meta["experiment"] == "E4"
+        assert meta["params"] == {"n": 5}
+        assert meta["rows"] == 3

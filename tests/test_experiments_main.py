@@ -1,12 +1,12 @@
-"""Tests for the `python -m repro.experiments` runner."""
+"""Tests for the `python -m repro.experiments` sharded runner."""
 
-
-from repro.experiments.__main__ import EXPERIMENTS, main
+from repro.engine import ResultsCache
+from repro.experiments.__main__ import EXPERIMENTS, main, run_experiment
 
 
 class TestRunner:
     def test_quick_single_experiment(self, capsys):
-        rc = main(["--quick", "E15"])
+        rc = main(["--quick", "--no-cache", "E15"])
         out = capsys.readouterr().out
         assert rc == 0
         assert "E15" in out and "lemma41_gap" in out
@@ -17,14 +17,60 @@ class TestRunner:
         assert "unknown experiment" in capsys.readouterr().out
 
     def test_multiple_ids(self, capsys):
-        rc = main(["--quick", "E5", "E12"])
+        rc = main(["--quick", "--no-cache", "E5", "E12"])
         out = capsys.readouterr().out
         assert rc == 0
         assert "Lemma 12" in out or "E5" in out
         assert "E12" in out
 
     def test_registry_ids_well_formed(self):
-        for eid, (title, full, quick) in EXPERIMENTS.items():
-            assert eid.startswith("E")
-            assert callable(full) and callable(quick)
-            assert title
+        from repro.experiments import table1
+
+        for eid, exp in EXPERIMENTS.items():
+            assert eid == exp.eid and eid.startswith("E")
+            assert exp.title
+            assert callable(getattr(table1, exp.driver))
+
+    def test_list(self, capsys):
+        rc = main(["--list"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for eid, exp in EXPERIMENTS.items():
+            assert eid in out and exp.title in out
+
+    def test_bad_jobs(self, capsys):
+        assert main(["--jobs", "0", "E15"]) == 2
+
+
+class TestCache:
+    def test_rows_cached_and_reused(self, tmp_path, capsys):
+        rc = main(["--quick", "--results-dir", str(tmp_path), "E15"])
+        assert rc == 0
+        first = capsys.readouterr().out
+        assert list(tmp_path.glob("E15-*.pkl")) and list(tmp_path.glob("E15-*.json"))
+        # second run is served from the cache and prints identical tables
+        rc = main(["--quick", "--results-dir", str(tmp_path), "E15"])
+        assert rc == 0
+        assert capsys.readouterr().out == first
+
+    def test_force_recomputes(self, tmp_path):
+        cache = ResultsCache(str(tmp_path))
+        rows = run_experiment("E15", quick=True, cache=cache)
+        again = run_experiment("E15", quick=True, cache=cache, force=True)
+        assert [r.metrics for r in rows] == [r.metrics for r in again]
+
+    def test_quick_and_full_have_distinct_keys(self):
+        exp = EXPERIMENTS["E2"]
+        kq = ResultsCache.key("E2", {"kwargs": exp.kwargs(True), "quick": True})
+        kf = ResultsCache.key("E2", {"kwargs": exp.kwargs(False), "quick": False})
+        assert kq != kf
+
+
+class TestSharded:
+    def test_jobs_2_matches_serial(self, tmp_path, capsys):
+        rc = main(["--quick", "--no-cache", "--jobs", "2", "E5", "E15"])
+        assert rc == 0
+        sharded = capsys.readouterr().out
+        rc = main(["--quick", "--no-cache", "E5", "E15"])
+        assert rc == 0
+        assert capsys.readouterr().out == sharded

@@ -111,3 +111,69 @@ class TestSlidingWindowCoreset:
         cs = sw.coreset()
         assert all(abs(p[0]) < 1.0 for p in cs.points)
         assert sw.radius() == 0.0
+
+
+def _assert_same_state(a: SlidingWindowCoreset, b: SlidingWindowCoreset):
+    """Full structural equality of two ladders, bit for bit."""
+    assert a.now == b.now
+    assert a.num_guesses == b.num_guesses
+    for ga, gb in zip(a.guesses, b.guesses):
+        assert ga.invalid_through == gb.invalid_through
+        assert list(ga.cells) == list(gb.cells)  # same keys, same dict order
+        for key in ga.cells:
+            ba, bb = ga.cells[key], gb.cells[key]
+            assert [t for t, _ in ba] == [t for t, _ in bb]
+            for (_, pa), (_, pb) in zip(ba, bb):
+                assert np.array_equal(pa, pb)
+    csa, csb = a.coreset(), b.coreset()
+    assert np.array_equal(csa.points, csb.points)
+    assert np.array_equal(csa.weights, csb.weights)
+    assert a.stored_items == b.stored_items
+
+
+class TestBatchExtendParity:
+    """The vectorized batch path must match the scalar path bit for bit."""
+
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    def test_extend_matches_insert(self, rng, d):
+        stream = drifting_stream(400, 2, 10, d=d, rng=rng)
+        scalar = SlidingWindowCoreset(2, 3, 0.5, d, window=80, r_min=0.05, r_max=200)
+        batch = SlidingWindowCoreset(2, 3, 0.5, d, window=80, r_min=0.05, r_max=200)
+        for p in stream:
+            scalar.insert(p)
+        batch.extend(stream)
+        _assert_same_state(scalar, batch)
+
+    def test_extend_matches_insert_with_eviction(self, rng):
+        """Tiny capacity forces the eviction/poisoning path in both."""
+        stream = drifting_stream(300, 3, 10, d=1, rng=rng)
+        kw = dict(window=40, r_min=0.01, r_max=50, capacity=3)
+        scalar = SlidingWindowCoreset(1, 1, 0.5, 1, **kw)
+        batch = SlidingWindowCoreset(1, 1, 0.5, 1, **kw)
+        for p in stream:
+            scalar.insert(p)
+        batch.extend(stream)
+        _assert_same_state(scalar, batch)
+
+    def test_interleaved_scalar_and_batch(self, rng):
+        """Mixing insert() and extend() stays consistent with pure scalar."""
+        stream = drifting_stream(240, 2, 8, d=2, rng=rng)
+        scalar = SlidingWindowCoreset(2, 2, 0.5, 2, window=60, r_min=0.05, r_max=100)
+        mixed = SlidingWindowCoreset(2, 2, 0.5, 2, window=60, r_min=0.05, r_max=100)
+        for p in stream:
+            scalar.insert(p)
+        mixed.extend(stream[:100])
+        for p in stream[100:140]:
+            mixed.insert(p)
+        mixed.extend(stream[140:])
+        _assert_same_state(scalar, mixed)
+
+    def test_batch_chunking_irrelevant(self, rng):
+        """Any chunking of the stream yields the same structure."""
+        stream = drifting_stream(200, 2, 6, d=1, rng=rng)
+        whole = SlidingWindowCoreset(2, 2, 0.5, 1, window=50, r_min=0.05, r_max=100)
+        chunked = SlidingWindowCoreset(2, 2, 0.5, 1, window=50, r_min=0.05, r_max=100)
+        whole.extend(stream)
+        for lo in range(0, 200, 33):
+            chunked.extend(stream[lo:lo + 33])
+        _assert_same_state(whole, chunked)
