@@ -1,0 +1,162 @@
+"""Machine-readable core-kernel benchmark runner.
+
+Times the three operations the kernels refactor targets — the Charikar
+radius search, ``mbc_construction``, and one end-to-end two-round MPC
+run — at fixed seeds, against the frozen pre-refactor reference
+implementations where one exists
+(:mod:`repro.core._greedy_reference`), and writes a JSON document so CI
+can archive a perf trajectory across PRs::
+
+    PYTHONPATH=src python benchmarks/run_all.py --json BENCH_core.json
+    PYTHONPATH=src python benchmarks/run_all.py --quick --json BENCH_core.json
+
+Each entry records ``{id, params, new_s, old_s, speedup}`` (``old_s`` /
+``speedup`` are null for the MPC end-to-end run: the pre-refactor driver
+is minutes-slow at benchmark sizes, so only the current timing is
+tracked).  The float64 outputs of old and new paths are asserted
+bit-identical before any timing is reported.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+import numpy as np
+
+
+def _instance(n: int, d: int = 2, seed: int = 0, wmax: int = 5):
+    from repro.core.points import WeightedPointSet
+
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, d)) * 10.0
+    return WeightedPointSet(pts, rng.integers(1, wmax, n))
+
+
+def _timed(fn) -> "tuple[float, object]":
+    t0 = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - t0, out
+
+
+def bench_charikar(quick: bool) -> dict:
+    """Greedy(P, k, z) on the exact-candidate (pairwise) path."""
+    from repro.core._greedy_reference import charikar_greedy_reference
+    from repro.core.greedy import charikar_greedy
+
+    n = 512 if quick else 2048
+    k, z = 16, 64
+    P = _instance(n)
+    new_s, new_res = _timed(lambda: charikar_greedy(P, k, z))
+    old_s, old_res = _timed(lambda: charikar_greedy_reference(P, k, z))
+    assert new_res.radius == old_res.radius, "charikar parity violated"
+    assert np.array_equal(new_res.centers_idx, old_res.centers_idx)
+    return {
+        "id": "charikar_greedy",
+        "params": {"n": n, "k": k, "z": z, "d": 2, "seed": 0},
+        "new_s": new_s,
+        "old_s": old_s,
+        "speedup": old_s / new_s,
+    }
+
+
+def bench_mbc(quick: bool) -> dict:
+    """MBCConstruction with a supplied Greedy radius (isolates the
+    absorption loop both implementations share the radius for)."""
+    from repro.core._greedy_reference import greedy_absorb_reference
+    from repro.core.mbc import mbc_construction
+    from repro.core.metrics import get_metric
+
+    n = 8000 if quick else 50000
+    k, z, eps, radius = 8, 32, 0.1, 0.6
+    P = _instance(n, wmax=2)
+    met = get_metric(None)
+    new_s, mbc = _timed(
+        lambda: mbc_construction(P, k, z, eps, met, radius=radius)
+    )
+    old_s, old = _timed(
+        lambda: greedy_absorb_reference(P, eps * radius / 3.0, met)
+    )
+    assert np.array_equal(mbc.coreset.points, old[0].points), "mbc parity violated"
+    assert np.array_equal(mbc.coreset.weights, old[0].weights)
+    return {
+        "id": "mbc_construction",
+        "params": {"n": n, "k": k, "z": z, "eps": eps, "radius": radius,
+                   "d": 2, "seed": 0},
+        "new_s": new_s,
+        "old_s": old_s,
+        "speedup": old_s / new_s,
+    }
+
+
+def bench_mpc_two_round(quick: bool) -> dict:
+    """End-to-end Algorithm 2 (outlier guessing + local MBCs + final
+    compression) on contiguously partitioned input."""
+    from repro.mpc.partition import partition_contiguous
+    from repro.mpc.two_round import two_round_coreset
+
+    n, m = (2500, 5) if quick else (10000, 10)
+    k, z, eps = 4, 8, 0.5
+    P = _instance(n, wmax=2)
+    parts = partition_contiguous(P, m)
+    new_s, res = _timed(lambda: two_round_coreset(parts, k, z, eps))
+    return {
+        "id": "mpc_two_round",
+        "params": {"n": n, "m": m, "k": k, "z": z, "eps": eps,
+                   "d": 2, "seed": 0},
+        "new_s": new_s,
+        "old_s": None,
+        "speedup": None,
+        "coreset": len(res.coreset),
+    }
+
+
+BENCHES = (bench_charikar, bench_mbc, bench_mpc_two_round)
+
+
+def main(argv: "list[str]") -> int:
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/run_all.py",
+        description="Time the core kernels against the frozen pre-refactor "
+                    "reference and emit machine-readable JSON.",
+    )
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the results document to PATH")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced sizes (CI smoke; seconds not minutes)")
+    args = parser.parse_args(argv)
+
+    import repro
+
+    entries = []
+    for bench in BENCHES:
+        entry = bench(args.quick)
+        entries.append(entry)
+        speed = (
+            f"{entry['speedup']:.2f}x vs pre-refactor"
+            if entry["speedup"] is not None
+            else "(no reference timing)"
+        )
+        print(f"{entry['id']:<20} new={entry['new_s']:.3f}s  {speed}")
+
+    doc = {
+        "suite": "core-kernels",
+        "quick": bool(args.quick),
+        "version": repro.__version__,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "entries": entries,
+    }
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

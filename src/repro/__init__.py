@@ -15,6 +15,12 @@ Core (``repro.core``)
     :class:`~repro.core.WeightedPointSet`, metrics, the ``Greedy``
     3-approximation, ``MBCConstruction`` (Algorithm 1), coreset
     verification.
+Kernels (``repro.kernels``)
+    The shared distance-computation layer under every radius search and
+    absorption loop: block kernels (bit-exact float64 / fast float32),
+    chunk autotuning and reusable workspaces, with ``dtype`` /
+    ``kernel_chunk`` knobs threaded through ``ProblemSpec`` and the MPC
+    task tuples.
 Engine (``repro.engine``)
     The parallel execution layer: interchangeable serial/thread/process
     executors with bit-identical results, deterministic per-task seed
@@ -37,7 +43,7 @@ Workloads / experiments (``repro.workloads``, ``repro.experiments``)
     Synthetic data generators and the drivers that regenerate Table 1.
 """
 
-from . import api, core, engine
+from . import api, core, engine, kernels
 from .api import (
     KCenterSession,
     ProblemSpec,
@@ -55,7 +61,7 @@ from .core import (
     update_coreset,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "KCenterSession",
@@ -68,6 +74,7 @@ __all__ = [
     "engine",
     "get_backend",
     "gonzalez",
+    "kernels",
     "mbc_construction",
     "register_backend",
     "solve_kcenter_outliers",

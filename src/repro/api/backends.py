@@ -228,7 +228,8 @@ class OfflineMBCBackend(_BufferedBackendBase):
         if len(P) == 0:
             return P
         self.last_mbc = mbc_construction(
-            P, self.spec.k, self.spec.z, self.spec.eps, self.spec.resolved_metric
+            P, self.spec.k, self.spec.z, self.spec.eps, self.spec.resolved_metric,
+            dtype=self.spec.dtype, kernel_chunk=self.spec.kernel_chunk,
         )
         return self.last_mbc.coreset
 
@@ -503,7 +504,7 @@ class SlidingWindowBackend(_BackendBase):
             spec.k, spec.z, spec.eps, spec.require_dim(), int(window),
             r_min=float(r_min), r_max=float(r_max),
             metric=spec.resolved_metric, ladder_ratio=ladder_ratio,
-            capacity=capacity,
+            capacity=capacity, dtype=spec.dtype, kernel_chunk=spec.kernel_chunk,
         )
 
     def insert(self, point) -> None:
@@ -558,6 +559,10 @@ class MPCBackend(_BufferedBackendBase):
         executor name or instance plus worker count.  Defaults to the
         spec's ``executor``/``jobs`` fields; ``jobs`` alone implies a
         thread pool.  Results are bit-identical under every executor.
+    dtype, kernel_chunk:
+        Distance-kernel knobs (:mod:`repro.kernels`) for the machine-local
+        radius searches and MBC constructions; default to the spec's
+        fields, session options override.
     """
 
     #: default partition scheme; deterministic algorithms tolerate any
@@ -570,11 +575,17 @@ class MPCBackend(_BufferedBackendBase):
         partition=None,
         executor=None,
         jobs: "int | None" = None,
+        dtype=None,
+        kernel_chunk: "int | None" = None,
     ):
         super().__init__(spec)
         self.num_machines = num_machines
         self.partition = partition if partition is not None else self.default_partition
         self.executor = self._resolve_executor(executor, jobs)
+        self.dtype = dtype if dtype is not None else spec.dtype
+        self.kernel_chunk = (
+            kernel_chunk if kernel_chunk is not None else spec.kernel_chunk
+        )
         self.last_result: "MPCCoresetResult | None" = None
 
     def _resolve_executor(self, executor, jobs):
@@ -646,8 +657,10 @@ class TwoRoundMPCBackend(MPCBackend):
     def __init__(self, spec, num_machines=None, partition=None,
                  parallel: bool = False, final_compress: bool = True,
                  outlier_guessing: bool = True, executor=None,
-                 jobs: "int | None" = None):
-        super().__init__(spec, num_machines, partition, executor, jobs)
+                 jobs: "int | None" = None, dtype=None,
+                 kernel_chunk: "int | None" = None):
+        super().__init__(spec, num_machines, partition, executor, jobs,
+                         dtype, kernel_chunk)
         self.parallel = bool(parallel)
         self.final_compress = bool(final_compress)
         self.outlier_guessing = bool(outlier_guessing)
@@ -660,6 +673,8 @@ class TwoRoundMPCBackend(MPCBackend):
             outlier_guessing=self.outlier_guessing,
             parallel=self.parallel,
             executor=self.executor,
+            dtype=self.dtype,
+            kernel_chunk=self.kernel_chunk,
         )
 
     def guarantee(self) -> Guarantee:
@@ -686,8 +701,10 @@ class OneRoundMPCBackend(MPCBackend):
 
     def __init__(self, spec, num_machines=None, partition=None,
                  parallel: bool = False, final_compress: bool = True,
-                 executor=None, jobs: "int | None" = None):
-        super().__init__(spec, num_machines, partition, executor, jobs)
+                 executor=None, jobs: "int | None" = None, dtype=None,
+                 kernel_chunk: "int | None" = None):
+        super().__init__(spec, num_machines, partition, executor, jobs,
+                         dtype, kernel_chunk)
         self.parallel = bool(parallel)
         self.final_compress = bool(final_compress)
 
@@ -698,6 +715,8 @@ class OneRoundMPCBackend(MPCBackend):
             final_compress=self.final_compress,
             parallel=self.parallel,
             executor=self.executor,
+            dtype=self.dtype,
+            kernel_chunk=self.kernel_chunk,
         )
 
     def guarantee(self) -> Guarantee:
@@ -720,8 +739,10 @@ class MultiRoundMPCBackend(MPCBackend):
     """Deterministic R-round reduction tree (rounds/storage trade-off)."""
 
     def __init__(self, spec, num_machines=None, partition=None,
-                 rounds: int = 2, executor=None, jobs: "int | None" = None):
-        super().__init__(spec, num_machines, partition, executor, jobs)
+                 rounds: int = 2, executor=None, jobs: "int | None" = None,
+                 dtype=None, kernel_chunk: "int | None" = None):
+        super().__init__(spec, num_machines, partition, executor, jobs,
+                         dtype, kernel_chunk)
         if int(rounds) < 1:
             raise ValueError("rounds must be >= 1")
         self.rounds = int(rounds)
@@ -731,6 +752,8 @@ class MultiRoundMPCBackend(MPCBackend):
             parts, self.spec.k, self.spec.z, self.spec.eps,
             rounds=self.rounds, metric=self.spec.resolved_metric,
             executor=self.executor,
+            dtype=self.dtype,
+            kernel_chunk=self.kernel_chunk,
         )
 
     def guarantee(self) -> Guarantee:

@@ -162,7 +162,10 @@ class KCenterSession:
             centers = np.zeros((0, cs.dim if len(cs) else (spec.dim or 1)))
             radius = 0.0
         elif method == "greedy3":
-            res = charikar_greedy(cs, spec.k, spec.z, spec.resolved_metric)
+            res = charikar_greedy(
+                cs, spec.k, spec.z, spec.resolved_metric,
+                dtype=spec.dtype, kernel_chunk=spec.kernel_chunk,
+            )
             centers, radius = cs.points[res.centers_idx], res.radius
         else:
             sol = solve_kcenter_outliers(

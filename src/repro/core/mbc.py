@@ -16,17 +16,31 @@ bounds the output size by ``k * (12/eps)^d + z``.
 :func:`update_coreset` is Algorithm 4 (``UpdateCoreset``): the same greedy
 absorption at an explicitly given distance ``delta`` (used by the streaming
 algorithm when it doubles its radius estimate).
+
+Performance (the kernels refactor): the absorption loop no longer scans
+all ``n`` points per representative.  For the built-in norms it buckets
+the input into grid cells of side ``delta`` in one vectorized pass (the
+same cell-key broadcast :class:`repro.streaming.SlidingWindowCoreset`
+uses for its guess ladder) and evaluates distances only against the
+``3^d`` neighboring cells of each representative — any point within
+``delta`` under L2/L1/Linf is within ``delta`` per coordinate, so no
+candidate is missed and results are bit-identical to the scalar loop
+(:func:`repro.core._greedy_reference.greedy_absorb_reference`; proven by
+the parity tests).  Arbitrary metrics, high dimensions and degenerate
+cell sides fall back to scanning only the still-unabsorbed points, which
+shrinks as the balls absorb.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import product
 from math import ceil
 
 import numpy as np
 
 from .greedy import charikar_greedy
-from .metrics import Metric, get_metric
+from .metrics import Metric, _KernelMetric, get_metric
 from .points import WeightedPointSet
 
 __all__ = [
@@ -75,6 +89,36 @@ class MiniBallCovering:
         return len(self.coreset)
 
 
+#: 3^d neighbor cells per representative; beyond this the enumeration
+#: overtakes the saved distance work
+_GRID_MAX_DIM = 4
+#: below this the grid's setup cost exceeds the whole scalar loop
+_GRID_MIN_POINTS = 192
+
+
+def _absorb_cells(pts: np.ndarray, side: float) -> "dict | None":
+    """Bucket points into cells of ``side``: cell key -> index array.
+
+    Returns ``None`` when the quantized keys cannot be trusted (side too
+    small relative to the coordinate range for exact int64 keys with the
+    at-most-one-cell rounding slack the neighborhood argument needs).
+    """
+    with np.errstate(over="ignore", invalid="ignore"):
+        q = np.floor(pts / side)
+    if not np.isfinite(q).all() or (np.abs(q) >= 2.0**30).any():
+        return None
+    keys = q.astype(np.int64)
+    uniq, inverse = np.unique(keys, axis=0, return_inverse=True)
+    inverse = inverse.reshape(-1)  # numpy 2.0.0 returned shape (n, 1)
+    by_cell = np.argsort(inverse, kind="stable")
+    bounds = np.concatenate([[0], np.cumsum(np.bincount(inverse))])
+    cells = {
+        tuple(key): by_cell[bounds[gi] : bounds[gi + 1]]
+        for gi, key in enumerate(uniq.tolist())
+    }
+    return {"keys": keys, "cells": cells}
+
+
 def _greedy_absorb(
     wps: WeightedPointSet,
     delta: float,
@@ -87,6 +131,11 @@ def _greedy_absorb(
     ``order`` optionally permutes the 'arbitrary point' choice (Algorithm 1
     line 4 allows any order; tests use this to check order-independence of
     the guarantees).  Returns the representative set and the assignment.
+
+    Bit-identical to the pre-refactor scalar loop; only the candidate set
+    each representative's distances are evaluated against shrinks — to the
+    3^d neighboring grid cells when the metric/dimension admit the grid,
+    or to the still-unabsorbed points otherwise.
     """
     n = len(wps)
     if n == 0:
@@ -99,15 +148,57 @@ def _greedy_absorb(
     rep_rows: list[int] = []
     rep_weights: list[int] = []
     tol = 1e-9 * max(1.0, delta)
-    for idx in order:
-        if not remaining[idx]:
-            continue
-        d = metric.to_set(pts[idx], pts)
-        absorbed = remaining & (d <= delta + tol)
-        assignment[absorbed] = len(rep_rows)
-        rep_rows.append(int(idx))
-        rep_weights.append(int(wps.weights[absorbed].sum()))
-        remaining &= ~absorbed
+    cutoff = delta + tol
+
+    grid = None
+    # only the built-in norm metrics operate on actual coordinates with
+    # dist <= delta implying per-coordinate distance <= delta (L2 and L1
+    # dominate Linf), making the 3^d neighborhood a sound candidate
+    # superset; an isinstance gate (not metric.name, which Callable/
+    # PrecomputedMetric document as cosmetic) keeps e.g. a
+    # PrecomputedMetric(name="euclidean") off the grid — its "points" are
+    # element ids, meaningless to bucket
+    if (
+        n >= _GRID_MIN_POINTS
+        and pts.shape[1] <= _GRID_MAX_DIM
+        and isinstance(metric, _KernelMetric)
+    ):
+        # side slightly above the cutoff: the 1e-6 slack strictly dominates
+        # the float rounding of pts/side under the |key| < 2^30 guard, so
+        # two points within `cutoff` always land in adjacent cells
+        grid = _absorb_cells(pts, cutoff * (1.0 + 1e-6))
+
+    if grid is not None:
+        keys, cells = grid["keys"], grid["cells"]
+        offsets = np.array(list(product((-1, 0, 1), repeat=pts.shape[1])))
+        for idx in order:
+            if not remaining[idx]:
+                continue
+            neigh = [
+                c
+                for off in keys[idx] + offsets
+                if (c := cells.get(tuple(off.tolist()))) is not None
+            ]
+            cand = neigh[0] if len(neigh) == 1 else np.concatenate(neigh)
+            d = metric.to_set(pts[idx], pts[cand])
+            sel = cand[remaining[cand] & (d <= cutoff)]
+            assignment[sel] = len(rep_rows)
+            rep_rows.append(int(idx))
+            rep_weights.append(int(wps.weights[sel].sum()))
+            remaining[sel] = False
+    else:
+        rem = np.arange(n)
+        for idx in order:
+            if not remaining[idx]:
+                continue
+            d = metric.to_set(pts[idx], pts[rem])
+            absorbed = d <= cutoff
+            sel = rem[absorbed]
+            assignment[sel] = len(rep_rows)
+            rep_rows.append(int(idx))
+            rep_weights.append(int(wps.weights[sel].sum()))
+            remaining[sel] = False
+            rem = rem[~absorbed]
     coreset = WeightedPointSet(
         pts[rep_rows], np.asarray(rep_weights, dtype=np.int64)
     )
@@ -122,6 +213,8 @@ def mbc_construction(
     metric: "Metric | str | None" = None,
     radius: "float | None" = None,
     order: "np.ndarray | None" = None,
+    dtype=None,
+    kernel_chunk: "int | None" = None,
 ) -> MiniBallCovering:
     """Algorithm 1: ``MBCConstruction(P, k, z, eps)``.
 
@@ -134,6 +227,10 @@ def mbc_construction(
     order:
         Optional permutation controlling which 'arbitrary point' is picked
         first (the guarantee holds for any order).
+    dtype, kernel_chunk:
+        Distance-kernel knobs for the embedded radius search (see
+        :func:`repro.core.greedy.charikar_greedy`); the absorption itself
+        always evaluates exact float64 distances.
 
     Returns an ``(eps', k, z)``-mini-ball covering with
     ``eps' = eps * (r / (3 opt)) <= eps`` — i.e. at least as good as
@@ -143,7 +240,9 @@ def mbc_construction(
         raise ValueError("eps must be non-negative")
     metric = get_metric(metric)
     if radius is None:
-        radius = charikar_greedy(wps, k, z, metric).radius
+        radius = charikar_greedy(
+            wps, k, z, metric, dtype=dtype, kernel_chunk=kernel_chunk
+        ).radius
     delta = eps * radius / 3.0
     coreset, assignment = _greedy_absorb(wps, delta, metric, order)
     return MiniBallCovering(

@@ -22,7 +22,8 @@ slower (Python loop) and intended for tests and small instances.
 from __future__ import annotations
 
 import numpy as np
-from scipy.spatial.distance import cdist
+
+from ..kernels import pairwise_kernel
 
 __all__ = [
     "Metric",
@@ -56,6 +57,24 @@ class Metric:
         """
         raise NotImplementedError
 
+    def pairwise_block(
+        self, a: np.ndarray, b: np.ndarray, dtype=None, workspace=None
+    ) -> np.ndarray:
+        """Distance block in the requested kernel ``dtype``.
+
+        ``dtype=None``/``"float64"`` is the exact reference path
+        (identical to :meth:`pairwise`); ``"float32"`` may use a faster,
+        lower-precision kernel where one exists.  ``workspace`` is an
+        optional :class:`repro.kernels.Workspace` for norm/buffer reuse
+        across blocks of one outer computation.  The base implementation
+        computes exactly and casts, so arbitrary metrics stay correct.
+        """
+        from ..kernels import resolve_dtype
+
+        D = self.pairwise(a, b)
+        dt = resolve_dtype(dtype)
+        return D if D.dtype == dt else D.astype(dt)
+
     def to_set(self, q: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Distances from a single point ``q`` (shape ``(d,)``) to each row
         of ``b`` (shape ``(m, d)``), returned as shape ``(m,)``."""
@@ -82,20 +101,31 @@ class Metric:
         return f"{type(self).__name__}()"
 
 
-class EuclideanMetric(Metric):
+class _KernelMetric(Metric):
+    """A norm with a dedicated entry in :mod:`repro.kernels`.
+
+    ``pairwise`` routes through the kernel layer's float64 path (SciPy
+    ``cdist`` — bit-identical to the pre-kernels implementation);
+    ``pairwise_block`` additionally honors ``dtype``/``workspace`` so the
+    radius-search stack can opt into the float32 fast kernels.
+    """
+
+    def pairwise(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return pairwise_kernel(self.name, a, b)
+
+    def pairwise_block(
+        self, a: np.ndarray, b: np.ndarray, dtype=None, workspace=None
+    ) -> np.ndarray:
+        return pairwise_kernel(self.name, a, b, dtype=dtype, workspace=workspace)
+
+
+class EuclideanMetric(_KernelMetric):
     """The ``L_2`` norm on ``R^d``."""
 
     name = "euclidean"
 
-    def pairwise(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        a = np.atleast_2d(np.asarray(a, dtype=float))
-        b = np.atleast_2d(np.asarray(b, dtype=float))
-        if a.size == 0 or b.size == 0:
-            return np.zeros((len(a), len(b)))
-        return cdist(a, b, metric="euclidean")
 
-
-class ChebyshevMetric(Metric):
+class ChebyshevMetric(_KernelMetric):
     """The ``L_inf`` norm on ``R^d``.
 
     Used by the sliding-window lower bound (§6), where the paper notes that
@@ -104,25 +134,11 @@ class ChebyshevMetric(Metric):
 
     name = "chebyshev"
 
-    def pairwise(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        a = np.atleast_2d(np.asarray(a, dtype=float))
-        b = np.atleast_2d(np.asarray(b, dtype=float))
-        if a.size == 0 or b.size == 0:
-            return np.zeros((len(a), len(b)))
-        return cdist(a, b, metric="chebyshev")
 
-
-class ManhattanMetric(Metric):
+class ManhattanMetric(_KernelMetric):
     """The ``L_1`` norm on ``R^d``."""
 
     name = "manhattan"
-
-    def pairwise(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        a = np.atleast_2d(np.asarray(a, dtype=float))
-        b = np.atleast_2d(np.asarray(b, dtype=float))
-        if a.size == 0 or b.size == 0:
-            return np.zeros((len(a), len(b)))
-        return cdist(a, b, metric="cityblock")
 
 
 class CallableMetric(Metric):

@@ -1,0 +1,28 @@
+"""Shared distance kernels (see :mod:`repro.kernels.distance`).
+
+One block-kernel implementation under every metric, radius search and
+absorption loop in the library, with two knobs — ``dtype`` (float64 =
+bit-exact reference, float32 = GEMM/broadcast fast path) and
+``kernel_chunk`` (rows per block; ``None`` autotunes) — threaded through
+:class:`repro.api.ProblemSpec` and the MPC task tuples.
+"""
+
+from .distance import (
+    DEFAULT_BLOCK_BYTES,
+    KERNEL_DTYPES,
+    Workspace,
+    auto_chunk,
+    pairwise_kernel,
+    resolve_dtype,
+    sqnorms,
+)
+
+__all__ = [
+    "DEFAULT_BLOCK_BYTES",
+    "KERNEL_DTYPES",
+    "Workspace",
+    "auto_chunk",
+    "pairwise_kernel",
+    "resolve_dtype",
+    "sqnorms",
+]

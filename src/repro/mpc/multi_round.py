@@ -32,6 +32,8 @@ def multi_round_coreset(
     cluster: "SimulatedMPC | None" = None,
     parallel: bool = False,
     executor=None,
+    dtype=None,
+    kernel_chunk: "int | None" = None,
 ) -> MPCCoresetResult:
     """Run Algorithm 7 with ``R = rounds`` communication rounds.
 
@@ -40,6 +42,8 @@ def multi_round_coreset(
     The per-round machine-local MBC constructions fan out through
     ``executor`` (bit-identical results under every executor);
     ``parallel=True`` is the legacy spelling of ``executor="thread"``.
+    ``dtype`` / ``kernel_chunk`` select the distance kernel
+    (:mod:`repro.kernels`) for every per-round MBC construction.
     """
     metric = get_metric(metric)
     m = len(parts)
@@ -68,7 +72,8 @@ def multi_round_coreset(
         mbcs = map_machines(
             exec_,
             mbc_task,
-            [(Q[i], k, z, eps, metric, None) for i in range(active)],
+            [(Q[i], k, z, eps, metric, None, dtype, kernel_chunk)
+             for i in range(active)],
             machines=machines[:active],
             charge=lambda mach, task, mbc: mach.charge(mbc.size),
         )

@@ -46,6 +46,8 @@ def one_round_coreset(
     cluster: "SimulatedMPC | None" = None,
     parallel: bool = False,
     executor=None,
+    dtype=None,
+    kernel_chunk: "int | None" = None,
 ) -> MPCCoresetResult:
     """Run Algorithm 6 on randomly partitioned input.
 
@@ -57,7 +59,9 @@ def one_round_coreset(
     ``executor`` selects how the machine-local MBC constructions run
     (name, :class:`~repro.engine.Executor`, or ``None`` for serial);
     results are bit-identical under every executor.  ``parallel=True``
-    is the legacy spelling of ``executor="thread"``.
+    is the legacy spelling of ``executor="thread"``.  ``dtype`` /
+    ``kernel_chunk`` select the distance kernel (:mod:`repro.kernels`)
+    for the machine-local and coordinator MBC constructions.
     """
     metric = get_metric(metric)
     m = len(parts)
@@ -73,7 +77,8 @@ def one_round_coreset(
     mbcs = map_machines(
         resolve_executor(executor, parallel),
         mbc_task,
-        [(part, k, zprime, eps, metric, None) for part in parts],
+        [(part, k, zprime, eps, metric, None, dtype, kernel_chunk)
+         for part in parts],
         machines=machines,
         charge=lambda mach, task, mbc: (mach.charge(len(task[0])), mach.charge(mbc.size)),
     )
@@ -88,7 +93,9 @@ def one_round_coreset(
         else WeightedPointSet.empty(parts[0].dim)
     )
     if final_compress and len(union):
-        final_mbc = mbc_construction(union, k, z, eps, metric)
+        final_mbc = mbc_construction(
+            union, k, z, eps, metric, dtype=dtype, kernel_chunk=kernel_chunk
+        )
         coreset = final_mbc.coreset
         machines[0].charge(final_mbc.size)
         eps_out = compose_errors(eps, eps)

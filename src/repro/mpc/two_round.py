@@ -105,6 +105,8 @@ def two_round_coreset(
     cluster: "SimulatedMPC | None" = None,
     parallel: bool = False,
     executor=None,
+    dtype=None,
+    kernel_chunk: "int | None" = None,
 ) -> MPCCoresetResult:
     """Run Algorithm 2 on pre-partitioned input.
 
@@ -127,6 +129,9 @@ def two_round_coreset(
         (``"serial"``, ``"thread"``, ``"process"``), a
         :class:`~repro.engine.Executor` instance, or ``None`` (serial).
         Results are bit-identical under every executor.
+    dtype, kernel_chunk:
+        Distance-kernel knobs (:mod:`repro.kernels`), shipped inside the
+        task tuples so process workers honor them too.
 
     Returns the coordinator's coreset with ``eps_guarantee = 3*eps`` when
     re-compressed, ``eps`` otherwise.
@@ -152,7 +157,7 @@ def two_round_coreset(
         vectors = map_machines(
             exec_,
             radius_vector_task,
-            [(part, k, veclen, metric) for part in parts],
+            [(part, k, veclen, metric, dtype, kernel_chunk) for part in parts],
             machines=machines,
             charge=lambda mach, task, vec: mach.charge(veclen),  # own vector
         )
@@ -169,7 +174,8 @@ def two_round_coreset(
             exec_,
             mbc_task,
             [
-                (part, k, (1 << jhat) - 1, eps, metric, float(vec[jhat]))
+                (part, k, (1 << jhat) - 1, eps, metric, float(vec[jhat]),
+                 dtype, kernel_chunk)
                 for part, jhat, vec in zip(parts, jhats, vectors)
             ],
             machines=machines,
@@ -184,7 +190,8 @@ def two_round_coreset(
         mbcs = map_machines(
             exec_,
             mbc_task,
-            [(part, k, z, eps, metric, None) for part in parts],
+            [(part, k, z, eps, metric, None, dtype, kernel_chunk)
+             for part in parts],
             machines=machines,
             charge=lambda mach, task, mbc: mach.charge(mbc.size),
         )
@@ -199,7 +206,9 @@ def two_round_coreset(
         len(s) for s in received
     ) else WeightedPointSet.empty(parts[0].dim)
     if final_compress and len(union):
-        final_mbc = mbc_construction(union, k, z, eps, metric)
+        final_mbc = mbc_construction(
+            union, k, z, eps, metric, dtype=dtype, kernel_chunk=kernel_chunk
+        )
         coreset = final_mbc.coreset
         machines[0].charge(final_mbc.size)
         eps_out = compose_errors(eps, eps)  # <= 3*eps for eps <= 1

@@ -208,7 +208,8 @@ class SlidingWindowCoreset:
 
     def __init__(self, k: int, z: int, eps: float, d: int, window: int,
                  r_min: float, r_max: float, metric=None, ladder_ratio: float = 2.0,
-                 capacity: "int | None" = None):
+                 capacity: "int | None" = None, dtype: "str | None" = None,
+                 kernel_chunk: "int | None" = None):
         if not (0 < r_min <= r_max):
             raise ValueError("need 0 < r_min <= r_max")
         if ladder_ratio <= 1:
@@ -216,6 +217,10 @@ class SlidingWindowCoreset:
         self.k, self.z, self.eps, self.d = int(k), int(z), float(eps), int(d)
         self.window = int(window)
         self.metric = get_metric(metric)
+        #: distance-kernel knobs for the greedy radius query
+        #: (:mod:`repro.kernels`); coresets themselves are kernel-free
+        self.dtype = dtype
+        self.kernel_chunk = kernel_chunk
         self._t = -1
         rungs = int(ceil(np.log(r_max / r_min) / np.log(ladder_ratio))) + 1
         self.guesses = [
@@ -280,4 +285,7 @@ class SlidingWindowCoreset:
         cs = self.coreset()
         if len(cs) == 0 or cs.total_weight <= self.z:
             return 0.0
-        return charikar_greedy(cs, self.k, self.z, self.metric).radius
+        return charikar_greedy(
+            cs, self.k, self.z, self.metric,
+            dtype=self.dtype, kernel_chunk=self.kernel_chunk,
+        ).radius
