@@ -103,15 +103,25 @@ class CoresetBackend(Protocol):
 
     spec: ProblemSpec
 
-    def insert(self, point) -> None: ...
+    def insert(self, point) -> None:
+        """Insert a single point."""
 
-    def delete(self, point) -> None: ...
+    def delete(self, point) -> None:
+        """Delete a point (fully-dynamic models only)."""
 
-    def extend(self, points) -> None: ...
+    def extend(self, points) -> None:
+        """Batched ingest of a whole array of points."""
 
-    def coreset(self) -> WeightedPointSet: ...
+    def coreset(self) -> WeightedPointSet:
+        """The current ``(eps, k, z)``-coreset."""
 
-    def guarantee(self) -> Guarantee: ...
+    def guarantee(self) -> Guarantee:
+        """The composed guarantee for the current output."""
+
+    def stats(self) -> dict:
+        """Backend-specific diagnostics (sizes, thresholds, sketch
+        cells); may be empty.  Required: ``KCenterSession.solve`` and
+        the scenario matrix read it."""
 
 
 class _BackendBase:
@@ -222,6 +232,7 @@ class OfflineMBCBackend(_BufferedBackendBase):
         self.last_mbc = None
 
     def coreset(self) -> WeightedPointSet:
+        """Run ``MBCConstruction`` on the buffer (cached until it changes)."""
         if self.last_mbc is not None:  # buffer unchanged since last query
             return self.last_mbc.coreset
         P = self.point_set()
@@ -234,6 +245,7 @@ class OfflineMBCBackend(_BufferedBackendBase):
         return self.last_mbc.coreset
 
     def guarantee(self) -> Guarantee:
+        """Lemma 7: an ``(eps,k,z)``-coreset of the buffered input."""
         return Guarantee(
             eps=self.spec.eps,
             model="offline",
@@ -241,6 +253,7 @@ class OfflineMBCBackend(_BufferedBackendBase):
         )
 
     def stats(self) -> dict:
+        """Buffered rows and the size of the last coreset."""
         return {
             "buffered": self.buffered,
             "coreset": self.last_mbc.size if self.last_mbc else None,
@@ -293,6 +306,7 @@ class InsertionOnlyBackend(_StreamingBackendBase):
         )
 
     def guarantee(self) -> Guarantee:
+        """Theorem 18: optimal ``O(k/eps^d + z)`` streaming space."""
         return Guarantee(
             eps=self.spec.eps,
             model="insertion-only",
@@ -317,6 +331,7 @@ class CeccarelloStreamBackend(_StreamingBackendBase):
         )
 
     def guarantee(self) -> Guarantee:
+        """CPP19 baseline: ``1/eps^d`` paid on the z term too."""
         return Guarantee(
             eps=self.spec.eps,
             model="insertion-only",
@@ -370,21 +385,27 @@ class DynamicBackend(_BackendBase):
         )
 
     def insert(self, point) -> None:
+        """Sketch-update one inserted point."""
         self.algo.insert(point)
 
     def delete(self, point) -> None:
+        """Sketch-update one deleted point."""
         self.algo.delete(point)
 
     def extend(self, points) -> None:
+        """Batched sketch updates for inserted points."""
         self.algo.extend(points)
 
     def delete_many(self, points) -> None:
+        """Batched sketch updates for deleted points."""
         self.algo.delete_many(points)
 
     def coreset(self) -> WeightedPointSet:
+        """Decode the sketches into the current relaxed coreset."""
         return self.algo.coreset()
 
     def guarantee(self) -> Guarantee:
+        """Theorem 21: relaxed coreset whp, polylog sketch cells."""
         return Guarantee(
             eps=self.spec.eps,
             model="fully-dynamic",
@@ -393,6 +414,7 @@ class DynamicBackend(_BackendBase):
         )
 
     def stats(self) -> dict:
+        """Sketch-cell storage and update accounting."""
         return {
             "storage_cells": self.algo.storage_cells,
             "sketch_updates": self.algo.updates_seen,
@@ -432,21 +454,27 @@ class DeterministicDynamicBackend(_BackendBase):
         )
 
     def insert(self, point) -> None:
+        """Sketch-update one inserted point."""
         self.algo.insert(point)
 
     def delete(self, point) -> None:
+        """Sketch-update one deleted point."""
         self.algo.delete(point)
 
     def extend(self, points) -> None:
+        """Batched sketch updates for inserted points."""
         self.algo.extend(points)
 
     def delete_many(self, points) -> None:
+        """Batched sketch updates for deleted points."""
         self.algo.delete_many(points)
 
     def coreset(self) -> WeightedPointSet:
+        """Decode the sketches into the current relaxed coreset."""
         return self.algo.coreset()
 
     def guarantee(self) -> Guarantee:
+        """Deterministic relaxed coreset, ``O(... log Delta)`` elements."""
         return Guarantee(
             eps=self.spec.eps,
             model="fully-dynamic",
@@ -455,6 +483,7 @@ class DeterministicDynamicBackend(_BackendBase):
         )
 
     def stats(self) -> dict:
+        """Sketch-cell storage and update accounting."""
         return {
             "storage_cells": self.algo.storage_cells,
             "sketch_updates": self.algo.updates_seen,
@@ -508,15 +537,19 @@ class SlidingWindowBackend(_BackendBase):
         )
 
     def insert(self, point) -> None:
+        """Insert one arrival into every radius-guess cover."""
         self.algo.insert(point)
 
     def extend(self, points) -> None:
+        """Batched ingest across the whole guess ladder at once."""
         self.algo.extend(points)
 
     def coreset(self) -> WeightedPointSet:
+        """Coreset of the current window (last ``W`` arrivals)."""
         return self.algo.coreset()
 
     def guarantee(self) -> Guarantee:
+        """Theorem 30: optimal sliding-window space."""
         return Guarantee(
             eps=self.spec.eps,
             model="sliding-window",
@@ -525,6 +558,7 @@ class SlidingWindowBackend(_BackendBase):
         )
 
     def stats(self) -> dict:
+        """Ladder storage, guess count and the current clock."""
         return {
             "stored": self.algo.stored_items,
             "guesses": self.algo.num_guesses,
@@ -624,6 +658,7 @@ class MPCBackend(_BufferedBackendBase):
         raise NotImplementedError
 
     def coreset(self) -> WeightedPointSet:
+        """Partition the buffer and run the round protocol (cached)."""
         if self.last_result is not None:  # buffer unchanged since last query
             return self.last_result.coreset
         P = self.point_set()
@@ -633,6 +668,7 @@ class MPCBackend(_BufferedBackendBase):
         return self.last_result.coreset
 
     def stats(self) -> dict:
+        """Round/storage accounting of the last protocol run."""
         out = {"buffered": self.buffered}
         if self.last_result is not None:
             s = self.last_result.stats
@@ -678,6 +714,7 @@ class TwoRoundMPCBackend(MPCBackend):
         )
 
     def guarantee(self) -> Guarantee:
+        """Theorem 10: deterministic 2-round ``(3eps,k,z)``-coreset."""
         eps = self.spec.eps
         return Guarantee(
             eps=compose_errors(eps, eps) if self.final_compress else eps,
@@ -720,6 +757,7 @@ class OneRoundMPCBackend(MPCBackend):
         )
 
     def guarantee(self) -> Guarantee:
+        """Theorem 33: 1-round whp coreset under random distribution."""
         eps = self.spec.eps
         return Guarantee(
             eps=compose_errors(eps, eps) if self.final_compress else eps,
@@ -757,6 +795,7 @@ class MultiRoundMPCBackend(MPCBackend):
         )
 
     def guarantee(self) -> Guarantee:
+        """Theorem 35: ``((1+eps)^R - 1)`` error in ``R`` rounds."""
         return Guarantee(
             eps=(1.0 + self.spec.eps) ** self.rounds - 1.0,
             model="mpc",
@@ -781,6 +820,7 @@ class CPPDeterministicMPCBackend(MPCBackend):
         )
 
     def guarantee(self) -> Guarantee:
+        """CPP19 deterministic baseline guarantee."""
         return Guarantee(
             eps=self.spec.eps,
             model="mpc",
@@ -808,6 +848,7 @@ class CPPRandomizedMPCBackend(MPCBackend):
         )
 
     def guarantee(self) -> Guarantee:
+        """CPP19 randomized baseline guarantee (whp)."""
         return Guarantee(
             eps=self.spec.eps,
             model="mpc",

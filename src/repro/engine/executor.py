@@ -62,7 +62,8 @@ class Executor(Protocol):
 
     name: str
 
-    def map(self, fn: Callable, items: Iterable) -> list: ...
+    def map(self, fn: Callable, items: Iterable) -> list:
+        """Apply ``fn`` to every item, preserving input order."""
 
 
 class SerialExecutor:
@@ -74,6 +75,7 @@ class SerialExecutor:
         self.jobs = 1
 
     def map(self, fn: Callable, items: Iterable) -> list:
+        """Apply ``fn`` serially (the reference semantics)."""
         return [fn(x) for x in items]
 
     def close(self) -> None:

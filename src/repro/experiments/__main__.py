@@ -15,6 +15,15 @@ Usage::
     python -m repro.experiments --force E2         # ignore cached rows
     python -m repro.experiments --no-cache E2      # don't read or write cache
 
+The ``matrix`` subcommand runs the cross-backend scenario evaluation
+matrix (:mod:`repro.scenarios.matrix`) through the same caching and
+``--quick`` machinery::
+
+    python -m repro.experiments matrix --quick
+    python -m repro.experiments matrix --scenarios drift,adversarial \\
+        --backends insertion-only,mpc-two-round --jobs 4
+    python -m repro.experiments matrix --list
+
 The cache lives in ``--results-dir`` (default: ``$REPRO_RESULTS_DIR`` or
 ``./.repro-results``); each entry is a pickle of the rows plus a JSON
 sidecar with the key and parameters.
@@ -162,6 +171,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: "list[str]") -> int:
+    if argv and argv[0] == "matrix":
+        from ..scenarios.matrix import matrix_main
+
+        return matrix_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list_ids:
         for exp in EXPERIMENTS.values():

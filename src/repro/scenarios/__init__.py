@@ -1,0 +1,79 @@
+"""`repro.scenarios` — named workloads and the cross-backend matrix.
+
+The backend registry (:mod:`repro.api`) answers "which algorithms can I
+run"; this package answers "on what, and how well".  It mirrors the
+registry pattern for *workloads*:
+
+* :class:`Scenario` / :class:`ScenarioInstance` — a registered recipe
+  and one materialized, reproducible point stream (with reference
+  radius, tags and per-backend-family session options);
+* the **scenario registry** — ``register_scenario`` / ``get_scenario``
+  / ``available_scenarios`` / ``scenario_table``, under which the
+  built-in catalogue (:mod:`repro.scenarios.builtin`) self-registers:
+  drift, adversarial insertion orders, duplicate floods, outlier
+  bursts, high dimension, integer grids and real datasets;
+* the **evaluation matrix** (:mod:`repro.scenarios.matrix`) — runs any
+  backends over any scenarios through :class:`~repro.api.KCenterSession`
+  and emits a quality/runtime matrix as JSON + markdown.
+
+Quickstart::
+
+    from repro.scenarios import available_scenarios, get_scenario, run_matrix
+
+    inst = get_scenario("outlier-burst").make(quick=True, seed=0)
+    result = run_matrix(["outlier-burst"], ["offline", "insertion-only"],
+                        quick=True)
+    print(result.to_markdown())
+
+CLI: ``python -m repro.experiments matrix --quick``.
+"""
+
+from .datasets import (
+    DATASETS,
+    DatasetSource,
+    DatasetUnavailableError,
+    default_data_dir,
+    load_dataset,
+)
+from .matrix import (
+    DEFAULT_BACKENDS,
+    CellResult,
+    MatrixResult,
+    run_cell,
+    run_matrix,
+)
+from .registry import (
+    DuplicateScenarioError,
+    ScenarioError,
+    UnknownScenarioError,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+    scenario_table,
+    unregister_scenario,
+)
+from .scenario import Scenario, ScenarioInstance
+from . import builtin  # noqa: F401 - importing registers the builtins
+
+__all__ = [
+    "DATASETS",
+    "DEFAULT_BACKENDS",
+    "CellResult",
+    "DatasetSource",
+    "DatasetUnavailableError",
+    "DuplicateScenarioError",
+    "MatrixResult",
+    "Scenario",
+    "ScenarioError",
+    "ScenarioInstance",
+    "UnknownScenarioError",
+    "available_scenarios",
+    "default_data_dir",
+    "get_scenario",
+    "load_dataset",
+    "register_scenario",
+    "run_cell",
+    "run_matrix",
+    "scenario_table",
+    "unregister_scenario",
+]

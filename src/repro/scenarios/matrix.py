@@ -1,0 +1,591 @@
+"""The cross-backend evaluation matrix.
+
+Runs any set of registered backends over any set of registered scenarios
+through the one :class:`~repro.api.KCenterSession` facade and records a
+quality/runtime cell per ``(scenario, backend)`` pair:
+
+* **radius ratio** — the backend's greedy-solved radius over the
+  scenario's reference radius (same solver on the full stream), so the
+  ratio isolates what the *coreset* lost;
+* **peak storage** — the largest storage figure the backend reported at
+  any batch checkpoint (``stored`` / ``storage_cells`` / ``buffered``);
+* **wall time** — seconds spent inside backend calls (ingest + solve).
+
+Cells are independent, so the harness shards them across a
+:class:`repro.engine` executor (``--jobs``) and caches each cell in a
+:class:`~repro.engine.ResultsCache` keyed by
+``(scenario, backend, quick, seed)`` — interrupted sweeps resume where
+they died, exactly like the Table-1 experiment runner.
+
+The result renders as JSON (machine-readable, schema documented in
+``docs/benchmarks.md``) and as a markdown table (human-readable, quoted
+by the docs scenario catalogue)::
+
+    python -m repro.experiments matrix --quick
+    python -m repro.experiments matrix --scenarios drift,adversarial \\
+        --backends insertion-only,mpc-two-round --jobs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, fields
+
+from ..api.registry import UnknownBackendError, available_backends, get_backend
+from ..api.session import KCenterSession
+from ..engine import ResultsCache, default_results_dir, get_executor
+from .datasets import DatasetUnavailableError
+from .registry import UnknownScenarioError, available_scenarios, get_scenario
+
+__all__ = [
+    "DEFAULT_BACKENDS",
+    "CellResult",
+    "MatrixResult",
+    "run_cell",
+    "run_matrix",
+    "default_scenario_names",
+    "resolve_scenario_names",
+    "matrix_main",
+]
+
+#: backends the matrix sweeps when none are named: one per computational
+#: model that can ingest arbitrary real-valued streams, plus the
+#: fully-dynamic sketch (exercised by the integer scenarios, skipped
+#: elsewhere).
+DEFAULT_BACKENDS = (
+    "offline",
+    "insertion-only",
+    "sliding-window",
+    "mpc-two-round",
+    "dynamic",
+)
+
+#: scenario tags excluded from the default sweep (opt in by name/tag)
+DEFAULT_EXCLUDED_TAGS = ("real",)
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One ``(scenario, backend)`` cell of the evaluation matrix.
+
+    Attributes
+    ----------
+    scenario, backend:
+        Registry names of the pair.
+    status:
+        ``"ok"``, ``"skipped"`` (structurally incompatible),
+        ``"unavailable"`` (real dataset not obtainable) or ``"error"``.
+    radius:
+        Greedy radius solved on the backend's coreset (``ok`` only).
+    reference_radius:
+        The scenario's reference radius (same greedy solver, full
+        stream).
+    radius_ratio:
+        ``radius / reference_radius`` — the quality figure.
+    coreset_size:
+        Points in the backend's final coreset.
+    peak_storage:
+        Largest storage figure reported at any batch checkpoint.
+    updates:
+        Stream points ingested.
+    wall_time:
+        Seconds inside backend calls (ingest + coreset + solve).
+    note:
+        Error text / skip reason / scenario provenance.
+    """
+
+    scenario: str
+    backend: str
+    status: str
+    radius: "float | None" = None
+    reference_radius: "float | None" = None
+    radius_ratio: "float | None" = None
+    coreset_size: "int | None" = None
+    peak_storage: "int | None" = None
+    updates: "int | None" = None
+    wall_time: "float | None" = None
+    note: str = ""
+
+
+#: stats keys probed (in order) for a backend's current storage figure
+_STORAGE_KEYS = ("stored", "storage_cells", "buffered")
+
+
+def _storage_probe(stats: dict) -> "int | None":
+    """Extract the backend's storage figure from a ``stats()`` dict."""
+    for key in _STORAGE_KEYS:
+        v = stats.get(key)
+        if v is not None:
+            return int(v)
+    return None
+
+
+def run_cell(
+    scenario_name: str,
+    backend_name: str,
+    quick: bool = False,
+    seed: int = 0,
+    reference: "float | None" = None,
+) -> CellResult:
+    """Evaluate one backend on one scenario (one matrix cell).
+
+    Materializes the scenario, drives the backend through a
+    :class:`~repro.api.KCenterSession` batch by batch (probing storage
+    at every checkpoint), solves the final coreset with the greedy
+    3-approximation, and normalizes against the scenario's reference
+    radius.  Structural incompatibility and unavailable datasets come
+    back as non-``ok`` statuses instead of raising.
+
+    Parameters
+    ----------
+    scenario_name, backend_name:
+        Registry names of the pair.
+    quick, seed:
+        Materialization parameters for the scenario.
+    reference:
+        Precomputed reference radius for this ``(scenario, quick,
+        seed)`` triple, so sweeps solve the full-stream reference once
+        per scenario instead of once per cell; ``None`` computes it
+        here.
+    """
+    scenario = get_scenario(scenario_name)
+    info = get_backend(backend_name)
+    try:
+        inst = scenario.make(quick=quick, seed=seed)
+    except DatasetUnavailableError as exc:
+        return CellResult(scenario_name, backend_name, "unavailable",
+                          note=str(exc))
+    if reference is not None:
+        inst.prime_reference(reference)
+    if not inst.compatible(info):
+        return CellResult(
+            scenario_name, backend_name, "skipped",
+            note=f"{info.model} backend incompatible with this stream",
+        )
+    try:
+        sess = KCenterSession.from_spec(
+            inst.spec, backend=backend_name, **inst.session_options(info)
+        )
+        peak = None
+        for batch in inst.batches:
+            sess.extend(batch)
+            probe = _storage_probe(sess.backend.stats())
+            if probe is not None:
+                peak = probe if peak is None else max(peak, probe)
+        sol = sess.solve(method="greedy3")
+        ref = inst.reference()
+        ratio = float(sol.radius) / ref if ref > 0 else float("inf")
+        if peak is not None:
+            peak = max(peak, sol.coreset_size)
+        return CellResult(
+            scenario=scenario_name,
+            backend=backend_name,
+            status="ok",
+            radius=float(sol.radius),
+            reference_radius=float(ref),
+            radius_ratio=float(ratio),
+            coreset_size=int(sol.coreset_size),
+            peak_storage=peak,
+            updates=int(sol.updates),
+            wall_time=float(sol.wall_time),
+            note=inst.notes,
+        )
+    except Exception as exc:  # one bad cell must not kill the sweep
+        return CellResult(scenario_name, backend_name, "error",
+                          note=f"{type(exc).__name__}: {exc}")
+
+
+#: per-process memo of reference radii, keyed ``(scenario, quick, seed)``
+_REFERENCES: "dict[tuple, float]" = {}
+
+
+def _scenario_reference(scenario: str, quick: bool, seed: int,
+                        cache: "ResultsCache | None",
+                        force: bool) -> "float | None":
+    """Resolve the scenario's reference radius once per ``(scenario,
+    quick, seed)`` — memoized per process and, when a cache is given,
+    shared across processes and runs.  Returns ``None`` when the
+    scenario cannot be materialized (real dataset unavailable); the
+    cell run then reports the failure itself."""
+    key = (scenario, bool(quick), int(seed))
+    params = {"scenario": scenario, "quick": bool(quick), "seed": int(seed)}
+    # the memo is honored even under force: run_matrix clears it at the
+    # start of a forced run, so hits here are this run's own recomputes
+    if key in _REFERENCES:
+        ref = _REFERENCES[key]
+        if cache is not None and ("matrix-ref", params) not in cache:
+            cache.put("matrix-ref", params, ref)  # backfill a fresh cache dir
+        return ref
+    if cache is not None and not force:
+        hit = cache.get("matrix-ref", params)
+        if isinstance(hit, float):
+            _REFERENCES[key] = hit
+            return hit
+    try:
+        ref = get_scenario(scenario).make(quick=quick, seed=seed).reference()
+    except Exception:
+        return None
+    _REFERENCES[key] = ref
+    if cache is not None:
+        cache.put("matrix-ref", params, ref)
+    return ref
+
+
+def _cell_task(task: tuple) -> dict:
+    """One unit of matrix fan-out (module-level so process pools pickle
+    it); opens its own cache handle and returns the cell as a dict."""
+    scenario, backend, quick, seed, cache_root, force = task
+    params = {"scenario": scenario, "backend": backend,
+              "quick": bool(quick), "seed": int(seed)}
+    cache = ResultsCache(cache_root) if cache_root else None
+    cell_fields = {f.name for f in fields(CellResult)}
+    if cache is not None and not force:
+        hit = cache.get("matrix-cell", params)
+        # schema-validate: a stale entry from another version is a miss
+        if isinstance(hit, dict) and hit.get("status") == "ok" \
+                and set(hit) == cell_fields:
+            return hit
+    ref = _scenario_reference(scenario, quick, seed, cache, force)
+    cell = asdict(run_cell(scenario, backend, quick=quick, seed=seed,
+                           reference=ref))
+    # only settled results are cached: transient failures ("unavailable",
+    # "error") must retry on the next run, and "skipped" is free anyway
+    if cache is not None and cell["status"] == "ok":
+        cache.put("matrix-cell", params, cell)
+    return cell
+
+
+@dataclass
+class MatrixResult:
+    """A completed sweep: the cell list plus run provenance.
+
+    Attributes
+    ----------
+    scenarios, backends:
+        The swept registry names, in sweep order.
+    quick, seed:
+        The materialization parameters every cell shared.
+    cells:
+        One :class:`CellResult` per ``(scenario, backend)`` pair.
+    """
+
+    scenarios: "list[str]"
+    backends: "list[str]"
+    quick: bool
+    seed: int
+    cells: "list[CellResult]"
+
+    def cell(self, scenario: str, backend: str) -> "CellResult | None":
+        """The cell for a pair, or ``None`` when it was not swept."""
+        for c in self.cells:
+            if c.scenario == scenario and c.backend == backend:
+                return c
+        return None
+
+    # -- serialization -----------------------------------------------------
+
+    def to_json_dict(self) -> dict:
+        """The machine-readable document (schema: ``docs/benchmarks.md``)."""
+        import repro
+
+        return {
+            "suite": "scenario-matrix",
+            "version": repro.__version__,
+            "quick": bool(self.quick),
+            "seed": int(self.seed),
+            "scenarios": list(self.scenarios),
+            "backends": list(self.backends),
+            "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "cells": [asdict(c) for c in self.cells],
+        }
+
+    def write_json(self, path: str) -> None:
+        """Write :meth:`to_json_dict` to ``path`` (pretty-printed)."""
+        with open(path, "w") as fh:
+            json.dump(self.to_json_dict(), fh, indent=2)
+
+    def to_markdown(self) -> str:
+        """Render the sweep as markdown: a radius-ratio pivot (scenario
+        rows x backend columns) followed by the full per-cell table."""
+        lines = ["### Radius ratio vs reference (lower is better)", ""]
+        header = ["scenario"] + list(self.backends)
+        lines.append("| " + " | ".join(header) + " |")
+        lines.append("|" + "---|" * len(header))
+        for s in self.scenarios:
+            row = [s]
+            for b in self.backends:
+                c = self.cell(s, b)
+                if c is None:
+                    row.append("")
+                elif c.status == "ok":
+                    row.append(f"{c.radius_ratio:.3f}")
+                else:
+                    row.append(c.status)
+            lines.append("| " + " | ".join(row) + " |")
+        lines += ["", "### Full matrix", ""]
+        cols = ["scenario", "backend", "status", "radius", "ratio",
+                "coreset", "peak storage", "updates", "wall s"]
+        lines.append("| " + " | ".join(cols) + " |")
+        lines.append("|" + "---|" * len(cols))
+        for c in self.cells:
+            lines.append(
+                "| " + " | ".join([
+                    c.scenario, c.backend, c.status,
+                    _fmt(c.radius), _fmt(c.radius_ratio),
+                    _fmt(c.coreset_size), _fmt(c.peak_storage),
+                    _fmt(c.updates), _fmt(c.wall_time),
+                ]) + " |"
+            )
+        return "\n".join(lines) + "\n"
+
+    def write_markdown(self, path: str) -> None:
+        """Write :meth:`to_markdown` to ``path``."""
+        with open(path, "w") as fh:
+            fh.write(self.to_markdown())
+
+
+def _fmt(v) -> str:
+    """Compact cell formatting for the markdown table."""
+    if v is None:
+        return ""
+    if isinstance(v, float):
+        return f"{v:.3g}" if (v != 0 and abs(v) < 0.01) or abs(v) >= 1000 \
+            else f"{v:.3f}".rstrip("0").rstrip(".")
+    return str(v)
+
+
+def default_scenario_names() -> "list[str]":
+    """The default sweep: every registered scenario not carrying an
+    excluded tag (real datasets are opt-in by name or tag)."""
+    from . import builtin  # noqa: F401 - importing registers the builtins
+
+    out = []
+    for name in available_scenarios():
+        sc = get_scenario(name)
+        if not any(t in sc.tags for t in DEFAULT_EXCLUDED_TAGS):
+            out.append(name)
+    return out
+
+
+def resolve_scenario_names(tokens: "list[str]") -> "list[str]":
+    """Expand a CLI scenario selection into registry names.
+
+    Each token may be a scenario name, a tag (expanded to every scenario
+    carrying it) or ``"all"``.  Order is preserved, duplicates dropped.
+
+    Raises
+    ------
+    UnknownScenarioError
+        For a token that is neither a name, a tag, nor ``"all"``.
+    """
+    from . import builtin  # noqa: F401 - importing registers the builtins
+
+    out: "list[str]" = []
+
+    def _add(name):
+        if name not in out:
+            out.append(name)
+
+    all_names = available_scenarios()
+    for tok in tokens:
+        tok = tok.strip()
+        if not tok:
+            continue
+        if tok == "all":
+            for n in all_names:
+                _add(n)
+        elif tok in all_names:
+            _add(tok)
+        else:
+            by_tag = available_scenarios(tag=tok)
+            if not by_tag:
+                tags = sorted({t for n in all_names
+                               for t in get_scenario(n).tags})
+                raise UnknownScenarioError(
+                    f"unknown scenario or tag {tok!r}; scenarios: "
+                    f"{all_names}; tags: {tags}"
+                )
+            for n in by_tag:
+                _add(n)
+    return out
+
+
+def run_matrix(
+    scenarios: "list[str] | None" = None,
+    backends: "list[str] | None" = None,
+    *,
+    quick: bool = False,
+    seed: int = 0,
+    executor: "str | None" = None,
+    jobs: "int | None" = None,
+    cache_root: "str | None" = None,
+    force: bool = False,
+) -> MatrixResult:
+    """Sweep ``backends`` x ``scenarios`` and collect the matrix.
+
+    Parameters
+    ----------
+    scenarios:
+        Scenario registry names; ``None`` sweeps
+        :func:`default_scenario_names`.
+    backends:
+        Backend registry names; ``None`` sweeps :data:`DEFAULT_BACKENDS`.
+    quick:
+        Reduced stream sizes (CI smoke).
+    seed:
+        Root seed handed to every scenario factory and spec.
+    executor, jobs:
+        Cell fan-out (see :func:`repro.engine.get_executor`); ``jobs``
+        alone implies a process pool, neither means serial.
+    cache_root:
+        Cell cache directory; ``None`` disables caching.
+    force:
+        Recompute cells even when cached.
+
+    Returns
+    -------
+    MatrixResult
+        Cells in ``(scenario, backend)`` sweep order.
+    """
+    from . import builtin  # noqa: F401 - importing registers the builtins
+
+    scenario_names = (
+        list(scenarios) if scenarios is not None else default_scenario_names()
+    )
+    backend_names = (
+        list(backends) if backends is not None else list(DEFAULT_BACKENDS)
+    )
+    for name in scenario_names:
+        get_scenario(name)  # raise early on typos, before any work
+    for name in backend_names:
+        get_backend(name)
+    tasks = [
+        (s, b, quick, seed, cache_root, force)
+        for s in scenario_names
+        for b in backend_names
+    ]
+    if executor is None and jobs is not None and jobs > 1:
+        executor = "process"
+    if force:
+        _REFERENCES.clear()  # a forced run recomputes each reference once
+    exe = get_executor(executor, jobs)
+    try:
+        cells = [CellResult(**d) for d in exe.map(_cell_task, tasks)]
+    finally:
+        close = getattr(exe, "close", None)
+        if close is not None:
+            close()
+    return MatrixResult(
+        scenarios=scenario_names,
+        backends=backend_names,
+        quick=quick,
+        seed=seed,
+        cells=cells,
+    )
+
+
+# ---------------------------------------------------------------------------
+# CLI (dispatched from `python -m repro.experiments matrix ...`)
+# ---------------------------------------------------------------------------
+
+
+def build_matrix_parser() -> argparse.ArgumentParser:
+    """The ``matrix`` subcommand's argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments matrix",
+        description="Run registered backends over registered scenarios and "
+                    "emit a quality/runtime matrix (JSON + markdown).",
+    )
+    parser.add_argument("--scenarios", default=None, metavar="NAMES",
+                        help="comma-separated scenario names and/or tags "
+                             "(e.g. 'drift,adversarial'), or 'all' "
+                             "(default: every non-real scenario)")
+    parser.add_argument("--backends", default=None, metavar="NAMES",
+                        help="comma-separated backend names, or 'all' "
+                             f"(default: {','.join(DEFAULT_BACKENDS)})")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced stream sizes (seconds instead of minutes)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="root seed for scenario streams and specs")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="shard cells over N processes")
+    parser.add_argument("--results-dir", default=None, metavar="DIR",
+                        help="cell cache + default output location (default: "
+                             "$REPRO_RESULTS_DIR or ./.repro-results)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="run without reading or writing cached cells")
+    parser.add_argument("--force", action="store_true",
+                        help="recompute even when cached cells exist")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="JSON output path (default: "
+                             "<results-dir>/matrix.json)")
+    parser.add_argument("--markdown", default=None, metavar="PATH",
+                        help="markdown output path (default: "
+                             "<results-dir>/matrix.md)")
+    parser.add_argument("--list", action="store_true", dest="list_scenarios",
+                        help="list registered scenarios and tags, then exit")
+    return parser
+
+
+def matrix_main(argv: "list[str]") -> int:
+    """Entry point for ``python -m repro.experiments matrix ...``."""
+    from . import builtin  # noqa: F401 - importing registers the builtins
+    from .registry import scenario_table
+
+    args = build_matrix_parser().parse_args(argv)
+    if args.list_scenarios:
+        for sc in scenario_table():
+            tags = ",".join(sc.tags)
+            print(f"{sc.name:<24} [{tags}] {sc.description}")
+        return 0
+    if args.jobs < 1:
+        print("--jobs must be >= 1")
+        return 2
+
+    try:
+        scenarios = (
+            resolve_scenario_names(args.scenarios.split(","))
+            if args.scenarios else None
+        )
+        backends = None
+        if args.backends:
+            backends = (
+                available_backends() if args.backends.strip() == "all"
+                else [b.strip() for b in args.backends.split(",") if b.strip()]
+            )
+            for b in backends:
+                get_backend(b)
+    except (UnknownScenarioError, UnknownBackendError) as exc:
+        print(exc)
+        return 2
+    if scenarios is not None and not scenarios:
+        print("--scenarios selected nothing; see --list for names and tags")
+        return 2
+    if backends is not None and not backends:
+        print(f"--backends selected nothing; available: {available_backends()}")
+        return 2
+
+    results_dir = args.results_dir or default_results_dir()
+    cache_root = None if args.no_cache else results_dir
+    result = run_matrix(
+        scenarios, backends,
+        quick=args.quick, seed=args.seed,
+        jobs=args.jobs if args.jobs > 1 else None,
+        cache_root=cache_root, force=args.force,
+    )
+
+    os.makedirs(results_dir, exist_ok=True)
+    json_path = args.json or os.path.join(results_dir, "matrix.json")
+    md_path = args.markdown or os.path.join(results_dir, "matrix.md")
+    for path in (json_path, md_path):
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+    result.write_json(json_path)
+    result.write_markdown(md_path)
+    print(result.to_markdown())
+    print(f"wrote {json_path} and {md_path}")
+    return 0

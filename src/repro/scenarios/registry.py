@@ -1,0 +1,160 @@
+"""String-keyed scenario registry.
+
+Mirror of :mod:`repro.api.registry`, for workloads instead of algorithms:
+every scenario self-registers under a stable name (``"outlier-burst"``,
+``"adversarial-insertion"``, ...) with tags and a description, so the
+evaluation matrix, the CLI and the docs catalogue can all enumerate the
+same set by configuration string instead of importing factory functions.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .scenario import Scenario
+
+__all__ = [
+    "ScenarioError",
+    "UnknownScenarioError",
+    "DuplicateScenarioError",
+    "register_scenario",
+    "unregister_scenario",
+    "get_scenario",
+    "available_scenarios",
+    "scenario_table",
+]
+
+
+class ScenarioError(KeyError):
+    """Base class for scenario registry lookup/registration failures."""
+
+    def __str__(self) -> str:  # KeyError quotes its payload; keep prose
+        """Render the first argument verbatim (prose, not a quoted key)."""
+        return self.args[0] if self.args else ""
+
+
+class UnknownScenarioError(ScenarioError):
+    """Raised by :func:`get_scenario` for an unregistered name."""
+
+
+class DuplicateScenarioError(ScenarioError):
+    """Raised by :func:`register_scenario` on a name collision."""
+
+
+_SCENARIOS: "dict[str, Scenario]" = {}
+
+
+def _invalidate_matrix_memo(name: str) -> None:
+    """Drop any memoized reference radii for ``name`` (a re-registered
+    or unregistered scenario must not be scored against the old
+    definition's reference)."""
+    from .matrix import _REFERENCES
+
+    for key in [k for k in _REFERENCES if k[0] == name]:
+        del _REFERENCES[key]
+
+
+def register_scenario(
+    name: str,
+    factory: "Callable | None" = None,
+    *,
+    tags: "tuple[str, ...] | list[str]" = (),
+    description: str = "",
+    overwrite: bool = False,
+) -> "Callable":
+    """Register a scenario factory under ``name``.
+
+    Parameters
+    ----------
+    name:
+        Registry key (stable, CLI-facing).
+    factory:
+        ``factory(quick: bool, seed: int) -> ScenarioInstance``.  When
+        omitted the call returns a decorator, mirroring
+        :func:`repro.api.register_backend`.
+    tags:
+        Classification tags (``"drift"``, ``"adversarial"``,
+        ``"heavy-duplicates"``, ``"outlier-burst"``, ``"high-dim"``,
+        ``"real"``, ...), used by :func:`available_scenarios` filtering
+        and by the matrix CLI's default selection.
+    description:
+        One-line summary for the docs catalogue and ``--list-scenarios``.
+    overwrite:
+        Replace an existing registration instead of raising
+        :class:`DuplicateScenarioError`.
+
+    Returns
+    -------
+    Callable
+        The factory (so the function is usable as a decorator).
+    """
+
+    def _register(f):
+        from .scenario import Scenario
+
+        if not name or not isinstance(name, str):
+            raise ValueError("scenario name must be a non-empty string")
+        if name in _SCENARIOS:
+            if not overwrite:
+                raise DuplicateScenarioError(
+                    f"scenario {name!r} is already registered; pass "
+                    "overwrite=True to replace it"
+                )
+            _invalidate_matrix_memo(name)
+        _SCENARIOS[name] = Scenario(
+            name=name,
+            factory=f,
+            tags=tuple(tags),
+            description=description,
+        )
+        return f
+
+    if factory is not None:
+        return _register(factory)
+    return _register
+
+
+def unregister_scenario(name: str) -> None:
+    """Remove a registration (primarily for test isolation)."""
+    if name not in _SCENARIOS:
+        raise UnknownScenarioError(f"scenario {name!r} is not registered")
+    _invalidate_matrix_memo(name)
+    del _SCENARIOS[name]
+
+
+def get_scenario(name: str) -> "Scenario":
+    """Look up a registered scenario by name.
+
+    Raises
+    ------
+    UnknownScenarioError
+        For an unregistered name; the message lists the known names (the
+        discovery mechanism for CLI/config typos).
+    """
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        raise UnknownScenarioError(
+            f"unknown scenario {name!r}; available: {available_scenarios()}"
+        ) from None
+
+
+def available_scenarios(tag: "str | None" = None) -> "list[str]":
+    """Sorted names of all registered scenarios.
+
+    Parameters
+    ----------
+    tag:
+        When given, only scenarios carrying this tag are listed.
+    """
+    names = [
+        n for n, sc in _SCENARIOS.items()
+        if tag is None or tag in sc.tags
+    ]
+    return sorted(names)
+
+
+def scenario_table() -> "list[Scenario]":
+    """All registrations, sorted by name (the docs scenario catalogue)."""
+    return [_SCENARIOS[n] for n in available_scenarios()]

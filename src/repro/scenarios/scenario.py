@@ -1,0 +1,215 @@
+"""The `Scenario` / `ScenarioInstance` pair: named, tagged, reproducible
+workloads that any registered backend can be evaluated on.
+
+A :class:`Scenario` is a registered *recipe* — a factory plus metadata —
+while a :class:`ScenarioInstance` is one concrete materialization: an
+ordered point stream (in batches, so harnesses get natural storage
+checkpoints), the :class:`~repro.api.ProblemSpec` the stream was planted
+for, and a reference radius to normalize solution quality against.
+
+The instance also knows how to configure each backend family for its
+data (``session_options``): sliding-window backends get a window and a
+radius ladder derived from the data's bounding box, fully-dynamic
+backends get the integer universe — or are declared incompatible when
+the stream is not integral.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from ..api.spec import ProblemSpec
+from ..core.points import WeightedPointSet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api.registry import BackendInfo
+
+__all__ = ["Scenario", "ScenarioInstance"]
+
+
+@dataclass
+class ScenarioInstance:
+    """One materialized workload: a point stream plus evaluation context.
+
+    Parameters
+    ----------
+    name:
+        Scenario name the instance came from.
+    spec:
+        The :class:`~repro.api.ProblemSpec` the stream was planted for
+        (``k`` true clusters, ``z`` planted outliers, ``dim``, ``seed``).
+    batches:
+        The stream, in arrival order, as a list of ``(b_i, d)`` arrays.
+        Harnesses feed one batch per ``extend`` call and may checkpoint
+        storage between batches.
+    reference_radius:
+        Planted/ground-truth radius when the construction certifies one;
+        ``None`` means :meth:`reference` computes a greedy reference on
+        the full stream instead.
+    delta_universe:
+        Integer universe size when every coordinate is integral in
+        ``1..delta_universe`` (enables the fully-dynamic backends);
+        ``None`` for real-valued streams.
+    window:
+        Sliding-window length the scenario is meant to be judged over;
+        ``None`` means the full stream (the window backends then cover
+        everything, so cross-backend ratios stay comparable).
+    notes:
+        Free-form provenance (construction constants, dataset source).
+    """
+
+    name: str
+    spec: ProblemSpec
+    batches: "list[np.ndarray]"
+    reference_radius: "float | None" = None
+    delta_universe: "int | None" = None
+    window: "int | None" = None
+    notes: str = ""
+    _points: "np.ndarray | None" = field(default=None, repr=False)
+    _reference: "float | None" = field(default=None, repr=False)
+
+    # -- stream views ------------------------------------------------------
+
+    @property
+    def points(self) -> np.ndarray:
+        """The full stream as one ``(n, d)`` array (cached concat)."""
+        if self._points is None:
+            self._points = np.concatenate(
+                [np.atleast_2d(b) for b in self.batches], axis=0
+            )
+        return self._points
+
+    @property
+    def n(self) -> int:
+        """Total number of stream points."""
+        return len(self.points)
+
+    @property
+    def dim(self) -> int:
+        """Ambient dimension of the stream."""
+        return int(self.points.shape[1])
+
+    def point_set(self) -> WeightedPointSet:
+        """The full stream as a unit-weight :class:`WeightedPointSet`."""
+        return WeightedPointSet.from_points(np.asarray(self.points, dtype=float))
+
+    # -- evaluation context ------------------------------------------------
+
+    def reference(self) -> float:
+        """The radius solutions are normalized against.
+
+        Returns the planted ``reference_radius`` when the construction
+        certifies one; otherwise runs the Charikar--Khuller greedy
+        3-approximation on the (merged) full stream once and caches the
+        result — the same solver every backend's coreset is solved with,
+        so the ratio isolates coreset quality from solver quality.
+        """
+        if self.reference_radius is not None:
+            return float(self.reference_radius)
+        if self._reference is None:
+            from ..core.greedy import charikar_greedy
+
+            P = self.point_set().merged()
+            res = charikar_greedy(
+                P, self.spec.k, self.spec.z, self.spec.resolved_metric
+            )
+            self._reference = float(res.radius)
+        return self._reference
+
+    def prime_reference(self, value: float) -> None:
+        """Install a precomputed reference radius (sweep optimization:
+        the matrix resolves it once per scenario, not once per cell)."""
+        self._reference = float(value)
+
+    def scale(self) -> float:
+        """Bounding-box diagonal of the stream (the data's distance scale)."""
+        pts = self.points
+        if len(pts) == 0:
+            return 1.0
+        span = np.ptp(pts, axis=0)
+        return float(max(np.linalg.norm(span), 1e-9))
+
+    # -- backend adaptation ------------------------------------------------
+
+    def compatible(self, info: "BackendInfo") -> bool:
+        """Whether ``info``'s backend can ingest this stream at all.
+
+        The only structural incompatibility today: fully-dynamic backends
+        sketch over an integer universe, so they require an integral
+        stream (``delta_universe`` set).
+        """
+        if info.model == "fully-dynamic":
+            return self.delta_universe is not None
+        return True
+
+    def session_options(self, info: "BackendInfo") -> dict:
+        """Backend-family options adapted to this stream.
+
+        Parameters
+        ----------
+        info:
+            The backend registration the options are for.
+
+        Returns
+        -------
+        dict
+            Keyword options for :class:`~repro.api.KCenterSession` —
+            ``delta_universe`` for fully-dynamic backends, a
+            ``window``/``r_min``/``r_max`` triple (derived from the
+            stream's bounding box) for sliding-window backends, empty
+            otherwise.
+        """
+        if info.model == "fully-dynamic":
+            return {"delta_universe": self.delta_universe}
+        if info.model == "sliding-window":
+            diag = self.scale()
+            return {
+                "window": int(self.window or self.n),
+                "r_min": diag / 4096.0,
+                "r_max": diag * 1.001,
+            }
+        return {}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A registered workload recipe: factory plus catalogue metadata.
+
+    Attributes
+    ----------
+    name:
+        Registry key.
+    factory:
+        ``factory(quick, seed) -> ScenarioInstance``.
+    tags:
+        Classification tags (``"drift"``, ``"adversarial"``, ...).
+    description:
+        One-line summary for catalogues and the CLI.
+    """
+
+    name: str
+    factory: "Callable[..., ScenarioInstance]" = field(compare=False)
+    tags: "tuple[str, ...]" = ()
+    description: str = ""
+
+    def make(self, quick: bool = False, seed: int = 0) -> ScenarioInstance:
+        """Materialize the scenario.
+
+        Parameters
+        ----------
+        quick:
+            Reduced stream length (CI/smoke sizes).
+        seed:
+            Root seed; equal ``(quick, seed)`` pairs produce equal
+            streams (enforced by the determinism tests).
+        """
+        inst = self.factory(quick=quick, seed=seed)
+        if not isinstance(inst, ScenarioInstance):
+            raise TypeError(
+                f"scenario {self.name!r} factory returned "
+                f"{type(inst).__name__}, expected ScenarioInstance"
+            )
+        return inst

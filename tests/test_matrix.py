@@ -1,0 +1,227 @@
+"""Tests for the cross-backend evaluation matrix and its CLI."""
+
+import json
+
+import pytest
+
+from repro.experiments.__main__ import main as experiments_main
+from repro.scenarios import get_scenario, run_cell, run_matrix
+from repro.scenarios.matrix import (
+    DEFAULT_BACKENDS,
+    default_scenario_names,
+    resolve_scenario_names,
+)
+from repro.scenarios.registry import UnknownScenarioError
+
+SMOKE_SCENARIOS = ["clustered-baseline", "outlier-burst", "duplicate-flood"]
+SMOKE_BACKENDS = ["offline", "insertion-only"]
+
+CELL_KEYS = {
+    "scenario", "backend", "status", "radius", "reference_radius",
+    "radius_ratio", "coreset_size", "peak_storage", "updates",
+    "wall_time", "note",
+}
+
+
+@pytest.fixture(scope="module")
+def smoke():
+    """The 2-backends x 3-scenarios smoke matrix (computed once)."""
+    return run_matrix(SMOKE_SCENARIOS, SMOKE_BACKENDS, quick=True, seed=0)
+
+
+class TestMatrix:
+    def test_smoke_all_ok(self, smoke):
+        assert len(smoke.cells) == 6
+        for cell in smoke.cells:
+            assert cell.status == "ok", (cell.scenario, cell.backend, cell.note)
+            assert cell.radius >= 0
+            assert cell.reference_radius > 0
+            assert 0 <= cell.radius_ratio < 10
+            assert cell.coreset_size > 0
+            assert cell.peak_storage >= 1
+            inst = get_scenario(cell.scenario).make(quick=True, seed=0)
+            assert cell.updates == inst.n
+            assert cell.wall_time >= 0
+
+    def test_sweep_order_and_lookup(self, smoke):
+        assert smoke.scenarios == SMOKE_SCENARIOS
+        assert smoke.backends == SMOKE_BACKENDS
+        pairs = [(c.scenario, c.backend) for c in smoke.cells]
+        assert pairs == [(s, b) for s in SMOKE_SCENARIOS for b in SMOKE_BACKENDS]
+        assert smoke.cell("outlier-burst", "offline").scenario == "outlier-burst"
+        assert smoke.cell("outlier-burst", "no-such") is None
+
+    def test_json_schema(self, smoke):
+        doc = smoke.to_json_dict()
+        assert doc["suite"] == "scenario-matrix"
+        assert doc["quick"] is True and doc["seed"] == 0
+        assert doc["scenarios"] == SMOKE_SCENARIOS
+        assert doc["backends"] == SMOKE_BACKENDS
+        assert {"version", "generated_at", "cells"} <= set(doc)
+        assert len(doc["cells"]) == 6
+        for cell in doc["cells"]:
+            assert set(cell) == CELL_KEYS
+        json.dumps(doc)  # must be JSON-serializable as-is
+
+    def test_markdown(self, smoke):
+        md = smoke.to_markdown()
+        assert "Radius ratio vs reference" in md
+        assert "### Full matrix" in md
+        for name in SMOKE_SCENARIOS + SMOKE_BACKENDS:
+            assert name in md
+
+    def test_incompatible_cell_is_skipped(self):
+        cell = run_cell("clustered-baseline", "dynamic", quick=True)
+        assert cell.status == "skipped"
+        assert cell.radius is None
+        assert "incompatible" in cell.note
+
+    def test_dynamic_runs_on_integer_grid(self):
+        cell = run_cell("integer-grid", "dynamic", quick=True)
+        assert cell.status == "ok", cell.note
+        assert cell.radius_ratio < 3
+
+    def test_unknown_names_raise_before_work(self):
+        with pytest.raises(UnknownScenarioError):
+            run_matrix(["no-such-scenario"], SMOKE_BACKENDS, quick=True)
+        with pytest.raises(KeyError):
+            run_matrix(SMOKE_SCENARIOS[:1], ["no-such-backend"], quick=True)
+
+    def test_defaults_meet_the_acceptance_floor(self):
+        assert len(default_scenario_names()) >= 5
+        assert len(DEFAULT_BACKENDS) >= 3
+        for name in default_scenario_names():
+            assert "real" not in get_scenario(name).tags
+
+    def test_cells_cached_and_reused(self, tmp_path):
+        first = run_matrix(SMOKE_SCENARIOS[:1], SMOKE_BACKENDS, quick=True,
+                           cache_root=str(tmp_path))
+        assert list(tmp_path.glob("matrix-cell-*.pkl"))
+        # the scenario reference is cached once, shared by all its cells
+        assert len(list(tmp_path.glob("matrix-ref-*.pkl"))) == 1
+        again = run_matrix(SMOKE_SCENARIOS[:1], SMOKE_BACKENDS, quick=True,
+                           cache_root=str(tmp_path))
+        assert again.cells == first.cells
+        forced = run_matrix(SMOKE_SCENARIOS[:1], SMOKE_BACKENDS, quick=True,
+                            cache_root=str(tmp_path), force=True)
+        assert [c.scenario for c in forced.cells] == \
+            [c.scenario for c in first.cells]
+
+    def test_transient_failures_are_not_cached(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_OFFLINE", "1")
+        monkeypatch.setenv("REPRO_DATA_DIR", str(tmp_path / "data"))
+        result = run_matrix(["real-iris"], ["offline"], quick=True,
+                            cache_root=str(tmp_path))
+        assert result.cells[0].status == "unavailable"
+        assert not list(tmp_path.glob("matrix-cell-*.pkl"))
+
+    def test_stale_cache_schema_is_a_miss(self, tmp_path):
+        from repro.engine import ResultsCache
+
+        cache = ResultsCache(str(tmp_path))
+        params = {"scenario": SMOKE_SCENARIOS[0], "backend": "offline",
+                  "quick": True, "seed": 0}
+        cache.put("matrix-cell", params,
+                  {"status": "ok", "some_old_field": 1})
+        result = run_matrix(SMOKE_SCENARIOS[:1], ["offline"], quick=True,
+                            cache_root=str(tmp_path))
+        assert result.cells[0].status == "ok"
+        assert result.cells[0].radius is not None
+
+    def test_precomputed_reference_is_used(self):
+        cell = run_cell("clustered-baseline", "offline", quick=True,
+                        reference=123.0)
+        assert cell.reference_radius == 123.0
+
+
+class TestScenarioSelection:
+    def test_names_pass_through(self):
+        assert resolve_scenario_names(["outlier-burst"]) == ["outlier-burst"]
+
+    def test_tags_expand(self):
+        drift = resolve_scenario_names(["drift"])
+        assert len(drift) >= 2
+        mixed = resolve_scenario_names(["drift", "adversarial"])
+        assert set(drift) < set(mixed)
+
+    def test_all_and_dedup(self):
+        everything = resolve_scenario_names(["all", "outlier-burst"])
+        assert everything.count("outlier-burst") == 1
+        assert len(everything) >= 10
+
+    def test_unknown_token(self):
+        with pytest.raises(UnknownScenarioError) as ei:
+            resolve_scenario_names(["no-such-token"])
+        assert "tags" in str(ei.value)
+
+
+class TestCLI:
+    def test_matrix_subcommand_writes_outputs(self, tmp_path, capsys):
+        rc = experiments_main([
+            "matrix", "--quick", "--no-cache",
+            "--scenarios", "outlier-burst,duplicate-flood",
+            "--backends", "offline,insertion-only",
+            "--results-dir", str(tmp_path),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Radius ratio vs reference" in out
+        doc = json.loads((tmp_path / "matrix.json").read_text())
+        assert doc["suite"] == "scenario-matrix"
+        assert len(doc["cells"]) == 4
+        assert "outlier-burst" in (tmp_path / "matrix.md").read_text()
+
+    def test_matrix_tag_selection(self, tmp_path, capsys):
+        rc = experiments_main([
+            "matrix", "--quick", "--no-cache", "--scenarios", "adversarial",
+            "--backends", "offline", "--results-dir", str(tmp_path),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "adversarial-insertion" in out
+        assert "adversarial-sorted" in out
+
+    def test_matrix_list(self, capsys):
+        rc = experiments_main(["matrix", "--list"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "outlier-burst" in out and "adversarial" in out
+
+    def test_matrix_unknown_scenario_exits_2(self, capsys):
+        rc = experiments_main(["matrix", "--scenarios", "nope"])
+        assert rc == 2
+        assert "unknown scenario" in capsys.readouterr().out
+
+    def test_matrix_unknown_backend_exits_2(self, capsys):
+        rc = experiments_main(["matrix", "--backends", "nope"])
+        assert rc == 2
+        assert "unknown backend" in capsys.readouterr().out
+
+    def test_matrix_bad_jobs_exits_2(self, capsys):
+        assert experiments_main(["matrix", "--jobs", "0"]) == 2
+
+    def test_matrix_empty_selection_exits_2(self, capsys):
+        assert experiments_main(["matrix", "--backends", ","]) == 2
+        assert "selected nothing" in capsys.readouterr().out
+
+    def test_reregistration_invalidates_reference_memo(self):
+        from repro.scenarios import register_scenario, unregister_scenario
+        from repro.scenarios.matrix import _REFERENCES, _scenario_reference
+
+        factory = get_scenario("outlier-burst").factory
+        register_scenario("_memo-sc", factory, tags=("testing",))
+        try:
+            ref = _scenario_reference("_memo-sc", True, 0, None, False)
+            assert ("_memo-sc", True, 0) in _REFERENCES
+            register_scenario("_memo-sc", factory, overwrite=True)
+            assert ("_memo-sc", True, 0) not in _REFERENCES
+            assert _scenario_reference("_memo-sc", True, 0, None, False) == ref
+        finally:
+            unregister_scenario("_memo-sc")
+        assert ("_memo-sc", True, 0) not in _REFERENCES
+
+    def test_legacy_cli_still_dispatches(self, capsys):
+        rc = experiments_main(["--list"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "E1" in out

@@ -1,0 +1,38 @@
+"""Execute every fenced ``python`` block in README.md.
+
+The quickstart is documentation *and* a contract: blocks run in order,
+in one shared namespace (like a REPL session), so a README that names a
+symbol that no longer exists, or passes options a backend no longer
+accepts, fails the suite instead of silently drifting.
+"""
+
+import pathlib
+import re
+
+README = pathlib.Path(__file__).resolve().parents[1] / "README.md"
+
+_FENCE = re.compile(r"```python\n(.*?)```", re.S)
+
+
+def _python_blocks() -> "list[str]":
+    return _FENCE.findall(README.read_text())
+
+
+def test_readme_has_python_blocks():
+    assert len(_python_blocks()) >= 4, "README lost its quickstart blocks"
+
+
+def test_readme_python_blocks_execute(capsys):
+    ns = {"__name__": "__readme__"}
+    for i, block in enumerate(_python_blocks()):
+        code = compile(block, f"README.md[python block {i}]", "exec")
+        try:
+            exec(code, ns)  # noqa: S102 - executing our own documentation
+        except Exception as exc:
+            raise AssertionError(
+                f"README python block {i} failed ({type(exc).__name__}: "
+                f"{exc}):\n{block}"
+            ) from exc
+    # the quickstart session must actually have produced a solution
+    assert "sol" in ns and ns["sol"].radius > 0
+    assert "result" in ns and len(ns["result"].cells) >= 4
