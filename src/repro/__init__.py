@@ -21,6 +21,10 @@ Kernels (``repro.kernels``)
     chunk autotuning and reusable workspaces, with ``dtype`` /
     ``kernel_chunk`` knobs threaded through ``ProblemSpec`` and the MPC
     task tuples.
+Persist (``repro.persist``)
+    Durable session state: a versioned snapshot container (JSON manifest
+    + npz payload) behind ``KCenterSession.save``/``load``, implemented
+    by every registered backend with bit-identical restore-then-continue.
 Engine (``repro.engine``)
     The parallel execution layer: interchangeable serial/thread/process
     executors with bit-identical results, deterministic per-task seed
@@ -43,7 +47,7 @@ Workloads / experiments (``repro.workloads``, ``repro.experiments``)
     Synthetic data generators and the drivers that regenerate Table 1.
 """
 
-from . import api, core, engine, kernels
+from . import api, core, engine, kernels, persist
 from .api import (
     KCenterSession,
     ProblemSpec,
@@ -61,7 +65,7 @@ from .core import (
     update_coreset,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "KCenterSession",
@@ -76,6 +80,7 @@ __all__ = [
     "gonzalez",
     "kernels",
     "mbc_construction",
+    "persist",
     "register_backend",
     "solve_kcenter_outliers",
     "solve_via_coreset",

@@ -9,7 +9,9 @@ One problem, five computational models, one API:
   insertion-only, fully dynamic, sliding window, MPC, baselines)
   self-register behind the :class:`CoresetBackend` protocol;
 * :class:`KCenterSession` — the driver: batched ``extend``, model-aware
-  ``insert``/``delete``, ``coreset()`` and an enriched ``solve()``.
+  ``insert``/``delete``, ``coreset()``, an enriched ``solve()``, and
+  ``save()``/``load()`` durable checkpoints (:mod:`repro.persist`)
+  whose restore-then-continue is bit-identical to an uninterrupted run.
 
 Quickstart::
 
@@ -38,10 +40,12 @@ from .backends import (  # noqa: F401 - importing registers the builtins
     Guarantee,
     UnsupportedOperationError,
 )
+from ..persist import SnapshotError
 from .session import KCenterSession, Solution
 
 __all__ = [
     "BackendError",
+    "SnapshotError",
     "BackendInfo",
     "CoresetBackend",
     "DuplicateBackendError",

@@ -155,6 +155,41 @@ class _BackendBase:
         """Backend-specific diagnostics (sizes, thresholds, sketch cells)."""
         return {}
 
+    def snapshot(self) -> dict:
+        """Placeholder: subclasses that can be checkpointed override this
+        (see :mod:`repro.persist`); the base raises so
+        ``supports_snapshot`` can tell the difference."""
+        raise UnsupportedOperationError(
+            f"{type(self).__name__} does not implement snapshot(); this "
+            "backend cannot be checkpointed"
+        )
+
+    snapshot.unsupported = True  # type: ignore[attr-defined]
+
+    def restore(self, state: dict) -> None:
+        """Placeholder counterpart of :meth:`snapshot`."""
+        raise UnsupportedOperationError(
+            f"{type(self).__name__} does not implement restore(); this "
+            "backend cannot be checkpointed"
+        )
+
+    restore.unsupported = True  # type: ignore[attr-defined]
+
+
+class _AlgoSnapshotMixin:
+    """Snapshot plumbing for adapters whose entire mutable state lives in
+    the wrapped ``self.algo`` structure."""
+
+    algo: object
+
+    def snapshot(self) -> dict:
+        """Delegate to the wrapped structure's ``snapshot()``."""
+        return self.algo.snapshot()
+
+    def restore(self, state: dict) -> None:
+        """Delegate to the wrapped structure's ``restore(state)``."""
+        self.algo.restore(state)
+
 
 class _BufferedBackendBase(_BackendBase):
     """Shared plumbing for batch backends that buffer raw input and run
@@ -202,6 +237,34 @@ class _BufferedBackendBase(_BackendBase):
     def buffered(self) -> int:
         """Number of buffered input rows."""
         return int(sum(len(c) for c in self._chunks))
+
+    def snapshot(self) -> dict:
+        """The buffered input (chunk boundaries are not state: every
+        consumer concatenates, so one chunk restores equivalently).
+        Cached protocol results are recomputed on demand — deterministic
+        given the spec's seed."""
+        if self._chunks:
+            pts = np.concatenate(self._chunks, axis=0)
+            w = np.concatenate(self._weights)
+        else:
+            pts = np.zeros((0, self.spec.dim or 1))
+            w = np.zeros(0, dtype=np.int64)
+        return {"points": pts, "weights": w}
+
+    def restore(self, state: dict) -> None:
+        """Replace the buffer with a :meth:`snapshot`'s contents."""
+        from ..persist import SnapshotError
+
+        pts = np.asarray(state["points"], dtype=float)
+        w = np.asarray(state["weights"], dtype=np.int64)
+        if pts.ndim != 2 or w.shape != (len(pts),):
+            raise SnapshotError(
+                f"buffered snapshot arrays inconsistent: points {pts.shape}, "
+                f"weights {w.shape}"
+            )
+        self._chunks = [pts] if len(pts) else []
+        self._weights = [w] if len(pts) else []
+        self._invalidate()
 
 
 # ---------------------------------------------------------------------------
@@ -265,7 +328,7 @@ class OfflineMBCBackend(_BufferedBackendBase):
 # ---------------------------------------------------------------------------
 
 
-class _StreamingBackendBase(_BackendBase):
+class _StreamingBackendBase(_AlgoSnapshotMixin, _BackendBase):
     """Common adapter over the Algorithm-3-shaped streaming structures."""
 
     algo: InsertionOnlyCoreset
@@ -352,7 +415,7 @@ class CeccarelloStreamBackend(_StreamingBackendBase):
     supports_delete=True,
     deterministic=False,
 )
-class DynamicBackend(_BackendBase):
+class DynamicBackend(_AlgoSnapshotMixin, _BackendBase):
     """Sketch-based fully dynamic coreset over ``[Delta]^d``.
 
     Options
@@ -429,7 +492,7 @@ class DynamicBackend(_BackendBase):
     guarantee="relaxed (eps,k,z)-coreset, O((k/eps^d+z) log Delta) space",
     supports_delete=True,
 )
-class DeterministicDynamicBackend(_BackendBase):
+class DeterministicDynamicBackend(_AlgoSnapshotMixin, _BackendBase):
     """Deterministic fully dynamic coreset (no randomness anywhere).
 
     Options: ``delta_universe`` (required), ``check``, ``s_override``.
@@ -501,7 +564,7 @@ class DeterministicDynamicBackend(_BackendBase):
     algorithm="DBMZ (ESA 2021) substrate; optimal by Theorem 30",
     guarantee="window coreset, O((kz/eps^d) log sigma) space",
 )
-class SlidingWindowBackend(_BackendBase):
+class SlidingWindowBackend(_AlgoSnapshotMixin, _BackendBase):
     """Per-radius-guess covers of the last ``W`` arrivals.
 
     Options

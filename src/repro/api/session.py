@@ -17,23 +17,35 @@ difference ``benchmarks/bench_api_batched.py`` measures.
 paper's end-to-end recipe) and returns a :class:`Solution` carrying full
 provenance: backend name, the composed ``eps`` guarantee, coreset size,
 update count and wall-clock time.
+
+``save(path)`` / ``load(path)`` make a session durable: the backend's
+full mutable state goes into a versioned snapshot file
+(:mod:`repro.persist`), and a loaded session continues the stream
+bit-identically to one that never stopped — the contract every
+long-running streaming service and the matrix checkpointing rely on.
 """
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..core.greedy import charikar_greedy
+from ..core.metrics import get_metric
 from ..core.points import WeightedPointSet
 from ..core.solver import solve_kcenter_outliers
-from .backends import CoresetBackend, Guarantee
+from ..persist import SnapshotError, read_snapshot, write_snapshot
+from .backends import CoresetBackend, Guarantee, UnsupportedOperationError
 from .registry import BackendInfo, get_backend
 from .spec import ProblemSpec
 
 __all__ = ["Solution", "KCenterSession"]
+
+#: ``kind`` tag in session snapshot manifests.
+_SNAPSHOT_KIND = "kcenter-session"
 
 
 @dataclass(frozen=True)
@@ -83,6 +95,7 @@ class KCenterSession:
         self.spec = spec
         self.info: BackendInfo = get_backend(backend)
         self.backend: CoresetBackend = self.info.create(spec, **options)
+        self._options = dict(options)  # retained for save()'s manifest
         self._updates = 0
         self._wall_time = 0.0
 
@@ -103,8 +116,14 @@ class KCenterSession:
 
     def delete(self, point) -> None:
         """Delete a point (fully-dynamic backends only)."""
+        delete = getattr(self.backend, "delete", None)
+        if delete is None:
+            raise UnsupportedOperationError(
+                f"backend {self.info.name!r} does not support delete; use a "
+                "fully-dynamic backend ('dynamic' or 'dynamic-deterministic')"
+            )
         t0 = time.perf_counter()
-        self.backend.delete(point)
+        delete(point)
         self._updates += 1
         self._wall_time += time.perf_counter() - t0
 
@@ -118,17 +137,39 @@ class KCenterSession:
         self._wall_time += time.perf_counter() - t0
 
     def delete_many(self, points) -> None:
-        """Batched deletion (fully-dynamic backends only)."""
+        """Batched deletion (fully-dynamic backends only).
+
+        Accounting is exact under failure: in the scalar fallback,
+        ``updates_seen`` grows only by the deletions the backend actually
+        applied; on the native ``delete_many`` path a failed batch counts
+        zero, matching the built-in sketch backends' all-or-nothing batch
+        contract (they validate the whole batch before mutating).
+        Backends without any delete support raise a clear
+        :class:`~repro.api.backends.UnsupportedOperationError` rather
+        than an ``AttributeError``.
+        """
         pts = np.atleast_2d(np.asarray(points, dtype=float))
-        t0 = time.perf_counter()
         delete_many = getattr(self.backend, "delete_many", None)
-        if delete_many is not None:
-            delete_many(pts)
-        else:
-            for p in pts:
-                self.backend.delete(p)
-        self._updates += len(pts)
-        self._wall_time += time.perf_counter() - t0
+        delete = getattr(self.backend, "delete", None)
+        if delete_many is None and delete is None:
+            raise UnsupportedOperationError(
+                f"backend {self.info.name!r} supports neither delete_many "
+                "nor delete; use a fully-dynamic backend ('dynamic' or "
+                "'dynamic-deterministic')"
+            )
+        t0 = time.perf_counter()
+        applied = 0
+        try:
+            if delete_many is not None:
+                delete_many(pts)
+                applied = len(pts)
+            else:
+                for p in pts:
+                    delete(p)
+                    applied += 1
+        finally:
+            self._updates += applied
+            self._wall_time += time.perf_counter() - t0
 
     # -- queries -----------------------------------------------------------
 
@@ -185,6 +226,172 @@ class KCenterSession:
             wall_time=self._wall_time,
             stats=self.backend.stats(),
         )
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self, path: str, extra: "dict | None" = None) -> str:
+        """Checkpoint the session to a snapshot file.
+
+        The snapshot (see :mod:`repro.persist`) carries the backend's
+        full mutable state plus the session's provenance — spec, backend
+        name, construction options, ``updates_seen`` and ``wall_time`` —
+        so :meth:`load` rebuilds an exact twin.  Restoring and continuing
+        the stream is bit-identical to never having stopped.
+
+        Parameters
+        ----------
+        path:
+            Destination file (any extension; parent dirs are created).
+        extra:
+            Optional JSON-serializable caller payload stored under the
+            manifest's ``extra`` key (the matrix checkpoints keep their
+            batch cursor there).
+
+        Raises
+        ------
+        UnsupportedOperationError
+            When the backend does not implement the snapshot protocol.
+        SnapshotError
+            When an option or the metric cannot be represented in the
+            portable format (callables, custom metric instances).
+        """
+        snap = getattr(self.backend, "snapshot", None)
+        if snap is None:
+            raise UnsupportedOperationError(
+                f"backend {self.info.name!r} does not implement snapshot(); "
+                "it cannot be saved"
+            )
+        try:
+            get_metric(self.spec.metric_name)
+        except ValueError as exc:
+            raise SnapshotError(
+                f"metric {self.spec.metric_name!r} is not resolvable by "
+                f"name and cannot be persisted: {exc}"
+            ) from exc
+        options = {}
+        for key, value in self._options.items():
+            if isinstance(value, np.generic):
+                value = value.item()  # numpy scalars are trivially portable
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                raise SnapshotError(
+                    f"session option {key!r} ({type(value).__name__}) is not "
+                    "JSON-serializable; sessions built with callables or "
+                    "instances cannot be saved"
+                ) from None
+            options[key] = value
+        from .. import __version__
+
+        manifest = {
+            "kind": _SNAPSHOT_KIND,
+            "repro_version": __version__,
+            "backend": self.info.name,
+            "spec": self.spec.as_dict(),
+            "options": options,
+            "updates": self._updates,
+            "wall_time": self._wall_time,
+            "extra": extra or {},
+        }
+        return write_snapshot(path, manifest, snap())
+
+    @classmethod
+    def load(cls, path: str, backend: "str | None" = None,
+             spec: "ProblemSpec | None" = None, **options) -> "KCenterSession":
+        """Rebuild a session from a :meth:`save` snapshot.
+
+        The spec and backend are reconstructed from the manifest; the
+        backend is created fresh (re-deriving any seeded randomness) and
+        its mutable state restored, so continuing the stream yields
+        bit-identical coresets, radii and stats to the uninterrupted run.
+        ``updates_seen`` and ``wall_time`` provenance carry over.
+
+        Parameters
+        ----------
+        path:
+            Snapshot file written by :meth:`save`.
+        backend:
+            Expected backend name; a mismatch with the manifest raises
+            (pass ``None`` to accept whatever was saved).
+        spec:
+            Expected :class:`ProblemSpec`; a mismatch raises.
+        **options:
+            Overrides layered over the saved construction options.
+            Only *recompute-time* knobs may change on resume
+            (``executor``, ``jobs``, ``num_machines``, kernel knobs);
+            geometry-defining options (``window``, ``r_min``/``r_max``,
+            ``delta_universe``, sketch sizing) are part of the state's
+            meaning and the backend's ``restore`` rejects a mismatch
+            with :class:`SnapshotError`.
+
+        Raises
+        ------
+        SnapshotError
+            Unreadable file, unknown format version, kind/backend/spec
+            mismatch, or state that fails the backend's validation.
+        """
+        manifest, state = read_snapshot(path)
+        if manifest.get("kind") != _SNAPSHOT_KIND:
+            raise SnapshotError(
+                f"{path!r} is not a KCenterSession snapshot "
+                f"(kind={manifest.get('kind')!r})"
+            )
+        return cls.from_snapshot(manifest, state, backend=backend,
+                                 spec=spec, **options)
+
+    @classmethod
+    def from_snapshot(cls, manifest: dict, state: dict,
+                      backend: "str | None" = None,
+                      spec: "ProblemSpec | None" = None,
+                      **options) -> "KCenterSession":
+        """Rebuild a session from an already-read ``(manifest, state)``
+        pair (see :func:`repro.persist.read_snapshot`).
+
+        :meth:`load` is this plus the file read; callers that inspect the
+        manifest before deciding to resume (the matrix checkpoints) use
+        this to avoid parsing the snapshot twice.  Same validation and
+        provenance semantics as :meth:`load`.
+        """
+        if manifest.get("kind") != _SNAPSHOT_KIND:
+            raise SnapshotError(
+                f"manifest is not a KCenterSession snapshot "
+                f"(kind={manifest.get('kind')!r})"
+            )
+        name = manifest.get("backend")
+        if not isinstance(name, str):
+            raise SnapshotError("snapshot manifest is missing a backend name")
+        if backend is not None and backend != name:
+            raise SnapshotError(
+                f"snapshot holds backend {name!r}, caller expected "
+                f"{backend!r}"
+            )
+        spec_dict = manifest.get("spec")
+        if not isinstance(spec_dict, dict):
+            raise SnapshotError("snapshot manifest is missing the spec dict")
+        try:
+            loaded_spec = ProblemSpec(**spec_dict)
+        except (TypeError, ValueError) as exc:
+            raise SnapshotError(
+                f"snapshot spec does not reconstruct: {exc}"
+            ) from exc
+        if spec is not None and spec.as_dict() != loaded_spec.as_dict():
+            raise SnapshotError(
+                f"snapshot spec {loaded_spec.as_dict()} != caller spec "
+                f"{spec.as_dict()}"
+            )
+        opts = dict(manifest.get("options", {}))
+        opts.update(options)
+        sess = cls(loaded_spec, backend=name, **opts)
+        restore = getattr(sess.backend, "restore", None)
+        if restore is None:
+            raise SnapshotError(
+                f"backend {name!r} (as currently registered) does not "
+                "implement restore()"
+            )
+        restore(state)
+        sess._updates = int(manifest.get("updates", 0))
+        sess._wall_time = float(manifest.get("wall_time", 0.0))
+        return sess
 
     # -- accounting --------------------------------------------------------
 

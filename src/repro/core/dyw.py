@@ -141,4 +141,6 @@ def dyw_greedy(
     from .radius import uncovered_weight
 
     out_w = uncovered_weight(wps, wps.points[centers_idx], radius, metric)
-    return DYWResult(centers_idx, float(radius), int(out_w), guess)
+    # weights are integral here, but round (not truncate) so a float sum
+    # a hair above an integer cannot under-report the outlier count
+    return DYWResult(centers_idx, float(radius), int(round(out_w)), guess)

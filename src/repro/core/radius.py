@@ -70,15 +70,24 @@ def uncovered_weight(
     centers: np.ndarray,
     r: float,
     metric: "Metric | str | None" = None,
-) -> int:
-    """Total weight of points strictly farther than ``r`` from every
+) -> float:
+    """Exact total weight of points strictly farther than ``r`` from every
     center (with a tiny relative tolerance so that points *on* a ball
-    boundary count as covered)."""
+    boundary count as covered).
+
+    Returns the weight as an exact float: the pre-1.5 code truncated via
+    ``int(...)``, so a fractional uncovered weight of ``z + 0.9`` passed a
+    ``<= z`` budget test — the same bug class the greedy feasibility test
+    had before PR 3.  Callers comparing against a budget ``z`` should use
+    a tolerance compare (``weight <= z + 1e-9 * max(1, z)``), which is
+    identical to the old behaviour on integer weights (any violation is
+    at least 1) and correct on fractional ones.
+    """
     if len(wps) == 0:
-        return 0
+        return 0.0
     d = nearest_center_distances(wps, centers, metric)
     tol = 1e-9 * max(1.0, abs(r))
-    return int(wps.weights[d > r + tol].sum())
+    return float(np.asarray(wps.weights, dtype=float)[d > r + tol].sum())
 
 
 def min_pairwise_distance(

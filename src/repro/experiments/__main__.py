@@ -24,6 +24,11 @@ matrix (:mod:`repro.scenarios.matrix`) through the same caching and
         --backends insertion-only,mpc-two-round --jobs 4
     python -m repro.experiments matrix --list
 
+With ``matrix --checkpoint-dir DIR`` every in-flight cell also saves a
+durable session snapshot (:mod:`repro.persist`) after each stream batch,
+so a killed sweep rerun with the same directory resumes *mid-stream* —
+bit-identical to an uninterrupted run — instead of replaying whole cells.
+
 The cache lives in ``--results-dir`` (default: ``$REPRO_RESULTS_DIR`` or
 ``./.repro-results``); each entry is a pickle of the rows plus a JSON
 sidecar with the key and parameters.

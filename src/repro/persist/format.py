@@ -1,0 +1,199 @@
+"""The on-disk snapshot container: one zip with a JSON manifest and an npz payload.
+
+A snapshot file is a plain zip archive holding exactly two members:
+
+``manifest.json``
+    Human-readable provenance — format version, library version, backend
+    name, the full :meth:`~repro.api.ProblemSpec.as_dict` of the spec,
+    session options, update/wall-time accounting, and the JSON-typed part
+    of the backend state (``state`` subtree).  Auditable with nothing but
+    ``unzip -p snapshot manifest.json``.
+``payload.npz``
+    Every array-typed leaf of the backend state, stored under its
+    ``/``-joined path in the state tree (standard ``np.savez`` container;
+    loaded with ``allow_pickle=False``, so a snapshot can never execute
+    code on load).
+
+Backend ``snapshot()`` methods return one nested dict of string keys whose
+leaves are either JSON-serializable scalars/lists or ``np.ndarray``s;
+:func:`write_snapshot` splits that tree across the two members and
+:func:`read_snapshot` reassembles it bit for bit.  Writes are atomic
+(temp file + rename), so a crash mid-checkpoint never leaves a truncated
+snapshot behind.
+
+Versioning policy: ``format`` is bumped whenever the container layout or
+any backend's state tree changes incompatibly; readers reject snapshots
+whose version they do not know with a :class:`SnapshotError` instead of
+guessing (see ``docs/persistence.md``).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import zipfile
+
+import numpy as np
+
+__all__ = [
+    "SNAPSHOT_FORMAT_VERSION",
+    "MANIFEST_MEMBER",
+    "PAYLOAD_MEMBER",
+    "SnapshotError",
+    "write_snapshot",
+    "read_snapshot",
+]
+
+#: Current container/state format version (see module docstring).
+SNAPSHOT_FORMAT_VERSION = 1
+
+#: Zip member holding the JSON manifest.
+MANIFEST_MEMBER = "manifest.json"
+
+#: Zip member holding the npz array payload.
+PAYLOAD_MEMBER = "payload.npz"
+
+_SEP = "/"
+
+
+class SnapshotError(RuntimeError):
+    """A snapshot cannot be written, read, or applied.
+
+    Raised for unreadable/corrupted files, unknown format versions,
+    backend/spec mismatches at load time, and state trees that do not
+    fit the container (non-string keys, unserializable leaves).
+    """
+
+
+def _split_state(state: dict, prefix: str, json_tree: dict, arrays: dict) -> None:
+    """Recursively split ``state`` into JSON leaves and npz arrays."""
+    for key, value in state.items():
+        if not isinstance(key, str) or not key:
+            raise SnapshotError(
+                f"state keys must be non-empty strings, got {key!r}"
+            )
+        if _SEP in key:
+            raise SnapshotError(f"state key {key!r} must not contain {_SEP!r}")
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            sub: dict = {}
+            json_tree[key] = sub
+            _split_state(value, path + _SEP, sub, arrays)
+        elif isinstance(value, np.ndarray):
+            if value.dtype.hasobject:
+                # np.savez would pickle it and allow_pickle=False on read
+                # would then reject the file forever — fail at write time
+                raise SnapshotError(
+                    f"state leaf {path!r} is an object-dtype array; only "
+                    "plain numeric/bool/bytes dtypes are portable"
+                )
+            arrays[path] = value
+        elif isinstance(value, np.generic):
+            json_tree[key] = value.item()
+        elif isinstance(value, (bool, int, float, str)) or value is None:
+            json_tree[key] = value
+        elif isinstance(value, (list, tuple)):
+            json_tree[key] = list(value)
+        else:
+            raise SnapshotError(
+                f"state leaf {path!r} has unsupported type "
+                f"{type(value).__name__}; use arrays, scalars, strings, "
+                "lists or nested dicts"
+            )
+
+
+def _merge_state(json_tree: dict, arrays: "dict[str, np.ndarray]") -> dict:
+    """Reassemble the state tree from its JSON part and the npz arrays."""
+    state = json.loads(json.dumps(json_tree))  # deep copy, JSON types only
+    for path, arr in arrays.items():
+        parts = path.split(_SEP)
+        node = state
+        for part in parts[:-1]:
+            node = node.setdefault(part, {})
+            if not isinstance(node, dict):
+                raise SnapshotError(
+                    f"array path {path!r} collides with a JSON leaf"
+                )
+        node[parts[-1]] = arr
+    return state
+
+
+def write_snapshot(path: str, manifest: dict, state: dict) -> str:
+    """Write a snapshot file atomically.
+
+    Parameters
+    ----------
+    path:
+        Destination file (parent directories are created).
+    manifest:
+        JSON-serializable provenance record; ``format`` and the split
+        ``state``/``arrays`` fields are filled in here.
+    state:
+        The backend state tree (nested dicts of arrays / JSON leaves).
+
+    Returns
+    -------
+    str
+        ``path``, for chaining.
+    """
+    json_tree: dict = {}
+    arrays: "dict[str, np.ndarray]" = {}
+    _split_state(state, "", json_tree, arrays)
+    doc = dict(manifest)
+    doc.setdefault("format", SNAPSHOT_FORMAT_VERSION)
+    doc["state"] = json_tree
+    doc["arrays"] = sorted(arrays)
+    try:
+        manifest_bytes = json.dumps(doc, indent=2, sort_keys=True).encode()
+    except (TypeError, ValueError) as exc:
+        raise SnapshotError(f"manifest is not JSON-serializable: {exc}") from exc
+    payload = io.BytesIO()
+    np.savez(payload, **arrays)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with zipfile.ZipFile(tmp, "w", zipfile.ZIP_DEFLATED) as zf:
+            zf.writestr(MANIFEST_MEMBER, manifest_bytes)
+            zf.writestr(PAYLOAD_MEMBER, payload.getvalue())
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):  # pragma: no cover - crash-path cleanup
+            os.remove(tmp)
+    return path
+
+
+def read_snapshot(path: str) -> "tuple[dict, dict]":
+    """Read a snapshot file back into ``(manifest, state)``.
+
+    Raises
+    ------
+    SnapshotError
+        When the file is missing/corrupted or carries an unknown
+        ``format`` version.
+    """
+    try:
+        with zipfile.ZipFile(path, "r") as zf:
+            manifest = json.loads(zf.read(MANIFEST_MEMBER).decode())
+            payload = zf.read(PAYLOAD_MEMBER)
+    except (OSError, KeyError, ValueError, zipfile.BadZipFile) as exc:
+        raise SnapshotError(f"cannot read snapshot {path!r}: {exc}") from exc
+    if not isinstance(manifest, dict):
+        raise SnapshotError(f"snapshot {path!r} manifest is not a JSON object")
+    fmt = manifest.get("format")
+    if fmt != SNAPSHOT_FORMAT_VERSION:
+        raise SnapshotError(
+            f"snapshot {path!r} has format version {fmt!r}; this library "
+            f"reads version {SNAPSHOT_FORMAT_VERSION}"
+        )
+    try:
+        with np.load(io.BytesIO(payload), allow_pickle=False) as npz:
+            arrays = {name: npz[name] for name in npz.files}
+    except Exception as exc:
+        raise SnapshotError(
+            f"cannot read snapshot payload of {path!r}: {exc}"
+        ) from exc
+    state = _merge_state(manifest.get("state", {}), arrays)
+    return manifest, state

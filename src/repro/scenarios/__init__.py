@@ -39,6 +39,7 @@ from .matrix import (
     DEFAULT_BACKENDS,
     CellResult,
     MatrixResult,
+    cell_cache_params,
     run_cell,
     run_matrix,
 )
@@ -68,6 +69,7 @@ __all__ = [
     "ScenarioInstance",
     "UnknownScenarioError",
     "available_scenarios",
+    "cell_cache_params",
     "default_data_dir",
     "get_scenario",
     "load_dataset",

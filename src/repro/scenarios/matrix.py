@@ -13,9 +13,14 @@ quality/runtime cell per ``(scenario, backend)`` pair:
 
 Cells are independent, so the harness shards them across a
 :class:`repro.engine` executor (``--jobs``) and caches each cell in a
-:class:`~repro.engine.ResultsCache` keyed by
-``(scenario, backend, quick, seed)`` — interrupted sweeps resume where
-they died, exactly like the Table-1 experiment runner.
+:class:`~repro.engine.ResultsCache` keyed by the *fully resolved* cell
+identity — scenario, backend, quick, seed, the complete spec dict
+(including ``dtype``/``kernel_chunk``) and the derived session options —
+so a knob change can never serve a stale cell.  With
+``--checkpoint-dir`` each in-flight cell additionally saves a durable
+session snapshot (:mod:`repro.persist`) after every batch: a killed
+sweep resumes *mid-stream* from the checkpoint (bit-identical to the
+uninterrupted run) instead of replaying the cell from scratch.
 
 The result renders as JSON (machine-readable, schema documented in
 ``docs/benchmarks.md``) and as a markdown table (human-readable, quoted
@@ -37,6 +42,7 @@ from dataclasses import asdict, dataclass, fields
 from ..api.registry import UnknownBackendError, available_backends, get_backend
 from ..api.session import KCenterSession
 from ..engine import ResultsCache, default_results_dir, get_executor
+from ..persist import read_snapshot
 from .datasets import DatasetUnavailableError
 from .registry import UnknownScenarioError, available_scenarios, get_scenario
 
@@ -44,6 +50,7 @@ __all__ = [
     "DEFAULT_BACKENDS",
     "CellResult",
     "MatrixResult",
+    "cell_cache_params",
     "run_cell",
     "run_matrix",
     "default_scenario_names",
@@ -113,6 +120,14 @@ class CellResult:
 #: stats keys probed (in order) for a backend's current storage figure
 _STORAGE_KEYS = ("stored", "storage_cells", "buffered")
 
+#: env hook for the CI kill-and-resume smoke: after this many checkpoint
+#: writes (process-wide) the sweep dies with SystemExit, simulating a
+#: mid-stream crash at a deterministic point
+_KILL_ENV = "REPRO_MATRIX_KILL_AFTER"
+
+#: process-wide checkpoint-write counter backing the kill hook
+_ckpt_writes = 0
+
 
 def _storage_probe(stats: dict) -> "int | None":
     """Extract the backend's storage figure from a ``stats()`` dict."""
@@ -123,12 +138,84 @@ def _storage_probe(stats: dict) -> "int | None":
     return None
 
 
+def _resolved_spec(spec, dtype: "str | None", kernel_chunk: "int | None"):
+    """The scenario's spec with sweep-level kernel knobs layered on."""
+    changes = {}
+    if dtype is not None:
+        changes["dtype"] = dtype
+    if kernel_chunk is not None:
+        changes["kernel_chunk"] = int(kernel_chunk)
+    return spec.replace(**changes) if changes else spec
+
+
+def cell_cache_params(scenario: str, backend: str, quick: bool, seed: int,
+                      spec, options: dict) -> dict:
+    """The fully resolved cache identity of one matrix cell.
+
+    Includes the complete spec dict (every knob, ``dtype`` and
+    ``kernel_chunk`` included) and the derived backend session options,
+    so changing any of them misses the cache instead of serving a stale
+    cell computed under different parameters.
+    """
+    return {
+        "scenario": scenario,
+        "backend": backend,
+        "quick": bool(quick),
+        "seed": int(seed),
+        "spec": spec.as_dict(),
+        "options": dict(options),
+    }
+
+
+def _checkpoint_path(checkpoint_dir: str, params: dict) -> str:
+    """Per-cell checkpoint file, keyed by the full cell identity."""
+    return os.path.join(
+        checkpoint_dir, ResultsCache.key("matrix-ckpt", params) + ".ckpt"
+    )
+
+
+def _load_checkpoint(path: str, scenario: str, backend: str):
+    """Resume state from a cell checkpoint: ``(session, next_batch, peak)``.
+
+    Any unreadable/mismatched checkpoint degrades to a fresh start —
+    resuming is an optimization, never a correctness requirement.
+    """
+    try:
+        manifest, state = read_snapshot(path)
+        extra = manifest.get("extra", {})
+        if extra.get("scenario") != scenario or extra.get("backend") != backend:
+            return None, 0, None
+        sess = KCenterSession.from_snapshot(manifest, state, backend=backend)
+        peak = extra.get("peak")
+        return sess, int(extra.get("batch", 0)), (
+            int(peak) if peak is not None else None
+        )
+    except Exception:
+        return None, 0, None
+
+
+def _maybe_simulated_kill() -> None:
+    """Die (SystemExit) once the env-configured checkpoint budget is hit."""
+    global _ckpt_writes
+    _ckpt_writes += 1
+    limit = os.environ.get(_KILL_ENV)
+    if limit and _ckpt_writes >= int(limit):
+        raise SystemExit(
+            f"simulated kill after {_ckpt_writes} checkpoint writes "
+            f"({_KILL_ENV}={limit})"
+        )
+
+
 def run_cell(
     scenario_name: str,
     backend_name: str,
     quick: bool = False,
     seed: int = 0,
     reference: "float | None" = None,
+    dtype: "str | None" = None,
+    kernel_chunk: "int | None" = None,
+    checkpoint_dir: "str | None" = None,
+    instance=None,
 ) -> CellResult:
     """Evaluate one backend on one scenario (one matrix cell).
 
@@ -150,14 +237,29 @@ def run_cell(
         seed)`` triple, so sweeps solve the full-stream reference once
         per scenario instead of once per cell; ``None`` computes it
         here.
+    dtype, kernel_chunk:
+        Distance-kernel knobs layered onto the scenario's spec
+        (:mod:`repro.kernels`); part of the cell's cache identity.
+    checkpoint_dir:
+        When set, the in-flight session is snapshotted here after every
+        batch (streaming-model backends) or on a power-of-two batch
+        cadence (buffered offline/MPC backends, whose snapshots rewrite
+        the whole input prefix), and an existing matching checkpoint
+        resumes the stream mid-cell — bit-identical to the
+        uninterrupted run (the completed cell removes its checkpoint).
+    instance:
+        Pre-materialized :class:`~repro.scenarios.ScenarioInstance`
+        (sweep optimization); ``None`` materializes here.
     """
     scenario = get_scenario(scenario_name)
     info = get_backend(backend_name)
-    try:
-        inst = scenario.make(quick=quick, seed=seed)
-    except DatasetUnavailableError as exc:
-        return CellResult(scenario_name, backend_name, "unavailable",
-                          note=str(exc))
+    if instance is None:
+        try:
+            instance = scenario.make(quick=quick, seed=seed)
+        except DatasetUnavailableError as exc:
+            return CellResult(scenario_name, backend_name, "unavailable",
+                              note=str(exc))
+    inst = instance
     if reference is not None:
         inst.prime_reference(reference)
     if not inst.compatible(info):
@@ -166,20 +268,50 @@ def run_cell(
             note=f"{info.model} backend incompatible with this stream",
         )
     try:
-        sess = KCenterSession.from_spec(
-            inst.spec, backend=backend_name, **inst.session_options(info)
-        )
-        peak = None
-        for batch in inst.batches:
+        spec = _resolved_spec(inst.spec, dtype, kernel_chunk)
+        options = inst.session_options(info)
+        ckpt = None
+        if checkpoint_dir:
+            params = cell_cache_params(
+                scenario_name, backend_name, quick, seed, spec, options
+            )
+            ckpt = _checkpoint_path(checkpoint_dir, params)
+        sess, start, peak = None, 0, None
+        if ckpt is not None and os.path.exists(ckpt):
+            sess, start, peak = _load_checkpoint(ckpt, scenario_name,
+                                                 backend_name)
+        if sess is None:
+            sess = KCenterSession.from_spec(
+                spec, backend=backend_name, **options
+            )
+            start, peak = 0, None
+        # buffered backends (offline, MPC) snapshot their whole input
+        # prefix, so a per-batch cadence would write 1+2+...+B batches —
+        # quadratic I/O for backends whose ingest is a cheap append.  A
+        # power-of-two cadence keeps their total checkpoint I/O linear
+        # while streaming-model backends (small state, real per-batch
+        # work) still checkpoint every batch.
+        buffered = info.model in ("offline", "mpc")
+        for i, batch in enumerate(inst.batches):
+            if i < start:
+                continue
             sess.extend(batch)
             probe = _storage_probe(sess.backend.stats())
             if probe is not None:
                 peak = probe if peak is None else max(peak, probe)
+            if ckpt is not None and (not buffered or (i + 1) & i == 0):
+                sess.save(ckpt, extra={
+                    "scenario": scenario_name, "backend": backend_name,
+                    "batch": i + 1, "peak": peak,
+                })
+                _maybe_simulated_kill()
         sol = sess.solve(method="greedy3")
         ref = inst.reference()
         ratio = float(sol.radius) / ref if ref > 0 else float("inf")
         if peak is not None:
             peak = max(peak, sol.coreset_size)
+        if ckpt is not None and os.path.exists(ckpt):
+            os.remove(ckpt)  # the finished cell no longer needs it
         return CellResult(
             scenario=scenario_name,
             backend=backend_name,
@@ -200,6 +332,27 @@ def run_cell(
 
 #: per-process memo of reference radii, keyed ``(scenario, quick, seed)``
 _REFERENCES: "dict[tuple, float]" = {}
+
+#: per-process memo of the most recent materialized instance (the
+#: resolved cache identity needs the instance, and a sweep visits each
+#: scenario once per backend, scenario-major).  Bounded to ONE entry so
+#: peak memory stays at ~one stream, not every swept stream at once.
+_INSTANCES: "dict[tuple, object]" = {}
+
+
+def _scenario_instance(scenario: str, quick: bool, seed: int):
+    """Materialize (or reuse) the scenario instance for one sweep cell.
+
+    Raises whatever the factory raises (``DatasetUnavailableError`` for
+    missing real datasets); failures are never memoized.
+    """
+    key = (scenario, bool(quick), int(seed))
+    inst = _INSTANCES.get(key)
+    if inst is None:
+        inst = get_scenario(scenario).make(quick=quick, seed=seed)
+        _INSTANCES.clear()  # single-entry memo: evict the previous scenario
+        _INSTANCES[key] = inst
+    return inst
 
 
 def _scenario_reference(scenario: str, quick: bool, seed: int,
@@ -225,7 +378,7 @@ def _scenario_reference(scenario: str, quick: bool, seed: int,
             _REFERENCES[key] = hit
             return hit
     try:
-        ref = get_scenario(scenario).make(quick=quick, seed=seed).reference()
+        ref = _scenario_instance(scenario, quick, seed).reference()
     except Exception:
         return None
     _REFERENCES[key] = ref
@@ -237,24 +390,59 @@ def _scenario_reference(scenario: str, quick: bool, seed: int,
 def _cell_task(task: tuple) -> dict:
     """One unit of matrix fan-out (module-level so process pools pickle
     it); opens its own cache handle and returns the cell as a dict."""
-    scenario, backend, quick, seed, cache_root, force = task
-    params = {"scenario": scenario, "backend": backend,
-              "quick": bool(quick), "seed": int(seed)}
+    (scenario, backend, quick, seed, cache_root, force,
+     dtype, kernel_chunk, checkpoint_dir) = task
     cache = ResultsCache(cache_root) if cache_root else None
     cell_fields = {f.name for f in fields(CellResult)}
+    info = get_backend(backend)
+
+    def _valid(hit):
+        # schema-validate: a stale entry from another version is a miss
+        return isinstance(hit, dict) and hit.get("status") == "ok" \
+            and set(hit) == cell_fields
+
+    # the full resolved cache key below needs the materialized instance;
+    # dataset-backed cells therefore also keep a cheap alias entry so an
+    # unavailable dataset can still serve its last-known-good cell
+    alias_params = {"scenario": scenario, "backend": backend,
+                    "quick": bool(quick), "seed": int(seed),
+                    "dtype": dtype, "kernel_chunk": kernel_chunk}
+    sc = get_scenario(scenario)
+    try:
+        # memoized per process: the resolved spec/options the instance
+        # yields are what make the cache key immune to knob and
+        # derivation changes, and the sweep visits each scenario once
+        # per backend
+        inst = _scenario_instance(scenario, quick, seed)
+    except DatasetUnavailableError as exc:
+        if cache is not None and not force:
+            hit = cache.get("matrix-cell-alias", alias_params)
+            if _valid(hit):
+                return hit
+        return asdict(CellResult(scenario, backend, "unavailable",
+                                 note=str(exc)))
+    spec = _resolved_spec(inst.spec, dtype, kernel_chunk)
+    params = cell_cache_params(
+        scenario, backend, quick, seed, spec, inst.session_options(info)
+    )
     if cache is not None and not force:
         hit = cache.get("matrix-cell", params)
-        # schema-validate: a stale entry from another version is a miss
-        if isinstance(hit, dict) and hit.get("status") == "ok" \
-                and set(hit) == cell_fields:
+        if _valid(hit):
             return hit
     ref = _scenario_reference(scenario, quick, seed, cache, force)
     cell = asdict(run_cell(scenario, backend, quick=quick, seed=seed,
-                           reference=ref))
+                           reference=ref, dtype=dtype,
+                           kernel_chunk=kernel_chunk,
+                           checkpoint_dir=checkpoint_dir, instance=inst))
     # only settled results are cached: transient failures ("unavailable",
     # "error") must retry on the next run, and "skipped" is free anyway
     if cache is not None and cell["status"] == "ok":
         cache.put("matrix-cell", params, cell)
+        if "real" in sc.tags:
+            # factories are deterministic in (quick, seed), so the alias
+            # is as precise as the full key while the dataset on disk is
+            # unchanged — exactly the last-known-good case it serves
+            cache.put("matrix-cell-alias", alias_params, cell)
     return cell
 
 
@@ -423,6 +611,9 @@ def run_matrix(
     jobs: "int | None" = None,
     cache_root: "str | None" = None,
     force: bool = False,
+    dtype: "str | None" = None,
+    kernel_chunk: "int | None" = None,
+    checkpoint_dir: "str | None" = None,
 ) -> MatrixResult:
     """Sweep ``backends`` x ``scenarios`` and collect the matrix.
 
@@ -444,6 +635,13 @@ def run_matrix(
         Cell cache directory; ``None`` disables caching.
     force:
         Recompute cells even when cached.
+    dtype, kernel_chunk:
+        Distance-kernel knobs layered onto every cell's spec; part of
+        each cell's cache identity.
+    checkpoint_dir:
+        Per-cell mid-stream checkpoint directory (see :func:`run_cell`);
+        a killed sweep rerun with the same directory resumes in-flight
+        cells from their last completed batch.
 
     Returns
     -------
@@ -463,7 +661,8 @@ def run_matrix(
     for name in backend_names:
         get_backend(name)
     tasks = [
-        (s, b, quick, seed, cache_root, force)
+        (s, b, quick, seed, cache_root, force, dtype, kernel_chunk,
+         checkpoint_dir)
         for s in scenario_names
         for b in backend_names
     ]
@@ -519,6 +718,16 @@ def build_matrix_parser() -> argparse.ArgumentParser:
                         help="run without reading or writing cached cells")
     parser.add_argument("--force", action="store_true",
                         help="recompute even when cached cells exist")
+    parser.add_argument("--dtype", choices=("float32", "float64"),
+                        default=None,
+                        help="distance-kernel precision layered onto every "
+                             "cell's spec (cache-keyed; default: the "
+                             "scenario's own setting)")
+    parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                        help="save a durable session snapshot per cell after "
+                             "every batch; a killed sweep rerun with the same "
+                             "directory resumes mid-stream (bit-identical to "
+                             "an uninterrupted run)")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="JSON output path (default: "
                              "<results-dir>/matrix.json)")
@@ -575,6 +784,7 @@ def matrix_main(argv: "list[str]") -> int:
         quick=args.quick, seed=args.seed,
         jobs=args.jobs if args.jobs > 1 else None,
         cache_root=cache_root, force=args.force,
+        dtype=args.dtype, checkpoint_dir=args.checkpoint_dir,
     )
 
     os.makedirs(results_dir, exist_ok=True)

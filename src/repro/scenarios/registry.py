@@ -46,13 +46,14 @@ _SCENARIOS: "dict[str, Scenario]" = {}
 
 
 def _invalidate_matrix_memo(name: str) -> None:
-    """Drop any memoized reference radii for ``name`` (a re-registered
-    or unregistered scenario must not be scored against the old
-    definition's reference)."""
-    from .matrix import _REFERENCES
+    """Drop any memoized reference radii and materialized instances for
+    ``name`` (a re-registered or unregistered scenario must not be scored
+    against — or served from — the old definition)."""
+    from .matrix import _INSTANCES, _REFERENCES
 
-    for key in [k for k in _REFERENCES if k[0] == name]:
-        del _REFERENCES[key]
+    for memo in (_REFERENCES, _INSTANCES):
+        for key in [k for k in memo if k[0] == name]:
+            del memo[key]
 
 
 def register_scenario(

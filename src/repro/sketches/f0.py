@@ -67,6 +67,32 @@ class _F0Instance:
                 return float(len(res.items) * (1 << l))
         return float("inf")  # every level overflowed (astronomically unlikely)
 
+    def snapshot(self) -> dict:
+        """Per-level sketch states plus the level-hash fingerprint."""
+        return {
+            "level_digest": self._level_hash.digest(),
+            "sketches": {str(l): sk.snapshot()
+                         for l, sk in enumerate(self._sketches)},
+        }
+
+    def restore(self, state: dict) -> None:
+        """Apply a :meth:`snapshot` tree (validates hash fingerprints)."""
+        from ..persist import SnapshotError
+
+        if str(state.get("level_digest")) != self._level_hash.digest():
+            raise SnapshotError(
+                "F0 level-hash mismatch: snapshot was taken under different "
+                "sketch randomness (seed or options mismatch)"
+            )
+        sketches = state["sketches"]
+        if len(sketches) != len(self._sketches):
+            raise SnapshotError(
+                f"F0 snapshot has {len(sketches)} levels, estimator has "
+                f"{len(self._sketches)}"
+            )
+        for l, sk in enumerate(self._sketches):
+            sk.restore(sketches[str(l)])
+
     @property
     def storage_cells(self) -> int:
         return sum(sk.storage_cells for sk in self._sketches)
@@ -119,6 +145,24 @@ class F0Estimator:
     def estimate(self) -> float:
         """Median-of-instances ``(1 +- eps)`` estimate of ``||F||_0``."""
         return float(np.median([inst.estimate() for inst in self._instances]))
+
+    def snapshot(self) -> dict:
+        """Mutable state of every independent instance."""
+        return {"instances": {str(i): inst.snapshot()
+                              for i, inst in enumerate(self._instances)}}
+
+    def restore(self, state: dict) -> None:
+        """Apply a :meth:`snapshot` tree across the instances."""
+        from ..persist import SnapshotError
+
+        instances = state["instances"]
+        if len(instances) != len(self._instances):
+            raise SnapshotError(
+                f"F0 snapshot has {len(instances)} instances, estimator has "
+                f"{len(self._instances)}"
+            )
+        for i, inst in enumerate(self._instances):
+            inst.restore(instances[str(i)])
 
     def at_most(self, s: int) -> bool:
         """Decide (whp) whether at most ``s`` keys are non-zero, allowing

@@ -68,3 +68,16 @@ class KWiseHash:
         for c in self.coeffs:
             acc = (acc * key + c) % MERSENNE_P
         return int(acc % self.m)
+
+    def digest(self) -> str:
+        """Short stable fingerprint of (range, independence, coefficients).
+
+        Snapshots store this so a restore can verify the reconstructed
+        hash function is the one the state was accumulated under (the
+        coefficients themselves are re-derived from the spec's seed, not
+        serialized).
+        """
+        import hashlib
+
+        payload = f"{self.m}:{self.k}:" + ",".join(map(str, self.coeffs))
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]

@@ -137,6 +137,77 @@ class SSparseRecovery:
         """True when every cell is zero (the summarised vector is zero)."""
         return all(c.is_zero for row in self._cells for c in row)
 
+    # -- persistence --------------------------------------------------------
+
+    def params_digest(self) -> str:
+        """Fingerprint of the sketch's immutable randomness/geometry.
+
+        Covers ``(s, universe, rows, buckets)``, every row hash and the
+        shared fingerprint point ``zeta``.  Snapshots embed it so
+        :meth:`restore` can detect a seed/parameter mismatch instead of
+        silently mixing cell state with foreign hash functions.
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        h.update(f"{self.s}:{self.universe}:{self.rows}:{self.buckets}".encode())
+        for hh in self._hashes:
+            h.update(hh.digest().encode())
+        h.update(str(self._cells[0][0].zeta).encode())
+        return h.hexdigest()[:16]
+
+    def snapshot(self) -> dict:
+        """Mutable state: the (w, ws, fp) triple of every cell.
+
+        The hash functions and ``zeta`` are *not* serialized — they are
+        re-derived from the owning structure's seed on reconstruction and
+        cross-checked via :meth:`params_digest`.
+        """
+        w = [[c.w for c in row] for row in self._cells]
+        ws = [[c.ws for c in row] for row in self._cells]
+        fp = [[c.fp for c in row] for row in self._cells]
+        for name, rows in (("w", w), ("ws", ws), ("fp", fp)):
+            for row in rows:
+                for v in row:
+                    if not -(2**63) <= v < 2**63:
+                        from ..persist import SnapshotError
+
+                        raise SnapshotError(
+                            f"sketch cell field {name!r} value {v} exceeds "
+                            "int64; this sketch state cannot be snapshotted"
+                        )
+        return {
+            "digest": self.params_digest(),
+            "updates": int(self._updates),
+            "w": np.array(w, dtype=np.int64),
+            "ws": np.array(ws, dtype=np.int64),
+            "fp": np.array(fp, dtype=np.int64),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Apply a :meth:`snapshot` tree (validates the params digest)."""
+        from ..persist import SnapshotError
+
+        if str(state.get("digest")) != self.params_digest():
+            raise SnapshotError(
+                "sparse-recovery snapshot was taken under different sketch "
+                "randomness/parameters (seed or options mismatch)"
+            )
+        shape = (self.rows, self.buckets)
+        w = np.asarray(state["w"], dtype=np.int64)
+        ws = np.asarray(state["ws"], dtype=np.int64)
+        fp = np.asarray(state["fp"], dtype=np.int64)
+        if w.shape != shape or ws.shape != shape or fp.shape != shape:
+            raise SnapshotError(
+                f"sparse-recovery snapshot shape {w.shape} != sketch {shape}"
+            )
+        for r, row in enumerate(self._cells):
+            for b, cell in enumerate(row):
+                cell.w = int(w[r, b])
+                cell.ws = int(ws[r, b])
+                cell.fp = int(fp[r, b])
+        self._updates = int(state.get("updates", 0))
+
     # -- decoding -----------------------------------------------------------
 
     def decode(self, max_items: "int | None" = None) -> SparseRecoveryResult:

@@ -141,6 +141,31 @@ class VandermondeSketch:
         """Field elements held (``2s + check``)."""
         return self.num_syndromes
 
+    def snapshot(self) -> dict:
+        """The full mutable state: the syndrome vector (deterministic
+        sketch — there is no randomness to fingerprint)."""
+        return {"s": self.s, "universe": self.universe, "check": self.check,
+                "y": self._y.copy()}
+
+    def restore(self, state: dict) -> None:
+        """Apply a :meth:`snapshot` tree (validates the geometry)."""
+        from ..persist import SnapshotError
+
+        if (int(state.get("s", -1)) != self.s
+                or int(state.get("universe", -1)) != self.universe
+                or int(state.get("check", -1)) != self.check):
+            raise SnapshotError(
+                "Vandermonde snapshot was taken with different (s, universe, "
+                "check) parameters"
+            )
+        y = np.asarray(state["y"], dtype=np.uint64)
+        if y.shape != self._y.shape:
+            raise SnapshotError(
+                f"Vandermonde snapshot has {y.shape[0]} syndromes, sketch "
+                f"holds {self._y.shape[0]}"
+            )
+        self._y = y.copy()
+
     @property
     def is_empty(self) -> bool:
         """All syndromes zero (true zero vector, exactly)."""

@@ -122,13 +122,22 @@ class DynamicCoreset:
         """Batched ``+-1`` updates: per grid, ONE vectorized cell-id pass
         plus one sketch update per distinct touched cell.  The sketches
         are linear, so the final state is identical to per-point updates.
+
+        All cell ids are computed (which validates every coordinate
+        against ``[Delta]^d``) *before* any sketch is touched, so a bad
+        batch raises with the structure unmutated — the batch is
+        all-or-nothing, which is what makes the session's update
+        accounting exact.
         """
         pts = np.atleast_2d(np.asarray(points, dtype=np.int64))
         if len(pts) == 0:
             return
+        per_level = [
+            np.unique(lvl.cell_ids(pts), return_counts=True)
+            for lvl in self._levels
+        ]
         self._updates += len(pts)
-        for lvl, sk, f0 in zip(self._levels, self._sparse, self._f0):
-            cids, counts = np.unique(lvl.cell_ids(pts), return_counts=True)
+        for (cids, counts), sk, f0 in zip(per_level, self._sparse, self._f0):
             for cid, c in zip(cids.tolist(), counts.tolist()):
                 sk.update(int(cid), sign * int(c))
                 if f0 is not None:
@@ -155,6 +164,51 @@ class DynamicCoreset:
     def updates_seen(self) -> int:
         """Number of stream updates processed."""
         return self._updates
+
+    # -- persistence --------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Mutable state of every per-grid sketch.
+
+        The sketch randomness (hash functions, fingerprint points) is
+        *derived*, not stored: reconstructing the structure from the same
+        seed re-draws it identically, and the per-sketch digests inside
+        the state let :meth:`restore` verify that happened.
+        """
+        state: dict = {
+            "updates": int(self._updates),
+            "sparse": {str(i): sk.snapshot()
+                       for i, sk in enumerate(self._sparse)},
+        }
+        if self.use_f0:
+            state["f0"] = {str(i): f0.snapshot()
+                           for i, f0 in enumerate(self._f0)}
+        return state
+
+    def restore(self, state: dict) -> None:
+        """Apply a :meth:`snapshot`; queries afterwards are identical to
+        the uninterrupted structure's (the sketches are linear)."""
+        from ..persist import SnapshotError
+
+        sparse = state["sparse"]
+        if len(sparse) != len(self._sparse):
+            raise SnapshotError(
+                f"snapshot has {len(sparse)} grids, structure has "
+                f"{len(self._sparse)} (delta_universe/dim mismatch)"
+            )
+        if bool(self.use_f0) != ("f0" in state):
+            raise SnapshotError(
+                "snapshot and structure disagree on use_f0"
+            )
+        for i, sk in enumerate(self._sparse):
+            sk.restore(sparse[str(i)])
+        if self.use_f0:
+            f0s = state["f0"]
+            if len(f0s) != len(self._f0):
+                raise SnapshotError("F0 estimator count mismatch")
+            for i, f0 in enumerate(self._f0):
+                f0.restore(f0s[str(i)])
+        self._updates = int(state["updates"])
 
     # -- queries ------------------------------------------------------------
 

@@ -98,13 +98,19 @@ class DeterministicDynamicCoreset:
     def _apply_batch(self, points, sign: int) -> None:
         """Batched updates: one vectorized cell-id pass per grid, one
         field update per distinct touched cell (linearity makes this
-        exactly equivalent to per-point updates)."""
+        exactly equivalent to per-point updates).  All cell ids are
+        computed (validating every coordinate) before any field update,
+        so a bad batch raises with the structure unmutated
+        (all-or-nothing)."""
         pts = np.atleast_2d(np.asarray(points, dtype=np.int64))
         if len(pts) == 0:
             return
+        per_level = [
+            np.unique(lvl.cell_ids(pts), return_counts=True)
+            for lvl in self._levels
+        ]
         self._updates += len(pts)
-        for lvl, sk in zip(self._levels, self._sketches):
-            cids, counts = np.unique(lvl.cell_ids(pts), return_counts=True)
+        for (cids, counts), sk in zip(per_level, self._sketches):
             for cid, c in zip(cids.tolist(), counts.tolist()):
                 sk.update(int(cid), sign * int(c))
 
@@ -126,6 +132,30 @@ class DeterministicDynamicCoreset:
     @property
     def updates_seen(self) -> int:
         return self._updates
+
+    # -- persistence --------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Mutable state: every grid's syndrome vector (no randomness)."""
+        return {
+            "updates": int(self._updates),
+            "sketches": {str(i): sk.snapshot()
+                         for i, sk in enumerate(self._sketches)},
+        }
+
+    def restore(self, state: dict) -> None:
+        """Apply a :meth:`snapshot` across the grids."""
+        from ..persist import SnapshotError
+
+        sketches = state["sketches"]
+        if len(sketches) != len(self._sketches):
+            raise SnapshotError(
+                f"snapshot has {len(sketches)} grids, structure has "
+                f"{len(self._sketches)} (delta_universe/dim mismatch)"
+            )
+        for i, sk in enumerate(self._sketches):
+            sk.restore(sketches[str(i)])
+        self._updates = int(state["updates"])
 
     # -- queries ------------------------------------------------------------
 

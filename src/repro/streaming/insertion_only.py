@@ -153,6 +153,51 @@ class InsertionOnlyCoreset:
             self._buf[: self._size].copy(), self._w[: self._size].copy()
         )
 
+    def snapshot(self) -> dict:
+        """The full mutable state: representatives, weights, radius ladder.
+
+        Buffer capacity (a power-of-two growth artifact) is not state:
+        only ``P*[:size]`` ever affects outputs, so restore may repack it.
+        """
+        return {
+            "n": int(self._n),
+            "r": float(self.r),
+            "doublings": int(self.doublings),
+            "batch_dense": bool(self._batch_dense),
+            "threshold": int(self.threshold),
+            "dim": int(self._dim) if self._dim is not None else None,
+            "points": self._buf[: self._size].copy(),
+            "weights": self._w[: self._size].copy(),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Apply a :meth:`snapshot`; continuing the stream afterwards is
+        bit-identical to never having snapshotted (parity-tested)."""
+        from ..persist import SnapshotError
+
+        if int(state["threshold"]) != self.threshold:
+            raise SnapshotError(
+                f"snapshot threshold {state['threshold']} != structure "
+                f"threshold {self.threshold} (size_cap/eps mismatch)"
+            )
+        dim = state["dim"]
+        pts = np.asarray(state["points"], dtype=float)
+        w = np.asarray(state["weights"], dtype=np.int64)
+        if len(pts) != len(w):
+            raise SnapshotError("representative/weight length mismatch")
+        self.r = float(state["r"])
+        self.doublings = int(state["doublings"])
+        self._n = int(state["n"])
+        self._batch_dense = bool(state["batch_dense"])
+        if dim is None:
+            self._dim = None
+            self._buf = np.zeros((0, 0))
+            self._w = np.zeros(0, dtype=np.int64)
+            self._size = 0
+            return
+        self._dim = int(dim)
+        self._set_reps(WeightedPointSet(pts.reshape(len(pts), self._dim), w))
+
     def insert(self, point) -> None:
         """HandleArrival(p_t) of Algorithm 3."""
         p = np.asarray(point, dtype=float).reshape(-1)

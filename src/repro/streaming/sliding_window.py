@@ -167,6 +167,72 @@ class GuessStructure:
         """Stored (time, point) pairs — the Table 1 storage unit."""
         return sum(len(buf) for buf in self.cells.values())
 
+    def snapshot(self) -> dict:
+        """Cells in insertion order (dict order is part of the state:
+        ``query`` reports representatives in that order), flattened into
+        four arrays plus the poison watermark."""
+        keys: "list[tuple]" = []
+        sizes: "list[int]" = []
+        times: "list[int]" = []
+        pts: "list[np.ndarray]" = []
+        for key, buf in self.cells.items():
+            keys.append(key)
+            sizes.append(len(buf))
+            for t, p in buf:
+                times.append(int(t))
+                pts.append(p)
+        d = self.d
+        return {
+            "r": float(self.r),
+            "window": int(self.window),
+            "z": int(self.z),
+            "capacity": int(self.capacity),
+            "invalid_through": int(self.invalid_through),
+            "cell_keys": np.asarray(keys, dtype=np.int64).reshape(len(keys), d),
+            "cell_sizes": np.asarray(sizes, dtype=np.int64),
+            "times": np.asarray(times, dtype=np.int64),
+            "points": (np.asarray(pts, dtype=float).reshape(len(times), d)
+                       if pts else np.zeros((0, d))),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Rebuild the cell map (in snapshot order) from a :meth:`snapshot`.
+
+        The rung's geometry (guess radius, window, outlier budget,
+        capacity) is part of the state's meaning — expiry, eviction and
+        the poison watermark were all computed under it — so a mismatch
+        raises instead of silently reinterpreting the cells.
+        """
+        from ..persist import SnapshotError
+
+        if (float(state.get("r", -1.0)) != self.r
+                or int(state.get("window", -1)) != self.window
+                or int(state.get("z", -1)) != self.z
+                or int(state.get("capacity", -1)) != self.capacity):
+            raise SnapshotError(
+                "sliding-window snapshot was taken under different "
+                "(r, window, z, capacity) parameters; geometry-changing "
+                "option overrides cannot be applied to restored state"
+            )
+        cell_keys = np.asarray(state["cell_keys"], dtype=np.int64)
+        sizes = np.asarray(state["cell_sizes"], dtype=np.int64)
+        times = np.asarray(state["times"], dtype=np.int64)
+        pts = np.asarray(state["points"], dtype=float)
+        if len(cell_keys) != len(sizes) or int(sizes.sum()) != len(times) \
+                or len(times) != len(pts):
+            raise SnapshotError("inconsistent sliding-window snapshot arrays")
+        self.cells = {}
+        pos = 0
+        for i in range(len(cell_keys)):
+            key = tuple(int(v) for v in cell_keys[i])
+            cnt = int(sizes[i])
+            self.cells[key] = [
+                (int(times[pos + j]), pts[pos + j].copy()) for j in range(cnt)
+            ]
+            pos += cnt
+        self.invalid_through = int(state["invalid_through"])
+        self._recency = None  # rebuilt lazily by the next batch
+
     def query(self, now: int) -> "WeightedPointSet | None":
         """Coreset of the window ``[now-W+1, now]`` or ``None`` when this
         guess cannot serve the window (poisoned or over capacity)."""
@@ -242,6 +308,28 @@ class SlidingWindowCoreset:
     def now(self) -> int:
         """Time of the latest arrival."""
         return self._t
+
+    def snapshot(self) -> dict:
+        """The clock plus every rung's cell state."""
+        return {
+            "t": int(self._t),
+            "guesses": {str(i): g.snapshot()
+                        for i, g in enumerate(self.guesses)},
+        }
+
+    def restore(self, state: dict) -> None:
+        """Apply a :meth:`snapshot` across the ladder."""
+        from ..persist import SnapshotError
+
+        guesses = state["guesses"]
+        if len(guesses) != len(self.guesses):
+            raise SnapshotError(
+                f"snapshot has {len(guesses)} ladder rungs, structure has "
+                f"{len(self.guesses)} (r_min/r_max/ladder_ratio mismatch)"
+            )
+        self._t = int(state["t"])
+        for i, g in enumerate(self.guesses):
+            g.restore(guesses[str(i)])
 
     def insert(self, p) -> None:
         """Process the next arrival (time advances by one per insert;

@@ -134,6 +134,161 @@ class TestMatrix:
         assert cell.reference_radius == 123.0
 
 
+class TestCacheKeyResolution:
+    def test_cache_params_include_full_spec_and_options(self):
+        from repro.api import get_backend
+        from repro.scenarios import cell_cache_params
+
+        inst = get_scenario("clustered-baseline").make(quick=True, seed=0)
+        info = get_backend("insertion-only")
+        params = cell_cache_params("clustered-baseline", "insertion-only",
+                                   True, 0, inst.spec,
+                                   inst.session_options(info))
+        assert params["spec"] == inst.spec.as_dict()
+        assert {"dtype", "kernel_chunk"} <= set(params["spec"])
+        assert "options" in params
+
+    def test_dtype_change_misses_the_cache(self, tmp_path):
+        # the stale-cache hazard: a --dtype change must recompute, not
+        # serve the float64 cell
+        first = run_matrix(["clustered-baseline"], ["offline"], quick=True,
+                           cache_root=str(tmp_path))
+        assert first.cells[0].status == "ok"
+        n_entries = len(list(tmp_path.glob("matrix-cell-*.pkl")))
+        assert n_entries == 1
+        other = run_matrix(["clustered-baseline"], ["offline"], quick=True,
+                           cache_root=str(tmp_path), dtype="float32")
+        assert other.cells[0].status == "ok"
+        assert len(list(tmp_path.glob("matrix-cell-*.pkl"))) == n_entries + 1
+
+    def test_unavailable_dataset_serves_last_known_good_cell(self, tmp_path):
+        from repro.scenarios import register_scenario, unregister_scenario
+        from repro.scenarios.datasets import DatasetUnavailableError
+
+        base_factory = get_scenario("clustered-baseline").factory
+        down = {"flag": False}
+
+        def factory(quick=False, seed=0):
+            if down["flag"]:
+                raise DatasetUnavailableError("dataset offline")
+            return base_factory(quick=quick, seed=seed)
+
+        register_scenario("_lkg-sc", factory, tags=("real", "testing"))
+        try:
+            first = run_matrix(["_lkg-sc"], ["offline"], quick=True,
+                               cache_root=str(tmp_path))
+            assert first.cells[0].status == "ok"
+            down["flag"] = True
+            # simulate a fresh process: the per-process instance memo
+            # would otherwise keep serving the materialized dataset
+            from repro.scenarios.matrix import _INSTANCES
+            _INSTANCES.clear()
+            # the dataset going away must not lose the cached ok cell
+            again = run_matrix(["_lkg-sc"], ["offline"], quick=True,
+                               cache_root=str(tmp_path))
+            assert again.cells[0].status == "ok"
+            assert again.cells[0].radius == first.cells[0].radius
+            # without a cache the honest status comes back
+            cold = run_matrix(["_lkg-sc"], ["offline"], quick=True)
+            assert cold.cells[0].status == "unavailable"
+        finally:
+            unregister_scenario("_lkg-sc")
+
+    def test_backend_options_are_part_of_the_key(self):
+        from repro.api import get_backend
+        from repro.engine import ResultsCache
+        from repro.scenarios import cell_cache_params
+
+        inst = get_scenario("clustered-baseline").make(quick=True, seed=0)
+        info = get_backend("sliding-window")
+        opts = inst.session_options(info)
+        a = cell_cache_params("clustered-baseline", "sliding-window", True, 0,
+                              inst.spec, opts)
+        b = cell_cache_params("clustered-baseline", "sliding-window", True, 0,
+                              inst.spec, {**opts, "window": 17})
+        assert ResultsCache.key("matrix-cell", a) != \
+            ResultsCache.key("matrix-cell", b)
+
+
+class TestCheckpointResume:
+    SCENARIOS = ["clustered-baseline", "outlier-burst"]
+    BACKENDS = ["insertion-only", "sliding-window"]
+
+    def _strip_wall(self, cells):
+        return [{k: v for k, v in c.__dict__.items() if k != "wall_time"}
+                for c in cells]
+
+    def test_kill_and_resume_matches_uninterrupted(self, tmp_path,
+                                                   monkeypatch):
+        import repro.scenarios.matrix as matrix_mod
+
+        base = run_matrix(self.SCENARIOS, self.BACKENDS, quick=True, seed=0)
+        ckpt_dir = str(tmp_path / "ckpts")
+
+        monkeypatch.setenv("REPRO_MATRIX_KILL_AFTER", "5")
+        monkeypatch.setattr(matrix_mod, "_ckpt_writes", 0)
+        with pytest.raises(SystemExit, match="simulated kill"):
+            run_matrix(self.SCENARIOS, self.BACKENDS, quick=True, seed=0,
+                       checkpoint_dir=ckpt_dir)
+        # the killed sweep left a mid-stream checkpoint behind
+        leftover = list((tmp_path / "ckpts").glob("matrix-ckpt-*.ckpt"))
+        assert leftover
+
+        monkeypatch.delenv("REPRO_MATRIX_KILL_AFTER")
+        resumed = run_matrix(self.SCENARIOS, self.BACKENDS, quick=True,
+                             seed=0, checkpoint_dir=ckpt_dir)
+        # bit-identical to the uninterrupted sweep (wall time is the only
+        # run-dependent provenance)
+        assert self._strip_wall(resumed.cells) == self._strip_wall(base.cells)
+        # completed cells removed their checkpoints
+        assert not list((tmp_path / "ckpts").glob("*.ckpt"))
+
+    def test_checkpoints_removed_after_clean_run(self, tmp_path):
+        ckpt_dir = str(tmp_path / "ckpts")
+        result = run_matrix(["clustered-baseline"], ["insertion-only"],
+                            quick=True, seed=0, checkpoint_dir=ckpt_dir)
+        assert result.cells[0].status == "ok"
+        assert not list((tmp_path / "ckpts").glob("*.ckpt"))
+
+    def test_buffered_backends_thin_their_checkpoint_cadence(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.scenarios.matrix as matrix_mod
+        from repro.scenarios.matrix import run_cell as run_cell_fn
+
+        n_batches = len(get_scenario("clustered-baseline")
+                        .make(quick=True, seed=0).batches)
+        monkeypatch.delenv("REPRO_MATRIX_KILL_AFTER", raising=False)
+
+        def writes_for(backend):
+            monkeypatch.setattr(matrix_mod, "_ckpt_writes", 0)
+            cell = run_cell_fn("clustered-baseline", backend, quick=True,
+                               seed=0, checkpoint_dir=str(tmp_path / backend))
+            assert cell.status == "ok"
+            return matrix_mod._ckpt_writes
+
+        # streaming backends checkpoint every batch; buffered backends
+        # (whole-prefix snapshots) use the power-of-two cadence
+        assert writes_for("insertion-only") == n_batches
+        if n_batches > 2:
+            assert writes_for("offline") < n_batches
+
+    def test_stale_checkpoint_from_other_cell_is_ignored(self, tmp_path):
+        from repro.scenarios.matrix import run_cell as run_cell_fn
+
+        ckpt_dir = tmp_path / "ckpts"
+        ckpt_dir.mkdir()
+        # unreadable garbage under a name the cell will probe
+        baseline = run_cell_fn("clustered-baseline", "insertion-only",
+                               quick=True, seed=0)
+        for name in ("matrix-ckpt-deadbeef0000.ckpt",):
+            (ckpt_dir / name).write_bytes(b"garbage")
+        cell = run_cell_fn("clustered-baseline", "insertion-only", quick=True,
+                           seed=0, checkpoint_dir=str(ckpt_dir))
+        assert cell.status == "ok"
+        assert cell.radius == baseline.radius
+
+
 class TestScenarioSelection:
     def test_names_pass_through(self):
         assert resolve_scenario_names(["outlier-burst"]) == ["outlier-burst"]
@@ -200,9 +355,31 @@ class TestCLI:
     def test_matrix_bad_jobs_exits_2(self, capsys):
         assert experiments_main(["matrix", "--jobs", "0"]) == 2
 
+    def test_matrix_checkpoint_dir_and_dtype_flags(self, tmp_path, capsys):
+        rc = experiments_main([
+            "matrix", "--quick", "--no-cache",
+            "--scenarios", "outlier-burst", "--backends", "offline",
+            "--results-dir", str(tmp_path),
+            "--checkpoint-dir", str(tmp_path / "ckpts"),
+            "--dtype", "float32",
+        ])
+        assert rc == 0
+        doc = json.loads((tmp_path / "matrix.json").read_text())
+        assert doc["cells"][0]["status"] == "ok"
+        # the clean run leaves no checkpoints behind
+        assert not list((tmp_path / "ckpts").glob("*.ckpt"))
+
     def test_matrix_empty_selection_exits_2(self, capsys):
         assert experiments_main(["matrix", "--backends", ","]) == 2
         assert "selected nothing" in capsys.readouterr().out
+
+    def test_instance_memo_reuses_materializations(self):
+        from repro.scenarios.matrix import _INSTANCES, _scenario_instance
+
+        a = _scenario_instance("clustered-baseline", True, 0)
+        b = _scenario_instance("clustered-baseline", True, 0)
+        assert a is b
+        assert ("clustered-baseline", True, 0) in _INSTANCES
 
     def test_reregistration_invalidates_reference_memo(self):
         from repro.scenarios import register_scenario, unregister_scenario

@@ -58,6 +58,20 @@ class TestCoverageRadius:
         r = coverage_radius(line_set, np.array([[2.0], [7.0]]), 0)
         assert r == pytest.approx(2.0)
 
+    def test_weighted_tie_cum_equals_z_exactly(self):
+        # center at 0: distances 0,1,5,9 -> farthest-first weights 3,2,1,1
+        P = WeightedPointSet(np.array([[0.0], [1.0], [5.0], [9.0]]),
+                             [1, 1, 2, 3])
+        # cum after the farthest point is exactly z=3: drop it, and only it
+        assert coverage_radius(P, np.array([[0.0]]), 3) == pytest.approx(5.0)
+        # cum hits z=5 exactly after two points: both dropped
+        assert coverage_radius(P, np.array([[0.0]]), 5) == pytest.approx(1.0)
+        # z=4 sits strictly between cums 3 and 5: the weight-2 point is
+        # indivisible, so it cannot be dropped
+        assert coverage_radius(P, np.array([[0.0]]), 4) == pytest.approx(5.0)
+        # z = total weight - 1: everything but the nearest point dropped
+        assert coverage_radius(P, np.array([[0.0]]), 6) == pytest.approx(0.0)
+
 
 class TestUncoveredWeight:
     def test_counts_strictly_outside(self, line_set):
@@ -70,6 +84,30 @@ class TestUncoveredWeight:
 
     def test_empty(self):
         assert uncovered_weight(WeightedPointSet.empty(1), np.zeros((1, 1)), 1.0) == 0
+
+    def test_fractional_weights_are_exact_not_truncated(self):
+        # WeightedPointSet pins integer weights, but the function is also
+        # used on duck-typed fractional coresets (merged/relaxed weights);
+        # the pre-1.5 int(...) truncated 2.9 -> 2, hiding a z=2 violation
+        class FracSet:
+            def __init__(self, points, weights):
+                self.points = np.asarray(points, dtype=float)
+                self.weights = np.asarray(weights, dtype=float)
+
+            def __len__(self):
+                return len(self.points)
+
+        P = FracSet([[0.0], [10.0], [11.0]], [1.0, 2.4, 0.5])
+        w = uncovered_weight(P, np.array([[0.0]]), 1.0)
+        assert isinstance(w, float)
+        assert w == pytest.approx(2.9)
+        # the tolerance compare against budget z=2 must flag the violation
+        z = 2
+        assert not w <= z + 1e-9 * max(1.0, z)
+
+    def test_integer_weights_unchanged(self, line_set):
+        w = uncovered_weight(line_set, np.array([[0.0]]), 4.0)
+        assert w == 5.0 and float(w).is_integer()
 
 
 class TestMinPairwiseDistance:
