@@ -114,7 +114,38 @@ def bench_mpc_two_round(quick: bool) -> dict:
     }
 
 
-BENCHES = (bench_charikar, bench_mbc, bench_mpc_two_round)
+def bench_serve_replay(quick: bool) -> dict:
+    """Sustained point-update throughput through the session server.
+
+    Self-hosts a `repro.serve` server and replays the clustered-baseline
+    scenario over 32 concurrent sessions (insertion-only backend, binary
+    wire, batched extends) — the serving acceptance number.  Always 32
+    sessions, even under ``--quick``; only the stream length shrinks.
+    """
+    from repro.serve.replay import replay
+
+    sessions, passes = 32, 4
+    batch = 400 if quick else 2000
+    report = replay(scenario="clustered-baseline", quick=quick, seed=0,
+                    sessions=sessions, batch=batch, passes=passes,
+                    backend="insertion-only", solve=False, reference=False)
+    return {
+        "id": "serve_replay",
+        "params": {"scenario": "clustered-baseline", "sessions": sessions,
+                   "threads": report["threads"], "batch": batch,
+                   "passes": passes, "backend": "insertion-only",
+                   "wire": report["wire"], "seed": 0},
+        "new_s": report["stream_wall_s"],
+        "old_s": None,
+        "speedup": None,
+        "total_points": report["total_points"],
+        "points_per_s": report["points_per_s"],
+        "extend_p95_s": report["latency"]["extend"]["p95_s"],
+    }
+
+
+BENCHES = (bench_charikar, bench_mbc, bench_mpc_two_round,
+           bench_serve_replay)
 
 
 def main(argv: "list[str]") -> int:
@@ -140,6 +171,8 @@ def main(argv: "list[str]") -> int:
             if entry["speedup"] is not None
             else "(no reference timing)"
         )
+        if "points_per_s" in entry:
+            speed = f"{entry['points_per_s']:,.0f} points/s"
         print(f"{entry['id']:<20} new={entry['new_s']:.3f}s  {speed}")
 
     doc = {

@@ -38,6 +38,11 @@ MPC (``repro.mpc``)
 Streaming (``repro.streaming``)
     Insertion-only streaming (Algorithm 3), the fully dynamic sketch-based
     algorithm (Algorithm 5), sliding-window and prior-work baselines.
+Serve (``repro.serve``)
+    Multi-tenant clustering-as-a-service over the session API: a
+    stdlib-only threaded HTTP/JSON server with per-session locking,
+    snapshot-backed LRU eviction, checkpoint-cadence crash recovery,
+    Prometheus ``/metrics`` and a scenario-replay load generator.
 Sketches (``repro.sketches``)
     s-sparse recovery and F0 estimation over dynamic streams.
 Lower bounds (``repro.lowerbounds``)
@@ -65,7 +70,7 @@ from .core import (
     update_coreset,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "KCenterSession",

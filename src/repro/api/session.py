@@ -23,11 +23,25 @@ full mutable state goes into a versioned snapshot file
 (:mod:`repro.persist`), and a loaded session continues the stream
 bit-identically to one that never stopped — the contract every
 long-running streaming service and the matrix checkpointing rely on.
+
+**Concurrency contract.** A session is thread-safe: every mutating or
+state-reading operation (``insert``/``delete``/``extend``/
+``delete_many``/``coreset``/``solve``/``save``/``stats``) runs under one
+internal re-entrant lock, so concurrent callers serialize at operation
+granularity — each batch is applied atomically and the accounting stays
+exact.  What interleaved callers get is equivalent to *some* serial
+order of their operations; for order-insensitive backends (the linear
+dynamic sketches) that serial order is irrelevant and the final state is
+bit-identical to any serial run of the same multiset
+(``tests/test_api_threadsafety.py``).  The lock does not make multiple
+*sessions* coordinate — that is the job of :mod:`repro.serve`'s session
+manager.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -98,6 +112,9 @@ class KCenterSession:
         self._options = dict(options)  # retained for save()'s manifest
         self._updates = 0
         self._wall_time = 0.0
+        # one re-entrant lock serializes every backend-touching operation
+        # (see the module docstring's concurrency contract)
+        self._lock = threading.RLock()
 
     @classmethod
     def from_spec(cls, spec: ProblemSpec, backend: str = "insertion-only",
@@ -109,10 +126,11 @@ class KCenterSession:
 
     def insert(self, point) -> None:
         """Insert a single point."""
-        t0 = time.perf_counter()
-        self.backend.insert(point)
-        self._updates += 1
-        self._wall_time += time.perf_counter() - t0
+        with self._lock:
+            t0 = time.perf_counter()
+            self.backend.insert(point)
+            self._updates += 1
+            self._wall_time += time.perf_counter() - t0
 
     def delete(self, point) -> None:
         """Delete a point (fully-dynamic backends only)."""
@@ -122,19 +140,21 @@ class KCenterSession:
                 f"backend {self.info.name!r} does not support delete; use a "
                 "fully-dynamic backend ('dynamic' or 'dynamic-deterministic')"
             )
-        t0 = time.perf_counter()
-        delete(point)
-        self._updates += 1
-        self._wall_time += time.perf_counter() - t0
+        with self._lock:
+            t0 = time.perf_counter()
+            delete(point)
+            self._updates += 1
+            self._wall_time += time.perf_counter() - t0
 
     def extend(self, points) -> None:
         """Batched ingest: the whole array goes to the backend in one
         call (the vectorized hot path)."""
         pts = np.atleast_2d(np.asarray(points, dtype=float))
-        t0 = time.perf_counter()
-        self.backend.extend(pts)
-        self._updates += len(pts)
-        self._wall_time += time.perf_counter() - t0
+        with self._lock:
+            t0 = time.perf_counter()
+            self.backend.extend(pts)
+            self._updates += len(pts)
+            self._wall_time += time.perf_counter() - t0
 
     def delete_many(self, points) -> None:
         """Batched deletion (fully-dynamic backends only).
@@ -157,27 +177,29 @@ class KCenterSession:
                 "nor delete; use a fully-dynamic backend ('dynamic' or "
                 "'dynamic-deterministic')"
             )
-        t0 = time.perf_counter()
-        applied = 0
-        try:
-            if delete_many is not None:
-                delete_many(pts)
-                applied = len(pts)
-            else:
-                for p in pts:
-                    delete(p)
-                    applied += 1
-        finally:
-            self._updates += applied
-            self._wall_time += time.perf_counter() - t0
+        with self._lock:
+            t0 = time.perf_counter()
+            applied = 0
+            try:
+                if delete_many is not None:
+                    delete_many(pts)
+                    applied = len(pts)
+                else:
+                    for p in pts:
+                        delete(p)
+                        applied += 1
+            finally:
+                self._updates += applied
+                self._wall_time += time.perf_counter() - t0
 
     # -- queries -----------------------------------------------------------
 
     def coreset(self) -> WeightedPointSet:
         """The backend's current ``(eps,k,z)``-coreset."""
-        t0 = time.perf_counter()
-        out = self.backend.coreset()
-        self._wall_time += time.perf_counter() - t0
+        with self._lock:
+            t0 = time.perf_counter()
+            out = self.backend.coreset()
+            self._wall_time += time.perf_counter() - t0
         return out
 
     def radius(self) -> float:
@@ -196,36 +218,37 @@ class KCenterSession:
         the coreset, i.e. a ``(1+eps)``-approximation of the original
         instance (Definition 1).
         """
-        t0 = time.perf_counter()
-        cs = self.backend.coreset()
-        spec = self.spec
-        if len(cs) == 0 or cs.total_weight <= spec.z:
-            centers = np.zeros((0, cs.dim if len(cs) else (spec.dim or 1)))
-            radius = 0.0
-        elif method == "greedy3":
-            res = charikar_greedy(
-                cs, spec.k, spec.z, spec.resolved_metric,
-                dtype=spec.dtype, kernel_chunk=spec.kernel_chunk,
+        with self._lock:
+            t0 = time.perf_counter()
+            cs = self.backend.coreset()
+            spec = self.spec
+            if len(cs) == 0 or cs.total_weight <= spec.z:
+                centers = np.zeros((0, cs.dim if len(cs) else (spec.dim or 1)))
+                radius = 0.0
+            elif method == "greedy3":
+                res = charikar_greedy(
+                    cs, spec.k, spec.z, spec.resolved_metric,
+                    dtype=spec.dtype, kernel_chunk=spec.kernel_chunk,
+                )
+                centers, radius = cs.points[res.centers_idx], res.radius
+            else:
+                sol = solve_kcenter_outliers(
+                    cs, spec.k, spec.z, spec.resolved_metric, method=method
+                )
+                centers, radius = sol.centers, sol.radius
+            self._wall_time += time.perf_counter() - t0
+            return Solution(
+                centers=centers,
+                radius=float(radius),
+                method=method,
+                backend=self.info.name,
+                spec=spec,
+                eps_guarantee=self.backend.guarantee().eps,
+                coreset_size=len(cs),
+                updates=self._updates,
+                wall_time=self._wall_time,
+                stats=self.backend.stats(),
             )
-            centers, radius = cs.points[res.centers_idx], res.radius
-        else:
-            sol = solve_kcenter_outliers(
-                cs, spec.k, spec.z, spec.resolved_metric, method=method
-            )
-            centers, radius = sol.centers, sol.radius
-        self._wall_time += time.perf_counter() - t0
-        return Solution(
-            centers=centers,
-            radius=float(radius),
-            method=method,
-            backend=self.info.name,
-            spec=spec,
-            eps_guarantee=self.backend.guarantee().eps,
-            coreset_size=len(cs),
-            updates=self._updates,
-            wall_time=self._wall_time,
-            stats=self.backend.stats(),
-        )
 
     # -- persistence -------------------------------------------------------
 
@@ -283,17 +306,19 @@ class KCenterSession:
             options[key] = value
         from .. import __version__
 
-        manifest = {
-            "kind": _SNAPSHOT_KIND,
-            "repro_version": __version__,
-            "backend": self.info.name,
-            "spec": self.spec.as_dict(),
-            "options": options,
-            "updates": self._updates,
-            "wall_time": self._wall_time,
-            "extra": extra or {},
-        }
-        return write_snapshot(path, manifest, snap())
+        with self._lock:
+            manifest = {
+                "kind": _SNAPSHOT_KIND,
+                "repro_version": __version__,
+                "backend": self.info.name,
+                "spec": self.spec.as_dict(),
+                "options": options,
+                "updates": self._updates,
+                "wall_time": self._wall_time,
+                "extra": extra or {},
+            }
+            state = snap()
+        return write_snapshot(path, manifest, state)
 
     @classmethod
     def load(cls, path: str, backend: "str | None" = None,
@@ -417,14 +442,15 @@ class KCenterSession:
         ``wall_time``) are authoritative and cannot be shadowed by a
         backend's own stats.
         """
-        out = dict(self.spec.as_dict())
-        out.update(self.backend.stats())
-        out.update({
-            "backend": self.info.name,
-            "model": self.info.model,
-            "updates": self._updates,
-            "wall_time": self._wall_time,
-        })
+        with self._lock:
+            out = dict(self.spec.as_dict())
+            out.update(self.backend.stats())
+            out.update({
+                "backend": self.info.name,
+                "model": self.info.model,
+                "updates": self._updates,
+                "wall_time": self._wall_time,
+            })
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

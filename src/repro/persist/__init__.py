@@ -26,20 +26,24 @@ from __future__ import annotations
 from typing import Protocol, runtime_checkable
 
 from .format import (
+    DEFAULT_MAX_DECOMPRESSED_BYTES,
     MANIFEST_MEMBER,
     PAYLOAD_MEMBER,
     SNAPSHOT_FORMAT_VERSION,
     SnapshotError,
+    read_manifest,
     read_snapshot,
     write_snapshot,
 )
 
 __all__ = [
     "SNAPSHOT_FORMAT_VERSION",
+    "DEFAULT_MAX_DECOMPRESSED_BYTES",
     "MANIFEST_MEMBER",
     "PAYLOAD_MEMBER",
     "SnapshotError",
     "Snapshottable",
+    "read_manifest",
     "read_snapshot",
     "write_snapshot",
     "supports_snapshot",

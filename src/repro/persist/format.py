@@ -25,6 +25,14 @@ Versioning policy: ``format`` is bumped whenever the container layout or
 any backend's state tree changes incompatibly; readers reject snapshots
 whose version they do not know with a :class:`SnapshotError` instead of
 guessing (see ``docs/persistence.md``).
+
+Reading is hardened for network exposure (the ``repro.serve`` session
+server restores snapshots it did not write): member names carrying path
+separators or ``..`` components are rejected before anything is
+extracted (zip-slip), and the total decompressed payload is capped —
+``max_bytes`` argument, ``REPRO_SNAPSHOT_MAX_BYTES`` environment
+override, 1 GiB default — with the cap enforced on the *actual* bytes
+streamed out, not the (forgeable) size fields in the zip directory.
 """
 
 from __future__ import annotations
@@ -38,11 +46,13 @@ import numpy as np
 
 __all__ = [
     "SNAPSHOT_FORMAT_VERSION",
+    "DEFAULT_MAX_DECOMPRESSED_BYTES",
     "MANIFEST_MEMBER",
     "PAYLOAD_MEMBER",
     "SnapshotError",
     "write_snapshot",
     "read_snapshot",
+    "read_manifest",
 ]
 
 #: Current container/state format version (see module docstring).
@@ -53,6 +63,13 @@ MANIFEST_MEMBER = "manifest.json"
 
 #: Zip member holding the npz array payload.
 PAYLOAD_MEMBER = "payload.npz"
+
+#: Default cap on the total decompressed size of a snapshot's members.
+#: Override per call (``max_bytes``) or process-wide with the
+#: ``REPRO_SNAPSHOT_MAX_BYTES`` environment variable.
+DEFAULT_MAX_DECOMPRESSED_BYTES = 1 << 30
+
+_MAX_BYTES_ENV = "REPRO_SNAPSHOT_MAX_BYTES"
 
 _SEP = "/"
 
@@ -165,20 +182,83 @@ def write_snapshot(path: str, manifest: dict, state: dict) -> str:
     return path
 
 
-def read_snapshot(path: str) -> "tuple[dict, dict]":
-    """Read a snapshot file back into ``(manifest, state)``.
+def _resolve_max_bytes(max_bytes: "int | None") -> int:
+    """The effective decompressed-size budget for one snapshot read."""
+    if max_bytes is None:
+        env = os.environ.get(_MAX_BYTES_ENV)
+        max_bytes = int(env) if env else DEFAULT_MAX_DECOMPRESSED_BYTES
+    if int(max_bytes) < 1:
+        raise SnapshotError(f"max_bytes must be >= 1, got {max_bytes!r}")
+    return int(max_bytes)
 
-    Raises
-    ------
-    SnapshotError
-        When the file is missing/corrupted or carries an unknown
-        ``format`` version.
+
+def _check_member_names(path: str, zf: zipfile.ZipFile) -> None:
+    """Reject zip-slip member names before anything is extracted.
+
+    A snapshot only ever holds top-level members, so any name carrying a
+    path separator (``/`` or ``\\``), a ``..`` component, or an absolute
+    prefix is hostile, not merely malformed.
     """
+    for name in zf.namelist():
+        if ("/" in name or "\\" in name or ".." in name
+                or name.startswith(("/", "~")) or ":" in name):
+            raise SnapshotError(
+                f"snapshot {path!r} member name {name!r} contains a path "
+                "separator or traversal component; refusing to read it"
+            )
+
+
+def _read_member(path: str, zf: zipfile.ZipFile, member: str,
+                 budget: int) -> bytes:
+    """Read one member, enforcing ``budget`` on the streamed-out bytes.
+
+    The zip directory's ``file_size`` field is attacker-controlled, so
+    the cap is applied to what decompression actually produces (one
+    chunk of slack past the budget, then fail).
+    """
+    chunks, remaining = [], budget
     try:
-        with zipfile.ZipFile(path, "r") as zf:
-            manifest = json.loads(zf.read(MANIFEST_MEMBER).decode())
-            payload = zf.read(PAYLOAD_MEMBER)
-    except (OSError, KeyError, ValueError, zipfile.BadZipFile) as exc:
+        with zf.open(member) as fh:
+            while True:
+                chunk = fh.read(min(1 << 20, remaining + 1))
+                if not chunk:
+                    break
+                remaining -= len(chunk)
+                if remaining < 0:
+                    raise SnapshotError(
+                        f"snapshot {path!r} member {member!r} decompresses "
+                        f"past the {budget}-byte budget; pass a larger "
+                        f"max_bytes (or set ${_MAX_BYTES_ENV}) if this "
+                        "snapshot is trusted"
+                    )
+                chunks.append(chunk)
+    except (OSError, zipfile.BadZipFile) as exc:  # truncated/corrupt member
+        raise SnapshotError(
+            f"cannot read snapshot {path!r} member {member!r}: {exc}"
+        ) from exc
+    return b"".join(chunks)
+
+
+def _open_validated(path: str, max_bytes: "int | None"):
+    """Open ``path`` as a zip, run the name checks, resolve the budget."""
+    budget = _resolve_max_bytes(max_bytes)
+    try:
+        zf = zipfile.ZipFile(path, "r")
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        raise SnapshotError(f"cannot read snapshot {path!r}: {exc}") from exc
+    try:
+        _check_member_names(path, zf)
+    except SnapshotError:
+        zf.close()
+        raise
+    return zf, budget
+
+
+def _parse_manifest(path: str, raw: bytes) -> dict:
+    """Decode and version-check a manifest member."""
+    try:
+        manifest = json.loads(raw.decode())
+    except (UnicodeDecodeError, ValueError) as exc:
         raise SnapshotError(f"cannot read snapshot {path!r}: {exc}") from exc
     if not isinstance(manifest, dict):
         raise SnapshotError(f"snapshot {path!r} manifest is not a JSON object")
@@ -188,6 +268,77 @@ def read_snapshot(path: str) -> "tuple[dict, dict]":
             f"snapshot {path!r} has format version {fmt!r}; this library "
             f"reads version {SNAPSHOT_FORMAT_VERSION}"
         )
+    return manifest
+
+
+def read_manifest(path: str, max_bytes: "int | None" = None) -> dict:
+    """Read only the JSON manifest of a snapshot file.
+
+    The cheap half of :func:`read_snapshot` — the array payload is never
+    decompressed — used by spool scans (``repro.serve``) that need each
+    snapshot's provenance (kind, backend, spec, update count) without
+    paying for its state.  Same validation and hardening as
+    :func:`read_snapshot`.
+
+    Parameters
+    ----------
+    path:
+        Snapshot file written by :func:`write_snapshot`.
+    max_bytes:
+        Decompressed-size budget for the manifest member (defaults to
+        ``REPRO_SNAPSHOT_MAX_BYTES`` or 1 GiB).
+
+    Raises
+    ------
+    SnapshotError
+        Missing/corrupted file, hostile member names, over-budget
+        manifest, or unknown ``format`` version.
+    """
+    zf, budget = _open_validated(path, max_bytes)
+    with zf:
+        try:
+            raw = _read_member(path, zf, MANIFEST_MEMBER, budget)
+        except KeyError as exc:
+            raise SnapshotError(
+                f"cannot read snapshot {path!r}: {exc}"
+            ) from exc
+    return _parse_manifest(path, raw)
+
+
+def read_snapshot(path: str,
+                  max_bytes: "int | None" = None) -> "tuple[dict, dict]":
+    """Read a snapshot file back into ``(manifest, state)``.
+
+    Parameters
+    ----------
+    path:
+        Snapshot file written by :func:`write_snapshot`.
+    max_bytes:
+        Cap on the *total* decompressed size of the snapshot's members,
+        enforced on the bytes actually streamed out (a zip bomb fails
+        here, not in the allocator).  ``None`` resolves the
+        ``REPRO_SNAPSHOT_MAX_BYTES`` environment variable, defaulting to
+        1 GiB.
+
+    Raises
+    ------
+    SnapshotError
+        When the file is missing/corrupted, carries an unknown
+        ``format`` version, holds member names with path separators or
+        ``..`` components (zip-slip), or decompresses past the budget.
+    """
+    zf, budget = _open_validated(path, max_bytes)
+    with zf:
+        try:
+            raw_manifest = _read_member(path, zf, MANIFEST_MEMBER, budget)
+            payload = _read_member(
+                path, zf, PAYLOAD_MEMBER, budget - len(raw_manifest)
+            )
+        except KeyError as exc:
+            raise SnapshotError(
+                f"cannot read snapshot {path!r}: {exc}"
+            ) from exc
+    manifest = _parse_manifest(path, raw_manifest)
     try:
         with np.load(io.BytesIO(payload), allow_pickle=False) as npz:
             arrays = {name: npz[name] for name in npz.files}

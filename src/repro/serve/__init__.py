@@ -1,0 +1,70 @@
+"""`repro.serve` — multi-tenant clustering-as-a-service.
+
+The service layer over the library stack (ROADMAP item 1): everything a
+long-lived deployment needs to host many concurrent named
+:class:`~repro.api.KCenterSession` tenants behind one HTTP/JSON surface,
+built entirely on the stdlib (no new runtime dependencies):
+
+* :mod:`~repro.serve.server` — the threaded HTTP front end
+  (:class:`ReproServer` / :class:`ServeConfig`, ``python -m
+  repro.serve``): REST-ish session routes, ``/metrics`` in Prometheus
+  text format, ``/healthz``/``/readyz`` probes;
+* :mod:`~repro.serve.manager` — :class:`SessionManager`: per-session
+  locks, LRU **snapshot-backed eviction** (cold sessions spool to disk
+  via :mod:`repro.persist` and restore transparently on touch),
+  periodic checkpoint cadence, and **crash recovery** — a restarted
+  server re-registers every spooled session, so ``kill -9`` loses at
+  most the window since the last checkpoint;
+* :mod:`~repro.serve.metrics` — the dependency-free Prometheus
+  registry (counters, gauges, latency histograms);
+* :mod:`~repro.serve.wire` — wire schemas, validation and the error
+  taxonomy shared by server, client and tests;
+* :mod:`~repro.serve.replay` — the load-generation client (``python -m
+  repro.serve.replay``): replays any registered
+  :mod:`repro.scenarios` workload over N concurrent sessions and
+  reports sustained throughput (the serve benchmark and CI smoke).
+
+Quickstart::
+
+    from repro.serve import ReproServer, ServeConfig
+
+    server = ReproServer(ServeConfig(port=0, spool_dir="spool")).start()
+    # ... PUT /sessions/{name}, POST .../extend, GET .../solve ...
+    server.stop()        # checkpoints every session to the spool
+
+Endpoint reference, wire schemas, eviction/recovery semantics and the
+metrics catalogue: ``docs/serving.md``.
+"""
+
+from .manager import SessionManager
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .server import ReproServer, ServeConfig
+from .wire import WireError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ReplayError",
+    "ReproServer",
+    "ServeConfig",
+    "SessionManager",
+    "WireError",
+    "replay",
+]
+
+
+def __getattr__(name: str):
+    """Lazy access to the replay client.
+
+    ``repro.serve.replay`` is importable as ``python -m`` — importing it
+    eagerly here would shadow the runpy execution of the same module
+    (the stdlib's "found in sys.modules" warning), so the symbols are
+    resolved on first attribute access instead.
+    """
+    if name in ("replay", "ReplayError"):
+        from . import replay as _replay
+
+        return _replay.replay if name == "replay" else _replay.ReplayError
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,8 @@
+"""``python -m repro.serve`` — run the session server until signalled."""
+
+import sys
+
+from .server import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

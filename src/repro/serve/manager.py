@@ -1,0 +1,506 @@
+"""Multi-tenant session manager: named sessions, LRU eviction, recovery.
+
+The manager owns every :class:`~repro.api.KCenterSession` the server
+hosts and provides the three guarantees the service layer is about:
+
+**Serialized concurrent access.** Each named session carries one
+re-entrant lock; every operation (extend/delete/solve/save) runs under
+it, so concurrent requests against one tenant serialize safely while
+requests against different tenants proceed in parallel.  The manager
+never holds two session locks at once (eviction skips busy victims with
+a non-blocking acquire), so there is no lock-ordering deadlock.
+
+**Snapshot-backed eviction.** At most ``max_resident`` sessions stay
+materialized.  When the cap is exceeded the least-recently-used idle
+session is ``save()``d to the spool directory
+(``<spool>/<name>.snap``, the :mod:`repro.persist` container) and its
+in-memory state dropped; the next touch transparently restores it —
+callers never observe the difference (restore-then-continue is
+bit-identical by the persist contract).
+
+**Crash recovery.** Sessions checkpoint to the spool on a per-session
+update cadence (``checkpoint_every`` points, server default overridable
+per session) and on graceful shutdown.  :meth:`recover` scans the spool
+at startup and re-registers every snapshot as an evicted session, so a
+``kill -9`` loses at most the updates since each session's last
+checkpoint.  Corrupt or hostile spool files (see the hardened
+:func:`repro.persist.read_snapshot`) are skipped and reported, never
+fatal.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import numpy as np
+
+from ..api import KCenterSession, ProblemSpec, SnapshotError
+from ..api.backends import UnsupportedOperationError
+from ..persist import read_manifest
+from .metrics import MetricsRegistry
+from .wire import SESSION_NAME_RE, WireError, solution_to_wire
+
+__all__ = ["SessionManager"]
+
+#: Spool filename suffix for session snapshots.
+SPOOL_SUFFIX = ".snap"
+
+#: Manifest ``extra`` key carrying the service-level session options.
+_SERVE_EXTRA_KEY = "serve"
+
+
+class _Entry:
+    """One named session slot (resident or spooled)."""
+
+    __slots__ = (
+        "name", "lock", "session", "backend", "dirty", "checkpoint_every",
+        "reference_radius", "last_used", "updates_hint", "deleted",
+        "has_spool",
+    )
+
+    def __init__(self, name: str, backend: str):
+        self.name = name
+        self.lock = threading.RLock()
+        self.session: "KCenterSession | None" = None
+        self.backend = backend
+        self.dirty = 0                 # updates since the last spool write
+        self.checkpoint_every: "int | None" = None
+        self.reference_radius: "float | None" = None
+        self.last_used = 0
+        self.updates_hint = 0          # listing data while evicted
+        self.deleted = False
+        self.has_spool = False
+
+
+class SessionManager:
+    """Named-session lifecycle, eviction and recovery (see module doc).
+
+    Parameters
+    ----------
+    spool_dir:
+        Directory for session snapshots (created if missing).  This is
+        the unit of durability: point a restarted server at the same
+        spool and :meth:`recover` brings every tenant back.
+    max_resident:
+        Resident-session cap; beyond it, LRU sessions are evicted to the
+        spool.
+    checkpoint_every:
+        Default per-session checkpoint cadence in points (``None``
+        disables periodic checkpoints; explicit ``save`` and eviction
+        still write).
+    registry:
+        The :class:`~repro.serve.metrics.MetricsRegistry` to record
+        lifecycle metrics into (a private one is created when omitted).
+    """
+
+    def __init__(self, spool_dir: str, *, max_resident: int = 64,
+                 checkpoint_every: "int | None" = 4096,
+                 registry: "MetricsRegistry | None" = None):
+        if int(max_resident) < 1:
+            raise ValueError(f"max_resident must be >= 1, got {max_resident}")
+        self.spool_dir = str(spool_dir)
+        os.makedirs(self.spool_dir, exist_ok=True)
+        self.max_resident = int(max_resident)
+        self.checkpoint_every = (
+            int(checkpoint_every) if checkpoint_every else None
+        )
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._entries: "dict[str, _Entry]" = {}
+        self._lock = threading.Lock()
+        self._clock = 0
+        self._closed = False
+        reg = self.registry
+        self._m_resident = reg.gauge(
+            "repro_serve_sessions_resident",
+            "Sessions currently materialized in memory.")
+        self._m_evicted = reg.gauge(
+            "repro_serve_sessions_evicted",
+            "Sessions currently spooled out (snapshot-backed).")
+        self._m_evictions = reg.counter(
+            "repro_serve_evictions_total",
+            "LRU evictions of resident sessions to the spool.")
+        self._m_restores = reg.counter(
+            "repro_serve_restores_total",
+            "Transparent restores of spooled sessions on touch.")
+        self._m_checkpoints = reg.counter(
+            "repro_serve_checkpoints_total",
+            "Session snapshots written to the spool (cadence + explicit).")
+        self._m_recovered = reg.counter(
+            "repro_serve_recovered_sessions_total",
+            "Sessions re-registered from the spool at startup.")
+        self._m_coreset = reg.gauge(
+            "repro_serve_coreset_size",
+            "Coreset size at the session's last solve.", ("session",))
+        self._m_radius = reg.gauge(
+            "repro_serve_solve_radius",
+            "Radius of the session's last solve.", ("session",))
+        self._m_ratio = reg.gauge(
+            "repro_serve_radius_ratio",
+            "Last solve radius over the session's reference radius.",
+            ("session",))
+        self._update_gauges()
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _spool_path(self, name: str) -> str:
+        return os.path.join(self.spool_dir, name + SPOOL_SUFFIX)
+
+    def _update_gauges(self) -> None:
+        with self._lock:
+            resident = sum(1 for e in self._entries.values()
+                           if e.session is not None)
+            total = len(self._entries)
+        self._m_resident.set(resident)
+        self._m_evicted.set(total - resident)
+
+    def _touch(self, name: str) -> _Entry:
+        """Look up an entry and bump its LRU stamp (404 when absent)."""
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                raise WireError(404, "unknown-session",
+                                f"no session named {name!r}")
+            self._clock += 1
+            entry.last_used = self._clock
+            return entry
+
+    def _ensure_resident(self, entry: _Entry) -> KCenterSession:
+        """Restore a spooled session (caller holds ``entry.lock``)."""
+        if entry.deleted:
+            raise WireError(404, "unknown-session",
+                            f"no session named {entry.name!r}")
+        if entry.session is not None:
+            return entry.session
+        path = self._spool_path(entry.name)
+        try:
+            sess = KCenterSession.load(path)
+        except SnapshotError as exc:
+            raise WireError(
+                500, "restore-failed",
+                f"session {entry.name!r} cannot be restored from the "
+                f"spool: {exc}",
+            ) from exc
+        entry.session = sess
+        entry.backend = sess.backend_name
+        entry.dirty = 0
+        entry.updates_hint = sess.updates_seen
+        self._m_restores.inc()
+        return sess
+
+    def _spool(self, entry: _Entry) -> str:
+        """Write the entry's snapshot (caller holds ``entry.lock``)."""
+        extra = {_SERVE_EXTRA_KEY: {
+            "name": entry.name,
+            "checkpoint_every": entry.checkpoint_every,
+            "reference_radius": entry.reference_radius,
+        }}
+        path = entry.session.save(self._spool_path(entry.name), extra=extra)
+        entry.dirty = 0
+        entry.has_spool = True
+        self._m_checkpoints.inc()
+        return path
+
+    def _after_mutation(self, entry: _Entry, applied: int) -> bool:
+        """Cadence bookkeeping after a mutating op (holds ``entry.lock``).
+
+        Returns whether a periodic checkpoint was written.
+        """
+        entry.dirty += int(applied)
+        entry.updates_hint = entry.session.updates_seen
+        cadence = entry.checkpoint_every
+        if cadence is not None and entry.dirty >= cadence:
+            self._spool(entry)
+            return True
+        return False
+
+    def _evict_over_capacity(self) -> None:
+        """Evict LRU idle sessions until the resident cap holds.
+
+        Runs with no entry lock held; victims are locked with a
+        non-blocking acquire so a busy session is never stalled on and
+        two entry locks are never held together (deadlock-free).
+        """
+        while True:
+            with self._lock:
+                resident = [e for e in self._entries.values()
+                            if e.session is not None]
+                if len(resident) <= self.max_resident:
+                    return
+                resident.sort(key=lambda e: e.last_used)
+                candidates = resident[: len(resident) - self.max_resident + 4]
+            evicted_one = False
+            for entry in candidates:
+                if not entry.lock.acquire(blocking=False):
+                    continue  # busy: skip, never block
+                try:
+                    if entry.session is None or entry.deleted:
+                        continue
+                    if entry.dirty > 0 or not entry.has_spool:
+                        self._spool(entry)
+                    entry.session = None
+                    self._m_evictions.inc()
+                    evicted_one = True
+                    break
+                finally:
+                    entry.lock.release()
+            self._update_gauges()
+            if not evicted_one:
+                return  # everything over-cap is busy right now
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def recover(self) -> "tuple[list[str], list[str]]":
+        """Re-register every spooled session found in the spool directory.
+
+        Sessions come back *evicted* (state stays on disk until first
+        touch), so startup cost is one manifest read per tenant, not a
+        full restore.
+
+        Returns
+        -------
+        tuple
+            ``(recovered_names, skipped_messages)`` — unreadable or
+            foreign files are skipped with a reason, never fatal.
+        """
+        recovered, skipped = [], []
+        for fname in sorted(os.listdir(self.spool_dir)):
+            if not fname.endswith(SPOOL_SUFFIX):
+                continue
+            name = fname[: -len(SPOOL_SUFFIX)]
+            if not SESSION_NAME_RE.match(name):
+                skipped.append(f"{fname}: unsafe session name")
+                continue
+            path = os.path.join(self.spool_dir, fname)
+            try:
+                manifest = read_manifest(path)
+            except SnapshotError as exc:
+                skipped.append(f"{fname}: {exc}")
+                continue
+            if manifest.get("kind") != "kcenter-session":
+                skipped.append(f"{fname}: not a session snapshot")
+                continue
+            entry = _Entry(name, str(manifest.get("backend", "?")))
+            entry.has_spool = True
+            entry.updates_hint = int(manifest.get("updates", 0))
+            serve_extra = (manifest.get("extra") or {}).get(
+                _SERVE_EXTRA_KEY) or {}
+            ce = serve_extra.get("checkpoint_every", self.checkpoint_every)
+            entry.checkpoint_every = int(ce) if ce else None
+            rr = serve_extra.get("reference_radius")
+            entry.reference_radius = float(rr) if rr else None
+            with self._lock:
+                if name in self._entries:
+                    continue
+                self._entries[name] = entry
+            recovered.append(name)
+            self._m_recovered.inc()
+        self._update_gauges()
+        return recovered, skipped
+
+    def create(self, name: str, spec: ProblemSpec, backend: str,
+               options: "dict | None" = None,
+               checkpoint_every: "int | None" = None,
+               reference_radius: "float | None" = None) -> dict:
+        """Create a new named session (409 when the name is taken)."""
+        entry = _Entry(name, backend)
+        entry.checkpoint_every = (
+            int(checkpoint_every) if checkpoint_every
+            else self.checkpoint_every
+        )
+        entry.reference_radius = reference_radius
+        with entry.lock:
+            with self._lock:
+                if self._closed:
+                    raise WireError(503, "shutting-down",
+                                    "server is shutting down")
+                if name in self._entries:
+                    raise WireError(409, "session-exists",
+                                    f"session {name!r} already exists")
+                self._entries[name] = entry
+                self._clock += 1
+                entry.last_used = self._clock
+            try:
+                entry.session = KCenterSession.from_spec(
+                    spec, backend=backend, **(options or {})
+                )
+            except Exception as exc:
+                with self._lock:
+                    self._entries.pop(name, None)
+                raise WireError(
+                    400, "bad-session",
+                    f"cannot construct backend {backend!r}: {exc}",
+                ) from exc
+            info = self._info_locked(entry)
+        self._evict_over_capacity()
+        self._update_gauges()
+        return info
+
+    def drop(self, name: str) -> None:
+        """Delete a session: in-memory state, spool file, and gauges."""
+        with self._lock:
+            entry = self._entries.pop(name, None)
+        if entry is None:
+            raise WireError(404, "unknown-session",
+                            f"no session named {name!r}")
+        with entry.lock:
+            entry.deleted = True
+            entry.session = None
+            path = self._spool_path(name)
+            if os.path.exists(path):
+                os.remove(path)
+        for fam in (self._m_coreset, self._m_radius, self._m_ratio):
+            fam.remove(session=name)
+        self._update_gauges()
+
+    # -- operations --------------------------------------------------------
+
+    def extend(self, name: str, points: np.ndarray) -> dict:
+        """Batched ingest into a named session."""
+        entry = self._touch(name)
+        with entry.lock:
+            sess = self._ensure_resident(entry)
+            try:
+                sess.extend(points)
+            except Exception as exc:
+                raise WireError(422, "extend-failed",
+                                f"extend rejected: {exc}") from exc
+            checkpointed = self._after_mutation(entry, len(points))
+            out = {"session": name, "backend": entry.backend,
+                   "applied": int(len(points)),
+                   "updates": sess.updates_seen,
+                   "checkpointed": checkpointed}
+        self._evict_over_capacity()
+        return out
+
+    def delete_points(self, name: str, points: np.ndarray) -> dict:
+        """Batched deletion from a named session (dynamic backends)."""
+        entry = self._touch(name)
+        with entry.lock:
+            sess = self._ensure_resident(entry)
+            before = sess.updates_seen
+            try:
+                sess.delete_many(points)
+            except UnsupportedOperationError as exc:
+                raise WireError(409, "delete-unsupported", str(exc)) from exc
+            except Exception as exc:
+                raise WireError(422, "delete-failed",
+                                f"delete rejected: {exc}") from exc
+            finally:
+                applied = sess.updates_seen - before
+                checkpointed = (self._after_mutation(entry, applied)
+                                if applied else False)
+            out = {"session": name, "backend": entry.backend,
+                   "applied": int(applied),
+                   "updates": sess.updates_seen,
+                   "checkpointed": checkpointed}
+        self._evict_over_capacity()
+        return out
+
+    def solve(self, name: str, method: str = "greedy3") -> dict:
+        """Solve on the session's coreset; refreshes the quality gauges."""
+        entry = self._touch(name)
+        with entry.lock:
+            sess = self._ensure_resident(entry)
+            try:
+                sol = sess.solve(method=method)
+            except Exception as exc:
+                raise WireError(422, "solve-failed",
+                                f"solve rejected: {exc}") from exc
+            doc = solution_to_wire(sol)
+            if entry.reference_radius:
+                doc["radius_ratio"] = sol.radius / entry.reference_radius
+                self._m_ratio.labels(session=name).set(doc["radius_ratio"])
+            self._m_coreset.labels(session=name).set(sol.coreset_size)
+            self._m_radius.labels(session=name).set(sol.radius)
+        self._evict_over_capacity()
+        return doc
+
+    def save(self, name: str) -> dict:
+        """Explicitly checkpoint a session to the spool."""
+        entry = self._touch(name)
+        with entry.lock:
+            sess = self._ensure_resident(entry)
+            path = self._spool(entry)
+            return {"session": name, "backend": entry.backend,
+                    "path": path, "updates": sess.updates_seen}
+
+    def info(self, name: str) -> dict:
+        """One session's listing record."""
+        entry = self._touch(name)
+        with entry.lock:
+            if entry.deleted:
+                raise WireError(404, "unknown-session",
+                                f"no session named {name!r}")
+            return self._info_locked(entry)
+
+    def _info_locked(self, entry: _Entry) -> dict:
+        resident = entry.session is not None
+        return {
+            "name": entry.name,
+            "backend": entry.backend,
+            "resident": resident,
+            "updates": (entry.session.updates_seen if resident
+                        else entry.updates_hint),
+            "dirty": entry.dirty,
+            "checkpoint_every": entry.checkpoint_every,
+            "reference_radius": entry.reference_radius,
+            "spooled": entry.has_spool,
+        }
+
+    def list_sessions(self) -> "list[dict]":
+        """Listing records for every session, sorted by name."""
+        with self._lock:
+            entries = [self._entries[n] for n in sorted(self._entries)]
+        out = []
+        for entry in entries:
+            with entry.lock:
+                if not entry.deleted:
+                    out.append(self._info_locked(entry))
+        return out
+
+    # -- shutdown ----------------------------------------------------------
+
+    def checkpoint_all(self) -> int:
+        """Spool every resident session with unspooled updates.
+
+        The graceful-shutdown path; returns the number of snapshots
+        written.
+        """
+        with self._lock:
+            entries = list(self._entries.values())
+        written = 0
+        for entry in entries:
+            with entry.lock:
+                if entry.deleted or entry.session is None:
+                    continue
+                if entry.dirty > 0 or not entry.has_spool:
+                    self._spool(entry)
+                    written += 1
+        return written
+
+    def close(self) -> int:
+        """Stop accepting creates, checkpoint everything, drop residents."""
+        with self._lock:
+            self._closed = True
+        written = self.checkpoint_all()
+        with self._lock:
+            entries = list(self._entries.values())
+        for entry in entries:
+            with entry.lock:
+                entry.session = None
+        self._update_gauges()
+        return written
+
+    # -- introspection -----------------------------------------------------
+
+    def resident_count(self) -> int:
+        """Number of materialized sessions."""
+        with self._lock:
+            return sum(1 for e in self._entries.values()
+                       if e.session is not None)
+
+    def session_count(self) -> int:
+        """Total number of registered sessions (resident + spooled)."""
+        with self._lock:
+            return len(self._entries)

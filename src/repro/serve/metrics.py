@@ -1,0 +1,313 @@
+"""A dependency-free Prometheus metrics registry.
+
+The session server exposes its observability surface in the Prometheus
+text exposition format (``GET /metrics``) without taking a client
+library dependency: this module implements the three metric kinds the
+server needs — :class:`Counter`, :class:`Gauge` and :class:`Histogram`
+(cumulative buckets, ``_sum``/``_count`` series) — plus a
+:class:`MetricsRegistry` that renders them under the text-format
+grammar (``# HELP``/``# TYPE`` headers, escaped label values, ``+Inf``
+bucket, stable sort order).
+
+Everything is thread-safe: one registry-wide lock guards family
+creation, one lock per family guards its children, and each observation
+is a single locked float update — cheap enough to sit on the request
+hot path of a threaded server.
+
+Usage::
+
+    reg = MetricsRegistry()
+    reqs = reg.counter("requests_total", "HTTP requests.", ("route",))
+    reqs.labels(route="/solve").inc()
+    lat = reg.histogram("latency_seconds", "Latency.", ("backend",))
+    lat.labels(backend="insertion-only").observe(0.0042)
+    text = reg.render()          # scrape body
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Default latency buckets (seconds): sub-millisecond to tens of seconds,
+#: tuned for "one batched extend over loopback HTTP".
+DEFAULT_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value under the text-format number grammar."""
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):  # pragma: no cover - never emitted by us
+        return "NaN"
+    if float(value) == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    """Escape a label value per the exposition format rules."""
+    return (str(value).replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _render_labels(names: "tuple[str, ...]", values: "tuple[str, ...]",
+                   extra: "tuple[tuple[str, str], ...]" = ()) -> str:
+    """Render one ``{name="value",...}`` block ('' when label-free)."""
+    pairs = [f'{n}="{_escape_label(v)}"' for n, v in zip(names, values)]
+    pairs += [f'{n}="{_escape_label(v)}"' for n, v in extra]
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+class _Family:
+    """Shared machinery: a named metric family with labelled children."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: "tuple[str, ...]"):
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._children: dict = {}
+        self._lock = threading.Lock()
+
+    def labels(self, **labels) -> "object":
+        """The child series for one concrete label-value assignment.
+
+        Children are created on first touch and persist until
+        :meth:`remove`; passing a label set that does not match the
+        family's ``labelnames`` raises ``ValueError``.
+        """
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[n]) for n in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._make_child()
+                self._children[key] = child
+        return child
+
+    def remove(self, **labels) -> None:
+        """Drop one child series (a deleted session's gauges)."""
+        key = tuple(str(labels[n]) for n in self.labelnames)
+        with self._lock:
+            self._children.pop(key, None)
+
+    def _make_child(self):
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def _sorted_children(self):
+        with self._lock:
+            return sorted(self._children.items())
+
+    def render(self) -> "list[str]":
+        """The family's exposition lines (HELP/TYPE header + samples)."""
+        lines = [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+        for key, child in self._sorted_children():
+            lines.extend(child.render_samples(self, key))
+        return lines
+
+
+class _Value:
+    """One locked float cell (counter/gauge child)."""
+
+    def __init__(self):
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def get(self) -> float:
+        """The current sample value."""
+        with self._lock:
+            return self._value
+
+    def render_samples(self, family: _Family, key) -> "list[str]":
+        """This child's sample line."""
+        labels = _render_labels(family.labelnames, key)
+        return [f"{family.name}{labels} {_format_value(self.get())}"]
+
+
+class _CounterValue(_Value):
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        with self._lock:
+            self._value += amount
+
+
+class _GaugeValue(_Value):
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+
+class _HistogramValue:
+    """One histogram child: cumulative bucket counts + sum + count."""
+
+    def __init__(self, buckets: "tuple[float, ...]"):
+        self._buckets = buckets
+        self._counts = [0] * (len(buckets) + 1)  # +1: the +Inf bucket
+        self._sum = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._sum += value
+            for i, bound in enumerate(self._buckets):
+                if value <= bound:
+                    self._counts[i] += 1
+                    return
+            self._counts[-1] += 1
+
+    def render_samples(self, family: "_Family", key) -> "list[str]":
+        with self._lock:
+            counts, total = list(self._counts), self._sum
+        lines, cumulative = [], 0
+        bounds = [*(_format_value(b) for b in family.buckets), "+Inf"]
+        for count, bound in zip(counts, bounds):
+            cumulative += count
+            labels = _render_labels(family.labelnames, key,
+                                    extra=(("le", bound),))
+            lines.append(f"{family.name}_bucket{labels} {cumulative}")
+        labels = _render_labels(family.labelnames, key)
+        lines.append(f"{family.name}_sum{labels} {_format_value(total)}")
+        lines.append(f"{family.name}_count{labels} {cumulative}")
+        return lines
+
+
+class Counter(_Family):
+    """A monotonically increasing counter family."""
+
+    kind = "counter"
+
+    def _make_child(self):
+        return _CounterValue()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment the label-free series (label-free families only)."""
+        self.labels().inc(amount)
+
+    def value(self, **labels) -> float:
+        """Current value of one child (test/introspection helper)."""
+        return self.labels(**labels).get()
+
+
+class Gauge(_Family):
+    """A settable gauge family."""
+
+    kind = "gauge"
+
+    def _make_child(self):
+        return _GaugeValue()
+
+    def set(self, value: float) -> None:
+        """Set the label-free series (label-free families only)."""
+        self.labels().set(value)
+
+    def value(self, **labels) -> float:
+        """Current value of one child (test/introspection helper)."""
+        return self.labels(**labels).get()
+
+
+class Histogram(_Family):
+    """A cumulative-bucket histogram family."""
+
+    kind = "histogram"
+
+    def __init__(self, name, help, labelnames, buckets=DEFAULT_BUCKETS):
+        super().__init__(name, help, labelnames)
+        bts = tuple(sorted(float(b) for b in buckets))
+        if not bts or any(b2 <= b1 for b1, b2 in zip(bts, bts[1:])):
+            raise ValueError(f"invalid histogram buckets {buckets!r}")
+        if math.isinf(bts[-1]):  # +Inf is implicit
+            bts = bts[:-1]
+        self.buckets = bts
+
+    def _make_child(self):
+        return _HistogramValue(self.buckets)
+
+    def observe(self, value: float) -> None:
+        """Observe into the label-free series (label-free families only)."""
+        self.labels().observe(value)
+
+
+class MetricsRegistry:
+    """A named collection of metric families with one text renderer.
+
+    Families are created idempotently: asking twice for the same name
+    returns the same family object, and asking with a conflicting kind
+    or label set raises ``ValueError`` — the server's handler threads
+    can therefore grab families lazily without coordination.
+    """
+
+    def __init__(self):
+        self._families: "dict[str, _Family]" = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name, help, labelnames, **kwargs):
+        if not name or not name[0].isalpha():
+            raise ValueError(f"invalid metric name {name!r}")
+        with self._lock:
+            fam = self._families.get(name)
+            if fam is None:
+                fam = cls(name, help, tuple(labelnames), **kwargs)
+                self._families[name] = fam
+                return fam
+        if not isinstance(fam, cls) or fam.labelnames != tuple(labelnames):
+            raise ValueError(
+                f"metric {name!r} already registered as {fam.kind} with "
+                f"labels {fam.labelnames}"
+            )
+        return fam
+
+    def counter(self, name: str, help: str,
+                labelnames: "tuple[str, ...]" = ()) -> Counter:
+        """Get or create a :class:`Counter` family."""
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str,
+              labelnames: "tuple[str, ...]" = ()) -> Gauge:
+        """Get or create a :class:`Gauge` family."""
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(self, name: str, help: str,
+                  labelnames: "tuple[str, ...]" = (),
+                  buckets: "tuple[float, ...]" = DEFAULT_BUCKETS) -> Histogram:
+        """Get or create a :class:`Histogram` family."""
+        return self._get_or_create(Histogram, name, help, labelnames,
+                                   buckets=buckets)
+
+    def render(self) -> str:
+        """The full scrape body (text exposition format, sorted by name)."""
+        with self._lock:
+            families = [self._families[n] for n in sorted(self._families)]
+        lines: "list[str]" = []
+        for fam in families:
+            lines.extend(fam.render())
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,332 @@
+"""Traffic replay: drive a session server with a registered scenario.
+
+The load-generation half of `repro.serve` — replays any
+:mod:`repro.scenarios` workload over N concurrent named sessions and
+reports sustained aggregate throughput, doubling as the serve benchmark
+(``benchmarks/run_all.py``) and the CI smoke::
+
+    python -m repro.serve.replay --scenario clustered-baseline --quick \
+        --sessions 32 --json replay.json            # self-hosted server
+    python -m repro.serve.replay --url http://127.0.0.1:8137 ...  # external
+
+Each worker thread owns one keep-alive ``http.client`` connection and a
+disjoint slice of the sessions: it creates them (backend options adapted
+per scenario, exactly like the evaluation matrix), streams the
+scenario's points in ``--batch``-sized extends (binary wire by default —
+raw float64 + shape header — the path that pushes >50k updates/s through
+a text protocol), then solves and deletes them.  The report carries
+aggregate points/s plus per-operation latency percentiles; with
+``--min-throughput`` the exit status enforces a floor, which is how CI
+pins the serving regression.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import sys
+import threading
+import time
+from urllib.parse import urlsplit
+
+import numpy as np
+
+from ..api.registry import get_backend
+from ..scenarios import get_scenario
+
+__all__ = ["ReplayError", "replay", "main"]
+
+
+class ReplayError(RuntimeError):
+    """A replay request failed (non-2xx status from the server)."""
+
+
+class _Client:
+    """One keep-alive JSON/binary HTTP connection."""
+
+    def __init__(self, url: str, timeout: float = 60.0):
+        parts = urlsplit(url)
+        if parts.scheme != "http" or not parts.hostname:
+            raise ReplayError(f"replay needs an http:// URL, got {url!r}")
+        self._conn = http.client.HTTPConnection(
+            parts.hostname, parts.port or 80, timeout=timeout)
+
+    def request(self, method: str, path: str, body: "bytes | None" = None,
+                headers: "dict | None" = None) -> dict:
+        """One request; raises :class:`ReplayError` on non-2xx."""
+        hdrs = {"Content-Type": "application/json"}
+        if headers:
+            hdrs.update(headers)
+        self._conn.request(method, path, body=body, headers=hdrs)
+        resp = self._conn.getresponse()
+        payload = resp.read()
+        if not 200 <= resp.status < 300:
+            raise ReplayError(
+                f"{method} {path} -> {resp.status}: {payload[:300]!r}")
+        return json.loads(payload) if payload else {}
+
+    def request_json(self, method: str, path: str, doc) -> dict:
+        """One JSON-body request."""
+        return self.request(method, path, body=json.dumps(doc).encode())
+
+    def extend_binary(self, name: str, pts: np.ndarray) -> dict:
+        """The binary ingest fast path."""
+        data = np.ascontiguousarray(pts, dtype="<f8")
+        return self.request(
+            "POST", f"/sessions/{name}/extend", body=data.tobytes(),
+            headers={"Content-Type": "application/octet-stream",
+                     "X-Repro-Shape": f"{data.shape[0]},{data.shape[1]}"})
+
+    def close(self) -> None:
+        """Close the connection."""
+        self._conn.close()
+
+
+def _rebatch(points: np.ndarray, batch: int) -> "list[np.ndarray]":
+    """Split the scenario stream into fixed-size extend payloads."""
+    return [points[i:i + batch] for i in range(0, len(points), batch)]
+
+
+def _percentiles(samples: "list[float]") -> dict:
+    if not samples:
+        return {"count": 0}
+    arr = np.asarray(samples)
+    return {
+        "count": int(arr.size),
+        "mean_s": float(arr.mean()),
+        "p50_s": float(np.percentile(arr, 50)),
+        "p95_s": float(np.percentile(arr, 95)),
+        "p99_s": float(np.percentile(arr, 99)),
+        "max_s": float(arr.max()),
+    }
+
+
+def replay(url: "str | None" = None, scenario: str = "clustered-baseline",
+           quick: bool = True, seed: int = 0, sessions: int = 32,
+           threads: "int | None" = None, backend: str = "insertion-only",
+           batch: int = 2048, passes: int = 1, json_wire: bool = False,
+           solve: bool = True, keep_sessions: bool = False,
+           reference: bool = True) -> dict:
+    """Replay one scenario over concurrent sessions; return the report.
+
+    Parameters
+    ----------
+    url:
+        Base URL of a running server; ``None`` self-hosts an in-process
+        :class:`~repro.serve.server.ReproServer` on an ephemeral port
+        (what the benchmark does).
+    scenario:
+        Registered scenario name (see
+        :func:`repro.scenarios.available_scenarios`).
+    quick, seed:
+        Scenario materialization knobs.
+    sessions:
+        Number of concurrent named sessions to stream into.
+    threads:
+        Worker threads (default: ``min(sessions, 8)``); sessions are
+        partitioned across workers, one keep-alive connection each.
+    backend:
+        Backend registry name for every session.
+    batch:
+        Points per extend request.
+    passes:
+        Times the scenario stream is replayed into each session.
+    json_wire:
+        Use the JSON point schema instead of the binary fast path.
+    solve:
+        Solve every session after streaming (adds solve latency stats
+        and populates the server's quality gauges).
+    keep_sessions:
+        Leave the sessions on the server (CI's recovery smoke streams,
+        keeps, kills, and restarts).
+    reference:
+        Send the scenario's reference radius at create time so the
+        server exports ``repro_serve_radius_ratio``.
+
+    Returns
+    -------
+    dict
+        The machine-readable report (throughput, latency percentiles).
+    """
+    inst = get_scenario(scenario).make(quick=quick, seed=seed)
+    info = get_backend(backend)
+    options = inst.session_options(info)
+    spec_doc = inst.spec.as_dict()
+    ref_radius = inst.reference() if reference else None
+
+    own_server = None
+    if url is None:
+        from .server import ReproServer, ServeConfig
+
+        own_server = ReproServer(ServeConfig(port=0)).start()
+        url = own_server.url
+
+    threads = int(threads) if threads else min(int(sessions), 8)
+    batches = _rebatch(np.asarray(inst.points, dtype=float), int(batch))
+    names = [f"replay-{scenario}-{i:04d}" for i in range(int(sessions))]
+    per_worker = [names[i::threads] for i in range(threads)]
+    extend_lat: "list[float]" = []
+    solve_lat: "list[float]" = []
+    errors: "list[BaseException]" = []
+    lat_lock = threading.Lock()
+    start_barrier = threading.Barrier(threads + 1)
+    done_barrier = threading.Barrier(threads + 1)
+
+    def worker(mine: "list[str]") -> None:
+        client = None
+        try:
+            client = _Client(url)
+            create_doc = {"spec": spec_doc, "backend": backend,
+                          "options": options}
+            if ref_radius is not None:
+                create_doc["reference_radius"] = ref_radius
+            for name in mine:
+                client.request_json("PUT", f"/sessions/{name}", create_doc)
+            my_extend, my_solve = [], []
+            start_barrier.wait()
+            for _ in range(int(passes)):
+                for chunk in batches:
+                    payload = {"points": chunk.tolist()} if json_wire else None
+                    for name in mine:
+                        t0 = time.perf_counter()
+                        if json_wire:
+                            client.request_json(
+                                "POST", f"/sessions/{name}/extend", payload)
+                        else:
+                            client.extend_binary(name, chunk)
+                        my_extend.append(time.perf_counter() - t0)
+            done_barrier.wait()
+            if solve:
+                for name in mine:
+                    t0 = time.perf_counter()
+                    client.request("GET", f"/sessions/{name}/solve")
+                    my_solve.append(time.perf_counter() - t0)
+            if not keep_sessions:
+                for name in mine:
+                    client.request("DELETE", f"/sessions/{name}")
+            with lat_lock:
+                extend_lat.extend(my_extend)
+                solve_lat.extend(my_solve)
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            errors.append(exc)
+            try:  # release the barriers so the run fails fast, not hangs
+                start_barrier.abort()
+                done_barrier.abort()
+            except Exception:
+                pass
+        finally:
+            if client is not None:
+                client.close()
+
+    pool = [threading.Thread(target=worker, args=(mine,), daemon=True)
+            for mine in per_worker]
+    stream_wall = 0.0
+    try:
+        for t in pool:
+            t.start()
+        try:
+            start_barrier.wait()  # everyone created; measure pure streaming
+            t_stream0 = time.perf_counter()
+            done_barrier.wait()
+            stream_wall = time.perf_counter() - t_stream0
+        except threading.BrokenBarrierError:
+            pass  # a worker failed; surfaced via `errors` below
+        for t in pool:
+            t.join()
+    finally:
+        if own_server is not None:
+            own_server.stop()
+    if errors:
+        raise ReplayError(f"replay worker failed: {errors[0]!r}") from errors[0]
+
+    points_per_pass = sum(len(b) for b in batches)
+    total_points = points_per_pass * int(passes) * int(sessions)
+    return {
+        "suite": "serve-replay",
+        "scenario": scenario,
+        "backend": backend,
+        "quick": bool(quick),
+        "seed": int(seed),
+        "sessions": int(sessions),
+        "threads": threads,
+        "batch": int(batch),
+        "passes": int(passes),
+        "wire": "json" if json_wire else "binary",
+        "self_hosted": own_server is not None,
+        "total_points": int(total_points),
+        "stream_wall_s": float(stream_wall),
+        "points_per_s": float(total_points / max(stream_wall, 1e-9)),
+        "latency": {
+            "extend": _percentiles(extend_lat),
+            "solve": _percentiles(solve_lat),
+        },
+    }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point: ``python -m repro.serve.replay``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.replay",
+        description="Replay a registered scenario over N concurrent "
+                    "sessions and report sustained throughput.",
+    )
+    parser.add_argument("--url", default=None,
+                        help="target server base URL (default: self-host an "
+                             "in-process server on an ephemeral port)")
+    parser.add_argument("--scenario", default="clustered-baseline")
+    parser.add_argument("--quick", action="store_true",
+                        help="materialize the scenario at smoke size")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--sessions", type=int, default=32)
+    parser.add_argument("--threads", type=int, default=None)
+    parser.add_argument("--backend", default="insertion-only")
+    parser.add_argument("--batch", type=int, default=2048)
+    parser.add_argument("--passes", type=int, default=1)
+    parser.add_argument("--json-wire", action="store_true",
+                        help="use the JSON point schema instead of the "
+                             "binary fast path")
+    parser.add_argument("--no-solve", action="store_true")
+    parser.add_argument("--keep-sessions", action="store_true",
+                        help="leave the sessions on the server (recovery "
+                             "smokes)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the report document to PATH")
+    parser.add_argument("--min-throughput", type=float, default=None,
+                        help="exit 1 when aggregate points/s falls below "
+                             "this floor")
+    args = parser.parse_args(argv)
+
+    report = replay(
+        url=args.url, scenario=args.scenario, quick=args.quick,
+        seed=args.seed, sessions=args.sessions, threads=args.threads,
+        backend=args.backend, batch=args.batch, passes=args.passes,
+        json_wire=args.json_wire, solve=not args.no_solve,
+        keep_sessions=args.keep_sessions,
+    )
+    print(f"{report['scenario']} x{report['sessions']} sessions "
+          f"({report['backend']}, {report['wire']} wire): "
+          f"{report['total_points']} points in "
+          f"{report['stream_wall_s']:.2f}s = "
+          f"{report['points_per_s']:,.0f} points/s")
+    ext = report["latency"]["extend"]
+    if ext.get("count"):
+        print(f"extend latency p50={ext['p50_s'] * 1e3:.2f}ms "
+              f"p95={ext['p95_s'] * 1e3:.2f}ms "
+              f"p99={ext['p99_s'] * 1e3:.2f}ms")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"wrote {args.json}")
+    if (args.min_throughput is not None
+            and report["points_per_s"] < args.min_throughput):
+        print(f"FAIL: {report['points_per_s']:,.0f} points/s is below the "
+              f"--min-throughput floor {args.min_throughput:,.0f}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,158 @@
+"""KCenterSession's concurrency contract (see `repro.api.session`).
+
+Eight threads hammering one session must (a) keep the accounting exact,
+(b) apply every batch atomically — the final state is bit-identical to a
+serial run applying the same batches in the order the lock admitted
+them — and (c) for order-insensitive backends (the linear dynamic
+sketches), be bit-identical to *any* serial run of the same multiset.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import KCenterSession, ProblemSpec
+
+DELTA = 64
+THREADS = 8
+BATCHES_PER_THREAD = 6
+BATCH = 25
+
+
+def _spec(seed=7):
+    return ProblemSpec(k=3, z=5, eps=0.5, dim=2, seed=seed)
+
+
+def _batches(integer: bool, seed=0):
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(THREADS * BATCHES_PER_THREAD):
+        if integer:
+            out.append(rng.integers(1, DELTA, size=(BATCH, 2)).astype(float))
+        else:
+            out.append(rng.normal(size=(BATCH, 2)) * 5.0)
+    return out
+
+
+def _hammer(sess, batches):
+    """Extend `sess` from THREADS threads, each owning a batch slice."""
+    start = threading.Barrier(THREADS)
+    errors = []
+
+    def worker(i):
+        try:
+            start.wait()
+            for b in batches[i::THREADS]:
+                sess.extend(b)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(THREADS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, f"worker raised: {errors[0]!r}"
+
+
+class TestDynamicOrderInsensitive:
+    """The linear sketch state commutes, so threaded == serial exactly."""
+
+    @pytest.mark.parametrize("backend", ["dynamic", "dynamic-deterministic"])
+    def test_threaded_equals_serial_multiset(self, backend):
+        batches = _batches(integer=True)
+        opts = {"delta_universe": DELTA, "s_override": 24}
+
+        threaded = KCenterSession.from_spec(_spec(), backend=backend, **opts)
+        _hammer(threaded, batches)
+
+        serial = KCenterSession.from_spec(_spec(), backend=backend, **opts)
+        for b in batches:
+            serial.extend(b)
+
+        assert threaded.updates_seen == serial.updates_seen
+        t_cs, s_cs = threaded.coreset(), serial.coreset()
+        assert np.array_equal(t_cs.points, s_cs.points)
+        assert np.array_equal(t_cs.weights, s_cs.weights)
+        t_sol, s_sol = threaded.solve(), serial.solve()
+        assert t_sol.radius == s_sol.radius
+        assert np.array_equal(t_sol.centers, s_sol.centers)
+
+
+class TestBatchAtomicity:
+    """Order-dependent backends: the threaded run must equal a serial
+    replay of the batches in the exact order the session admitted them
+    (i.e. each batch was applied atomically, none interleaved)."""
+
+    @pytest.mark.parametrize("backend", ["insertion-only", "offline"])
+    def test_threaded_equals_serial_in_admitted_order(self, backend):
+        batches = _batches(integer=False)
+        sess = KCenterSession.from_spec(_spec(), backend=backend)
+
+        admitted = []
+        inner = sess.backend.extend
+
+        def logging_extend(pts, _inner=inner):
+            # runs under the session lock, so append order == apply order
+            admitted.append(np.array(pts))
+            _inner(pts)
+
+        sess.backend.extend = logging_extend
+        _hammer(sess, batches)
+        assert sess.updates_seen == THREADS * BATCHES_PER_THREAD * BATCH
+        assert len(admitted) == len(batches)
+
+        serial = KCenterSession.from_spec(_spec(), backend=backend)
+        for b in admitted:
+            serial.extend(b)
+
+        t_cs, s_cs = sess.coreset(), serial.coreset()
+        assert np.array_equal(t_cs.points, s_cs.points)
+        assert np.array_equal(t_cs.weights, s_cs.weights)
+        assert sess.solve().radius == serial.solve().radius
+
+
+class TestMixedReadersAndWriters:
+    def test_solves_interleaved_with_extends(self):
+        batches = _batches(integer=False, seed=3)
+        sess = KCenterSession.from_spec(_spec(), backend="insertion-only")
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    sol = sess.solve()
+                    assert sol.radius >= 0.0
+                    sess.stats()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        for t in readers:
+            t.start()
+        try:
+            _hammer(sess, batches)
+        finally:
+            stop.set()
+            for t in readers:
+                t.join()
+        assert not errors, f"reader raised: {errors[0]!r}"
+        assert sess.updates_seen == THREADS * BATCHES_PER_THREAD * BATCH
+
+    def test_concurrent_saves_consistent(self, tmp_path):
+        sess = KCenterSession.from_spec(_spec(), backend="insertion-only")
+        sess.extend(np.random.default_rng(0).normal(size=(200, 2)))
+        paths = [str(tmp_path / f"s{i}.snap") for i in range(4)]
+        threads = [threading.Thread(target=sess.save, args=(p,))
+                   for p in paths]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        loaded = [KCenterSession.load(p) for p in paths]
+        for lo in loaded:
+            assert lo.updates_seen == 200
+            assert np.array_equal(lo.coreset().points, sess.coreset().points)

@@ -22,6 +22,7 @@ from repro.api import (
     unregister_backend,
 )
 from repro.persist import (
+    read_manifest,
     SNAPSHOT_FORMAT_VERSION,
     read_snapshot,
     supports_snapshot,
@@ -453,3 +454,104 @@ class TestStateTreeFormat:
         assert a.updates_seen == b.updates_seen
         with pytest.raises(SnapshotError, match="kind"):
             KCenterSession.from_snapshot({"kind": "other"}, {})
+
+
+class TestNetworkHardening:
+    """Snapshots received over the wire (`repro.serve`) must not be able
+    to escape the spool directory or exhaust memory on load."""
+
+    def _zip(self, path, members):
+        with zipfile.ZipFile(path, "w") as zf:
+            for name, data in members.items():
+                zf.writestr(name, data)
+
+    def _manifest_bytes(self):
+        return json.dumps({"format": SNAPSHOT_FORMAT_VERSION,
+                           "state": {}, "arrays": []}).encode()
+
+    @pytest.mark.parametrize("name", [
+        "../evil.npy",
+        "sub/dir.npy",
+        "..\\evil.npy",
+        "/etc/passwd",
+        "a/../b",
+    ])
+    def test_zip_slip_member_names_rejected(self, tmp_path, name):
+        path = tmp_path / "t.snap"
+        self._zip(path, {"manifest.json": self._manifest_bytes(),
+                         "payload.npz": b"", name: b"x"})
+        with pytest.raises(SnapshotError, match="path separator|traversal"):
+            read_snapshot(str(path))
+        with pytest.raises(SnapshotError, match="path separator|traversal"):
+            read_manifest(str(path))
+
+    def test_decompressed_size_cap_enforced(self, tmp_path):
+        # 20 MB of zeros deflates to ~20 kB: the directory size fields
+        # are honest here, but the cap must bind on decompressed bytes
+        path = str(tmp_path / "t.snap")
+        write_snapshot(path, {"kind": "test"},
+                       {"a": np.zeros((2_500_000,), dtype=np.float64)})
+        manifest, state = read_snapshot(path, max_bytes=64 << 20)  # fits
+        assert state["a"].shape == (2_500_000,)
+        with pytest.raises(SnapshotError, match="budget"):
+            read_snapshot(path, max_bytes=1 << 20)
+
+    def test_size_cap_ignores_forged_directory_sizes(self, tmp_path):
+        # rewrite the central directory to claim a tiny decompressed
+        # size; the streaming cap must still fire on the real bytes
+        path = tmp_path / "t.snap"
+        big = zipfile.ZipInfo("payload.npz")
+        big.compress_type = zipfile.ZIP_DEFLATED
+        with zipfile.ZipFile(path, "w") as zf:
+            zf.writestr("manifest.json", self._manifest_bytes())
+            zf.writestr(big, b"\0" * (8 << 20))
+        with pytest.raises(SnapshotError, match="budget"):
+            read_snapshot(str(path), max_bytes=1 << 20)
+
+    def test_cap_env_override(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "t.snap")
+        write_snapshot(path, {"kind": "test"},
+                       {"a": np.zeros((200_000,), dtype=np.float64)})
+        monkeypatch.setenv("REPRO_SNAPSHOT_MAX_BYTES", str(1 << 10))
+        with pytest.raises(SnapshotError, match="budget"):
+            read_snapshot(path)
+        monkeypatch.setenv("REPRO_SNAPSHOT_MAX_BYTES", str(1 << 30))
+        read_snapshot(path)
+
+    def test_invalid_cap_rejected(self, tmp_path):
+        path = str(tmp_path / "t.snap")
+        write_snapshot(path, {"kind": "test"}, {})
+        with pytest.raises(SnapshotError, match="max_bytes"):
+            read_snapshot(path, max_bytes=0)
+
+    def test_read_manifest_is_cheap_and_validated(self, tmp_path):
+        path = str(tmp_path / "t.snap")
+        sess = _make("insertion-only")
+        sess.extend(_stream("insertion-only", 0, n=40))
+        sess.save(path, extra={"tag": "spool"})
+        manifest = read_manifest(path)
+        assert manifest["kind"] == "kcenter-session"
+        assert manifest["backend"] == "insertion-only"
+        assert manifest["updates"] == 40
+        assert manifest["extra"] == {"tag": "spool"}
+        # version check still applies on the manifest-only path
+        bad = str(tmp_path / "v.snap")
+        write_snapshot(bad, {"kind": "test", "format": 99}, {})
+        with pytest.raises(SnapshotError, match="format"):
+            read_manifest(bad)
+
+    def test_read_manifest_missing_member(self, tmp_path):
+        path = tmp_path / "t.snap"
+        self._zip(path, {"payload.npz": b""})
+        with pytest.raises(SnapshotError, match="cannot read"):
+            read_manifest(str(path))
+
+    def test_truncated_member_surfaces_snapshot_error(self, tmp_path):
+        src = tmp_path / "ok.snap"
+        write_snapshot(str(src), {"kind": "test"},
+                       {"a": np.arange(1000, dtype=np.float64)})
+        clipped = tmp_path / "clipped.snap"
+        data = src.read_bytes()
+        clipped.write_bytes(data[: len(data) // 2])
+        with pytest.raises(SnapshotError):
+            read_snapshot(str(clipped))

@@ -1,0 +1,301 @@
+"""End-to-end HTTP surface: routes, error taxonomy, probes, metrics."""
+
+import http.client
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import KCenterSession, ProblemSpec
+from repro.serve import ReproServer, ServeConfig
+from test_serve_metrics import parse_prometheus
+
+SPEC = dict(k=3, z=4, eps=0.5, dim=2, seed=0)
+
+
+@pytest.fixture
+def server(tmp_path):
+    srv = ReproServer(ServeConfig(port=0, spool_dir=str(tmp_path / "spool")))
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+@pytest.fixture
+def client(server):
+    conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+    yield conn
+    conn.close()
+
+
+def _req(conn, method, path, body=None, headers=None):
+    hdrs = {"Content-Type": "application/json"}
+    hdrs.update(headers or {})
+    if isinstance(body, dict):
+        body = json.dumps(body).encode()
+    conn.request(method, path, body=body, headers=hdrs)
+    resp = conn.getresponse()
+    payload = resp.read()
+    ctype = resp.getheader("Content-Type", "")
+    doc = (json.loads(payload)
+           if ctype.startswith("application/json") and payload else payload)
+    return resp.status, doc, ctype
+
+
+def _create(conn, name, backend="insertion-only", **extra):
+    body = {"spec": SPEC, "backend": backend, **extra}
+    return _req(conn, "PUT", f"/sessions/{name}", body)
+
+
+def _points(seed, n=64, d=2):
+    return np.random.default_rng(seed).normal(size=(n, d)) * 4.0
+
+
+class TestProbes:
+    def test_healthz_and_readyz(self, server, client):
+        status, body, ctype = _req(client, "GET", "/healthz")
+        assert (status, body) == (200, b"ok\n") and ctype.startswith("text/plain")
+        status, body, _ = _req(client, "GET", "/readyz")
+        assert (status, body) == (200, b"ready\n")
+
+    def test_readyz_503_when_not_ready(self, server, client):
+        server._ready.clear()
+        try:
+            status, body, _ = _req(client, "GET", "/readyz")
+            assert (status, body) == (503, b"not ready\n")
+        finally:
+            server._ready.set()
+
+    def test_unknown_route_and_method(self, server, client):
+        status, doc, _ = _req(client, "GET", "/nope")
+        assert status == 404 and doc["error"]["code"] == "unknown-route"
+        status, doc, _ = _req(client, "POST", "/sessions/a")
+        assert status == 405 and doc["error"]["code"] == "method-not-allowed"
+
+
+class TestSessionRoutes:
+    def test_create_conflict_and_info(self, server, client):
+        status, doc, _ = _create(client, "a")
+        assert status == 201 and doc["name"] == "a" and doc["resident"]
+        status, doc, _ = _create(client, "a")
+        assert status == 409 and doc["error"]["code"] == "session-exists"
+        status, doc, _ = _req(client, "GET", "/sessions/a")
+        assert status == 200 and doc["backend"] == "insertion-only"
+        status, doc, _ = _req(client, "GET", "/sessions")
+        assert status == 200 and [s["name"] for s in doc["sessions"]] == ["a"]
+
+    def test_create_validation_errors(self, server, client):
+        cases = [
+            ("bad name", "PUT", "/sessions/..", {"spec": SPEC},
+             400, "bad-session-name"),
+            ("no spec", "PUT", "/sessions/a", {}, 400, "missing-spec"),
+            ("bad spec", "PUT", "/sessions/a", {"spec": {"k": -1}},
+             400, "bad-spec"),
+            ("bad backend", "PUT", "/sessions/a",
+             {"spec": SPEC, "backend": "warp-drive"}, 400, "unknown-backend"),
+            ("bad cadence", "PUT", "/sessions/a",
+             {"spec": SPEC, "checkpoint_every": 0},
+             400, "bad-checkpoint-every"),
+            ("bad reference", "PUT", "/sessions/a",
+             {"spec": SPEC, "reference_radius": -1},
+             400, "bad-reference-radius"),
+        ]
+        for label, method, path, body, want_status, want_code in cases:
+            status, doc, _ = _req(client, method, path, body)
+            assert status == want_status, label
+            assert doc["error"]["code"] == want_code, label
+
+    def test_extend_json_and_binary_wire_parity(self, server, client):
+        pts = _points(3)
+        _create(client, "j")
+        _create(client, "b")
+        status, doc, _ = _req(client, "POST", "/sessions/j/extend",
+                              {"points": pts.tolist()})
+        assert status == 200 and doc["applied"] == len(pts)
+        raw = np.ascontiguousarray(pts, dtype="<f8").tobytes()
+        status, doc, _ = _req(
+            client, "POST", "/sessions/b/extend", raw,
+            headers={"Content-Type": "application/octet-stream",
+                     "X-Repro-Shape": f"{pts.shape[0]},{pts.shape[1]}"})
+        assert status == 200 and doc["applied"] == len(pts)
+        _, sol_j, _ = _req(client, "GET", "/sessions/j/solve")
+        _, sol_b, _ = _req(client, "GET", "/sessions/b/solve")
+        assert sol_j["radius"] == sol_b["radius"]
+        assert sol_j["centers"] == sol_b["centers"]
+
+    def test_extend_error_taxonomy(self, server, client):
+        _create(client, "a")
+        cases = [
+            ("no points", {}, None, 400, "missing-points"),
+            ("nan", {"points": [[float("nan"), 0.0]]}, None,
+             400, "bad-points"),
+            ("ragged", {"points": [[1.0, 2.0], [3.0]]}, None,
+             400, "bad-points"),
+            ("3d", {"points": [[[1.0]]]}, None, 400, "bad-points"),
+        ]
+        for label, body, headers, want_status, want_code in cases:
+            status, doc, _ = _req(client, "POST", "/sessions/a/extend",
+                                  body, headers=headers)
+            assert status == want_status, label
+            assert doc["error"]["code"] == want_code, label
+        # binary path: shape header mismatches
+        raw = b"\x00" * 16
+        for shape in (None, "bogus", "3,2"):
+            headers = {"Content-Type": "application/octet-stream"}
+            if shape:
+                headers["X-Repro-Shape"] = shape
+            status, doc, _ = _req(client, "POST", "/sessions/a/extend",
+                                  raw, headers=headers)
+            assert status == 400 and doc["error"]["code"] == "bad-shape"
+        status, doc, _ = _req(client, "POST", "/sessions/ghost/extend",
+                              {"points": [[0.0, 0.0]]})
+        assert status == 404 and doc["error"]["code"] == "unknown-session"
+
+    def test_solve_matches_library_and_reports_ratio(self, server, client):
+        pts = _points(7)
+        control = KCenterSession.from_spec(
+            ProblemSpec(**SPEC), backend="insertion-only")
+        control.extend(pts)
+        want = control.solve(method="greedy3")
+        _create(client, "a", reference_radius=float(want.radius))
+        _req(client, "POST", "/sessions/a/extend", {"points": pts.tolist()})
+        status, doc, _ = _req(client, "GET", "/sessions/a/solve?method=greedy3")
+        assert status == 200
+        assert doc["radius"] == want.radius
+        assert np.array_equal(np.asarray(doc["centers"]), want.centers)
+        assert doc["coreset_size"] == want.coreset_size
+        assert doc["radius_ratio"] == pytest.approx(1.0)
+
+    def test_delete_points_routes(self, server, client):
+        pts = np.random.default_rng(5).integers(
+            1, 64, size=(48, 2)).astype(float)
+        _create(client, "dyn", backend="dynamic",
+                options={"delta_universe": 64, "s_override": 24})
+        _req(client, "POST", "/sessions/dyn/extend", {"points": pts.tolist()})
+        status, doc, _ = _req(client, "POST", "/sessions/dyn/delete",
+                              {"points": pts[:8].tolist()})
+        assert status == 200 and doc["applied"] == 8
+        _create(client, "ins")
+        _req(client, "POST", "/sessions/ins/extend", {"points": pts.tolist()})
+        status, doc, _ = _req(client, "POST", "/sessions/ins/delete",
+                              {"points": pts[:8].tolist()})
+        assert status == 409 and doc["error"]["code"] == "delete-unsupported"
+
+    def test_save_and_drop(self, server, client):
+        _create(client, "a")
+        _req(client, "POST", "/sessions/a/extend",
+             {"points": _points(1).tolist()})
+        status, doc, _ = _req(client, "POST", "/sessions/a/save")
+        assert status == 200 and doc["path"].endswith("a.snap")
+        status, doc, _ = _req(client, "DELETE", "/sessions/a")
+        assert status == 200 and doc == {"deleted": "a"}
+        status, doc, _ = _req(client, "GET", "/sessions/a")
+        assert status == 404
+
+
+class TestMetricsEndpoint:
+    def test_scrape_parses_and_carries_families(self, server, client):
+        _create(client, "a")
+        pts = _points(2)
+        _req(client, "POST", "/sessions/a/extend", {"points": pts.tolist()})
+        _req(client, "GET", "/sessions/a/solve")
+        _req(client, "GET", "/nope")  # a 404 lands in the request counter too
+        status, body, ctype = _req(client, "GET", "/metrics")
+        assert status == 200
+        assert ctype == "text/plain; version=0.0.4; charset=utf-8"
+        fams = parse_prometheus(body.decode())
+        for family in (
+            "repro_serve_ready",
+            "repro_serve_http_requests_total",
+            "repro_serve_points_total",
+            "repro_serve_solves_total",
+            "repro_serve_request_seconds",
+            "repro_serve_sessions_resident",
+            "repro_serve_sessions_evicted",
+            "repro_serve_evictions_total",
+            "repro_serve_restores_total",
+            "repro_serve_checkpoints_total",
+            "repro_serve_recovered_sessions_total",
+            "repro_serve_coreset_size",
+            "repro_serve_solve_radius",
+        ):
+            assert family in fams, family
+        assert server.gauge_up.value() == 1
+        assert server.counter_points.value(
+            op="extend", backend="insertion-only") == len(pts)
+        assert server.counter_solves.value(backend="insertion-only") == 1
+        assert server.counter_requests.value(
+            method="GET", route="*", code="404") >= 1
+        # per-backend latency histogram has one extend + one solve sample
+        hist = [s for s in fams["repro_serve_request_seconds"]["samples"]
+                if s[0].endswith("_count") and s[1]["op"] == "extend"]
+        assert hist and float(hist[0][2]) == 1
+
+    def test_session_gauges_are_removed_on_drop(self, server, client):
+        _create(client, "a")
+        _req(client, "POST", "/sessions/a/extend",
+             {"points": _points(4).tolist()})
+        _req(client, "GET", "/sessions/a/solve")
+        _, body, _ = _req(client, "GET", "/metrics")
+        assert 'repro_serve_coreset_size{session="a"}' in body.decode()
+        _req(client, "DELETE", "/sessions/a")
+        _, body, _ = _req(client, "GET", "/metrics")
+        assert 'session="a"' not in body.decode()
+
+
+class TestServerLifecycle:
+    def test_ready_file_points_at_server(self, server):
+        with open(server.config.ready_file) as fh:
+            doc = json.load(fh)
+        assert doc["port"] == server.port
+        assert doc["url"] == server.url
+        assert doc["recovered"] == []
+
+    def test_stop_checkpoints_sessions(self, tmp_path):
+        spool = tmp_path / "spool"
+        srv = ReproServer(ServeConfig(port=0, spool_dir=str(spool))).start()
+        conn = http.client.HTTPConnection("127.0.0.1", srv.port, timeout=30)
+        try:
+            _create(conn, "a")
+            _req(conn, "POST", "/sessions/a/extend",
+                 {"points": _points(6).tolist()})
+        finally:
+            conn.close()
+        srv.stop()
+        assert (spool / "a.snap").exists()
+
+    def test_restart_recovers_spooled_sessions(self, tmp_path):
+        spool = tmp_path / "spool"
+        pts = _points(8)
+        srv = ReproServer(ServeConfig(port=0, spool_dir=str(spool))).start()
+        conn = http.client.HTTPConnection("127.0.0.1", srv.port, timeout=30)
+        try:
+            _create(conn, "a")
+            _req(conn, "POST", "/sessions/a/extend", {"points": pts.tolist()})
+            _, want, _ = _req(conn, "GET", "/sessions/a/solve")
+        finally:
+            conn.close()
+        srv.stop()
+
+        srv2 = ReproServer(ServeConfig(port=0, spool_dir=str(spool))).start()
+        conn = http.client.HTTPConnection("127.0.0.1", srv2.port, timeout=30)
+        try:
+            assert srv2.recovered == ["a"]
+            status, got, _ = _req(conn, "GET", "/sessions/a/solve")
+            assert status == 200
+            assert got["radius"] == want["radius"]
+            assert got["centers"] == want["centers"]
+        finally:
+            conn.close()
+            srv2.stop()
+
+    def test_context_manager(self, tmp_path):
+        with ReproServer(ServeConfig(
+                port=0, spool_dir=str(tmp_path / "s"))) as srv:
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", srv.port, timeout=30)
+            try:
+                status, _, _ = _req(conn, "GET", "/healthz")
+                assert status == 200
+            finally:
+                conn.close()

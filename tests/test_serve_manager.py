@@ -1,0 +1,233 @@
+"""SessionManager: LRU eviction, transparent restore, recovery, cadence."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.api import KCenterSession, ProblemSpec
+from repro.serve import SessionManager, WireError
+from repro.serve.manager import SPOOL_SUFFIX
+
+SPEC = dict(k=3, z=4, eps=0.5, dim=2, seed=0)
+
+
+def _spec():
+    return ProblemSpec(**SPEC)
+
+
+def _points(seed, n=96, d=2):
+    return np.random.default_rng(seed).normal(size=(n, d)) * 4.0
+
+
+def _spool_path(mgr, name):
+    return os.path.join(mgr.spool_dir, name + SPOOL_SUFFIX)
+
+
+class TestLifecycle:
+    def test_create_extend_solve_info(self, tmp_path):
+        mgr = SessionManager(tmp_path / "spool")
+        info = mgr.create("a", _spec(), "insertion-only")
+        assert info["name"] == "a" and info["resident"] and not info["spooled"]
+        out = mgr.extend("a", _points(0))
+        assert out["applied"] == 96 and out["updates"] == 96
+        assert out["backend"] == "insertion-only"
+        sol = mgr.solve("a")
+        assert sol["radius"] > 0 and len(sol["centers"]) <= SPEC["k"]
+        assert mgr.info("a")["updates"] == 96
+        assert [s["name"] for s in mgr.list_sessions()] == ["a"]
+
+    def test_duplicate_create_conflicts(self, tmp_path):
+        mgr = SessionManager(tmp_path / "spool")
+        mgr.create("a", _spec(), "insertion-only")
+        with pytest.raises(WireError) as exc:
+            mgr.create("a", _spec(), "insertion-only")
+        assert exc.value.status == 409
+
+    def test_bad_backend_rolls_back_registration(self, tmp_path):
+        mgr = SessionManager(tmp_path / "spool")
+        with pytest.raises(WireError) as exc:
+            mgr.create("a", _spec(), "insertion-only", {"no_such_option": 1})
+        assert exc.value.status == 400
+        # the name is free again after the failed construction
+        mgr.create("a", _spec(), "insertion-only")
+
+    def test_unknown_session_is_404(self, tmp_path):
+        mgr = SessionManager(tmp_path / "spool")
+        for op in (lambda: mgr.extend("ghost", _points(0)),
+                   lambda: mgr.solve("ghost"),
+                   lambda: mgr.save("ghost"),
+                   lambda: mgr.info("ghost"),
+                   lambda: mgr.drop("ghost")):
+            with pytest.raises(WireError) as exc:
+                op()
+            assert exc.value.status == 404
+
+    def test_drop_removes_spool_file(self, tmp_path):
+        mgr = SessionManager(tmp_path / "spool")
+        mgr.create("a", _spec(), "insertion-only")
+        mgr.extend("a", _points(0))
+        mgr.save("a")
+        assert os.path.exists(_spool_path(mgr, "a"))
+        mgr.drop("a")
+        assert not os.path.exists(_spool_path(mgr, "a"))
+        assert mgr.session_count() == 0
+
+    def test_delete_points_unsupported_maps_to_409(self, tmp_path):
+        mgr = SessionManager(tmp_path / "spool")
+        mgr.create("a", _spec(), "insertion-only")
+        mgr.extend("a", _points(0))
+        with pytest.raises(WireError) as exc:
+            mgr.delete_points("a", _points(0)[:4])
+        assert exc.value.status == 409
+
+    def test_delete_points_on_dynamic_backend(self, tmp_path):
+        mgr = SessionManager(tmp_path / "spool")
+        mgr.create("a", _spec(), "dynamic",
+                   {"delta_universe": 64, "s_override": 24})
+        pts = np.random.default_rng(1).integers(
+            1, 64, size=(48, 2)).astype(float)
+        mgr.extend("a", pts)
+        out = mgr.delete_points("a", pts[:8])
+        assert out["applied"] == 8
+
+    def test_close_rejects_new_creates(self, tmp_path):
+        mgr = SessionManager(tmp_path / "spool")
+        mgr.create("a", _spec(), "insertion-only")
+        mgr.extend("a", _points(0))
+        written = mgr.close()
+        assert written == 1
+        with pytest.raises(WireError) as exc:
+            mgr.create("b", _spec(), "insertion-only")
+        assert exc.value.status == 503
+
+
+class TestEviction:
+    def test_lru_eviction_spools_and_restores_transparently(self, tmp_path):
+        mgr = SessionManager(tmp_path / "spool", max_resident=2)
+        control = KCenterSession.from_spec(_spec(), backend="insertion-only")
+        pts1, pts2 = _points(10), _points(11)
+        control.extend(pts1)
+        control.extend(pts2)
+
+        mgr.create("a", _spec(), "insertion-only")
+        mgr.extend("a", pts1)
+        mgr.create("b", _spec(), "insertion-only")
+        mgr.create("c", _spec(), "insertion-only")  # evicts LRU ("a")
+        assert mgr.resident_count() <= 2
+        assert mgr.session_count() == 3
+        assert os.path.exists(_spool_path(mgr, "a"))
+        listing = {s["name"]: s for s in mgr.list_sessions()}
+        assert not listing["a"]["resident"] and listing["a"]["spooled"]
+        assert listing["a"]["updates"] == len(pts1)  # hint survives eviction
+
+        # touching the evicted session restores it and continues seamlessly
+        out = mgr.extend("a", pts2)
+        assert out["updates"] == control.updates_seen
+        want = control.solve(method="greedy3")
+        got = mgr.solve("a")
+        assert got["radius"] == want.radius
+        assert np.array_equal(np.asarray(got["centers"]), want.centers)
+        assert mgr.registry.render().count("repro_serve_restores_total 1")
+
+    def test_eviction_respects_cap_under_churn(self, tmp_path):
+        mgr = SessionManager(tmp_path / "spool", max_resident=3)
+        for i in range(9):
+            mgr.create(f"s{i}", _spec(), "insertion-only")
+            mgr.extend(f"s{i}", _points(i, n=16))
+        assert mgr.resident_count() <= 3
+        assert mgr.session_count() == 9
+        # every evicted session is backed by a spool file
+        for s in mgr.list_sessions():
+            if not s["resident"]:
+                assert os.path.exists(_spool_path(mgr, s["name"]))
+
+    def test_corrupt_spool_restore_is_500(self, tmp_path):
+        mgr = SessionManager(tmp_path / "spool", max_resident=1)
+        mgr.create("a", _spec(), "insertion-only")
+        mgr.extend("a", _points(0))
+        mgr.create("b", _spec(), "insertion-only")  # evicts "a"
+        with open(_spool_path(mgr, "a"), "wb") as fh:
+            fh.write(b"not a zip")
+        with pytest.raises(WireError) as exc:
+            mgr.solve("a")
+        assert exc.value.status == 500
+        assert exc.value.code == "restore-failed"
+
+
+class TestCheckpointCadence:
+    def test_periodic_checkpoint_fires_on_cadence(self, tmp_path):
+        mgr = SessionManager(tmp_path / "spool", checkpoint_every=100)
+        mgr.create("a", _spec(), "insertion-only")
+        assert mgr.extend("a", _points(0, n=60))["checkpointed"] is False
+        assert not os.path.exists(_spool_path(mgr, "a"))
+        assert mgr.extend("a", _points(1, n=60))["checkpointed"] is True
+        assert os.path.exists(_spool_path(mgr, "a"))
+        # dirty counter resets after the checkpoint
+        assert mgr.extend("a", _points(2, n=60))["checkpointed"] is False
+
+    def test_per_session_cadence_overrides_default(self, tmp_path):
+        mgr = SessionManager(tmp_path / "spool", checkpoint_every=10_000)
+        mgr.create("a", _spec(), "insertion-only", checkpoint_every=32)
+        assert mgr.extend("a", _points(0, n=32))["checkpointed"] is True
+
+    def test_cadence_disabled(self, tmp_path):
+        mgr = SessionManager(tmp_path / "spool", checkpoint_every=None)
+        mgr.create("a", _spec(), "insertion-only")
+        assert mgr.extend("a", _points(0, n=500))["checkpointed"] is False
+        assert not os.path.exists(_spool_path(mgr, "a"))
+
+
+class TestRecovery:
+    def test_recover_round_trips_sessions(self, tmp_path):
+        spool = tmp_path / "spool"
+        mgr = SessionManager(spool)
+        pts = {n: _points(i) for i, n in enumerate(("a", "b", "c"))}
+        for name, p in pts.items():
+            mgr.create(name, _spec(), "insertion-only", checkpoint_every=7,
+                       reference_radius=2.5)
+            mgr.extend(name, p)
+        want = {n: mgr.solve(n) for n in pts}
+        assert mgr.close() >= 0
+
+        fresh = SessionManager(spool)
+        recovered, skipped = fresh.recover()
+        assert recovered == sorted(pts)
+        assert skipped == []
+        assert fresh.resident_count() == 0  # lazy: manifests only
+        for name in pts:
+            info = fresh.info(name)
+            assert info["spooled"] and not info["resident"]
+            assert info["updates"] == len(pts[name])
+            assert info["checkpoint_every"] == 7  # serve options survive
+            assert info["reference_radius"] == 2.5
+            got = fresh.solve(name)
+            assert got["radius"] == want[name]["radius"]
+            assert got["centers"] == want[name]["centers"]
+            assert got["radius_ratio"] == pytest.approx(got["radius"] / 2.5)
+
+    def test_recover_skips_garbage_and_foreign_files(self, tmp_path):
+        spool = tmp_path / "spool"
+        mgr = SessionManager(spool)
+        mgr.create("good", _spec(), "insertion-only")
+        mgr.extend("good", _points(0))
+        mgr.close()
+        (spool / "garbage.snap").write_bytes(b"\x00\x01")
+        (spool / "not-a-snapshot.txt").write_text("ignored")
+        (spool / ".hidden.snap").write_bytes(b"zip?")  # unsafe name
+        fresh = SessionManager(spool)
+        recovered, skipped = fresh.recover()
+        assert recovered == ["good"]
+        assert len(skipped) == 2
+        assert any("unsafe session name" in s for s in skipped)
+
+    def test_recover_is_idempotent(self, tmp_path):
+        spool = tmp_path / "spool"
+        mgr = SessionManager(spool)
+        mgr.create("a", _spec(), "insertion-only")
+        mgr.extend("a", _points(0))
+        mgr.close()
+        fresh = SessionManager(spool)
+        assert fresh.recover()[0] == ["a"]
+        assert fresh.recover()[0] == []  # already registered
+        assert fresh.session_count() == 1

@@ -1,0 +1,225 @@
+"""Prometheus text-format registry: rendering grammar and semantics."""
+
+import re
+import threading
+
+import pytest
+
+from repro.serve import MetricsRegistry
+
+# The Prometheus text exposition grammar (v0.0.4), restricted to what a
+# well-behaved exporter emits: HELP/TYPE comment lines and sample lines.
+_METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_HELP_RE = re.compile(rf"^# HELP ({_METRIC_NAME}) (.*)$")
+_TYPE_RE = re.compile(
+    rf"^# TYPE ({_METRIC_NAME}) (counter|gauge|histogram|summary|untyped)$")
+_SAMPLE_RE = re.compile(
+    rf"^({_METRIC_NAME})"
+    r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\\\|\\"|\\n)*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\\\|\\"|\\n)*")*\})?'
+    r" (-?\d+(\.\d+)?([eE][+-]?\d+)?|[+-]Inf|NaN)$")
+
+
+def parse_prometheus(text):
+    """Parse a scrape body under the text grammar; dict of family info.
+
+    Returns ``{family: {"type": kind, "help": str, "samples":
+    [(name, labels_dict, value), ...]}}`` and asserts structural rules:
+    every sample belongs to a declared family, HELP precedes TYPE
+    precedes samples, and the body ends with a newline.
+    """
+    assert text.endswith("\n"), "scrape body must end with a newline"
+    families = {}
+    current = None
+    for line in text.splitlines():
+        m = _HELP_RE.match(line)
+        if m:
+            name = m.group(1)
+            assert name not in families, f"duplicate HELP for {name}"
+            families[name] = {"help": m.group(2), "type": None, "samples": []}
+            current = name
+            continue
+        m = _TYPE_RE.match(line)
+        if m:
+            assert m.group(1) == current, "TYPE must follow its HELP line"
+            families[current]["type"] = m.group(2)
+            continue
+        m = _SAMPLE_RE.match(line)
+        assert m, f"line does not match the sample grammar: {line!r}"
+        sample_name, label_block, value = m.group(1), m.group(2), m.group(4)
+        base = sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if sample_name.endswith(suffix) and sample_name[: -len(suffix)] in families:
+                base = sample_name[: -len(suffix)]
+        assert base in families, f"sample {sample_name!r} has no HELP/TYPE"
+        assert families[base]["type"] is not None
+        labels = {}
+        if label_block:
+            for pair in re.findall(
+                    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\\n]|\\\\|\\"|\\n)*)"',
+                    label_block):
+                labels[pair[0]] = pair[1]
+        families[base]["samples"].append((sample_name, labels, value))
+    return families
+
+
+def _histogram_series(fam, **want_labels):
+    """Split one labelled histogram child into (buckets, sum, count)."""
+    buckets, total, count = [], None, None
+    for name, labels, value in fam["samples"]:
+        rest = {k: v for k, v in labels.items() if k != "le"}
+        if rest != want_labels:
+            continue
+        if name.endswith("_bucket"):
+            buckets.append((labels["le"], float(value)))
+        elif name.endswith("_sum"):
+            total = float(value)
+        elif name.endswith("_count"):
+            count = float(value)
+    return buckets, total, count
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        reg = MetricsRegistry()
+        c = reg.counter("requests_total", "Requests.", ("route",))
+        c.labels(route="/a").inc()
+        c.labels(route="/a").inc(2)
+        c.labels(route="/b").inc()
+        assert c.value(route="/a") == 3
+        assert c.value(route="/b") == 1
+
+    def test_negative_increment_rejected(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c_total", "C.")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_label_set_must_match(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c_total", "C.", ("op",))
+        with pytest.raises(ValueError):
+            c.labels(op="x", extra="y")
+        with pytest.raises(ValueError):
+            c.labels()
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("g", "G.")
+        g.set(5)
+        g.labels().inc(2)
+        g.labels().dec(3)
+        assert g.value() == 4
+
+    def test_remove_drops_series(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("g", "G.", ("session",))
+        g.labels(session="a").set(1)
+        g.labels(session="b").set(2)
+        g.remove(session="a")
+        fams = parse_prometheus(reg.render())
+        sessions = {s[1]["session"] for s in fams["g"]["samples"]}
+        assert sessions == {"b"}
+
+
+class TestHistogram:
+    def test_cumulative_buckets_and_count(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_seconds", "Latency.", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        fams = parse_prometheus(reg.render())
+        buckets, total, count = _histogram_series(fams["lat_seconds"])
+        assert [b[1] for b in buckets] == [1, 3, 4, 5]
+        assert buckets[-1][0] == "+Inf"
+        # cumulative monotone, +Inf bucket equals _count
+        assert all(b1[1] <= b2[1] for b1, b2 in zip(buckets, buckets[1:]))
+        assert count == buckets[-1][1] == 5
+        assert total == pytest.approx(56.05)
+
+    def test_invalid_buckets_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.histogram("h", "H.", buckets=())
+        with pytest.raises(ValueError):
+            reg.histogram("h2", "H.", buckets=(1.0, 1.0))
+
+    def test_explicit_inf_bucket_is_absorbed(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", "H.", buckets=(1.0, float("inf")))
+        assert h.buckets == (1.0,)
+
+
+class TestRegistry:
+    def test_idempotent_creation(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", "X.", ("op",))
+        b = reg.counter("x_total", "X.", ("op",))
+        assert a is b
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", "X.")
+        with pytest.raises(ValueError):
+            reg.gauge("x_total", "X.")
+        with pytest.raises(ValueError):
+            reg.counter("x_total", "X.", ("op",))  # label-set conflict
+
+    def test_invalid_name_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("", "X.")
+        with pytest.raises(ValueError):
+            reg.counter("0bad", "X.")
+
+    def test_render_is_sorted_and_parses(self):
+        reg = MetricsRegistry()
+        reg.gauge("zz", "Z.").set(1)
+        reg.counter("aa_total", "A.").inc()
+        reg.histogram("mm_seconds", "M.").observe(0.01)
+        text = reg.render()
+        fams = parse_prometheus(text)
+        assert list(fams) == sorted(fams)
+        assert fams["aa_total"]["type"] == "counter"
+        assert fams["zz"]["type"] == "gauge"
+        assert fams["mm_seconds"]["type"] == "histogram"
+
+    def test_label_escaping_round_trips(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("g", "G.", ("name",))
+        hostile = 'a"b\\c\nd'
+        g.labels(name=hostile).set(1)
+        text = reg.render()
+        fams = parse_prometheus(text)
+        (sample,) = fams["g"]["samples"]
+        unescaped = (sample[1]["name"].replace(r"\"", '"')
+                     .replace(r"\n", "\n").replace("\\\\", "\\"))
+        assert unescaped == hostile
+
+    def test_integer_values_render_without_exponent(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "C.").inc(7)
+        assert "\nc_total 7\n" in "\n" + reg.render()
+
+    def test_concurrent_observations_are_not_lost(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c_total", "C.", ("op",))
+        h = reg.histogram("h_seconds", "H.", ("op",))
+        n_threads, per_thread = 8, 500
+
+        def work():
+            for _ in range(per_thread):
+                c.labels(op="x").inc()
+                h.labels(op="x").observe(0.001)
+
+        pool = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert c.value(op="x") == n_threads * per_thread
+        fams = parse_prometheus(reg.render())
+        _, _, count = _histogram_series(fams["h_seconds"], op="x")
+        assert count == n_threads * per_thread

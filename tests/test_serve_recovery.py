@@ -1,0 +1,231 @@
+"""Crash recovery: SIGKILL the server, restart on the same spool.
+
+The durability contract under test: with a checkpoint cadence of C
+points, a ``kill -9`` loses at most the updates since each session's
+last checkpoint — a restarted server recovers every spooled session,
+and each recovered session's solve is **bit-identical** to an
+uninterrupted library run over the checkpointed prefix.  Covered for
+one streaming backend (insertion-only) and one fully-dynamic linear
+sketch (dynamic), ≥ 8 concurrent sessions.
+"""
+
+import http.client
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import KCenterSession, ProblemSpec
+
+SPEC = dict(k=3, z=4, eps=0.5, dim=2, seed=0)
+DELTA = 64
+DYN_OPTS = {"delta_universe": DELTA, "s_override": 24}
+BATCH = 40
+CADENCE = 2 * BATCH  # checkpoint fires exactly after the second batch
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+
+def _spawn_server(spool, extra_args=()):
+    """Start ``python -m repro.serve`` on an ephemeral port; return proc."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO / "src")] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH")
+                               else []))
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--port", "0",
+         "--spool-dir", str(spool), "--checkpoint-every", str(CADENCE),
+         *extra_args],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+    )
+
+
+def _await_ready(spool, proc, timeout=60.0):
+    """Poll the ready file until it names this process; return base URL."""
+    ready = pathlib.Path(spool) / "server.json"
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            out, err = proc.communicate()
+            raise AssertionError(
+                f"server died during startup: {out!r} {err!r}")
+        try:
+            doc = json.loads(ready.read_text())
+            if doc.get("pid") == proc.pid:
+                return doc["url"], doc
+        except (OSError, ValueError):
+            pass
+        time.sleep(0.05)
+    raise AssertionError("server did not become ready in time")
+
+
+class _Client:
+    def __init__(self, url):
+        host, port = url.split("//")[1].split(":")
+        self.conn = http.client.HTTPConnection(host, int(port), timeout=60)
+
+    def req(self, method, path, doc=None):
+        body = json.dumps(doc).encode() if doc is not None else None
+        self.conn.request(method, path, body=body,
+                          headers={"Content-Type": "application/json"})
+        resp = self.conn.getresponse()
+        payload = resp.read()
+        assert 200 <= resp.status < 300, (
+            f"{method} {path} -> {resp.status}: {payload[:300]!r}")
+        return json.loads(payload) if payload else {}
+
+    def close(self):
+        self.conn.close()
+
+
+def _session_plan():
+    """8 sessions: 4 insertion-only + 4 dynamic, 3 distinct batches each."""
+    plan = {}
+    for i in range(4):
+        rng = np.random.default_rng(100 + i)
+        plan[f"ins-{i}"] = ("insertion-only", {}, [
+            rng.normal(size=(BATCH, 2)) * 4.0 for _ in range(3)])
+    for i in range(4):
+        rng = np.random.default_rng(200 + i)
+        plan[f"dyn-{i}"] = ("dynamic", dict(DYN_OPTS), [
+            rng.integers(1, DELTA, size=(BATCH, 2)).astype(float)
+            for _ in range(3)])
+    return plan
+
+
+def _control_solution(backend, options, batches):
+    """The uninterrupted library run the recovered server must match."""
+    sess = KCenterSession.from_spec(
+        ProblemSpec(**SPEC), backend=backend, **options)
+    for b in batches:
+        sess.extend(b)
+    sol = sess.solve(method="greedy3")
+    return {"radius": sol.radius,
+            "centers": np.asarray(sol.centers, dtype=float)}
+
+
+@pytest.mark.slow
+def test_sigkill_recovery_is_bit_identical_to_last_checkpoint(tmp_path):
+    spool = tmp_path / "spool"
+    plan = _session_plan()
+    proc = _spawn_server(spool)
+    try:
+        url, _ = _await_ready(spool, proc)
+        client = _Client(url)
+        try:
+            for name, (backend, options, batches) in plan.items():
+                client.req("PUT", f"/sessions/{name}",
+                           {"spec": SPEC, "backend": backend,
+                            "options": options})
+            # batches 1-2 reach the cadence checkpoint; batch 3 is the
+            # window the crash is allowed to lose
+            for batch_idx in range(3):
+                for name, (_, _, batches) in plan.items():
+                    out = client.req("POST", f"/sessions/{name}/extend",
+                                     {"points": batches[batch_idx].tolist()})
+                    assert out["checkpointed"] is (batch_idx == 1), (
+                        name, batch_idx)
+        finally:
+            client.close()
+    finally:
+        proc.kill()  # SIGKILL: no graceful checkpoint of batch 3
+        proc.wait(timeout=30)
+
+    for name in plan:
+        assert (spool / f"{name}.snap").exists()
+
+    proc2 = _spawn_server(spool)
+    try:
+        url, ready_doc = _await_ready(spool, proc2)
+        assert sorted(ready_doc["recovered"]) == sorted(plan)
+        client = _Client(url)
+        try:
+            listing = client.req("GET", "/sessions")["sessions"]
+            assert len(listing) == len(plan)
+            for record in listing:
+                assert record["spooled"] and not record["resident"]
+                assert record["updates"] == 2 * BATCH  # batch 3 lost
+                assert record["checkpoint_every"] == CADENCE
+
+            # recovered solve == uninterrupted run over the checkpointed
+            # prefix, bit for bit
+            for name, (backend, options, batches) in plan.items():
+                want = _control_solution(backend, options, batches[:2])
+                got = client.req("GET", f"/sessions/{name}/solve")
+                assert got["radius"] == want["radius"], name
+                assert np.array_equal(np.asarray(got["centers"]),
+                                      want["centers"]), name
+
+            # restore-then-continue: replaying the lost batch on the
+            # recovered server matches the never-crashed run in full
+            for name, (backend, options, batches) in plan.items():
+                client.req("POST", f"/sessions/{name}/extend",
+                           {"points": batches[2].tolist()})
+                want = _control_solution(backend, options, batches)
+                got = client.req("GET", f"/sessions/{name}/solve")
+                assert got["radius"] == want["radius"], name
+                assert np.array_equal(np.asarray(got["centers"]),
+                                      want["centers"]), name
+        finally:
+            client.close()
+    finally:
+        proc2.terminate()
+        try:
+            proc2.wait(timeout=30)
+        except subprocess.TimeoutExpired:  # pragma: no cover
+            proc2.kill()
+            proc2.wait(timeout=30)
+
+
+@pytest.mark.slow
+def test_graceful_shutdown_loses_nothing(tmp_path):
+    """SIGTERM checkpoints everything — even past-cadence tails survive."""
+    spool = tmp_path / "spool"
+    rng = np.random.default_rng(5)
+    batches = [rng.normal(size=(BATCH, 2)) * 4.0 for _ in range(3)]
+    proc = _spawn_server(spool)
+    try:
+        url, _ = _await_ready(spool, proc)
+        client = _Client(url)
+        try:
+            client.req("PUT", "/sessions/a",
+                       {"spec": SPEC, "backend": "insertion-only"})
+            for b in batches:  # 120 points: cadence + a 40-point tail
+                client.req("POST", "/sessions/a/extend",
+                           {"points": b.tolist()})
+        finally:
+            client.close()
+    finally:
+        proc.terminate()  # SIGTERM: graceful, checkpoints the tail
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:  # pragma: no cover
+            proc.kill()
+            raise
+
+    proc2 = _spawn_server(spool)
+    try:
+        url, _ = _await_ready(spool, proc2)
+        client = _Client(url)
+        try:
+            info = client.req("GET", "/sessions/a")
+            assert info["updates"] == 3 * BATCH  # nothing lost
+            want = _control_solution("insertion-only", {}, batches)
+            got = client.req("GET", "/sessions/a/solve")
+            assert got["radius"] == want["radius"]
+            assert np.array_equal(np.asarray(got["centers"]),
+                                  want["centers"])
+        finally:
+            client.close()
+    finally:
+        proc2.terminate()
+        try:
+            proc2.wait(timeout=30)
+        except subprocess.TimeoutExpired:  # pragma: no cover
+            proc2.kill()
+            proc2.wait(timeout=30)

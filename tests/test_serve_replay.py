@@ -1,0 +1,99 @@
+"""The replay load-generation client: reports, wires, CLI, floors."""
+
+import http.client
+import json
+
+import pytest
+
+from repro.scenarios import get_scenario
+from repro.serve import ReproServer, ServeConfig
+from repro.serve.replay import ReplayError, main, replay
+
+
+def _scenario_points(name="clustered-baseline"):
+    return len(get_scenario(name).make(quick=True, seed=0).points)
+
+
+class TestReplay:
+    def test_self_hosted_report(self):
+        report = replay(sessions=4, threads=2, batch=100, quick=True)
+        assert report["suite"] == "serve-replay"
+        assert report["self_hosted"] is True
+        assert report["sessions"] == 4 and report["threads"] == 2
+        assert report["wire"] == "binary"
+        assert report["total_points"] == 4 * _scenario_points()
+        assert report["stream_wall_s"] > 0
+        assert report["points_per_s"] > 0
+        ext = report["latency"]["extend"]
+        assert ext["count"] == report["total_points"] // 100
+        assert ext["p50_s"] <= ext["p95_s"] <= ext["p99_s"] <= ext["max_s"]
+        assert report["latency"]["solve"]["count"] == 4
+
+    def test_json_wire_and_no_solve(self):
+        report = replay(sessions=2, threads=1, batch=200, quick=True,
+                        json_wire=True, solve=False, reference=False)
+        assert report["wire"] == "json"
+        assert report["latency"]["solve"] == {"count": 0}
+
+    def test_against_external_server_keep_sessions(self, tmp_path):
+        with ReproServer(ServeConfig(
+                port=0, spool_dir=str(tmp_path / "spool"))) as srv:
+            report = replay(url=srv.url, sessions=3, threads=1, batch=200,
+                            quick=True, solve=False, keep_sessions=True)
+            assert report["self_hosted"] is False
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", srv.port, timeout=30)
+            try:
+                conn.request("GET", "/sessions")
+                doc = json.loads(conn.getresponse().read())
+            finally:
+                conn.close()
+            names = {s["name"] for s in doc["sessions"]}
+            assert names == {f"replay-clustered-baseline-{i:04d}"
+                             for i in range(3)}
+            # sessions carry the scenario's reference radius for the
+            # radius-ratio gauge
+            assert all(s["reference_radius"] > 0 for s in doc["sessions"])
+
+    def test_sessions_deleted_by_default(self, tmp_path):
+        with ReproServer(ServeConfig(
+                port=0, spool_dir=str(tmp_path / "spool"))) as srv:
+            replay(url=srv.url, sessions=2, threads=1, batch=200,
+                   quick=True, solve=False, reference=False)
+            assert srv.manager.session_count() == 0
+
+    def test_bad_url_raises(self):
+        with pytest.raises(ReplayError):
+            replay(url="ftp://example.invalid", sessions=1)
+
+    def test_worker_failure_surfaces_not_hangs(self, tmp_path):
+        from repro.api import ProblemSpec
+
+        with ReproServer(ServeConfig(
+                port=0, spool_dir=str(tmp_path / "spool"))) as srv:
+            # occupy one of the replay names: the worker's PUT hits 409
+            # and the failure must surface as ReplayError, not a hang
+            srv.manager.create("replay-clustered-baseline-0000",
+                               ProblemSpec(k=3, z=4, eps=0.5, dim=2, seed=0),
+                               "insertion-only")
+            with pytest.raises(ReplayError, match="409"):
+                replay(url=srv.url, sessions=2, threads=2, batch=200,
+                       quick=True, solve=False, reference=False)
+
+
+class TestCLI:
+    def test_main_writes_report_and_enforces_floor(self, tmp_path, capsys):
+        out = tmp_path / "replay.json"
+        rc = main(["--quick", "--sessions", "2", "--threads", "1",
+                   "--batch", "200", "--no-solve", "--json", str(out)])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["sessions"] == 2
+        assert "points/s" in capsys.readouterr().out
+
+    def test_min_throughput_floor_fails(self, capsys):
+        rc = main(["--quick", "--sessions", "1", "--threads", "1",
+                   "--batch", "200", "--no-solve",
+                   "--min-throughput", "1e15"])
+        assert rc == 1
+        assert "below the --min-throughput floor" in capsys.readouterr().err
