@@ -1,10 +1,14 @@
 """Diff two benchmark JSON documents by schema, not by timing.
 
 CI regenerates the quick benchmark document on every run and compares it
-against the committed reference (``BENCH_PR6.json``)::
+against the committed reference (``BENCH_PR7.json``)::
 
     PYTHONPATH=src python benchmarks/run_all.py --quick --json /tmp/bench.json
-    python benchmarks/check_bench_schema.py BENCH_PR6.json /tmp/bench.json
+    python benchmarks/check_bench_schema.py BENCH_PR7.json /tmp/bench.json
+
+``--require id1,id2`` additionally asserts that the named entry ids are
+present in the candidate document (CI pins the PR's new scaling-curve
+entries so a future edit can't silently drop them).
 
 The comparison is structural: top-level key sets, the suite name, the
 ordered list of entry ids, each entry's key set, and each value's JSON
@@ -86,15 +90,33 @@ def compare(reference: dict, candidate: dict) -> "list[str]":
 
 
 def main(argv: "list[str]") -> int:
-    if len(argv) != 2:
+    require: "list[str]" = []
+    paths: "list[str]" = []
+    it = iter(argv)
+    for arg in it:
+        if arg == "--require":
+            value = next(it, None)
+            if value is None:
+                print("--require needs a comma-separated id list",
+                      file=sys.stderr)
+                return 2
+            require.extend(x for x in value.split(",") if x)
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
         print("usage: python benchmarks/check_bench_schema.py "
-              "REFERENCE.json CANDIDATE.json", file=sys.stderr)
+              "[--require id1,id2] REFERENCE.json CANDIDATE.json",
+              file=sys.stderr)
         return 2
-    with open(argv[0]) as fh:
+    with open(paths[0]) as fh:
         reference = json.load(fh)
-    with open(argv[1]) as fh:
+    with open(paths[1]) as fh:
         candidate = json.load(fh)
     problems = compare(reference, candidate)
+    cand_ids = {e.get("id") for e in candidate.get("entries") or []}
+    for rid in require:
+        if rid not in cand_ids:
+            problems.append(f"required entry id {rid!r} missing")
     for p in problems:
         print(f"SCHEMA DIFF: {p}", file=sys.stderr)
     if problems:

@@ -15,6 +15,12 @@ Each entry records ``{id, params, new_s, old_s, speedup}`` (``old_s`` /
 is minutes-slow at benchmark sizes, so only the current timing is
 tracked).  The float64 outputs of old and new paths are asserted
 bit-identical before any timing is reported.
+
+The ``*_scale_*`` entries form the scaling curve for the grid-pruned
+candidate scans (n=10^5 and n=10^6); ``--quick`` keeps every entry id
+(so CI can diff the schema) at reduced sizes, and ``--assert-pruned``
+fails the run unless the 10^5-scale greedy actually took the pruned
+path and beat the dense decision procedure by >= 2x.
 """
 
 from __future__ import annotations
@@ -144,8 +150,140 @@ def bench_serve_replay(quick: bool) -> dict:
     }
 
 
+def bench_charikar_scale_100k(quick: bool) -> dict:
+    """Grid-pruned Greedy(P, k, z) at coreset-construction scale.
+
+    ``new_s`` is the full pruned radius search.  A full *dense* search at
+    these sizes is minutes-to-hours (``old_s`` is null); instead the
+    dense-vs-pruned ratio is measured honestly on ONE decision at the
+    winning guess — the guess the search actually pays for — with the
+    two decision procedures asserted bit-identical first.  ``speedup``
+    reports that per-decision ratio.
+    """
+    from repro.core.greedy import (
+        _geometric_decision,
+        _grid_decision,
+        _grid_for_guess,
+        charikar_greedy,
+    )
+    from repro.core.metrics import get_metric
+    from repro.kernels import Workspace
+
+    n = 50_000 if quick else 100_000
+    k, z = 16, 100 if quick else 200
+    P = _instance(n, wmax=3)
+    met = get_metric(None)
+    new_s, res = _timed(lambda: charikar_greedy(P, k, z, met))
+    g = float(res.guess)
+    grid = _grid_for_guess(P.points, g + 1e-9 * max(1.0, g))
+    assert grid is not None, "grid must apply at benchmark sizes"
+    pruned_s, pruned = _timed(
+        lambda: _grid_decision(P, met, k, z, g, grid, Workspace())
+    )
+    dense_s, dense = _timed(
+        lambda: _geometric_decision(P, met, k, z, g, workspace=Workspace())
+    )
+    assert pruned[0] == dense[0] and pruned[1] == dense[1], \
+        "pruned/dense decision parity violated"
+    assert np.array_equal(pruned[2], dense[2])
+    return {
+        "id": "charikar_greedy_scale_100k",
+        "params": {"n": n, "k": k, "z": z, "d": 2, "seed": 0,
+                   "mode": "single-decision-comparator"},
+        "new_s": new_s,
+        "old_s": None,
+        "speedup": dense_s / pruned_s,
+        "decision_dense_s": dense_s,
+        "decision_pruned_s": pruned_s,
+        "decision_guess": g,
+        "path": res.path,
+    }
+
+
+def bench_charikar_scale_1m(quick: bool) -> dict:
+    """Grid-pruned Greedy(P, k, z) at n=10^6 (the headline scale).
+
+    No dense comparator at all: one dense decision alone is ~10^12
+    distance evaluations (half a day on one core).  Records the pruned
+    search wall time and the path provenance; ``--quick`` keeps the id
+    with a reduced instance so CI can diff the schema.
+    """
+    from repro.core.greedy import charikar_greedy
+    from repro.core.metrics import get_metric
+
+    n, k, z = (50_000, 256, 1_000) if quick else (1_000_000, 1_024, 10_000)
+    P = _instance(n, wmax=2)
+    met = get_metric(None)
+    new_s, res = _timed(lambda: charikar_greedy(P, k, z, met))
+    return {
+        "id": "charikar_greedy_scale_1m",
+        "params": {"n": n, "k": k, "z": z, "d": 2, "seed": 0},
+        "new_s": new_s,
+        "old_s": None,
+        "speedup": None,
+        "radius": float(res.radius),
+        "path": res.path,
+    }
+
+
+def bench_mbc_scale_100k(quick: bool) -> dict:
+    """MBCConstruction (supplied radius) at 10^5 points — the gridded
+    absorption loop against the frozen pre-refactor reference."""
+    from repro.core._greedy_reference import greedy_absorb_reference
+    from repro.core.mbc import mbc_construction
+    from repro.core.metrics import get_metric
+
+    n = 20_000 if quick else 100_000
+    k, z, eps, radius = 8, 32, 0.3, 2.0
+    P = _instance(n, wmax=2)
+    met = get_metric(None)
+    new_s, mbc = _timed(
+        lambda: mbc_construction(P, k, z, eps, met, radius=radius)
+    )
+    old_s, old = _timed(
+        lambda: greedy_absorb_reference(P, eps * radius / 3.0, met)
+    )
+    assert np.array_equal(mbc.coreset.points, old[0].points), "mbc parity violated"
+    assert np.array_equal(mbc.coreset.weights, old[0].weights)
+    return {
+        "id": "mbc_construction_scale_100k",
+        "params": {"n": n, "k": k, "z": z, "eps": eps, "radius": radius,
+                   "d": 2, "seed": 0},
+        "new_s": new_s,
+        "old_s": old_s,
+        "speedup": old_s / new_s,
+    }
+
+
+def bench_mbc_scale_1m(quick: bool) -> dict:
+    """MBCConstruction (supplied radius) at n=10^6 — absorption must
+    stay interactive at a million points (no reference timing: the
+    pre-refactor loop is O(reps * n) full scans, minutes at this n)."""
+    from repro.core.mbc import mbc_construction
+    from repro.core.metrics import get_metric
+
+    n = 50_000 if quick else 1_000_000
+    k, z, eps, radius = 8, 32, 0.3, 2.0
+    P = _instance(n, wmax=2)
+    met = get_metric(None)
+    new_s, mbc = _timed(
+        lambda: mbc_construction(P, k, z, eps, met, radius=radius)
+    )
+    return {
+        "id": "mbc_construction_scale_1m",
+        "params": {"n": n, "k": k, "z": z, "eps": eps, "radius": radius,
+                   "d": 2, "seed": 0},
+        "new_s": new_s,
+        "old_s": None,
+        "speedup": None,
+        "coreset": len(mbc.coreset),
+    }
+
+
 BENCHES = (bench_charikar, bench_mbc, bench_mpc_two_round,
-           bench_serve_replay)
+           bench_serve_replay, bench_charikar_scale_100k,
+           bench_charikar_scale_1m, bench_mbc_scale_100k,
+           bench_mbc_scale_1m)
 
 
 def main(argv: "list[str]") -> int:
@@ -158,6 +296,10 @@ def main(argv: "list[str]") -> int:
                         help="write the results document to PATH")
     parser.add_argument("--quick", action="store_true",
                         help="reduced sizes (CI smoke; seconds not minutes)")
+    parser.add_argument("--assert-pruned", action="store_true",
+                        help="fail unless the scaling bench took the "
+                             "grid-pruned path and its measured "
+                             "per-decision dense/pruned ratio is >= 2x")
     args = parser.parse_args(argv)
 
     import repro
@@ -173,7 +315,23 @@ def main(argv: "list[str]") -> int:
         )
         if "points_per_s" in entry:
             speed = f"{entry['points_per_s']:,.0f} points/s"
+        if "decision_dense_s" in entry:
+            speed = f"{entry['speedup']:.2f}x per-decision vs dense"
         print(f"{entry['id']:<20} new={entry['new_s']:.3f}s  {speed}")
+
+    if args.assert_pruned:
+        scale = next(e for e in entries
+                     if e["id"] == "charikar_greedy_scale_100k")
+        if scale["path"] != "grid":
+            print(f"ASSERT-PRUNED: path={scale['path']!r}, expected 'grid'",
+                  file=sys.stderr)
+            return 1
+        if scale["speedup"] < 2.0:
+            print(f"ASSERT-PRUNED: dense/pruned per-decision ratio "
+                  f"{scale['speedup']:.2f}x < 2x", file=sys.stderr)
+            return 1
+        print(f"assert-pruned OK: path=grid, "
+              f"decision speedup {scale['speedup']:.1f}x")
 
     doc = {
         "suite": "core-kernels",

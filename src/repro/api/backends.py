@@ -304,6 +304,7 @@ class OfflineMBCBackend(_BufferedBackendBase):
         self.last_mbc = mbc_construction(
             P, self.spec.k, self.spec.z, self.spec.eps, self.spec.resolved_metric,
             dtype=self.spec.dtype, kernel_chunk=self.spec.kernel_chunk,
+            kernel_backend=self.spec.kernel_backend,
         )
         return self.last_mbc.coreset
 
@@ -597,6 +598,7 @@ class SlidingWindowBackend(_AlgoSnapshotMixin, _BackendBase):
             r_min=float(r_min), r_max=float(r_max),
             metric=spec.resolved_metric, ladder_ratio=ladder_ratio,
             capacity=capacity, dtype=spec.dtype, kernel_chunk=spec.kernel_chunk,
+            kernel_backend=spec.kernel_backend,
         )
 
     def insert(self, point) -> None:
@@ -656,7 +658,7 @@ class MPCBackend(_BufferedBackendBase):
         executor name or instance plus worker count.  Defaults to the
         spec's ``executor``/``jobs`` fields; ``jobs`` alone implies a
         thread pool.  Results are bit-identical under every executor.
-    dtype, kernel_chunk:
+    dtype, kernel_chunk, kernel_backend:
         Distance-kernel knobs (:mod:`repro.kernels`) for the machine-local
         radius searches and MBC constructions; default to the spec's
         fields, session options override.
@@ -674,6 +676,7 @@ class MPCBackend(_BufferedBackendBase):
         jobs: "int | None" = None,
         dtype=None,
         kernel_chunk: "int | None" = None,
+        kernel_backend: "str | None" = None,
     ):
         super().__init__(spec)
         self.num_machines = num_machines
@@ -682,6 +685,9 @@ class MPCBackend(_BufferedBackendBase):
         self.dtype = dtype if dtype is not None else spec.dtype
         self.kernel_chunk = (
             kernel_chunk if kernel_chunk is not None else spec.kernel_chunk
+        )
+        self.kernel_backend = (
+            kernel_backend if kernel_backend is not None else spec.kernel_backend
         )
         self.last_result: "MPCCoresetResult | None" = None
 
@@ -757,9 +763,10 @@ class TwoRoundMPCBackend(MPCBackend):
                  parallel: bool = False, final_compress: bool = True,
                  outlier_guessing: bool = True, executor=None,
                  jobs: "int | None" = None, dtype=None,
-                 kernel_chunk: "int | None" = None):
+                 kernel_chunk: "int | None" = None,
+                 kernel_backend: "str | None" = None):
         super().__init__(spec, num_machines, partition, executor, jobs,
-                         dtype, kernel_chunk)
+                         dtype, kernel_chunk, kernel_backend)
         self.parallel = bool(parallel)
         self.final_compress = bool(final_compress)
         self.outlier_guessing = bool(outlier_guessing)
@@ -774,6 +781,7 @@ class TwoRoundMPCBackend(MPCBackend):
             executor=self.executor,
             dtype=self.dtype,
             kernel_chunk=self.kernel_chunk,
+            kernel_backend=self.kernel_backend,
         )
 
     def guarantee(self) -> Guarantee:
@@ -802,9 +810,10 @@ class OneRoundMPCBackend(MPCBackend):
     def __init__(self, spec, num_machines=None, partition=None,
                  parallel: bool = False, final_compress: bool = True,
                  executor=None, jobs: "int | None" = None, dtype=None,
-                 kernel_chunk: "int | None" = None):
+                 kernel_chunk: "int | None" = None,
+                 kernel_backend: "str | None" = None):
         super().__init__(spec, num_machines, partition, executor, jobs,
-                         dtype, kernel_chunk)
+                         dtype, kernel_chunk, kernel_backend)
         self.parallel = bool(parallel)
         self.final_compress = bool(final_compress)
 
@@ -817,6 +826,7 @@ class OneRoundMPCBackend(MPCBackend):
             executor=self.executor,
             dtype=self.dtype,
             kernel_chunk=self.kernel_chunk,
+            kernel_backend=self.kernel_backend,
         )
 
     def guarantee(self) -> Guarantee:
@@ -841,9 +851,10 @@ class MultiRoundMPCBackend(MPCBackend):
 
     def __init__(self, spec, num_machines=None, partition=None,
                  rounds: int = 2, executor=None, jobs: "int | None" = None,
-                 dtype=None, kernel_chunk: "int | None" = None):
+                 dtype=None, kernel_chunk: "int | None" = None,
+                 kernel_backend: "str | None" = None):
         super().__init__(spec, num_machines, partition, executor, jobs,
-                         dtype, kernel_chunk)
+                         dtype, kernel_chunk, kernel_backend)
         if int(rounds) < 1:
             raise ValueError("rounds must be >= 1")
         self.rounds = int(rounds)
@@ -855,6 +866,7 @@ class MultiRoundMPCBackend(MPCBackend):
             executor=self.executor,
             dtype=self.dtype,
             kernel_chunk=self.kernel_chunk,
+            kernel_backend=self.kernel_backend,
         )
 
     def guarantee(self) -> Guarantee:

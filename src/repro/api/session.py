@@ -222,6 +222,7 @@ class KCenterSession:
             t0 = time.perf_counter()
             cs = self.backend.coreset()
             spec = self.spec
+            greedy_path = None
             if len(cs) == 0 or cs.total_weight <= spec.z:
                 centers = np.zeros((0, cs.dim if len(cs) else (spec.dim or 1)))
                 radius = 0.0
@@ -229,14 +230,22 @@ class KCenterSession:
                 res = charikar_greedy(
                     cs, spec.k, spec.z, spec.resolved_metric,
                     dtype=spec.dtype, kernel_chunk=spec.kernel_chunk,
+                    kernel_backend=spec.kernel_backend,
                 )
                 centers, radius = cs.points[res.centers_idx], res.radius
+                greedy_path = res.path
             else:
                 sol = solve_kcenter_outliers(
                     cs, spec.k, spec.z, spec.resolved_metric, method=method
                 )
                 centers, radius = sol.centers, sol.radius
             self._wall_time += time.perf_counter() - t0
+            stats = dict(self.backend.stats())
+            # kernel provenance: which backend the distance kernels ran on
+            # and which decision path the greedy radius search took
+            stats["kernel_backend"] = spec.kernel_backend or "numpy"
+            if greedy_path is not None:
+                stats["greedy_path"] = greedy_path
             return Solution(
                 centers=centers,
                 radius=float(radius),
@@ -247,7 +256,7 @@ class KCenterSession:
                 coreset_size=len(cs),
                 updates=self._updates,
                 wall_time=self._wall_time,
-                stats=self.backend.stats(),
+                stats=stats,
             )
 
     # -- persistence -------------------------------------------------------

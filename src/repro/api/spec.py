@@ -67,6 +67,14 @@ class ProblemSpec:
     kernel_chunk:
         Rows per chunked distance block in the radius-search stack;
         ``None`` autotunes against a fixed working-set budget.
+    kernel_backend:
+        Distance-kernel implementation (:mod:`repro.kernels`): ``None`` /
+        ``"numpy"`` is the default vectorized path; ``"numba"`` dispatches
+        the hot kernels to compiled implementations when the optional
+        ``repro[accel]`` extra is installed (bit-identical results).
+        Validated by name only, so a spec naming ``"numba"`` can be
+        stored/loaded on machines without the extra — availability is
+        checked at solve time.
     """
 
     k: int
@@ -79,6 +87,7 @@ class ProblemSpec:
     jobs: "int | None" = None
     dtype: "str | None" = None
     kernel_chunk: "int | None" = None
+    kernel_backend: "str | None" = None
     _metric_obj: Metric = field(init=False, repr=False, compare=False)
 
     def __post_init__(self):
@@ -108,6 +117,12 @@ class ProblemSpec:
                     f"kernel_chunk must be >= 1, got {self.kernel_chunk}"
                 )
             object.__setattr__(self, "kernel_chunk", int(self.kernel_chunk))
+        if self.kernel_backend is not None:
+            from ..kernels import resolve_backend
+
+            object.__setattr__(
+                self, "kernel_backend", resolve_backend(self.kernel_backend)
+            )
         if self.jobs is not None:
             object.__setattr__(self, "jobs", int(self.jobs))
         object.__setattr__(self, "k", int(self.k))
@@ -172,6 +187,7 @@ class ProblemSpec:
             "metric": self.metric, "seed": self.seed, "dim": self.dim,
             "executor": self.executor, "jobs": self.jobs,
             "dtype": self.dtype, "kernel_chunk": self.kernel_chunk,
+            "kernel_backend": self.kernel_backend,
         }
         base.update(changes)
         return ProblemSpec(**base)
@@ -189,6 +205,7 @@ class ProblemSpec:
             "jobs": self.jobs,
             "dtype": self.dtype,
             "kernel_chunk": self.kernel_chunk,
+            "kernel_backend": self.kernel_backend,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -32,15 +32,43 @@ results are identical to the pre-refactor code
 per guess instead of ``O(k n^2)``.  Distance blocks come from
 :mod:`repro.kernels` via :meth:`Metric.pairwise_block`, honoring the
 ``dtype`` / ``kernel_chunk`` knobs of :class:`repro.api.ProblemSpec`.
+
+Grid pruning (the sub-quadratic refactor): for the built-in norms in low
+dimension with integer weights and the float64 kernel, each geometric
+radius-guess decision additionally builds a
+:class:`~repro.geometry.PointGrid` with cell side just above the guess,
+so both the gain seeding and the per-pick bookkeeping only evaluate
+distances between points in Chebyshev-adjacent cells — ``O(n * 3^d)``
+pairs per guess when the guess is near the optimum instead of ``O(n^2)``.
+Candidate supersets come from the grid; the surviving pairs are
+re-evaluated with :func:`repro.kernels.pair_distances`, which is
+bit-identical to the cdist entries the dense path compares, and all
+accumulated sums are exact integers — so the pruned decisions pick the
+same centers, bit for bit (``tests/test_greedy_pruned.py``).  High
+dimension, arbitrary / precomputed metrics, fractional weights and the
+float32 kernel all fall back to the dense path automatically
+(:attr:`GreedyResult.path` records which path served the call).
+
+``kernel_backend="numba"`` additionally dispatches the distance kernels
+and the hot gain-update loops to the compiled implementations of
+:mod:`repro.kernels.numba_backend` (optional extra; numpy is the
+default and the reference).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..kernels import Workspace, auto_chunk, resolve_dtype
+from ..geometry.grid import PointGrid
+from ..kernels import (
+    Workspace,
+    auto_chunk,
+    pair_distances,
+    resolve_backend,
+    resolve_dtype,
+)
 from .metrics import Metric, _KernelMetric, get_metric
 from .points import WeightedPointSet
 from .radius import coverage_radius, nearest_center_distances
@@ -50,6 +78,22 @@ __all__ = ["GreedyResult", "gonzalez", "charikar_greedy"]
 #: Above this many points the exact pairwise-candidate search switches to a
 #: geometric grid of radius guesses (3(1+tol)-approximation).
 PAIRWISE_LIMIT = 2048
+
+#: grid pruning needs ``3^d`` neighbor enumeration per cell; beyond this
+#: dimension the dense kernels win (same gate the absorption loop uses)
+_GRID_MAX_DIM = 4
+
+#: above this many *source* cells, the per-cell blocked scan (one distance
+#: block per cell, ~tens of µs of Python each) loses to the fully
+#: vectorized COO pair expansion
+_GRID_BLOCK_CELLS = 4096
+
+#: point-pair budget per COO expansion chunk (bounds peak memory)
+_GRID_PAIR_CHUNK = 4_000_000
+
+#: cells per vectorized neighbor-matching block (bounds the
+#: ``cells x 3^d`` searchsorted target matrix)
+_GRID_MATCH_CHUNK = 65536
 
 
 @dataclass(frozen=True)
@@ -71,12 +115,19 @@ class GreedyResult:
     uncovered:
         Boolean mask of input points not covered by ``B(c, radius)``
         (weight at most ``z``).
+    path:
+        Which decision path served the call: ``"pairwise"`` (exact
+        candidates, ``n <= pairwise_limit``), ``"grid"`` (grid-pruned
+        geometric search), ``"dense"`` (chunked dense geometric search)
+        or ``"mixed"`` (some guesses gridded, some fell back).
+        Provenance only — never affects results.
     """
 
     centers_idx: np.ndarray
     radius: float
     guess: float
     uncovered: np.ndarray
+    path: str = field(default="dense", compare=False)
 
     def centers(self, wps: WeightedPointSet) -> np.ndarray:
         """Coordinates of the chosen centers."""
@@ -148,6 +199,7 @@ def _greedy_disks(
     z: int,
     guess: float,
     workspace: "Workspace | None" = None,
+    backend: str = "numpy",
 ) -> "tuple[bool, list[int], np.ndarray]":
     """Charikar decision procedure for radius ``guess`` on a precomputed
     distance matrix ``D``, with incrementally maintained gains.
@@ -166,6 +218,29 @@ def _greedy_disks(
     tol = 1e-9 * max(1.0, guess)
     uncovered = np.ones(n, dtype=bool)
     centers: list[int] = []
+    limit3 = 3.0 * guess + tol
+    # the compiled gain loops sum weights in index order, not BLAS order,
+    # so they are reserved for integer weights where any order is exact
+    use_numba = (
+        backend == "numba"
+        and D.dtype == np.float64
+        and np.issubdtype(weights.dtype, np.integer)
+    )
+    if use_numba:
+        from ..kernels import numba_backend
+
+        w = weights.astype(np.float64)
+        gain = numba_backend.gain_seed(D, w, guess + tol)
+        for _ in range(min(k, n)):
+            if not uncovered.any():
+                break
+            v = int(np.argmax(gain))
+            centers.append(v)
+            idx = np.flatnonzero(uncovered & (D[v] <= limit3))
+            if idx.size:
+                uncovered[idx] = False
+                numba_backend.gain_subtract(D, gain, idx, w, guess + tol)
+        return _weight_feasible(weights, uncovered, z), centers, uncovered
     # comparisons against D stay in D's own dtype; only the gain
     # accumulators may drop to float32 (see _gain_dtype)
     dt = _gain_dtype(weights, D.dtype)
@@ -178,7 +253,6 @@ def _greedy_disks(
     Wg = ws.buffer("disks.Wg", D.shape, dt)
     np.copyto(Wg, mask, casting="unsafe")
     gain = Wg @ w
-    limit3 = 3.0 * guess + tol
     for _ in range(min(k, n)):
         if not uncovered.any():
             break
@@ -206,6 +280,7 @@ def _geometric_decision(
     dtype=None,
     kernel_chunk: "int | None" = None,
     workspace: "Workspace | None" = None,
+    backend: str = "numpy",
 ) -> "tuple[bool, list[int], np.ndarray]":
     """Charikar decision without a full distance matrix (chunked).
 
@@ -213,7 +288,8 @@ def _geometric_decision(
     subtracts the newly covered weight via an ``n x |newly|`` distance
     block — ``O(n^2)`` distance evaluations per guess in total, versus the
     pre-refactor ``O(k n^2)`` (a fresh full pass per pick).  Used when
-    ``n > PAIRWISE_LIMIT``.
+    ``n > PAIRWISE_LIMIT`` and the grid pruning of :func:`_grid_decision`
+    does not apply.
     """
     pts = wps.points
     n = len(pts)
@@ -228,7 +304,7 @@ def _geometric_decision(
     gain = np.empty(n, dtype=gdt)
     for i0 in range(0, n, chunk):
         block = metric.pairwise_block(
-            pts[i0 : i0 + chunk], pts, dtype=dt, workspace=ws
+            pts[i0 : i0 + chunk], pts, dtype=dt, workspace=ws, backend=backend
         )
         gain[i0 : i0 + len(block)] = (block <= guess + tol).astype(gdt) @ w
     limit3 = 3.0 * guess + tol
@@ -241,13 +317,208 @@ def _geometric_decision(
         idx = np.flatnonzero(uncovered & (dv <= limit3))
         if idx.size:
             uncovered[idx] = False
-            sub = pts[idx]
+            # ws.take gathers the subset's squared norms from the cached
+            # full-array reduction instead of re-reducing them per guess
+            # (bit-identical values; only the float32 GEMM kernel reads them)
+            sub = ws.take(pts, idx)
             wi = w[idx]
             for i0 in range(0, n, chunk):
                 block = metric.pairwise_block(
-                    pts[i0 : i0 + chunk], sub, dtype=dt, workspace=ws
+                    pts[i0 : i0 + chunk], sub, dtype=dt, workspace=ws,
+                    backend=backend,
                 )
                 gain[i0 : i0 + len(block)] -= (block <= guess + tol).astype(gdt) @ wi
+    return _weight_feasible(wps.weights, uncovered, z), centers, uncovered
+
+
+def _grid_for_guess(pts: np.ndarray, cutoff: float) -> "PointGrid | None":
+    """Per-guess candidate-pruning grid: cell side just above the ball
+    cutoff, so the g-ball around any point lies inside its Chebyshev
+    1-ring (3^d cells) and the 3g-ball inside its 3-ring.
+
+    The side is clamped from below so quantized cell indices stay under
+    ``2^30`` even for tiny guesses (e.g. the guess-0 decision): a larger
+    side is always sound — it only admits more candidates, and every
+    candidate is re-checked with an exact distance.
+    """
+    maxabs = float(np.max(np.abs(pts))) if pts.size else 0.0
+    side = max(cutoff * (1.0 + 1e-6), maxabs * 2.0**-29)
+    return PointGrid.build(pts, side, max_ring=3)
+
+
+def _grid_accumulate_gains(
+    grid: PointGrid,
+    pts: np.ndarray,
+    metric: Metric,
+    w64: np.ndarray,
+    cutoff: float,
+    gain: np.ndarray,
+    sign: float,
+    src_cells: np.ndarray,
+    src_starts: np.ndarray,
+    src_counts: np.ndarray,
+    src_members: np.ndarray,
+    backend: str,
+    workspace: Workspace,
+) -> None:
+    """Accumulate ``gain[i] += sign * w64[j]`` over every pair with ``j``
+    a *source* point, ``i`` any point in a cell Chebyshev-adjacent to
+    ``j``'s cell, and ``dist(i, j) <= cutoff``.
+
+    Sources are given as cells (indices into ``grid.cell_codes``) with
+    their member point indices in ``src_members[src_starts[s] :
+    src_starts[s] + src_counts[s]]``.  Seeding passes the grid's own
+    cells; the per-pick update passes the newly covered points grouped by
+    cell.  Two strategies with identical (exact-integer) results: a
+    per-cell blocked distance kernel when sources are few, and a fully
+    vectorized COO pair expansion over ragged cell pairs when cells are
+    many (tiny guesses make every point its own cell, and a Python loop
+    over a million cells would dominate the saved distance work).
+    """
+    n_src = len(src_cells)
+    if n_src == 0:
+        return
+
+    def blocked(cand: np.ndarray, mem: np.ndarray) -> None:
+        # candidate-rows x source-cols membership matvec, row-chunked so a
+        # giant cell (clustered data) never materializes an unbounded block
+        rows_per = max(1, _GRID_PAIR_CHUNK // max(1, len(mem)))
+        for r0 in range(0, len(cand), rows_per):
+            rows = cand[r0 : r0 + rows_per]
+            block = metric.pairwise_block(
+                pts[rows], pts[mem], workspace=workspace, backend=backend
+            )
+            contrib = (block <= cutoff) @ w64[mem]
+            if sign > 0:
+                gain[rows] += contrib
+            else:
+                gain[rows] -= contrib
+
+    if n_src <= _GRID_BLOCK_CELLS:
+        src_pos, nbr = grid.neighbors_of_cells(src_cells, 1)
+        bounds = np.searchsorted(src_pos, np.arange(n_src + 1))
+        for s in range(n_src):
+            cand = grid.points_in_cells(nbr[bounds[s] : bounds[s + 1]])
+            mem = src_members[src_starts[s] : src_starts[s] + src_counts[s]]
+            blocked(cand, mem)
+        return
+    kind = metric.name
+    for c0 in range(0, n_src, _GRID_MATCH_CHUNK):
+        hi = min(c0 + _GRID_MATCH_CHUNK, n_src)
+        src_pos, nbr = grid.neighbors_of_cells(src_cells[c0:hi], 1)
+        src_pos = src_pos + c0
+        ca = grid.cell_counts[nbr]
+        cb = src_counts[src_pos]
+        pair_n = ca * cb
+        cum = np.cumsum(pair_n)
+        p0 = 0
+        while p0 < len(pair_n):
+            if pair_n[p0] > _GRID_PAIR_CHUNK:
+                # one oversized cell pair: use the blocked kernel for it
+                s = src_pos[p0]
+                blocked(
+                    grid.points_in_cells(nbr[p0 : p0 + 1]),
+                    src_members[src_starts[s] : src_starts[s] + src_counts[s]],
+                )
+                p0 += 1
+                continue
+            base = int(cum[p0 - 1]) if p0 else 0
+            p1 = int(np.searchsorted(cum, base + _GRID_PAIR_CHUNK,
+                                     side="right"))
+            p1 = min(max(p1, p0 + 1), len(pair_n))
+            cnt = pair_n[p0:p1]
+            total = int(cnt.sum())
+            if total:
+                pid = np.repeat(np.arange(p1 - p0), cnt)
+                offs = np.concatenate(([0], np.cumsum(cnt)))[:-1]
+                t = np.arange(total) - np.repeat(offs, cnt)
+                cb_p = cb[p0:p1][pid]
+                la = t // cb_p
+                lb = t - la * cb_p
+                rows = grid.order[grid.cell_starts[nbr[p0:p1]][pid] + la]
+                cols = src_members[src_starts[src_pos[p0:p1]][pid] + lb]
+                dist = pair_distances(kind, pts, rows, cols, backend=backend)
+                sel = dist <= cutoff
+                if sel.any():
+                    contrib = np.bincount(
+                        rows[sel], weights=w64[cols[sel]], minlength=len(gain)
+                    )
+                    if sign > 0:
+                        gain += contrib
+                    else:
+                        gain -= contrib
+            p0 = p1
+
+
+def _group_by_cell(
+    grid: PointGrid, idx: np.ndarray
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
+    """Group point indices by their grid cell: ``(cells, starts, counts,
+    members)`` in the source format :func:`_grid_accumulate_gains` takes."""
+    cells_of = grid.point_cell[idx]
+    by_cell = np.argsort(cells_of, kind="stable")
+    members = idx[by_cell]
+    sorted_cells = cells_of[by_cell]
+    is_start = np.empty(len(idx), dtype=bool)
+    is_start[0] = True
+    np.not_equal(sorted_cells[1:], sorted_cells[:-1], out=is_start[1:])
+    starts = np.flatnonzero(is_start)
+    cells = sorted_cells[starts]
+    counts = np.diff(np.append(starts, len(idx)))
+    return cells, starts, counts, members
+
+
+def _grid_decision(
+    wps: WeightedPointSet,
+    metric: Metric,
+    k: int,
+    z: int,
+    guess: float,
+    grid: PointGrid,
+    workspace: Workspace,
+    backend: str = "numpy",
+) -> "tuple[bool, list[int], np.ndarray]":
+    """Grid-pruned Charikar decision — same contract (and bit-identical
+    results) as :func:`_geometric_decision` on the float64 kernel with
+    integer weights, at ``O(pairs-in-adjacent-cells)`` distance
+    evaluations per guess instead of ``O(n^2)``.
+
+    Exactness: candidate supersets from the grid are sound (see
+    :class:`~repro.geometry.PointGrid`), every surviving pair is
+    re-evaluated with distances bit-identical to the dense path's cdist
+    entries, and integer weights make every accumulated gain an exact
+    float64 integer in any summation order — so each argmax pick matches
+    the dense pick, including tie-breaks.
+    """
+    pts = wps.points
+    n = len(pts)
+    w64 = wps.weights.astype(np.float64)
+    tol = 1e-9 * max(1.0, guess)
+    cutoff = guess + tol
+    limit3 = 3.0 * guess + tol
+    gain = np.zeros(n, dtype=np.float64)
+    _grid_accumulate_gains(
+        grid, pts, metric, w64, cutoff, gain, 1.0,
+        np.arange(grid.num_cells), grid.cell_starts, grid.cell_counts,
+        grid.order, backend, workspace,
+    )
+    uncovered = np.ones(n, dtype=bool)
+    centers: list[int] = []
+    for _ in range(min(k, n)):
+        if not uncovered.any():
+            break
+        v = int(np.argmax(gain))
+        centers.append(v)
+        cand = grid.query_point(v, limit3)
+        dv = metric.to_set(pts[v], pts[cand])
+        idx = np.sort(cand[uncovered[cand] & (dv <= limit3)])
+        if idx.size:
+            uncovered[idx] = False
+            cells, starts, counts, members = _group_by_cell(grid, idx)
+            _grid_accumulate_gains(
+                grid, pts, metric, w64, cutoff, gain, -1.0,
+                cells, starts, counts, members, backend, workspace,
+            )
     return _weight_feasible(wps.weights, uncovered, z), centers, uncovered
 
 
@@ -260,6 +531,8 @@ def charikar_greedy(
     pairwise_limit: int = PAIRWISE_LIMIT,
     dtype=None,
     kernel_chunk: "int | None" = None,
+    kernel_backend=None,
+    prune: str = "auto",
 ) -> GreedyResult:
     """Weighted 3-approximation for k-center with ``z`` outliers.
 
@@ -277,19 +550,30 @@ def charikar_greedy(
     every guess ``>= opt``.  Both directions are exercised by the test
     suite against brute-force optima.
 
-    ``dtype`` / ``kernel_chunk`` select the distance kernel
-    (:mod:`repro.kernels`): the default float64 path is bit-identical to
-    the pre-kernels implementation; ``dtype="float32"`` halves memory
-    traffic at a documented ~1e-6 relative distance error, which can move
-    radius candidates by the same order (the certificate still holds with
-    ``tol'`` inflated accordingly).  The distance structure is computed
-    once per call and shared across every binary-search / geometric-grid
-    guess via a :class:`repro.kernels.Workspace`.
+    ``dtype`` / ``kernel_chunk`` / ``kernel_backend`` select the distance
+    kernel (:mod:`repro.kernels`): the default float64 path is
+    bit-identical to the pre-kernels implementation; ``dtype="float32"``
+    halves memory traffic at a documented ~1e-6 relative distance error,
+    which can move radius candidates by the same order (the certificate
+    still holds with ``tol'`` inflated accordingly);
+    ``kernel_backend="numba"`` dispatches to the compiled (bit-exact)
+    kernels when the optional extra is installed.  The distance structure
+    is computed once per call and shared across every binary-search /
+    geometric-grid guess via a :class:`repro.kernels.Workspace`.
+
+    ``prune`` controls the grid-pruned candidate scans of the geometric
+    search: ``"auto"`` (default) uses them whenever they are exact — a
+    built-in norm in dimension <= 4, integer weights, float64 kernel —
+    and ``"off"`` forces the dense chunked path.  Results are bit-identical
+    either way; :attr:`GreedyResult.path` records what ran.
 
     Degenerate cases: if the total weight is at most ``z`` (everything can
     be an outlier) or ``k >= n``, the radius is ``0``.
     """
     metric = get_metric(metric)
+    bk = resolve_backend(kernel_backend)
+    if prune not in ("auto", "off"):
+        raise ValueError(f"prune must be 'auto' or 'off', got {prune!r}")
     n = len(wps)
     if n == 0 or wps.total_weight <= z or k >= n:
         idx = np.arange(min(k, n), dtype=int)
@@ -297,18 +581,24 @@ def charikar_greedy(
     if k <= 0:
         raise ValueError("k must be positive")
     ws = Workspace()
+    path = "dense"
 
     if n <= pairwise_limit:
+        path = "pairwise"
         # ONE distance matrix for the whole call; every guess below reuses
         # it (plus the workspace's mask/membership buffers).
-        D = metric.pairwise_block(wps.points, wps.points, dtype=dtype, workspace=ws)
+        D = metric.pairwise_block(
+            wps.points, wps.points, dtype=dtype, workspace=ws, backend=bk
+        )
         # radius 0 can be optimal (duplicates, or light far points absorbed
         # by the outlier budget); test it outright before the positive
         # candidates
-        ok0, centers0, uncovered0 = _greedy_disks(D, wps.weights, k, z, 0.0, ws)
+        ok0, centers0, uncovered0 = _greedy_disks(
+            D, wps.weights, k, z, 0.0, ws, backend=bk
+        )
         if ok0:
             return GreedyResult(
-                np.asarray(centers0, dtype=int), 0.0, 0.0, uncovered0
+                np.asarray(centers0, dtype=int), 0.0, 0.0, uncovered0, path
             )
         if isinstance(metric, _KernelMetric):
             # the built-in norms are bit-symmetric (each entry is computed
@@ -321,12 +611,14 @@ def charikar_greedy(
         cand = cand[cand > 0]
         if len(cand) == 0:  # all points coincide
             return GreedyResult(
-                np.zeros(1, dtype=int), 0.0, 0.0, np.zeros(n, dtype=bool)
+                np.zeros(1, dtype=int), 0.0, 0.0, np.zeros(n, dtype=bool), path
             )
         # Feasibility is monotone for guesses >= opt (Charikar et al.);
         # binary search for the smallest feasible candidate.
         lo, hi = 0, len(cand) - 1
-        feasible_hi = _greedy_disks(D, wps.weights, k, z, float(cand[hi]), ws)
+        feasible_hi = _greedy_disks(
+            D, wps.weights, k, z, float(cand[hi]), ws, backend=bk
+        )
         if not feasible_hi[0]:
             # cannot happen for guess >= diameter; guard anyway
             raise RuntimeError("greedy decision failed at maximum candidate radius")
@@ -334,7 +626,9 @@ def charikar_greedy(
         while lo <= hi:
             mid = (lo + hi) // 2
             g = float(cand[mid])
-            ok, centers, uncovered = _greedy_disks(D, wps.weights, k, z, g, ws)
+            ok, centers, uncovered = _greedy_disks(
+                D, wps.weights, k, z, g, ws, backend=bk
+            )
             if ok:
                 best = (g, centers, uncovered)
                 hi = mid - 1
@@ -344,15 +638,49 @@ def charikar_greedy(
     else:
         # geometric search between a positive lower bound and the Gonzalez
         # (k-center, no outliers) radius, which upper-bounds opt_{k,z}.
+        # Grid pruning applies exactly when its results are provably
+        # bit-identical to the dense path: a built-in norm on real
+        # coordinates in low dimension (sound 3^d cell neighborhoods),
+        # integer weights (exact sums in any order), float64 kernel
+        # (pair distances bit-match the dense cdist entries).
+        use_grid = (
+            prune == "auto"
+            and isinstance(metric, _KernelMetric)
+            and wps.points.ndim == 2
+            and wps.points.shape[1] <= _GRID_MAX_DIM
+            and np.issubdtype(wps.weights.dtype, np.integer)
+            and resolve_dtype(dtype) == np.float64
+        )
+        paths_used = set()
+
         def decide(g):
+            if use_grid:
+                grid = _grid_for_guess(wps.points, g + 1e-9 * max(1.0, g))
+                if grid is not None:
+                    paths_used.add("grid")
+                    return _grid_decision(
+                        wps, metric, k, z, g, grid, ws, backend=bk
+                    )
+            paths_used.add("dense")
             return _geometric_decision(
                 wps, metric, k, z, g,
                 dtype=dtype, kernel_chunk=kernel_chunk, workspace=ws,
+                backend=bk,
             )
+
+        def geometric_path():
+            if paths_used == {"grid"}:
+                return "grid"
+            if paths_used == {"dense"} or not paths_used:
+                return "dense"
+            return "mixed"
 
         ok0, centers0, uncovered0 = decide(0.0)
         if ok0:
-            return GreedyResult(np.asarray(centers0, dtype=int), 0.0, 0.0, uncovered0)
+            return GreedyResult(
+                np.asarray(centers0, dtype=int), 0.0, 0.0, uncovered0,
+                geometric_path(),
+            )
         gz = gonzalez(wps, k, metric)
         hi_r = max(gz.radius, 1e-300)
         lo_r = hi_r / max(4.0 * n, 4.0)
@@ -380,6 +708,7 @@ def charikar_greedy(
                 ok, c, u = decide(g)
                 best = (g, c, u)
             guess, centers, uncovered = best
+        path = geometric_path()
 
     centers_idx = np.asarray(centers, dtype=int)
     # Report the coverage radius actually achieved by the chosen centers:
@@ -390,4 +719,4 @@ def charikar_greedy(
     radius = float(min(3.0 * guess, achieved))
     d = nearest_center_distances(wps, wps.points[centers_idx], metric)
     uncovered = d > radius + 1e-9 * max(1.0, radius)
-    return GreedyResult(centers_idx, radius, float(guess), uncovered)
+    return GreedyResult(centers_idx, radius, float(guess), uncovered, path)

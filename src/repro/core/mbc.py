@@ -19,9 +19,9 @@ algorithm when it doubles its radius estimate).
 
 Performance (the kernels refactor): the absorption loop no longer scans
 all ``n`` points per representative.  For the built-in norms it buckets
-the input into grid cells of side ``delta`` in one vectorized pass (the
-same cell-key broadcast :class:`repro.streaming.SlidingWindowCoreset`
-uses for its guess ladder) and evaluates distances only against the
+the input into a :class:`repro.geometry.PointGrid` with cell side just
+above ``delta`` (the same sorted-int64-code index the grid-pruned
+greedy decision procedure uses) and evaluates distances only against the
 ``3^d`` neighboring cells of each representative — any point within
 ``delta`` under L2/L1/Linf is within ``delta`` per coordinate, so no
 candidate is missed and results are bit-identical to the scalar loop
@@ -34,11 +34,11 @@ shrinks as the balls absorb.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import product
 from math import ceil
 
 import numpy as np
 
+from ..geometry.grid import PointGrid
 from .greedy import charikar_greedy
 from .metrics import Metric, _KernelMetric, get_metric
 from .points import WeightedPointSet
@@ -96,29 +96,6 @@ _GRID_MAX_DIM = 4
 _GRID_MIN_POINTS = 192
 
 
-def _absorb_cells(pts: np.ndarray, side: float) -> "dict | None":
-    """Bucket points into cells of ``side``: cell key -> index array.
-
-    Returns ``None`` when the quantized keys cannot be trusted (side too
-    small relative to the coordinate range for exact int64 keys with the
-    at-most-one-cell rounding slack the neighborhood argument needs).
-    """
-    with np.errstate(over="ignore", invalid="ignore"):
-        q = np.floor(pts / side)
-    if not np.isfinite(q).all() or (np.abs(q) >= 2.0**30).any():
-        return None
-    keys = q.astype(np.int64)
-    uniq, inverse = np.unique(keys, axis=0, return_inverse=True)
-    inverse = inverse.reshape(-1)  # numpy 2.0.0 returned shape (n, 1)
-    by_cell = np.argsort(inverse, kind="stable")
-    bounds = np.concatenate([[0], np.cumsum(np.bincount(inverse))])
-    cells = {
-        tuple(key): by_cell[bounds[gi] : bounds[gi + 1]]
-        for gi, key in enumerate(uniq.tolist())
-    }
-    return {"keys": keys, "cells": cells}
-
-
 def _greedy_absorb(
     wps: WeightedPointSet,
     delta: float,
@@ -164,22 +141,19 @@ def _greedy_absorb(
         and isinstance(metric, _KernelMetric)
     ):
         # side slightly above the cutoff: the 1e-6 slack strictly dominates
-        # the float rounding of pts/side under the |key| < 2^30 guard, so
-        # two points within `cutoff` always land in adjacent cells
-        grid = _absorb_cells(pts, cutoff * (1.0 + 1e-6))
+        # the float rounding of pts/side under the |cell index| < 2^30
+        # guard, so two points within `cutoff` always land in adjacent
+        # cells (ring 1); the max(|coord|)-based floor keeps the guard
+        # satisfiable for tiny cutoffs (larger cells are always sound)
+        maxabs = float(np.max(np.abs(pts))) if pts.size else 0.0
+        side = max(cutoff * (1.0 + 1e-6), maxabs * 2.0**-29)
+        grid = PointGrid.build(pts, side, max_ring=1)
 
     if grid is not None:
-        keys, cells = grid["keys"], grid["cells"]
-        offsets = np.array(list(product((-1, 0, 1), repeat=pts.shape[1])))
         for idx in order:
             if not remaining[idx]:
                 continue
-            neigh = [
-                c
-                for off in keys[idx] + offsets
-                if (c := cells.get(tuple(off.tolist()))) is not None
-            ]
-            cand = neigh[0] if len(neigh) == 1 else np.concatenate(neigh)
+            cand = grid.query_point(int(idx), cutoff)
             d = metric.to_set(pts[idx], pts[cand])
             sel = cand[remaining[cand] & (d <= cutoff)]
             assignment[sel] = len(rep_rows)
@@ -215,6 +189,7 @@ def mbc_construction(
     order: "np.ndarray | None" = None,
     dtype=None,
     kernel_chunk: "int | None" = None,
+    kernel_backend: "str | None" = None,
 ) -> MiniBallCovering:
     """Algorithm 1: ``MBCConstruction(P, k, z, eps)``.
 
@@ -227,7 +202,7 @@ def mbc_construction(
     order:
         Optional permutation controlling which 'arbitrary point' is picked
         first (the guarantee holds for any order).
-    dtype, kernel_chunk:
+    dtype, kernel_chunk, kernel_backend:
         Distance-kernel knobs for the embedded radius search (see
         :func:`repro.core.greedy.charikar_greedy`); the absorption itself
         always evaluates exact float64 distances.
@@ -241,7 +216,8 @@ def mbc_construction(
     metric = get_metric(metric)
     if radius is None:
         radius = charikar_greedy(
-            wps, k, z, metric, dtype=dtype, kernel_chunk=kernel_chunk
+            wps, k, z, metric, dtype=dtype, kernel_chunk=kernel_chunk,
+            kernel_backend=kernel_backend,
         ).radius
     delta = eps * radius / 3.0
     coreset, assignment = _greedy_absorb(wps, delta, metric, order)

@@ -58,7 +58,8 @@ class Metric:
         raise NotImplementedError
 
     def pairwise_block(
-        self, a: np.ndarray, b: np.ndarray, dtype=None, workspace=None
+        self, a: np.ndarray, b: np.ndarray, dtype=None, workspace=None,
+        backend=None,
     ) -> np.ndarray:
         """Distance block in the requested kernel ``dtype``.
 
@@ -66,8 +67,11 @@ class Metric:
         (identical to :meth:`pairwise`); ``"float32"`` may use a faster,
         lower-precision kernel where one exists.  ``workspace`` is an
         optional :class:`repro.kernels.Workspace` for norm/buffer reuse
-        across blocks of one outer computation.  The base implementation
-        computes exactly and casts, so arbitrary metrics stay correct.
+        across blocks of one outer computation; ``backend`` selects the
+        kernel backend (``"numpy"`` default, ``"numba"`` optional extra)
+        where the metric has a dedicated kernel.  The base implementation
+        computes exactly and casts, so arbitrary metrics stay correct
+        (and ignore ``backend``).
         """
         from ..kernels import resolve_dtype
 
@@ -114,9 +118,11 @@ class _KernelMetric(Metric):
         return pairwise_kernel(self.name, a, b)
 
     def pairwise_block(
-        self, a: np.ndarray, b: np.ndarray, dtype=None, workspace=None
+        self, a: np.ndarray, b: np.ndarray, dtype=None, workspace=None,
+        backend=None,
     ) -> np.ndarray:
-        return pairwise_kernel(self.name, a, b, dtype=dtype, workspace=workspace)
+        return pairwise_kernel(self.name, a, b, dtype=dtype,
+                               workspace=workspace, backend=backend)
 
 
 class EuclideanMetric(_KernelMetric):

@@ -1,7 +1,7 @@
 """Geometric substrates: hierarchical grids over ``[Delta]^d`` (§5.1) and
 packing/counting arguments in doubling metrics (Lemma 6, Lemma 25)."""
 
-from .grid import GridHierarchy, GridLevel
+from .grid import GridHierarchy, GridLevel, PointGrid
 from .packing import (
     doubling_cover_count,
     grid_cell_bound,
@@ -12,6 +12,7 @@ from .packing import (
 __all__ = [
     "GridHierarchy",
     "GridLevel",
+    "PointGrid",
     "doubling_cover_count",
     "grid_cell_bound",
     "packing_bound",

@@ -1,4 +1,5 @@
-"""Hierarchical grids over the discrete space ``[Delta]^d`` (§5.1).
+"""Grids: the paper's hierarchical integer grids (§5.1) and a float-
+coordinate bucket grid for radius-bounded candidate queries.
 
 The fully dynamic streaming algorithm imposes grids
 ``G_0, G_1, ..., G_{ceil(log Delta)}`` on ``[Delta]^d = {1,...,Delta}^d``,
@@ -8,6 +9,13 @@ to the linear sketches of :mod:`repro.sketches`.
 
 Coordinates are the paper's 1-based integers in ``{1, ..., Delta}``;
 internally they are shifted to 0-based so cell indices are simple shifts.
+
+:class:`PointGrid` serves the radius-search and absorption hot paths
+(:mod:`repro.core.greedy`, :mod:`repro.core.mbc`): it buckets float
+coordinates into cells of a caller-chosen side and answers "all points
+within distance ``D`` of here" with a superset drawn from the
+``(2R+1)^d`` surrounding cells, entirely through sorted int64 cell codes
+(no Python dicts in the per-cell loops).
 """
 
 from __future__ import annotations
@@ -17,7 +25,7 @@ from math import ceil, log2
 
 import numpy as np
 
-__all__ = ["GridLevel", "GridHierarchy"]
+__all__ = ["GridLevel", "GridHierarchy", "PointGrid"]
 
 
 @dataclass(frozen=True)
@@ -150,3 +158,163 @@ class GridHierarchy:
         target = eps * r / np.sqrt(self.dim)
         j = int(np.floor(np.log2(max(target, 1e-300))))
         return max(0, min(self.num_levels - 1, j))
+
+
+class PointGrid:
+    """A uniform bucket grid over float coordinates.
+
+    Points are quantized to cells ``floor(p / side)`` per axis; each
+    non-empty cell gets one int64 *code* (a mixed-radix encoding over the
+    occupied extent, padded so a Chebyshev neighbor offset is a single
+    scalar delta added to the code).  Cell codes are kept sorted, so
+    neighbor lookup is a vectorized ``searchsorted`` — no per-cell Python
+    dictionaries.
+
+    Soundness (the contract the greedy/absorption loops rely on): for the
+    built-in norms, ``dist(u, v) <= D`` implies per-coordinate
+    ``|u_a - v_a| <= D``, so the quantized cells of ``u`` and ``v`` differ
+    by at most :meth:`ring` ``(D)`` per axis.  The ``+ 5e-7`` slack in
+    :meth:`ring` strictly dominates the float64 rounding of ``p / side``
+    under the ``|floor(p/side)| < 2^30`` guard :meth:`build` enforces
+    (relative error ``<= 2^30 * 2^-52 < 2.5e-7`` per operand), so the
+    candidate superset never misses a true neighbor.  Distances are always
+    re-evaluated exactly by the caller — the grid only *prunes*.
+
+    Build with :meth:`build`, which returns ``None`` whenever the
+    quantization cannot be trusted (non-finite coordinates, cells too
+    small relative to the coordinate magnitude, code overflow); callers
+    fall back to their dense scans in that case.
+    """
+
+    #: per-axis cell-index magnitude bound; keeps the ``p / side`` rounding
+    #: error below the 5e-7 ring slack and the padded code product in int64
+    _MAX_CELL_INDEX = 2.0**30
+
+    def __init__(self, codes, order, cell_codes, cell_starts, cell_counts,
+                 point_cell, radix, side, max_ring):
+        self.n = len(codes)
+        self.dim = len(radix)
+        self.side = float(side)
+        self.max_ring = int(max_ring)
+        self.codes = codes
+        #: point indices sorted by cell; ``order[starts[c]:starts[c]+counts[c]]``
+        #: are the members of cell ``c``
+        self.order = order
+        self.cell_codes = cell_codes
+        self.cell_starts = cell_starts
+        self.cell_counts = cell_counts
+        #: index into ``cell_codes`` of each point's cell
+        self.point_cell = point_cell
+        self._radix = radix
+        self._deltas: "dict[int, np.ndarray]" = {}
+
+    @property
+    def num_cells(self) -> int:
+        """Number of non-empty cells."""
+        return len(self.cell_codes)
+
+    @classmethod
+    def build(cls, pts: np.ndarray, side: float,
+              max_ring: int = 3) -> "PointGrid | None":
+        """Bucket ``pts`` (shape ``(n, d)``) into cells of ``side``.
+
+        ``max_ring`` is the largest Chebyshev cell ring queries will ask
+        for; the per-axis code radix is padded by ``2 * max_ring`` so
+        every in-ring offset maps to a distinct delta code.  Returns
+        ``None`` when the quantized cell indices cannot be trusted.
+        """
+        pts = np.atleast_2d(np.asarray(pts, dtype=np.float64))
+        if side <= 0 or not np.isfinite(side):
+            return None
+        n, d = pts.shape
+        if n == 0:
+            return None
+        with np.errstate(over="ignore", invalid="ignore"):
+            q = np.floor(pts / side)
+        if not np.isfinite(q).all() or (np.abs(q) >= cls._MAX_CELL_INDEX).any():
+            return None
+        qi = q.astype(np.int64)
+        qmin = qi.min(axis=0)
+        extents = qi.max(axis=0) - qmin + 1
+        padded = extents + 2 * int(max_ring)
+        if float(np.prod(padded.astype(np.float64))) >= 2.0**62:
+            return None
+        radix = np.ones(d, dtype=np.int64)
+        for a in range(d - 2, -1, -1):
+            radix[a] = radix[a + 1] * padded[a + 1]
+        codes = ((qi - qmin) * radix).sum(axis=1)
+        order = np.argsort(codes, kind="stable")
+        sorted_codes = codes[order]
+        is_start = np.empty(n, dtype=bool)
+        is_start[0] = True
+        np.not_equal(sorted_codes[1:], sorted_codes[:-1], out=is_start[1:])
+        starts = np.flatnonzero(is_start)
+        cell_codes = sorted_codes[starts]
+        counts = np.diff(np.append(starts, n))
+        point_cell = np.searchsorted(cell_codes, codes)
+        return cls(codes, order, cell_codes, starts.astype(np.int64),
+                   counts.astype(np.int64), point_cell, radix, side, max_ring)
+
+    def ring(self, dist: float) -> int:
+        """Chebyshev cell-ring radius guaranteed to contain every point
+        within ``dist`` (see the class docstring for the slack argument)."""
+        r = int(np.floor(dist / self.side + 5e-7)) + 1
+        if r > self.max_ring:
+            raise ValueError(
+                f"ring {r} for dist {dist!r} exceeds max_ring={self.max_ring} "
+                f"(side {self.side!r}); build the grid with a larger max_ring"
+            )
+        return r
+
+    def neighbor_deltas(self, R: int) -> np.ndarray:
+        """Delta codes of all ``(2R+1)^d`` Chebyshev offsets (cached)."""
+        deltas = self._deltas.get(R)
+        if deltas is None:
+            axes = np.meshgrid(*([np.arange(-R, R + 1)] * self.dim),
+                               indexing="ij")
+            offsets = np.stack(axes, axis=-1).reshape(-1, self.dim)
+            deltas = (offsets * self._radix).sum(axis=1)
+            self._deltas[R] = deltas
+        return deltas
+
+    def neighbors_of_cells(
+        self, cells: np.ndarray, R: int
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Match the ring-``R`` neighborhoods of the given cells.
+
+        Returns ``(src, nbr)`` — parallel arrays meaning "non-empty cell
+        ``nbr`` (an index into ``cell_codes``) lies within Chebyshev ring
+        ``R`` of ``cells[src]``", with ``src`` ascending (every cell
+        neighbors at least itself).
+        """
+        deltas = self.neighbor_deltas(R)
+        targets = self.cell_codes[cells][:, None] + deltas[None, :]
+        pos = np.searchsorted(self.cell_codes, targets)
+        pos_c = np.minimum(pos, self.num_cells - 1)
+        valid = self.cell_codes[pos_c] == targets
+        src_local, _ = np.nonzero(valid)
+        return src_local, pos_c[valid]
+
+    def points_in_cells(self, cells: np.ndarray) -> np.ndarray:
+        """Concatenated member point indices of the given cells (a fully
+        vectorized ragged gather; duplicated cells yield duplicates)."""
+        cnt = self.cell_counts[cells]
+        total = int(cnt.sum())
+        if total == 0:
+            return np.zeros(0, dtype=np.int64)
+        out_offsets = np.concatenate(([0], np.cumsum(cnt)))[:-1]
+        flat = (np.repeat(self.cell_starts[cells], cnt)
+                + np.arange(total) - np.repeat(out_offsets, cnt))
+        return self.order[flat]
+
+    def query_point(self, i: int, dist: float) -> np.ndarray:
+        """Candidate superset of points within ``dist`` of point ``i``."""
+        _, nbr = self.neighbors_of_cells(
+            np.asarray([self.point_cell[i]]), self.ring(dist))
+        return self.points_in_cells(nbr)
+
+    def query_cells_union(self, cells: np.ndarray, dist: float) -> np.ndarray:
+        """Candidate superset of points within ``dist`` of any point in any
+        of the given cells (each candidate exactly once)."""
+        _, nbr = self.neighbors_of_cells(np.unique(cells), self.ring(dist))
+        return self.points_in_cells(np.unique(nbr))

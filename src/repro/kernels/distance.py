@@ -34,11 +34,15 @@ from scipy.spatial.distance import cdist
 __all__ = [
     "DEFAULT_BLOCK_BYTES",
     "KERNEL_DTYPES",
+    "KERNEL_BACKENDS",
     "resolve_dtype",
+    "resolve_backend",
+    "numba_available",
     "auto_chunk",
     "sqnorms",
     "Workspace",
     "pairwise_kernel",
+    "pair_distances",
 ]
 
 #: Working-set budget (bytes) a chunked distance block should stay under.
@@ -48,6 +52,12 @@ DEFAULT_BLOCK_BYTES = 32 * 2**20
 
 #: dtypes the kernel layer accepts (``None`` resolves to float64).
 KERNEL_DTYPES = ("float32", "float64")
+
+#: kernel backends the layer accepts (``None`` resolves to numpy).
+#: ``"numba"`` dispatches the float64 kernels and the greedy gain-update
+#: loops to :mod:`repro.kernels.numba_backend` (an optional extra;
+#: requesting it without numba installed raises at first kernel use).
+KERNEL_BACKENDS = ("numpy", "numba")
 
 #: metric name -> scipy cdist metric for the float64 exact path
 _CDIST_NAMES = {
@@ -68,6 +78,29 @@ def resolve_dtype(dtype) -> np.dtype:
             f"kernel dtype must be one of {KERNEL_DTYPES}, got {dtype!r}"
         )
     return dt
+
+
+def resolve_backend(backend) -> str:
+    """Normalize a ``kernel_backend`` knob (``None`` / name) to one of
+    :data:`KERNEL_BACKENDS`, rejecting anything else.  Availability of the
+    numba extra is checked at first kernel use, not here, so specs naming
+    it can be built/validated/persisted anywhere."""
+    if backend is None:
+        return "numpy"
+    bk = str(backend).lower()
+    if bk not in KERNEL_BACKENDS:
+        raise ValueError(
+            f"kernel backend must be one of {KERNEL_BACKENDS}, got {backend!r}"
+        )
+    return bk
+
+
+def numba_available() -> bool:
+    """Whether the optional numba extra is importable (the ``"numba"``
+    backend works)."""
+    from . import numba_backend
+
+    return numba_backend.HAVE_NUMBA
 
 
 def auto_chunk(
@@ -107,6 +140,7 @@ class Workspace:
     def __init__(self):
         self._buffers: "dict[tuple, np.ndarray]" = {}
         self._norms: "dict[int, tuple[np.ndarray, np.ndarray]]" = {}
+        self._subsets: "dict[tuple, tuple]" = {}
 
     def buffer(self, tag: str, shape: tuple, dtype) -> np.ndarray:
         """A reusable C-contiguous buffer of at least ``shape`` elements,
@@ -140,6 +174,35 @@ class Workspace:
             self._norms.clear()
         self._norms[id(x)] = (x, n)
         return n
+
+    def take(self, base: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        """``base[idx]`` with its squared norms *gathered*, not re-reduced.
+
+        The norm cache keys on array identity, so every ``base[idx]`` a
+        radius-guess scan materializes is a fresh array the cache has
+        never seen — each guess used to pay a full re-reduction for the
+        same subsets.  This gathers the rows' norms from the cached
+        full-array reduction (``norm of row i`` is ``norm of row i``, so
+        the gathered values are bit-identical) and seeds them in the norm
+        cache under the subset's identity, so a following
+        :func:`pairwise_kernel` call on the subset hits.  Repeated takes
+        of the same ``(base, idx)`` are memoized by ``(id(base),
+        hash(idx bytes))`` and return the *same* subset array.
+        """
+        idx = np.asarray(idx)
+        key = (id(base), idx.size, hash(idx.tobytes()))
+        cached = self._subsets.get(key)
+        if cached is not None and cached[0] is base:
+            return cached[1]
+        full = self.sqnorms(base)
+        sub = base[idx]
+        if len(self._subsets) >= self._NORM_CACHE_MAX:
+            self._subsets.clear()
+        if len(self._norms) >= self._NORM_CACHE_MAX:
+            self._norms.clear()
+        self._norms[id(sub)] = (sub, full[idx])
+        self._subsets[key] = (base, sub)
+        return sub
 
 
 def _as_points(x: np.ndarray, dtype) -> np.ndarray:
@@ -187,6 +250,7 @@ def pairwise_kernel(
     b: np.ndarray,
     dtype=None,
     workspace: "Workspace | None" = None,
+    backend=None,
 ) -> np.ndarray:
     """Distance matrix of shape ``(len(a), len(b))`` under metric ``kind``.
 
@@ -195,18 +259,76 @@ def pairwise_kernel(
     pre-kernels implementation, which the parity suite relies on.  The
     float32 path trades ~1e-6 relative accuracy for roughly half the
     memory traffic (and a BLAS GEMM formulation for Euclidean).
+
+    ``backend="numba"`` dispatches the float64 path to the compiled
+    (parallel, cdist-bit-exact) kernels of
+    :mod:`repro.kernels.numba_backend`; the float32 fast kernels are
+    BLAS-bound already and stay on the numpy implementations.
     """
     if kind not in _CDIST_NAMES:
         raise ValueError(
             f"unknown kernel {kind!r}; known: {sorted(_CDIST_NAMES)}"
         )
     dt = resolve_dtype(dtype)
+    bk = resolve_backend(backend)
     a = _as_points(a, np.float64)
     b = _as_points(b, np.float64)
     if a.size == 0 or b.size == 0:
         return np.zeros((len(a), len(b)), dtype=dt)
     if dt == np.float64:
+        if bk == "numba":
+            from . import numba_backend
+
+            return numba_backend.pairwise(kind, a, b)
         return cdist(a, b, metric=_CDIST_NAMES[kind])
     if kind == "euclidean":
         return _euclidean_f32(a, b, workspace)
     return _broadcast_f32(a, b, "max" if kind == "chebyshev" else "sum")
+
+
+def pair_distances(
+    kind: str,
+    pts: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    backend=None,
+) -> np.ndarray:
+    """Element-wise float64 distances ``dist(pts[rows[t]], pts[cols[t]])``.
+
+    The sparse companion of :func:`pairwise_kernel`, used by the
+    grid-pruned candidate scans that only need the (point, candidate)
+    pairs a spatial index produced.  Bit-identical to the corresponding
+    ``cdist`` entries: the accumulation runs per coordinate in index
+    order with every intermediate rounded, exactly like cdist's inner
+    loop (pinned by ``tests/test_kernels.py``).
+    """
+    if kind not in _CDIST_NAMES:
+        raise ValueError(
+            f"unknown kernel {kind!r}; known: {sorted(_CDIST_NAMES)}"
+        )
+    bk = resolve_backend(backend)
+    pts = _as_points(pts, np.float64)
+    rows = np.asarray(rows)
+    cols = np.asarray(cols)
+    if bk == "numba":
+        from . import numba_backend
+
+        return numba_backend.pair_distances(kind, pts, rows, cols)
+    d = pts.shape[1]
+    if kind == "euclidean":
+        diff = pts[rows, 0] - pts[cols, 0]
+        out = diff * diff
+        for c in range(1, d):
+            diff = pts[rows, c] - pts[cols, c]
+            out += diff * diff
+        np.sqrt(out, out=out)
+        return out
+    reduce_max = kind == "chebyshev"
+    out = np.abs(pts[rows, 0] - pts[cols, 0])
+    for c in range(1, d):
+        diff = np.abs(pts[rows, c] - pts[cols, c])
+        if reduce_max:
+            np.maximum(out, diff, out=out)
+        else:
+            out += diff
+    return out

@@ -1,0 +1,179 @@
+"""Optional numba-compiled distance kernels (the ``"numba"`` backend).
+
+Import-guarded: ``numba`` is an optional extra (``pip install
+repro[accel]``), so this module must import cleanly without it —
+:data:`HAVE_NUMBA` tells the dispatcher whether the compiled kernels
+exist, and :func:`require` raises the actionable error otherwise.
+
+Bit-exactness contract: the float64 kernels reproduce SciPy's ``cdist``
+bit for bit.  ``cdist`` accumulates each row pair sequentially over
+coordinates, rounding after every operation; the loops below do exactly
+the same, and compile **without** ``fastmath`` so LLVM cannot reassociate
+or contract the arithmetic.  The gain-update kernels only ever sum
+*integer-valued* float64 weights, where any summation order gives the
+same bits.  ``tests/test_numba_backend.py`` pins both properties when
+numba is installed; the CI ``accel`` leg runs the full parity suite.
+
+Only the float64 path is compiled here — the float32 kernels (a BLAS
+GEMM formulation) already spend their time inside BLAS, so the numpy
+implementation is used for float32 regardless of the backend knob.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["HAVE_NUMBA", "require", "pairwise", "pair_distances",
+           "gain_seed", "gain_subtract"]
+
+try:  # pragma: no cover - exercised only on the CI accel leg
+    from numba import njit, prange
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the default environment
+    njit = prange = None
+    HAVE_NUMBA = False
+
+
+def require() -> None:
+    """Raise with an install hint when numba is missing."""
+    if not HAVE_NUMBA:
+        raise RuntimeError(
+            "kernel backend 'numba' requested but numba is not installed; "
+            "install the optional extra (pip install 'repro[accel]') or use "
+            "kernel_backend='numpy'"
+        )
+
+
+if HAVE_NUMBA:  # pragma: no cover - exercised only on the CI accel leg
+
+    @njit(parallel=True, cache=True)
+    def _pairwise_euclidean(a, b, out):
+        n, d = a.shape
+        m = b.shape[0]
+        for i in prange(n):
+            for j in range(m):
+                s = 0.0
+                for c in range(d):
+                    diff = a[i, c] - b[j, c]
+                    s += diff * diff
+                out[i, j] = np.sqrt(s)
+
+    @njit(parallel=True, cache=True)
+    def _pairwise_chebyshev(a, b, out):
+        n, d = a.shape
+        m = b.shape[0]
+        for i in prange(n):
+            for j in range(m):
+                s = 0.0
+                for c in range(d):
+                    diff = abs(a[i, c] - b[j, c])
+                    if diff > s:
+                        s = diff
+                out[i, j] = s
+
+    @njit(parallel=True, cache=True)
+    def _pairwise_manhattan(a, b, out):
+        n, d = a.shape
+        m = b.shape[0]
+        for i in prange(n):
+            for j in range(m):
+                s = 0.0
+                for c in range(d):
+                    s += abs(a[i, c] - b[j, c])
+                out[i, j] = s
+
+    @njit(parallel=True, cache=True)
+    def _pair_distances_impl(pts, rows, cols, kind, out):
+        d = pts.shape[1]
+        for t in prange(len(rows)):
+            i, j = rows[t], cols[t]
+            s = 0.0
+            if kind == 0:  # euclidean
+                for c in range(d):
+                    diff = pts[i, c] - pts[j, c]
+                    s += diff * diff
+                s = np.sqrt(s)
+            elif kind == 1:  # chebyshev
+                for c in range(d):
+                    diff = abs(pts[i, c] - pts[j, c])
+                    if diff > s:
+                        s = diff
+            else:  # manhattan
+                for c in range(d):
+                    s += abs(pts[i, c] - pts[j, c])
+            out[t] = s
+
+    @njit(parallel=True, cache=True)
+    def _gain_seed_impl(D, w, cutoff, out):
+        n, m = D.shape
+        for i in prange(n):
+            s = 0.0
+            for j in range(m):
+                if D[i, j] <= cutoff:
+                    s += w[j]
+            out[i] = s
+
+    @njit(parallel=True, cache=True)
+    def _gain_subtract_impl(D, gain, idx, w, cutoff):
+        n = D.shape[0]
+        for i in prange(n):
+            s = 0.0
+            for t in range(len(idx)):
+                j = idx[t]
+                if D[i, j] <= cutoff:
+                    s += w[j]
+            gain[i] -= s
+
+
+_PAIR_KINDS = {"euclidean": 0, "chebyshev": 1, "manhattan": 2}
+
+
+def pairwise(kind: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Float64 distance matrix under metric ``kind`` (cdist-bit-exact)."""
+    require()
+    a = np.ascontiguousarray(a, dtype=np.float64)
+    b = np.ascontiguousarray(b, dtype=np.float64)
+    out = np.empty((len(a), len(b)), dtype=np.float64)
+    if kind == "euclidean":
+        _pairwise_euclidean(a, b, out)
+    elif kind == "chebyshev":
+        _pairwise_chebyshev(a, b, out)
+    elif kind == "manhattan":
+        _pairwise_manhattan(a, b, out)
+    else:
+        raise ValueError(f"unknown kernel {kind!r}")
+    return out
+
+
+def pair_distances(kind: str, pts: np.ndarray, rows: np.ndarray,
+                   cols: np.ndarray) -> np.ndarray:
+    """Element-wise distances ``dist(pts[rows[t]], pts[cols[t]])``."""
+    require()
+    pts = np.ascontiguousarray(pts, dtype=np.float64)
+    out = np.empty(len(rows), dtype=np.float64)
+    _pair_distances_impl(pts, np.ascontiguousarray(rows, dtype=np.int64),
+                         np.ascontiguousarray(cols, dtype=np.int64),
+                         _PAIR_KINDS[kind], out)
+    return out
+
+
+def gain_seed(D: np.ndarray, w: np.ndarray, cutoff: float) -> np.ndarray:
+    """``out[i] = sum(w[j] for j with D[i, j] <= cutoff)`` without
+    materializing the boolean/membership matrices the numpy path needs."""
+    require()
+    out = np.empty(len(D), dtype=np.float64)
+    _gain_seed_impl(np.ascontiguousarray(D, dtype=np.float64),
+                    np.ascontiguousarray(w, dtype=np.float64),
+                    float(cutoff), out)
+    return out
+
+
+def gain_subtract(D: np.ndarray, gain: np.ndarray, idx: np.ndarray,
+                  w: np.ndarray, cutoff: float) -> None:
+    """In-place ``gain[i] -= sum(w[j] for j in idx with D[i,j] <= cutoff)``."""
+    require()
+    _gain_subtract_impl(np.ascontiguousarray(D, dtype=np.float64), gain,
+                        np.ascontiguousarray(idx, dtype=np.int64),
+                        np.ascontiguousarray(w, dtype=np.float64),
+                        float(cutoff))

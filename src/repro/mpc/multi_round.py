@@ -34,6 +34,7 @@ def multi_round_coreset(
     executor=None,
     dtype=None,
     kernel_chunk: "int | None" = None,
+    kernel_backend: "str | None" = None,
 ) -> MPCCoresetResult:
     """Run Algorithm 7 with ``R = rounds`` communication rounds.
 
@@ -42,7 +43,7 @@ def multi_round_coreset(
     The per-round machine-local MBC constructions fan out through
     ``executor`` (bit-identical results under every executor);
     ``parallel=True`` is the legacy spelling of ``executor="thread"``.
-    ``dtype`` / ``kernel_chunk`` select the distance kernel
+    ``dtype`` / ``kernel_chunk`` / ``kernel_backend`` select the distance kernel
     (:mod:`repro.kernels`) for every per-round MBC construction.
     """
     metric = get_metric(metric)
@@ -72,7 +73,8 @@ def multi_round_coreset(
         mbcs = map_machines(
             exec_,
             mbc_task,
-            [(Q[i], k, z, eps, metric, None, dtype, kernel_chunk)
+            [(Q[i], k, z, eps, metric, None, dtype, kernel_chunk,
+              kernel_backend)
              for i in range(active)],
             machines=machines[:active],
             charge=lambda mach, task, mbc: mach.charge(mbc.size),

@@ -48,6 +48,7 @@ def one_round_coreset(
     executor=None,
     dtype=None,
     kernel_chunk: "int | None" = None,
+    kernel_backend: "str | None" = None,
 ) -> MPCCoresetResult:
     """Run Algorithm 6 on randomly partitioned input.
 
@@ -60,8 +61,9 @@ def one_round_coreset(
     (name, :class:`~repro.engine.Executor`, or ``None`` for serial);
     results are bit-identical under every executor.  ``parallel=True``
     is the legacy spelling of ``executor="thread"``.  ``dtype`` /
-    ``kernel_chunk`` select the distance kernel (:mod:`repro.kernels`)
-    for the machine-local and coordinator MBC constructions.
+    ``kernel_chunk`` / ``kernel_backend`` select the distance kernel
+    (:mod:`repro.kernels`) for the machine-local and coordinator MBC
+    constructions.
     """
     metric = get_metric(metric)
     m = len(parts)
@@ -77,7 +79,8 @@ def one_round_coreset(
     mbcs = map_machines(
         resolve_executor(executor, parallel),
         mbc_task,
-        [(part, k, zprime, eps, metric, None, dtype, kernel_chunk)
+        [(part, k, zprime, eps, metric, None, dtype, kernel_chunk,
+          kernel_backend)
          for part in parts],
         machines=machines,
         charge=lambda mach, task, mbc: (mach.charge(len(task[0])), mach.charge(mbc.size)),
@@ -94,7 +97,8 @@ def one_round_coreset(
     )
     if final_compress and len(union):
         final_mbc = mbc_construction(
-            union, k, z, eps, metric, dtype=dtype, kernel_chunk=kernel_chunk
+            union, k, z, eps, metric, dtype=dtype, kernel_chunk=kernel_chunk,
+            kernel_backend=kernel_backend,
         )
         coreset = final_mbc.coreset
         machines[0].charge(final_mbc.size)

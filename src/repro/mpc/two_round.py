@@ -107,6 +107,7 @@ def two_round_coreset(
     executor=None,
     dtype=None,
     kernel_chunk: "int | None" = None,
+    kernel_backend: "str | None" = None,
 ) -> MPCCoresetResult:
     """Run Algorithm 2 on pre-partitioned input.
 
@@ -129,7 +130,7 @@ def two_round_coreset(
         (``"serial"``, ``"thread"``, ``"process"``), a
         :class:`~repro.engine.Executor` instance, or ``None`` (serial).
         Results are bit-identical under every executor.
-    dtype, kernel_chunk:
+    dtype, kernel_chunk, kernel_backend:
         Distance-kernel knobs (:mod:`repro.kernels`), shipped inside the
         task tuples so process workers honor them too.
 
@@ -157,7 +158,8 @@ def two_round_coreset(
         vectors = map_machines(
             exec_,
             radius_vector_task,
-            [(part, k, veclen, metric, dtype, kernel_chunk) for part in parts],
+            [(part, k, veclen, metric, dtype, kernel_chunk, kernel_backend)
+             for part in parts],
             machines=machines,
             charge=lambda mach, task, vec: mach.charge(veclen),  # own vector
         )
@@ -175,7 +177,7 @@ def two_round_coreset(
             mbc_task,
             [
                 (part, k, (1 << jhat) - 1, eps, metric, float(vec[jhat]),
-                 dtype, kernel_chunk)
+                 dtype, kernel_chunk, kernel_backend)
                 for part, jhat, vec in zip(parts, jhats, vectors)
             ],
             machines=machines,
@@ -190,7 +192,8 @@ def two_round_coreset(
         mbcs = map_machines(
             exec_,
             mbc_task,
-            [(part, k, z, eps, metric, None, dtype, kernel_chunk)
+            [(part, k, z, eps, metric, None, dtype, kernel_chunk,
+              kernel_backend)
              for part in parts],
             machines=machines,
             charge=lambda mach, task, mbc: mach.charge(mbc.size),
@@ -207,7 +210,8 @@ def two_round_coreset(
     ) else WeightedPointSet.empty(parts[0].dim)
     if final_compress and len(union):
         final_mbc = mbc_construction(
-            union, k, z, eps, metric, dtype=dtype, kernel_chunk=kernel_chunk
+            union, k, z, eps, metric, dtype=dtype, kernel_chunk=kernel_chunk,
+            kernel_backend=kernel_backend,
         )
         coreset = final_mbc.coreset
         machines[0].charge(final_mbc.size)

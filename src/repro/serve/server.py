@@ -299,7 +299,8 @@ class _Handler(BaseHTTPRequestHandler):
         out = fn()
         backend = out.get("backend") or app.manager.info(name)["backend"]
         app.observe_op(op, backend, seconds=time.perf_counter() - t0,
-                       points=out.get("applied", 0))
+                       points=out.get("applied", 0),
+                       kernel=out.get("kernel_backend"))
         return out
 
     def _op_extend(self, query, name: str) -> int:
@@ -389,6 +390,10 @@ class ReproServer:
             "repro_serve_request_seconds",
             "Session-operation latency by operation and backend.",
             ("op", "backend"), buckets=DEFAULT_BUCKETS)
+        self.hist_solve = reg.histogram(
+            "repro_serve_solve_seconds",
+            "Solve latency by coreset backend and distance-kernel backend.",
+            ("backend", "kernel"), buckets=DEFAULT_BUCKETS)
         self.gauge_up = reg.gauge(
             "repro_serve_ready",
             "1 when the server is accepting traffic, else 0.")
@@ -403,10 +408,14 @@ class ReproServer:
             method=method, route=route, code=str(status)).inc()
 
     def observe_op(self, op: str, backend: str, seconds: "float | None" = None,
-                   points: int = 0) -> None:
-        """Record one session operation (latency + point throughput)."""
+                   points: int = 0, kernel: "str | None" = None) -> None:
+        """Record one session operation (latency + point throughput;
+        solves additionally land in the per-kernel-backend histogram)."""
         if seconds is not None:
             self.hist_latency.labels(op=op, backend=backend).observe(seconds)
+            if kernel is not None:
+                self.hist_solve.labels(backend=backend,
+                                       kernel=kernel).observe(seconds)
         if points:
             self.counter_points.labels(op=op, backend=backend).inc(points)
 

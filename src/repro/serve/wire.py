@@ -227,7 +227,7 @@ def parse_create_payload(doc: dict) -> "tuple[ProblemSpec, str, dict, dict]":
 
 def solution_to_wire(sol) -> dict:
     """Render a :class:`~repro.api.Solution` as a JSON-safe dict."""
-    return {
+    out = {
         "radius": float(sol.radius),
         "centers": np.asarray(sol.centers, dtype=float).tolist(),
         "method": sol.method,
@@ -237,3 +237,10 @@ def solution_to_wire(sol) -> dict:
         "updates": int(sol.updates),
         "wall_time": float(sol.wall_time),
     }
+    # kernel provenance (which distance-kernel backend ran the solve, and
+    # the greedy decision path taken) when the session recorded it
+    if "kernel_backend" in sol.stats:
+        out["kernel_backend"] = sol.stats["kernel_backend"]
+    if "greedy_path" in sol.stats:
+        out["greedy_path"] = sol.stats["greedy_path"]
+    return out

@@ -275,7 +275,8 @@ class SlidingWindowCoreset:
     def __init__(self, k: int, z: int, eps: float, d: int, window: int,
                  r_min: float, r_max: float, metric=None, ladder_ratio: float = 2.0,
                  capacity: "int | None" = None, dtype: "str | None" = None,
-                 kernel_chunk: "int | None" = None):
+                 kernel_chunk: "int | None" = None,
+                 kernel_backend: "str | None" = None):
         if not (0 < r_min <= r_max):
             raise ValueError("need 0 < r_min <= r_max")
         if ladder_ratio <= 1:
@@ -287,6 +288,7 @@ class SlidingWindowCoreset:
         #: (:mod:`repro.kernels`); coresets themselves are kernel-free
         self.dtype = dtype
         self.kernel_chunk = kernel_chunk
+        self.kernel_backend = kernel_backend
         self._t = -1
         rungs = int(ceil(np.log(r_max / r_min) / np.log(ladder_ratio))) + 1
         self.guesses = [
@@ -376,4 +378,5 @@ class SlidingWindowCoreset:
         return charikar_greedy(
             cs, self.k, self.z, self.metric,
             dtype=self.dtype, kernel_chunk=self.kernel_chunk,
+            kernel_backend=self.kernel_backend,
         ).radius

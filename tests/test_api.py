@@ -73,7 +73,8 @@ class TestProblemSpec:
         d = ProblemSpec(2, 3, 0.5, dim=1, seed=0).as_dict()
         assert d == {"k": 2, "z": 3, "eps": 0.5, "metric": "euclidean",
                      "seed": 0, "dim": 1, "executor": None, "jobs": None,
-                     "dtype": None, "kernel_chunk": None}
+                     "dtype": None, "kernel_chunk": None,
+                     "kernel_backend": None}
 
 
 class TestRegistry:
@@ -256,7 +257,7 @@ class TestSession:
     def test_top_level_exports(self):
         import repro
 
-        assert repro.__version__ == "1.6.0"
+        assert repro.__version__ == "1.7.0"
         assert repro.ProblemSpec is ProblemSpec
         assert repro.KCenterSession is KCenterSession
         assert "api" in repro.__all__

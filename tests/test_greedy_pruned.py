@@ -1,0 +1,323 @@
+"""The grid-pruned candidate scans: PointGrid correctness, the sparse
+pair-distance kernel, workspace norm-subset reuse, and bit-for-bit
+parity of the pruned geometric search against the dense path on
+adversarial layouts.
+
+Parity here is *identity*, not closeness: integer weights are exact in
+float64 (sums are order-independent), and :func:`pair_distances`
+reproduces the corresponding ``cdist`` entries bit for bit, so every
+argmax pick of the pruned decision procedure must equal the dense one.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.greedy as greedy_mod
+from repro.core import WeightedPointSet, charikar_greedy
+from repro.core._greedy_reference import charikar_greedy_reference
+from repro.core.greedy import _grid_decision, _grid_for_guess
+from repro.core.metrics import get_metric
+from repro.geometry import PointGrid
+from repro.kernels import Workspace, pair_distances, pairwise_kernel
+
+METRICS = ("euclidean", "chebyshev", "manhattan")
+
+
+# ---------------------------------------------------------------------------
+# PointGrid
+# ---------------------------------------------------------------------------
+
+
+class TestPointGrid:
+    def test_partitions_all_points(self, rng):
+        pts = rng.uniform(-5, 5, size=(200, 3))
+        grid = PointGrid.build(pts, 0.7)
+        assert grid is not None
+        assert int(grid.cell_counts.sum()) == len(pts)
+        # order is a permutation and point_cell matches the sorted layout
+        assert np.array_equal(np.sort(grid.order), np.arange(len(pts)))
+        for c in range(grid.num_cells):
+            members = grid.order[
+                grid.cell_starts[c] : grid.cell_starts[c] + grid.cell_counts[c]
+            ]
+            assert np.all(grid.point_cell[members] == c)
+
+    @pytest.mark.parametrize("d", [1, 2, 3, 4])
+    def test_query_point_is_a_candidate_superset(self, rng, d):
+        pts = rng.uniform(-3, 3, size=(150, d))
+        for dist in (0.2, 0.9, 2.5):
+            grid = PointGrid.build(pts, dist * (1 + 1e-6), max_ring=1)
+            assert grid is not None
+            for i in (0, 7, 149):
+                cand = set(grid.query_point(i, dist).tolist())
+                true = np.nonzero(
+                    np.linalg.norm(pts - pts[i], axis=1) <= dist
+                )[0]
+                assert set(true.tolist()) <= cand
+                assert i in cand
+
+    def test_ring_rule(self):
+        pts = np.zeros((1, 2))
+        grid = PointGrid.build(pts, 1.0, max_ring=3)
+        assert grid.ring(0.0) == 1
+        assert grid.ring(0.999999) == 1
+        assert grid.ring(1.5) == 2
+        assert grid.ring(2.999) == 3
+        with pytest.raises(ValueError):
+            grid.ring(3.5)
+
+    def test_build_rejects_untrustworthy_quantization(self):
+        pts = np.array([[0.0, 0.0], [1e12, 1e12]])
+        assert PointGrid.build(pts, 1e-3) is None  # |cell index| >= 2^30
+        assert PointGrid.build(pts, 0.0) is None
+        assert PointGrid.build(pts, float("nan")) is None
+        assert PointGrid.build(np.array([[np.inf, 0.0]]), 1.0) is None
+
+    def test_points_in_cells_matches_loop(self, rng):
+        pts = rng.uniform(0, 4, size=(80, 2))
+        grid = PointGrid.build(pts, 0.5)
+        cells = np.array([0, grid.num_cells - 1, 0])  # duplicates allowed
+        got = grid.points_in_cells(cells)
+        want = np.concatenate([
+            grid.order[grid.cell_starts[c] : grid.cell_starts[c]
+                       + grid.cell_counts[c]]
+            for c in cells
+        ])
+        assert np.array_equal(got, want)
+
+    def test_query_cells_union_unique_superset(self, rng):
+        pts = rng.uniform(0, 4, size=(120, 2))
+        dist = 0.6
+        grid = PointGrid.build(pts, dist * (1 + 1e-6), max_ring=1)
+        cells = grid.point_cell[np.array([3, 57, 3])]
+        got = grid.query_cells_union(cells, dist)
+        assert len(np.unique(got)) == len(got)
+        for i in (3, 57):
+            true = np.nonzero(
+                np.linalg.norm(pts - pts[i], axis=1) <= dist
+            )[0]
+            assert set(true.tolist()) <= set(got.tolist())
+
+
+# ---------------------------------------------------------------------------
+# pair_distances — the sparse kernel must bit-match cdist
+# ---------------------------------------------------------------------------
+
+
+class TestPairDistances:
+    @pytest.mark.parametrize("kind", METRICS)
+    @pytest.mark.parametrize("d", [1, 2, 3, 4])
+    def test_bit_matches_cdist(self, rng, kind, d):
+        pts = rng.normal(size=(60, d)) * rng.choice([1e-3, 1.0, 1e6])
+        rows = rng.integers(0, 60, size=300)
+        cols = rng.integers(0, 60, size=300)
+        D = pairwise_kernel(kind, pts, pts)  # the cdist reference path
+        got = pair_distances(kind, pts, rows, cols)
+        assert got.dtype == np.float64
+        np.testing.assert_array_equal(got, D[rows, cols])
+
+    def test_empty_pairs(self):
+        pts = np.zeros((3, 2))
+        out = pair_distances(
+            "euclidean", pts, np.zeros(0, dtype=int), np.zeros(0, dtype=int)
+        )
+        assert out.shape == (0,)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            pair_distances("cosine", np.zeros((2, 2)), [0], [1])
+
+
+# ---------------------------------------------------------------------------
+# Workspace.take — cached norm subsets for the pruned scans
+# ---------------------------------------------------------------------------
+
+
+class TestWorkspaceTake:
+    def test_subset_norms_bit_equal_and_seeded(self, rng):
+        ws = Workspace()
+        base = rng.normal(size=(50, 3)).astype(np.float32)
+        full = ws.sqnorms(base)
+        idx = np.array([4, 9, 11, 30])
+        sub = ws.take(base, idx)
+        np.testing.assert_array_equal(sub, base[idx])
+        # the subset's norms were seeded from the cached full reduction
+        np.testing.assert_array_equal(ws.sqnorms(sub), full[idx])
+
+    def test_memoized_per_index_set(self, rng):
+        ws = Workspace()
+        base = rng.normal(size=(20, 2))
+        idx = np.array([1, 3, 5])
+        sub1 = ws.take(base, idx)
+        sub2 = ws.take(base, idx.copy())  # equal content, distinct array
+        assert sub1 is sub2
+        other = ws.take(base, np.array([2, 4]))
+        assert other is not sub1
+
+
+# ---------------------------------------------------------------------------
+# Pruned-vs-dense parity on adversarial layouts
+# ---------------------------------------------------------------------------
+
+
+def _assert_same_result(a, b):
+    assert a.radius == b.radius
+    assert a.guess == b.guess
+    np.testing.assert_array_equal(a.centers_idx, b.centers_idx)
+    np.testing.assert_array_equal(a.uncovered, b.uncovered)
+
+
+def _check_parity(P, k, z, metric=None, pairwise_limit=8):
+    """prune='auto' vs prune='off' vs the frozen reference, bit for bit.
+
+    A tiny ``pairwise_limit`` forces the geometric search where the grid
+    pruning lives.
+    """
+    met = get_metric(metric)
+    pruned = charikar_greedy(P, k, z, met, pairwise_limit=pairwise_limit)
+    dense = charikar_greedy(
+        P, k, z, met, pairwise_limit=pairwise_limit, prune="off"
+    )
+    assert dense.path == "dense"
+    _assert_same_result(pruned, dense)
+    _assert_same_result(
+        pruned,
+        charikar_greedy_reference(P, k, z, met, pairwise_limit=pairwise_limit),
+    )
+    return pruned
+
+
+class TestAdversarialParity:
+    @pytest.mark.parametrize("metric", METRICS)
+    def test_all_points_in_one_cell(self, rng, metric):
+        # a tight cluster far from the origin: every radius guess above
+        # the spread buckets the whole input into a single giant cell
+        pts = 1000.0 + rng.uniform(0, 1e-3, size=(300, 2))
+        P = WeightedPointSet(pts, rng.integers(1, 4, 300))
+        _check_parity(P, 2, 5, metric)
+
+    @pytest.mark.parametrize("metric", METRICS)
+    def test_exact_cell_boundary_coordinates(self, rng, metric):
+        # lattice points at exact integer multiples of plausible cell
+        # sides: floor(p/side) sits on the rounding knife-edge the ring
+        # slack must absorb
+        lattice = rng.integers(0, 12, size=(256, 2)).astype(float)
+        lattice *= rng.choice([0.25, 0.5, 1.0])
+        P = WeightedPointSet(lattice, rng.integers(1, 5, 256))
+        _check_parity(P, 3, 8, metric)
+
+    @pytest.mark.parametrize("metric", METRICS)
+    def test_duplicate_flood(self, rng, metric):
+        # 10 distinct locations, 30 copies each: radius-0 guesses, zero
+        # candidate distances and heavy per-cell multiplicity
+        base = rng.uniform(0, 5, size=(10, 2))
+        pts = np.repeat(base, 30, axis=0)
+        P = WeightedPointSet(pts, rng.integers(1, 3, 300))
+        _check_parity(P, 4, 12, metric)
+
+    def test_duplicate_flood_radius_zero(self, rng):
+        # k >= distinct locations: the optimal radius is exactly 0 and
+        # decide(0.0) must succeed on the grid path
+        base = rng.uniform(0, 5, size=(4, 2))
+        pts = np.repeat(base, 60, axis=0)
+        P = WeightedPointSet(pts, np.ones(240, dtype=np.int64))
+        res = _check_parity(P, 4, 0)
+        assert res.radius == 0.0
+
+    def test_coo_and_oversized_pair_machinery(self, rng, monkeypatch):
+        # tiny thresholds force the COO pair-expansion path, its budget
+        # chunking, and the oversized-single-pair diversion to the
+        # blocked kernel — all must stay bit-identical
+        monkeypatch.setattr(greedy_mod, "_GRID_BLOCK_CELLS", 1)
+        monkeypatch.setattr(greedy_mod, "_GRID_PAIR_CHUNK", 64)
+        monkeypatch.setattr(greedy_mod, "_GRID_MATCH_CHUNK", 7)
+        pts = rng.uniform(0, 10, size=(400, 2))
+        # one dense blob => one cell pair with >> 64 pairs (oversized)
+        pts[:150] = 5.0 + rng.uniform(0, 1e-4, size=(150, 2))
+        P = WeightedPointSet(pts, rng.integers(1, 6, 400))
+        _check_parity(P, 3, 10)
+
+    def test_one_dimensional_input(self, rng):
+        pts = np.sort(rng.normal(size=100)).reshape(-1, 1) * 50.0
+        P = WeightedPointSet(pts, rng.integers(1, 4, 100))
+        _check_parity(P, 3, 6)
+
+    def test_huge_coordinates_fall_back_dense(self, rng):
+        # coordinates too large for trustworthy cell indices at small
+        # guesses: the grid build refuses and the dense path answers
+        pts = rng.uniform(0, 1, size=(120, 2)) * 1e14
+        pts[0] = 0.0
+        P = WeightedPointSet(pts, np.ones(120, dtype=np.int64))
+        _check_parity(P, 3, 4)
+
+
+class TestPruneKnob:
+    def test_invalid_prune_rejected(self, rng):
+        P = WeightedPointSet.from_points(rng.uniform(0, 1, size=(10, 2)))
+        with pytest.raises(ValueError, match="prune"):
+            charikar_greedy(P, 2, 1, prune="maybe")
+
+    def test_path_provenance(self, rng):
+        pts = rng.uniform(0, 10, size=(300, 2))
+        P = WeightedPointSet(pts, np.ones(300, dtype=np.int64))
+        assert charikar_greedy(P, 3, 5).path == "pairwise"
+        geo = charikar_greedy(P, 3, 5, pairwise_limit=8)
+        assert geo.path in ("grid", "mixed")
+        assert charikar_greedy(P, 3, 5, pairwise_limit=8,
+                               prune="off").path == "dense"
+
+    def test_high_dimension_stays_dense(self, rng):
+        pts = rng.uniform(0, 10, size=(64, 6))
+        P = WeightedPointSet(pts, np.ones(64, dtype=np.int64))
+        assert charikar_greedy(P, 3, 2, pairwise_limit=8).path == "dense"
+
+    def test_float32_kernel_stays_dense(self, rng):
+        pts = rng.uniform(0, 10, size=(64, 2))
+        P = WeightedPointSet(pts, np.ones(64, dtype=np.int64))
+        res = charikar_greedy(P, 3, 2, pairwise_limit=8, dtype="float32")
+        assert res.path == "dense"
+
+
+class TestGridDecisionDirect:
+    def test_matches_dense_decision_across_guesses(self, rng):
+        from repro.core._greedy_reference import geometric_decision_reference
+
+        pts = rng.uniform(0, 8, size=(220, 2))
+        P = WeightedPointSet(pts, rng.integers(1, 5, 220))
+        met = get_metric(None)
+        for g in (0.0, 0.1, 0.7, 3.0):
+            grid = _grid_for_guess(P.points, g + 1e-9 * max(1.0, g))
+            assert grid is not None
+            ok_a, c_a, u_a = _grid_decision(P, met, 4, 6, g, grid, Workspace())
+            ok_b, c_b, u_b = geometric_decision_reference(P, met, 4, 6, g)
+            assert ok_a == ok_b and list(c_a) == list(c_b)
+            np.testing.assert_array_equal(u_a, u_b)
+
+
+# ---------------------------------------------------------------------------
+# Property: pruned-vs-dense bit parity on random low-dim instances
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n=st.integers(20, 220),
+    d=st.integers(1, 4),
+    k=st.integers(1, 6),
+    z=st.integers(0, 10),
+    scale=st.sampled_from([1e-3, 1.0, 1e4]),
+    metric=st.sampled_from(METRICS),
+)
+def test_pruned_dense_bit_parity_property(seed, n, d, k, z, scale, metric):
+    rng = np.random.default_rng(seed)
+    pts = rng.normal(size=(n, d)) * scale
+    if n > 4 and seed % 3 == 0:  # fold in duplicates
+        pts[: n // 4] = pts[n // 4 : 2 * (n // 4)]
+    P = WeightedPointSet(pts, rng.integers(1, 7, n))
+    met = get_metric(metric)
+    pruned = charikar_greedy(P, k, z, met, pairwise_limit=8)
+    dense = charikar_greedy(P, k, z, met, pairwise_limit=8, prune="off")
+    _assert_same_result(pruned, dense)

@@ -1,0 +1,133 @@
+"""The optional ``"numba"`` kernel backend.
+
+The compiled kernels must be *bit-identical* to the numpy/cdist path:
+they accumulate per coordinate in index order with every intermediate
+rounded (no fastmath), exactly like cdist's inner loop, and the gain
+kernels only sum integer-valued float64 weights.  These tests skip
+cleanly when the ``repro[accel]`` extra is absent (the default
+environment); the CI accel leg runs them compiled.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import WeightedPointSet, charikar_greedy, mbc_construction
+from repro.core._greedy_reference import charikar_greedy_reference
+from repro.core.greedy import _greedy_disks
+from repro.core.metrics import get_metric
+from repro.kernels import (
+    Workspace,
+    numba_available,
+    pair_distances,
+    pairwise_kernel,
+)
+from repro.kernels import numba_backend
+
+METRICS = ("euclidean", "chebyshev", "manhattan")
+
+
+class TestWithoutNumba:
+    """Behaviour that must hold in the default (no-numba) environment."""
+
+    def test_backend_name_validates_without_numba(self):
+        from repro.api import ProblemSpec
+
+        # specs naming the backend build anywhere; availability is a
+        # solve-time concern
+        spec = ProblemSpec(2, 1, 0.5, kernel_backend="numba")
+        assert spec.kernel_backend == "numba"
+        assert spec.as_dict()["kernel_backend"] == "numba"
+
+    @pytest.mark.skipif(numba_available(), reason="numba is installed")
+    def test_require_raises_actionable_error(self):
+        with pytest.raises(RuntimeError, match=r"repro\[accel\]"):
+            numba_backend.require()
+
+    @pytest.mark.skipif(numba_available(), reason="numba is installed")
+    def test_solve_with_numba_backend_raises_actionable_error(self, rng):
+        P = WeightedPointSet.from_points(rng.uniform(0, 1, size=(32, 2)))
+        with pytest.raises(RuntimeError, match=r"repro\[accel\]"):
+            charikar_greedy(P, 2, 1, kernel_backend="numba")
+
+
+pytestmark_compiled = pytest.mark.skipif(
+    not numba_available(), reason="numba not installed (optional extra)"
+)
+
+
+@pytestmark_compiled
+class TestCompiledKernels:
+    @pytest.mark.parametrize("kind", METRICS)
+    @pytest.mark.parametrize("d", [1, 2, 3, 4])
+    def test_pairwise_bit_matches_cdist(self, rng, kind, d):
+        a = rng.normal(size=(40, d)) * rng.choice([1e-3, 1.0, 1e6])
+        b = rng.normal(size=(25, d))
+        want = pairwise_kernel(kind, a, b)  # cdist
+        got = pairwise_kernel(kind, a, b, backend="numba")
+        np.testing.assert_array_equal(got, want)
+
+    @pytest.mark.parametrize("kind", METRICS)
+    def test_pair_distances_bit_matches_numpy(self, rng, kind):
+        pts = rng.normal(size=(50, 3))
+        rows = rng.integers(0, 50, size=400)
+        cols = rng.integers(0, 50, size=400)
+        want = pair_distances(kind, pts, rows, cols)
+        got = pair_distances(kind, pts, rows, cols, backend="numba")
+        np.testing.assert_array_equal(got, want)
+
+    def test_gain_kernels_bit_match_numpy_path(self, rng):
+        n = 120
+        D = pairwise_kernel("euclidean", rng.normal(size=(n, 2)),
+                            rng.normal(size=(n, 2)))
+        w = rng.integers(1, 9, n)
+        cutoff = float(np.median(D))
+        got = numba_backend.gain_seed(D, w.astype(np.float64), cutoff)
+        want = ((D <= cutoff) @ w.astype(np.float64))
+        np.testing.assert_array_equal(got, want)
+        idx = np.sort(rng.choice(n, size=20, replace=False))
+        numba_backend.gain_subtract(D, got, idx, w.astype(np.float64), cutoff)
+        want -= (D[:, idx] <= cutoff) @ w[idx].astype(np.float64)
+        np.testing.assert_array_equal(got, want)
+
+
+@pytestmark_compiled
+class TestGreedyParityUnderNumba:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_charikar_bit_identical(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(20, 200))
+        d = int(rng.integers(1, 4))
+        P = WeightedPointSet(rng.normal(size=(n, d)) * 10,
+                             rng.integers(1, 6, n))
+        k = int(rng.integers(1, 5))
+        z = int(rng.integers(0, 8))
+        met = get_metric(str(rng.choice(METRICS)))
+        limit = 8 if seed % 2 else 2048
+        a = charikar_greedy(P, k, z, met, pairwise_limit=limit,
+                            kernel_backend="numba")
+        b = charikar_greedy_reference(P, k, z, met, pairwise_limit=limit)
+        assert a.radius == b.radius and a.guess == b.guess
+        np.testing.assert_array_equal(a.centers_idx, b.centers_idx)
+        np.testing.assert_array_equal(a.uncovered, b.uncovered)
+
+    def test_greedy_disks_bit_identical(self, rng):
+        n = 150
+        pts = rng.normal(size=(n, 2))
+        D = pairwise_kernel("euclidean", pts, pts)
+        w = rng.integers(1, 7, n)
+        g = float(np.quantile(D, 0.2))
+        ok_a, c_a, u_a = _greedy_disks(D, w, 3, 5, g, Workspace(),
+                                       backend="numba")
+        ok_b, c_b, u_b = _greedy_disks(D, w, 3, 5, g, Workspace())
+        assert ok_a == ok_b and c_a == c_b
+        np.testing.assert_array_equal(u_a, u_b)
+
+    def test_mbc_bit_identical(self, rng):
+        P = WeightedPointSet(rng.normal(size=(300, 2)) * 5,
+                             rng.integers(1, 4, 300))
+        a = mbc_construction(P, 4, 8, 0.4, kernel_backend="numba")
+        b = mbc_construction(P, 4, 8, 0.4)
+        assert a.greedy_radius == b.greedy_radius
+        np.testing.assert_array_equal(a.coreset.points, b.coreset.points)
+        np.testing.assert_array_equal(a.coreset.weights, b.coreset.weights)
+        np.testing.assert_array_equal(a.assignment, b.assignment)

@@ -165,6 +165,9 @@ class TestSessionRoutes:
         assert np.array_equal(np.asarray(doc["centers"]), want.centers)
         assert doc["coreset_size"] == want.coreset_size
         assert doc["radius_ratio"] == pytest.approx(1.0)
+        # kernel provenance rides along with every solve
+        assert doc["kernel_backend"] == "numpy"
+        assert doc["greedy_path"] in ("pairwise", "grid", "dense", "mixed")
 
     def test_delete_points_routes(self, server, client):
         pts = np.random.default_rng(5).integers(
@@ -210,6 +213,7 @@ class TestMetricsEndpoint:
             "repro_serve_points_total",
             "repro_serve_solves_total",
             "repro_serve_request_seconds",
+            "repro_serve_solve_seconds",
             "repro_serve_sessions_resident",
             "repro_serve_sessions_evicted",
             "repro_serve_evictions_total",
@@ -230,6 +234,10 @@ class TestMetricsEndpoint:
         hist = [s for s in fams["repro_serve_request_seconds"]["samples"]
                 if s[0].endswith("_count") and s[1]["op"] == "extend"]
         assert hist and float(hist[0][2]) == 1
+        # the solve also landed in the per-kernel-backend histogram
+        khist = [s for s in fams["repro_serve_solve_seconds"]["samples"]
+                 if s[0].endswith("_count") and s[1]["kernel"] == "numpy"]
+        assert khist and float(khist[0][2]) == 1
 
     def test_session_gauges_are_removed_on_drop(self, server, client):
         _create(client, "a")
