@@ -1,10 +1,10 @@
 """Diff two benchmark JSON documents by schema, not by timing.
 
 CI regenerates the quick benchmark document on every run and compares it
-against the committed reference (``BENCH_PR7.json``)::
+against the committed reference (``BENCH_PR8.json``)::
 
     PYTHONPATH=src python benchmarks/run_all.py --quick --json /tmp/bench.json
-    python benchmarks/check_bench_schema.py BENCH_PR7.json /tmp/bench.json
+    python benchmarks/check_bench_schema.py BENCH_PR8.json /tmp/bench.json
 
 ``--require id1,id2`` additionally asserts that the named entry ids are
 present in the candidate document (CI pins the PR's new scaling-curve
@@ -16,6 +16,16 @@ type must match.  Timings, throughputs, versions and timestamps are
 expected to drift run-to-run and are deliberately NOT compared — the
 check catches a bench being dropped, renamed, or silently changing its
 report shape, without making CI flaky on runner speed.
+
+``--compare OLD.json NEW.json [--max-slowdown R]`` is a second mode
+that DOES look at timings: it matches entries by id across two bench
+documents and fails when any matched entry's ``new_s`` regressed by
+more than the allowed ratio (default 1.25).  Entries whose ``params``
+differ between the documents are skipped with a note (a bench that
+changed its workload is not a regression), as are entries present on
+only one side.  CI runs this against the committed reference to catch
+order-of-magnitude performance regressions while the generous ratio
+absorbs runner noise.
 """
 
 from __future__ import annotations
@@ -89,9 +99,49 @@ def compare(reference: dict, candidate: dict) -> "list[str]":
     return problems
 
 
+def compare_timings(reference: dict, candidate: dict,
+                    max_slowdown: float) -> "tuple[list[str], list[str]]":
+    """Timing regressions between two bench documents.
+
+    Returns ``(problems, notes)``: a matched entry (same id, same
+    ``params``) whose candidate ``new_s`` exceeds the reference's by
+    more than ``max_slowdown``x is a problem; id/params mismatches are
+    reported as informational notes only.
+    """
+    problems, notes = [], []
+    ref_by_id = {e.get("id"): e for e in reference.get("entries") or []}
+    cand_by_id = {e.get("id"): e for e in candidate.get("entries") or []}
+    for eid in sorted(set(ref_by_id) - set(cand_by_id)):
+        notes.append(f"entry {eid!r} only in reference; not compared")
+    for eid in sorted(set(cand_by_id) - set(ref_by_id)):
+        notes.append(f"entry {eid!r} only in candidate; not compared")
+    for eid in sorted(set(ref_by_id) & set(cand_by_id)):
+        ref, cand = ref_by_id[eid], cand_by_id[eid]
+        if ref.get("params") != cand.get("params"):
+            notes.append(f"entry {eid!r}: params changed; not compared")
+            continue
+        ref_s, cand_s = ref.get("new_s"), cand.get("new_s")
+        if not isinstance(ref_s, (int, float)) or isinstance(ref_s, bool) \
+                or not isinstance(cand_s, (int, float)) \
+                or isinstance(cand_s, bool) or ref_s <= 0:
+            notes.append(f"entry {eid!r}: no comparable new_s timing")
+            continue
+        ratio = cand_s / ref_s
+        if ratio > max_slowdown:
+            problems.append(
+                f"entry {eid!r}: new_s regressed {ref_s:.4g}s -> "
+                f"{cand_s:.4g}s ({ratio:.2f}x > {max_slowdown:.2f}x)")
+        else:
+            notes.append(f"entry {eid!r}: {ref_s:.4g}s -> {cand_s:.4g}s "
+                         f"({ratio:.2f}x) OK")
+    return problems, notes
+
+
 def main(argv: "list[str]") -> int:
     require: "list[str]" = []
     paths: "list[str]" = []
+    compare_mode = False
+    max_slowdown = 1.25
     it = iter(argv)
     for arg in it:
         if arg == "--require":
@@ -101,13 +151,44 @@ def main(argv: "list[str]") -> int:
                       file=sys.stderr)
                 return 2
             require.extend(x for x in value.split(",") if x)
+        elif arg == "--compare":
+            compare_mode = True
+        elif arg == "--max-slowdown":
+            value = next(it, None)
+            try:
+                max_slowdown = float(value)
+            except (TypeError, ValueError):
+                print("--max-slowdown needs a positive ratio",
+                      file=sys.stderr)
+                return 2
+            if max_slowdown <= 0:
+                print("--max-slowdown needs a positive ratio",
+                      file=sys.stderr)
+                return 2
         else:
             paths.append(arg)
     if len(paths) != 2:
         print("usage: python benchmarks/check_bench_schema.py "
-              "[--require id1,id2] REFERENCE.json CANDIDATE.json",
+              "[--require id1,id2] REFERENCE.json CANDIDATE.json\n"
+              "       python benchmarks/check_bench_schema.py "
+              "--compare [--max-slowdown R] OLD.json NEW.json",
               file=sys.stderr)
         return 2
+    if compare_mode:
+        with open(paths[0]) as fh:
+            old = json.load(fh)
+        with open(paths[1]) as fh:
+            new = json.load(fh)
+        problems, notes = compare_timings(old, new, max_slowdown)
+        for note in notes:
+            print(f"compare: {note}")
+        for p in problems:
+            print(f"TIMING REGRESSION: {p}", file=sys.stderr)
+        if problems:
+            return 1
+        print(f"bench timings OK (max allowed slowdown "
+              f"{max_slowdown:.2f}x)")
+        return 0
     with open(paths[0]) as fh:
         reference = json.load(fh)
     with open(paths[1]) as fh:

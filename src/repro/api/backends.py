@@ -304,7 +304,8 @@ class OfflineMBCBackend(_BufferedBackendBase):
         self.last_mbc = mbc_construction(
             P, self.spec.k, self.spec.z, self.spec.eps, self.spec.resolved_metric,
             dtype=self.spec.dtype, kernel_chunk=self.spec.kernel_chunk,
-            kernel_backend=self.spec.kernel_backend,
+            kernel_backend=self.spec.kernel_backend, prune=self.spec.prune,
+            decision_jobs=self.spec.decision_jobs,
         )
         return self.last_mbc.coreset
 
@@ -658,8 +659,9 @@ class MPCBackend(_BufferedBackendBase):
         executor name or instance plus worker count.  Defaults to the
         spec's ``executor``/``jobs`` fields; ``jobs`` alone implies a
         thread pool.  Results are bit-identical under every executor.
-    dtype, kernel_chunk, kernel_backend:
-        Distance-kernel knobs (:mod:`repro.kernels`) for the machine-local
+    dtype, kernel_chunk, kernel_backend, prune, decision_jobs:
+        Distance-kernel and grid-pruning knobs (:mod:`repro.kernels`,
+        :func:`repro.core.greedy.charikar_greedy`) for the machine-local
         radius searches and MBC constructions; default to the spec's
         fields, session options override.
     """
@@ -677,6 +679,8 @@ class MPCBackend(_BufferedBackendBase):
         dtype=None,
         kernel_chunk: "int | None" = None,
         kernel_backend: "str | None" = None,
+        prune: "str | None" = None,
+        decision_jobs: "int | None" = None,
     ):
         super().__init__(spec)
         self.num_machines = num_machines
@@ -688,6 +692,10 @@ class MPCBackend(_BufferedBackendBase):
         )
         self.kernel_backend = (
             kernel_backend if kernel_backend is not None else spec.kernel_backend
+        )
+        self.prune = prune if prune is not None else spec.prune
+        self.decision_jobs = (
+            decision_jobs if decision_jobs is not None else spec.decision_jobs
         )
         self.last_result: "MPCCoresetResult | None" = None
 
@@ -764,9 +772,12 @@ class TwoRoundMPCBackend(MPCBackend):
                  outlier_guessing: bool = True, executor=None,
                  jobs: "int | None" = None, dtype=None,
                  kernel_chunk: "int | None" = None,
-                 kernel_backend: "str | None" = None):
+                 kernel_backend: "str | None" = None,
+                 prune: "str | None" = None,
+                 decision_jobs: "int | None" = None):
         super().__init__(spec, num_machines, partition, executor, jobs,
-                         dtype, kernel_chunk, kernel_backend)
+                         dtype, kernel_chunk, kernel_backend, prune,
+                         decision_jobs)
         self.parallel = bool(parallel)
         self.final_compress = bool(final_compress)
         self.outlier_guessing = bool(outlier_guessing)
@@ -782,6 +793,8 @@ class TwoRoundMPCBackend(MPCBackend):
             dtype=self.dtype,
             kernel_chunk=self.kernel_chunk,
             kernel_backend=self.kernel_backend,
+            prune=self.prune,
+            decision_jobs=self.decision_jobs,
         )
 
     def guarantee(self) -> Guarantee:
@@ -811,9 +824,12 @@ class OneRoundMPCBackend(MPCBackend):
                  parallel: bool = False, final_compress: bool = True,
                  executor=None, jobs: "int | None" = None, dtype=None,
                  kernel_chunk: "int | None" = None,
-                 kernel_backend: "str | None" = None):
+                 kernel_backend: "str | None" = None,
+                 prune: "str | None" = None,
+                 decision_jobs: "int | None" = None):
         super().__init__(spec, num_machines, partition, executor, jobs,
-                         dtype, kernel_chunk, kernel_backend)
+                         dtype, kernel_chunk, kernel_backend, prune,
+                         decision_jobs)
         self.parallel = bool(parallel)
         self.final_compress = bool(final_compress)
 
@@ -827,6 +843,8 @@ class OneRoundMPCBackend(MPCBackend):
             dtype=self.dtype,
             kernel_chunk=self.kernel_chunk,
             kernel_backend=self.kernel_backend,
+            prune=self.prune,
+            decision_jobs=self.decision_jobs,
         )
 
     def guarantee(self) -> Guarantee:
@@ -852,9 +870,12 @@ class MultiRoundMPCBackend(MPCBackend):
     def __init__(self, spec, num_machines=None, partition=None,
                  rounds: int = 2, executor=None, jobs: "int | None" = None,
                  dtype=None, kernel_chunk: "int | None" = None,
-                 kernel_backend: "str | None" = None):
+                 kernel_backend: "str | None" = None,
+                 prune: "str | None" = None,
+                 decision_jobs: "int | None" = None):
         super().__init__(spec, num_machines, partition, executor, jobs,
-                         dtype, kernel_chunk, kernel_backend)
+                         dtype, kernel_chunk, kernel_backend, prune,
+                         decision_jobs)
         if int(rounds) < 1:
             raise ValueError("rounds must be >= 1")
         self.rounds = int(rounds)
@@ -867,6 +888,8 @@ class MultiRoundMPCBackend(MPCBackend):
             dtype=self.dtype,
             kernel_chunk=self.kernel_chunk,
             kernel_backend=self.kernel_backend,
+            prune=self.prune,
+            decision_jobs=self.decision_jobs,
         )
 
     def guarantee(self) -> Guarantee:

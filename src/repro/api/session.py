@@ -223,6 +223,7 @@ class KCenterSession:
             cs = self.backend.coreset()
             spec = self.spec
             greedy_path = None
+            greedy_stats = None
             if len(cs) == 0 or cs.total_weight <= spec.z:
                 centers = np.zeros((0, cs.dim if len(cs) else (spec.dim or 1)))
                 radius = 0.0
@@ -231,9 +232,12 @@ class KCenterSession:
                     cs, spec.k, spec.z, spec.resolved_metric,
                     dtype=spec.dtype, kernel_chunk=spec.kernel_chunk,
                     kernel_backend=spec.kernel_backend,
+                    prune=spec.prune if spec.prune is not None else "auto",
+                    decision_jobs=spec.decision_jobs,
                 )
                 centers, radius = cs.points[res.centers_idx], res.radius
                 greedy_path = res.path
+                greedy_stats = res.stats
             else:
                 sol = solve_kcenter_outliers(
                     cs, spec.k, spec.z, spec.resolved_metric, method=method
@@ -246,6 +250,10 @@ class KCenterSession:
             stats["kernel_backend"] = spec.kernel_backend or "numpy"
             if greedy_path is not None:
                 stats["greedy_path"] = greedy_path
+            if greedy_stats:
+                # grid_builds / grid_reuses / decision_shards breakdown of
+                # the grid-pruned radius search (JSON-safe ints)
+                stats["greedy_stats"] = dict(greedy_stats)
             return Solution(
                 centers=centers,
                 radius=float(radius),

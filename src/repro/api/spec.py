@@ -75,6 +75,19 @@ class ProblemSpec:
         Validated by name only, so a spec naming ``"numba"`` can be
         stored/loaded on machines without the extra — availability is
         checked at solve time.
+    prune:
+        Grid pruning of the Greedy radius search
+        (:func:`repro.core.greedy.charikar_greedy`): ``None`` / ``"auto"``
+        prunes whenever the exactness gate applies, ``"off"`` (alias
+        ``"dense"``) forces the dense chunked path, ``"grid"`` *requires*
+        pruning and fails at solve time when the gate is inapplicable.
+        Pruned results are bit-identical to the dense float64 reference.
+    decision_jobs:
+        Threads each pruned radius-search decision shards its cell scans
+        across (``>= 1``; ``None`` means serial).  The deterministic
+        shard reduction keeps results bit-identical to serial at any job
+        count.  Independent of ``jobs``, which fans out per-machine MPC
+        work.
     """
 
     k: int
@@ -88,6 +101,8 @@ class ProblemSpec:
     dtype: "str | None" = None
     kernel_chunk: "int | None" = None
     kernel_backend: "str | None" = None
+    prune: "str | None" = None
+    decision_jobs: "int | None" = None
     _metric_obj: Metric = field(init=False, repr=False, compare=False)
 
     def __post_init__(self):
@@ -125,6 +140,18 @@ class ProblemSpec:
             )
         if self.jobs is not None:
             object.__setattr__(self, "jobs", int(self.jobs))
+        if self.prune is not None:
+            if self.prune not in ("auto", "off", "grid", "dense"):
+                raise ValueError(
+                    "prune must be 'auto', 'off', 'grid', 'dense' or None, "
+                    f"got {self.prune!r}"
+                )
+        if self.decision_jobs is not None:
+            if int(self.decision_jobs) < 1:
+                raise ValueError(
+                    f"decision_jobs must be >= 1, got {self.decision_jobs}"
+                )
+            object.__setattr__(self, "decision_jobs", int(self.decision_jobs))
         object.__setattr__(self, "k", int(self.k))
         object.__setattr__(self, "z", int(self.z))
         object.__setattr__(self, "eps", float(self.eps))
@@ -188,6 +215,7 @@ class ProblemSpec:
             "executor": self.executor, "jobs": self.jobs,
             "dtype": self.dtype, "kernel_chunk": self.kernel_chunk,
             "kernel_backend": self.kernel_backend,
+            "prune": self.prune, "decision_jobs": self.decision_jobs,
         }
         base.update(changes)
         return ProblemSpec(**base)
@@ -206,6 +234,8 @@ class ProblemSpec:
             "dtype": self.dtype,
             "kernel_chunk": self.kernel_chunk,
             "kernel_backend": self.kernel_backend,
+            "prune": self.prune,
+            "decision_jobs": self.decision_jobs,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

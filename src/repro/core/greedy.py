@@ -34,20 +34,40 @@ per guess instead of ``O(k n^2)``.  Distance blocks come from
 ``dtype`` / ``kernel_chunk`` knobs of :class:`repro.api.ProblemSpec`.
 
 Grid pruning (the sub-quadratic refactor): for the built-in norms in low
-dimension with integer weights and the float64 kernel, each geometric
-radius-guess decision additionally builds a
-:class:`~repro.geometry.PointGrid` with cell side just above the guess,
-so both the gain seeding and the per-pick bookkeeping only evaluate
-distances between points in Chebyshev-adjacent cells — ``O(n * 3^d)``
-pairs per guess when the guess is near the optimum instead of ``O(n^2)``.
-Candidate supersets come from the grid; the surviving pairs are
-re-evaluated with :func:`repro.kernels.pair_distances`, which is
-bit-identical to the cdist entries the dense path compares, and all
-accumulated sums are exact integers — so the pruned decisions pick the
-same centers, bit for bit (``tests/test_greedy_pruned.py``).  High
-dimension, arbitrary / precomputed metrics, fractional weights and the
-float32 kernel all fall back to the dense path automatically
-(:attr:`GreedyResult.path` records which path served the call).
+dimension with integer weights, each geometric radius-guess decision
+prunes its candidate scans through a
+:class:`~repro.geometry.PointGrid`, so both the gain seeding and the
+per-pick bookkeeping only evaluate distances between points in
+Chebyshev-adjacent cells — ``O(n * (2R+1)^d)`` pairs per guess when the
+guess is near the optimum instead of ``O(n^2)``.  Candidate supersets
+come from the grid; the surviving pairs are re-evaluated in float64 with
+:func:`repro.kernels.pair_distances`, which is bit-identical to the
+cdist entries the dense float64 path compares, and all accumulated sums
+are exact integers — so the pruned decisions pick the same centers, bit
+for bit, as the dense float64 reference (``tests/test_greedy_pruned.py``).
+This holds for the float32 fast path too: a pruned decision always
+evaluates its sparse distances in exact float64, so ``dtype="float32"``
+with pruning returns the float64-reference results (the lossy float32
+kernel only runs on the dense fallback).  High dimension, arbitrary /
+precomputed metrics and fractional weights fall back to the dense path
+automatically (:attr:`GreedyResult.path` records which path served the
+call).
+
+Persistent geometry (the hierarchy refactor): the radius search builds
+**one** :class:`~repro.geometry.PointGridHierarchy` per call — a lazy
+geometric ladder of grids anchored at the smallest guess — and every
+guess snaps to the nearest conservative level instead of re-bucketing
+all points per guess; coarse levels derive their index from finer ones
+at cell (not point) cost, and :func:`repro.core.mbc._greedy_absorb`
+reuses the same ladder through :attr:`GreedyResult.geometry`.  The
+per-decision cell scans can additionally be sharded across a
+:class:`repro.engine.ThreadExecutor` (``decision_jobs``): shards are
+deterministic contiguous cell ranges, each accumulates into its own
+gain array, and the partials are reduced in shard order — with integer
+weights every partial is an exact float64 integer, so the reduction
+(and every argmax pick, tie-breaks included) is bit-identical to the
+serial scan for any job count.  :attr:`GreedyResult.stats` reports the
+``grid_builds`` / ``grid_reuses`` / ``decision_shards`` breakdown.
 
 ``kernel_backend="numba"`` additionally dispatches the distance kernels
 and the hot gain-update loops to the compiled implementations of
@@ -61,7 +81,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..geometry.grid import PointGrid
+from ..engine.executor import ThreadExecutor, shard_ranges
+from ..geometry.grid import PointGrid, PointGridHierarchy
 from ..kernels import (
     Workspace,
     auto_chunk,
@@ -92,8 +113,14 @@ _GRID_BLOCK_CELLS = 4096
 _GRID_PAIR_CHUNK = 4_000_000
 
 #: cells per vectorized neighbor-matching block (bounds the
-#: ``cells x 3^d`` searchsorted target matrix)
+#: ``cells x 3^d`` searchsorted target matrix); scans at wider rings
+#: scale this down so the target matrix stays the same size
 _GRID_MATCH_CHUNK = 65536
+
+#: below this many *source points*, a sharded scan's per-shard gain
+#: arrays (allocate + reduce, ``O(n * jobs)``) cost more than the scan
+#: itself; smaller scans stay serial (never affects results)
+_GRID_SHARD_MIN_POINTS = 32768
 
 
 @dataclass(frozen=True)
@@ -121,6 +148,21 @@ class GreedyResult:
         geometric search), ``"dense"`` (chunked dense geometric search)
         or ``"mixed"`` (some guesses gridded, some fell back).
         Provenance only — never affects results.
+    stats:
+        Provenance counters for the grid-pruned geometric search (zeroed
+        when it did not run): ``grid_builds`` (direct point-level
+        bucketings),
+        ``grid_derived`` (levels derived from a finer one at cell cost),
+        ``grid_reuses`` (guesses served by an already-built level),
+        ``decisions`` (grid decisions run), ``decision_jobs`` (requested
+        job count), ``decision_shards`` (max shards any scan used) and
+        ``sharded_scans`` (scans that actually fanned out).  JSON-safe
+        ints only; never affects results.
+    geometry:
+        The :class:`~repro.geometry.PointGridHierarchy` the search built
+        (``None`` off the grid path), so downstream consumers — the MBC
+        absorption loop — can reuse the ladder instead of re-bucketing
+        the same points.  Excluded from comparison and repr.
     """
 
     centers_idx: np.ndarray
@@ -128,6 +170,10 @@ class GreedyResult:
     guess: float
     uncovered: np.ndarray
     path: str = field(default="dense", compare=False)
+    stats: dict = field(default_factory=dict, compare=False)
+    geometry: "PointGridHierarchy | None" = field(
+        default=None, compare=False, repr=False
+    )
 
     def centers(self, wps: WeightedPointSet) -> np.ndarray:
         """Coordinates of the chosen centers."""
@@ -346,7 +392,7 @@ def _grid_for_guess(pts: np.ndarray, cutoff: float) -> "PointGrid | None":
     return PointGrid.build(pts, side, max_ring=3)
 
 
-def _grid_accumulate_gains(
+def _accumulate_cells(
     grid: PointGrid,
     pts: np.ndarray,
     metric: Metric,
@@ -360,9 +406,11 @@ def _grid_accumulate_gains(
     src_members: np.ndarray,
     backend: str,
     workspace: Workspace,
+    ring: int,
 ) -> None:
-    """Accumulate ``gain[i] += sign * w64[j]`` over every pair with ``j``
-    a *source* point, ``i`` any point in a cell Chebyshev-adjacent to
+    """Serial core of :func:`_grid_accumulate_gains`: accumulate
+    ``gain[i] += sign * w64[j]`` over every pair with ``j`` a *source*
+    point, ``i`` any point in a cell within Chebyshev ring ``ring`` of
     ``j``'s cell, and ``dist(i, j) <= cutoff``.
 
     Sources are given as cells (indices into ``grid.cell_codes``) with
@@ -395,7 +443,7 @@ def _grid_accumulate_gains(
                 gain[rows] -= contrib
 
     if n_src <= _GRID_BLOCK_CELLS:
-        src_pos, nbr = grid.neighbors_of_cells(src_cells, 1)
+        src_pos, nbr = grid.neighbors_of_cells(src_cells, ring)
         bounds = np.searchsorted(src_pos, np.arange(n_src + 1))
         for s in range(n_src):
             cand = grid.points_in_cells(nbr[bounds[s] : bounds[s + 1]])
@@ -403,9 +451,22 @@ def _grid_accumulate_gains(
             blocked(cand, mem)
         return
     kind = metric.name
-    for c0 in range(0, n_src, _GRID_MATCH_CHUNK):
-        hi = min(c0 + _GRID_MATCH_CHUNK, n_src)
-        src_pos, nbr = grid.neighbors_of_cells(src_cells[c0:hi], 1)
+    # the fused compiled kernel skips the dist/sel/bincount temporaries;
+    # same exact-integer result as the numpy expansion below
+    fused = None
+    if backend == "numba":
+        from ..kernels import numba_backend
+
+        if numba_backend.HAVE_NUMBA:
+            fused = numba_backend.gain_pairs
+    # keep the cells x (2R+1)^d searchsorted target matrix the same size
+    # whatever the ring (chunking never affects results)
+    match_chunk = max(
+        256, (_GRID_MATCH_CHUNK * 9) // (2 * ring + 1) ** grid.dim
+    )
+    for c0 in range(0, n_src, match_chunk):
+        hi = min(c0 + match_chunk, n_src)
+        src_pos, nbr = grid.neighbors_of_cells(src_cells[c0:hi], ring)
         src_pos = src_pos + c0
         ca = grid.cell_counts[nbr]
         cb = src_counts[src_pos]
@@ -437,17 +498,83 @@ def _grid_accumulate_gains(
                 lb = t - la * cb_p
                 rows = grid.order[grid.cell_starts[nbr[p0:p1]][pid] + la]
                 cols = src_members[src_starts[src_pos[p0:p1]][pid] + lb]
-                dist = pair_distances(kind, pts, rows, cols, backend=backend)
-                sel = dist <= cutoff
-                if sel.any():
-                    contrib = np.bincount(
-                        rows[sel], weights=w64[cols[sel]], minlength=len(gain)
-                    )
-                    if sign > 0:
-                        gain += contrib
-                    else:
-                        gain -= contrib
+                if fused is not None:
+                    fused(kind, pts, rows, cols, w64, cutoff, sign, gain)
+                else:
+                    dist = pair_distances(kind, pts, rows, cols,
+                                          backend=backend)
+                    sel = dist <= cutoff
+                    if sel.any():
+                        contrib = np.bincount(
+                            rows[sel], weights=w64[cols[sel]],
+                            minlength=len(gain),
+                        )
+                        if sign > 0:
+                            gain += contrib
+                        else:
+                            gain -= contrib
             p0 = p1
+
+
+def _grid_accumulate_gains(
+    grid: PointGrid,
+    pts: np.ndarray,
+    metric: Metric,
+    w64: np.ndarray,
+    cutoff: float,
+    gain: np.ndarray,
+    sign: float,
+    src_cells: np.ndarray,
+    src_starts: np.ndarray,
+    src_counts: np.ndarray,
+    src_members: np.ndarray,
+    backend: str,
+    workspace: Workspace,
+    ring: int = 1,
+    executor: "ThreadExecutor | None" = None,
+) -> int:
+    """Sharding wrapper over :func:`_accumulate_cells`.
+
+    With an ``executor`` and a scan worth fanning out (at least
+    :data:`_GRID_SHARD_MIN_POINTS` source points), the source cells are
+    split into deterministic contiguous ranges (:func:`shard_ranges`);
+    each shard scans into its own zeroed gain array with its own
+    :class:`Workspace` (workspace buffers are tag-keyed, not
+    thread-safe), and the partials are added into ``gain`` in shard
+    order on the calling thread.  Every partial is an exact
+    (sign-applied) integer in float64, so the reduction is bit-identical
+    to the serial scan for any job count.  Returns the number of shards
+    that ran (1 = serial).
+    """
+    n_src = len(src_cells)
+    if n_src == 0:
+        return 1
+    if (
+        executor is not None
+        and n_src > 1
+        and int(src_counts.sum()) >= _GRID_SHARD_MIN_POINTS
+    ):
+        ranges = shard_ranges(n_src, getattr(executor, "jobs", None) or 1)
+        if len(ranges) > 1:
+
+            def run_shard(rng: "tuple[int, int]") -> np.ndarray:
+                lo, hi = rng
+                part = np.zeros(len(gain), dtype=np.float64)
+                _accumulate_cells(
+                    grid, pts, metric, w64, cutoff, part, sign,
+                    src_cells[lo:hi], src_starts[lo:hi], src_counts[lo:hi],
+                    src_members, backend, Workspace(), ring,
+                )
+                return part
+
+            for part in executor.map(run_shard, ranges):
+                gain += part
+            return len(ranges)
+    _accumulate_cells(
+        grid, pts, metric, w64, cutoff, gain, sign, src_cells, src_starts,
+        src_counts, src_members, backend, workspace, ring,
+    )
+    return 1
 
 
 def _group_by_cell(
@@ -477,18 +604,23 @@ def _grid_decision(
     grid: PointGrid,
     workspace: Workspace,
     backend: str = "numpy",
+    executor: "ThreadExecutor | None" = None,
+    stats: "dict | None" = None,
 ) -> "tuple[bool, list[int], np.ndarray]":
     """Grid-pruned Charikar decision — same contract (and bit-identical
-    results) as :func:`_geometric_decision` on the float64 kernel with
-    integer weights, at ``O(pairs-in-adjacent-cells)`` distance
-    evaluations per guess instead of ``O(n^2)``.
+    results) as the float64 :func:`_geometric_decision` with integer
+    weights, at ``O(pairs-in-nearby-cells)`` distance evaluations per
+    guess instead of ``O(n^2)``.
 
-    Exactness: candidate supersets from the grid are sound (see
-    :class:`~repro.geometry.PointGrid`), every surviving pair is
-    re-evaluated with distances bit-identical to the dense path's cdist
-    entries, and integer weights make every accumulated gain an exact
-    float64 integer in any summation order — so each argmax pick matches
-    the dense pick, including tie-breaks.
+    Exactness: candidate supersets from the grid are sound at whatever
+    cell side it has (:meth:`PointGrid.ring` picks the ring the cutoff
+    needs — hierarchy-snapped grids sit at the coarsest side that still
+    covers the cutoff in one ring), every surviving pair is re-evaluated
+    with float64 distances bit-identical to the dense path's cdist
+    entries, and
+    integer weights make every accumulated gain an exact float64 integer
+    in any summation order — so each argmax pick matches the dense pick,
+    including tie-breaks, serial or sharded.
     """
     pts = wps.points
     n = len(pts)
@@ -496,12 +628,18 @@ def _grid_decision(
     tol = 1e-9 * max(1.0, guess)
     cutoff = guess + tol
     limit3 = 3.0 * guess + tol
+    ring = grid.ring(cutoff)
     gain = np.zeros(n, dtype=np.float64)
-    _grid_accumulate_gains(
+    shards = _grid_accumulate_gains(
         grid, pts, metric, w64, cutoff, gain, 1.0,
         np.arange(grid.num_cells), grid.cell_starts, grid.cell_counts,
-        grid.order, backend, workspace,
+        grid.order, backend, workspace, ring=ring, executor=executor,
     )
+    if stats is not None:
+        stats["decisions"] += 1
+        stats["decision_shards"] = max(stats["decision_shards"], shards)
+        if shards > 1:
+            stats["sharded_scans"] += 1
     uncovered = np.ones(n, dtype=bool)
     centers: list[int] = []
     for _ in range(min(k, n)):
@@ -515,10 +653,16 @@ def _grid_decision(
         if idx.size:
             uncovered[idx] = False
             cells, starts, counts, members = _group_by_cell(grid, idx)
-            _grid_accumulate_gains(
+            shards = _grid_accumulate_gains(
                 grid, pts, metric, w64, cutoff, gain, -1.0,
                 cells, starts, counts, members, backend, workspace,
+                ring=ring, executor=executor,
             )
+            if stats is not None and shards > 1:
+                stats["decision_shards"] = max(
+                    stats["decision_shards"], shards
+                )
+                stats["sharded_scans"] += 1
     return _weight_feasible(wps.weights, uncovered, z), centers, uncovered
 
 
@@ -533,6 +677,7 @@ def charikar_greedy(
     kernel_chunk: "int | None" = None,
     kernel_backend=None,
     prune: str = "auto",
+    decision_jobs: "int | None" = None,
 ) -> GreedyResult:
     """Weighted 3-approximation for k-center with ``z`` outliers.
 
@@ -563,17 +708,53 @@ def charikar_greedy(
 
     ``prune`` controls the grid-pruned candidate scans of the geometric
     search: ``"auto"`` (default) uses them whenever they are exact — a
-    built-in norm in dimension <= 4, integer weights, float64 kernel —
-    and ``"off"`` forces the dense chunked path.  Results are bit-identical
-    either way; :attr:`GreedyResult.path` records what ran.
+    built-in norm in dimension <= 4 with integer weights totalling under
+    ``2**53`` — ``"off"`` (alias ``"dense"``) forces the dense chunked
+    path, and ``"grid"`` *requires* pruning, raising :class:`ValueError`
+    when the gate is inapplicable instead of silently falling back.
+    Pruned decisions always evaluate their sparse distances in exact
+    float64, so pruned results are bit-identical to the dense *float64*
+    reference — including under ``dtype="float32"``, where the dense
+    fallback would instead pay the documented ~1e-6 distance error.
+    :attr:`GreedyResult.path` records what ran.
+
+    ``decision_jobs`` shards each pruned decision's cell scans across
+    that many threads (:class:`repro.engine.ThreadExecutor`, created
+    once per call); the deterministic shard reduction keeps results
+    bit-identical to ``decision_jobs=1``.  Ignored off the grid path,
+    where the dense kernels already saturate BLAS threads.
 
     Degenerate cases: if the total weight is at most ``z`` (everything can
     be an outlier) or ``k >= n``, the radius is ``0``.
     """
     metric = get_metric(metric)
     bk = resolve_backend(kernel_backend)
-    if prune not in ("auto", "off"):
-        raise ValueError(f"prune must be 'auto' or 'off', got {prune!r}")
+    if prune not in ("auto", "off", "grid", "dense"):
+        raise ValueError(
+            f"prune must be 'auto', 'off', 'grid' or 'dense', got {prune!r}"
+        )
+    jobs = 1 if decision_jobs is None else int(decision_jobs)
+    if jobs < 1:
+        raise ValueError(f"decision_jobs must be >= 1, got {decision_jobs!r}")
+    # the pruning gate: exactly when pruned scans are provably
+    # bit-identical to the dense float64 path — a built-in norm on real
+    # coordinates in low dimension (sound (2R+1)^d cell neighborhoods)
+    # and integer weights small enough that every partial sum is an exact
+    # float64 integer in any order
+    grid_ok = (
+        isinstance(metric, _KernelMetric)
+        and wps.points.ndim == 2
+        and wps.points.shape[1] <= _GRID_MAX_DIM
+        and np.issubdtype(wps.weights.dtype, np.integer)
+        and float(wps.weights.sum()) < 2.0**53
+    )
+    if prune == "grid" and not grid_ok:
+        raise ValueError(
+            "prune='grid' requires a built-in norm on 2-D coordinate arrays "
+            f"of dimension <= {_GRID_MAX_DIM} with integer weights totalling "
+            "under 2**53 (the exactness gate); use prune='auto' to fall back "
+            "to the dense path automatically"
+        )
     n = len(wps)
     if n == 0 or wps.total_weight <= z or k >= n:
         idx = np.arange(min(k, n), dtype=int)
@@ -582,6 +763,16 @@ def charikar_greedy(
         raise ValueError("k must be positive")
     ws = Workspace()
     path = "dense"
+    hierarchy: "PointGridHierarchy | None" = None
+    stats = {
+        "decisions": 0,
+        "grid_builds": 0,
+        "grid_derived": 0,
+        "grid_reuses": 0,
+        "decision_jobs": jobs,
+        "decision_shards": 1,
+        "sharded_scans": 0,
+    }
 
     if n <= pairwise_limit:
         path = "pairwise"
@@ -638,28 +829,26 @@ def charikar_greedy(
     else:
         # geometric search between a positive lower bound and the Gonzalez
         # (k-center, no outliers) radius, which upper-bounds opt_{k,z}.
-        # Grid pruning applies exactly when its results are provably
-        # bit-identical to the dense path: a built-in norm on real
-        # coordinates in low dimension (sound 3^d cell neighborhoods),
-        # integer weights (exact sums in any order), float64 kernel
-        # (pair distances bit-match the dense cdist entries).
-        use_grid = (
-            prune == "auto"
-            and isinstance(metric, _KernelMetric)
-            and wps.points.ndim == 2
-            and wps.points.shape[1] <= _GRID_MAX_DIM
-            and np.issubdtype(wps.weights.dtype, np.integer)
-            and resolve_dtype(dtype) == np.float64
-        )
+        use_grid = prune in ("auto", "grid") and grid_ok
         paths_used = set()
+        executor = ThreadExecutor(jobs=jobs) if use_grid and jobs > 1 else None
 
         def decide(g):
             if use_grid:
-                grid = _grid_for_guess(wps.points, g + 1e-9 * max(1.0, g))
+                cutoff = g + 1e-9 * max(1.0, g)
+                grid = hierarchy.grid_for(cutoff) if hierarchy is not None \
+                    else None
+                if grid is None:
+                    # no ladder yet (the guess-0 probe) or no buildable
+                    # level near this cutoff: one fresh per-guess grid
+                    grid = _grid_for_guess(wps.points, cutoff)
+                    if grid is not None:
+                        stats["grid_builds"] += 1
                 if grid is not None:
                     paths_used.add("grid")
                     return _grid_decision(
-                        wps, metric, k, z, g, grid, ws, backend=bk
+                        wps, metric, k, z, g, grid, ws, backend=bk,
+                        executor=executor, stats=stats,
                     )
             paths_used.add("dense")
             return _geometric_decision(
@@ -675,40 +864,63 @@ def charikar_greedy(
                 return "dense"
             return "mixed"
 
-        ok0, centers0, uncovered0 = decide(0.0)
-        if ok0:
-            return GreedyResult(
-                np.asarray(centers0, dtype=int), 0.0, 0.0, uncovered0,
-                geometric_path(),
-            )
-        gz = gonzalez(wps, k, metric)
-        hi_r = max(gz.radius, 1e-300)
-        lo_r = hi_r / max(4.0 * n, 4.0)
-        ok, centers, uncovered = decide(lo_r)
-        if ok:
-            guess = lo_r
-        else:
-            # grid of guesses lo_r * (1+tol)^i up to hi_r; binary search
-            ratio = 1.0 + tol
-            m = int(np.ceil(np.log(hi_r / lo_r) / np.log(ratio))) + 1
-            lo_i, hi_i = 0, m
-            best = None
-            while lo_i <= hi_i:
-                mid = (lo_i + hi_i) // 2
-                g = min(lo_r * ratio**mid, hi_r)
-                ok, c, u = decide(g)
-                if ok:
+        try:
+            ok0, centers0, uncovered0 = decide(0.0)
+            if ok0:
+                return GreedyResult(
+                    np.asarray(centers0, dtype=int), 0.0, 0.0, uncovered0,
+                    geometric_path(), stats,
+                )
+            gz = gonzalez(wps, k, metric)
+            hi_r = max(gz.radius, 1e-300)
+            lo_r = hi_r / max(4.0 * n, 4.0)
+            if use_grid:
+                # ONE geometric ladder for the whole search, anchored just
+                # above the smallest guess (clamped like _grid_for_guess so
+                # quantized indices stay trusted); every guess snaps to a
+                # level that is built at most once and derived from a finer
+                # one when possible
+                maxabs = (
+                    float(np.max(np.abs(wps.points))) if wps.points.size
+                    else 0.0
+                )
+                base = max(lo_r * (1.0 + 1e-6), maxabs * 2.0**-29)
+                hierarchy = PointGridHierarchy(
+                    wps.points, base, max_ring=4,
+                    cell_budget=_GRID_BLOCK_CELLS,
+                )
+            ok, centers, uncovered = decide(lo_r)
+            if ok:
+                guess = lo_r
+            else:
+                # grid of guesses lo_r * (1+tol)^i up to hi_r; binary search
+                ratio = 1.0 + tol
+                m = int(np.ceil(np.log(hi_r / lo_r) / np.log(ratio))) + 1
+                lo_i, hi_i = 0, m
+                best = None
+                while lo_i <= hi_i:
+                    mid = (lo_i + hi_i) // 2
+                    g = min(lo_r * ratio**mid, hi_r)
+                    ok, c, u = decide(g)
+                    if ok:
+                        best = (g, c, u)
+                        hi_i = mid - 1
+                    else:
+                        lo_i = mid + 1
+                if best is None:
+                    # hi_r is always feasible: Gonzalez covers everything
+                    g = hi_r
+                    ok, c, u = decide(g)
                     best = (g, c, u)
-                    hi_i = mid - 1
-                else:
-                    lo_i = mid + 1
-            if best is None:
-                # hi_r is always feasible: Gonzalez covers everything
-                g = hi_r
-                ok, c, u = decide(g)
-                best = (g, c, u)
-            guess, centers, uncovered = best
-        path = geometric_path()
+                guess, centers, uncovered = best
+            path = geometric_path()
+        finally:
+            if executor is not None:
+                executor.close()
+        if hierarchy is not None:
+            stats["grid_builds"] += hierarchy.direct_builds
+            stats["grid_derived"] += hierarchy.derived_builds
+            stats["grid_reuses"] += hierarchy.snap_hits
 
     centers_idx = np.asarray(centers, dtype=int)
     # Report the coverage radius actually achieved by the chosen centers:
@@ -719,4 +931,6 @@ def charikar_greedy(
     radius = float(min(3.0 * guess, achieved))
     d = nearest_center_distances(wps, wps.points[centers_idx], metric)
     uncovered = d > radius + 1e-9 * max(1.0, radius)
-    return GreedyResult(centers_idx, radius, float(guess), uncovered, path)
+    return GreedyResult(
+        centers_idx, radius, float(guess), uncovered, path, stats, hierarchy
+    )

@@ -26,7 +26,12 @@ greedy decision procedure uses) and evaluates distances only against the
 ``delta`` under L2/L1/Linf is within ``delta`` per coordinate, so no
 candidate is missed and results are bit-identical to the scalar loop
 (:func:`repro.core._greedy_reference.greedy_absorb_reference`; proven by
-the parity tests).  Arbitrary metrics, high dimensions and degenerate
+the parity tests).  When the embedded radius search ran its grid-pruned
+path, the absorption reuses the search's persistent
+:class:`~repro.geometry.PointGridHierarchy` (via
+:attr:`~repro.core.greedy.GreedyResult.geometry`) and snaps its
+absorption radius to an existing ladder level instead of re-bucketing
+the same points.  Arbitrary metrics, high dimensions and degenerate
 cell sides fall back to scanning only the still-unabsorbed points, which
 shrinks as the balls absorb.
 """
@@ -101,6 +106,7 @@ def _greedy_absorb(
     delta: float,
     metric: Metric,
     order: "np.ndarray | None" = None,
+    hierarchy=None,
 ) -> "tuple[WeightedPointSet, np.ndarray]":
     """Greedy absorption: repeatedly take the first remaining point and
     absorb every remaining point within ``delta`` of it.
@@ -109,10 +115,16 @@ def _greedy_absorb(
     line 4 allows any order; tests use this to check order-independence of
     the guarantees).  Returns the representative set and the assignment.
 
+    ``hierarchy`` optionally passes the
+    :class:`~repro.geometry.PointGridHierarchy` an embedded radius search
+    already built over *the same points* (identity-checked): the
+    absorption then snaps ``delta`` to one of its levels — deriving a new
+    level at cell cost if needed — instead of re-bucketing every point.
+
     Bit-identical to the pre-refactor scalar loop; only the candidate set
     each representative's distances are evaluated against shrinks — to the
-    3^d neighboring grid cells when the metric/dimension admit the grid,
-    or to the still-unabsorbed points otherwise.
+    nearby grid cells when the metric/dimension admit the grid, or to the
+    still-unabsorbed points otherwise.
     """
     n = len(wps)
     if n == 0:
@@ -140,14 +152,27 @@ def _greedy_absorb(
         and pts.shape[1] <= _GRID_MAX_DIM
         and isinstance(metric, _KernelMetric)
     ):
-        # side slightly above the cutoff: the 1e-6 slack strictly dominates
-        # the float rounding of pts/side under the |cell index| < 2^30
-        # guard, so two points within `cutoff` always land in adjacent
-        # cells (ring 1); the max(|coord|)-based floor keeps the guard
-        # satisfiable for tiny cutoffs (larger cells are always sound)
-        maxabs = float(np.max(np.abs(pts))) if pts.size else 0.0
-        side = max(cutoff * (1.0 + 1e-6), maxabs * 2.0**-29)
-        grid = PointGrid.build(pts, side, max_ring=1)
+        if (
+            hierarchy is not None
+            and hierarchy.pts is pts
+            and cutoff > 0
+            and np.isfinite(cutoff)
+        ):
+            # the radius search already indexed these exact points: snap
+            # delta to its ladder (query_point re-derives the ring the
+            # cutoff needs at that level's side, so the superset stays
+            # sound at any snapped side)
+            grid = hierarchy.grid_for(cutoff)
+        if grid is None:
+            # side slightly above the cutoff: the 1e-6 slack strictly
+            # dominates the float rounding of pts/side under the
+            # |cell index| < 2^30 guard, so two points within `cutoff`
+            # always land in adjacent cells (ring 1); the
+            # max(|coord|)-based floor keeps the guard satisfiable for
+            # tiny cutoffs (larger cells are always sound)
+            maxabs = float(np.max(np.abs(pts))) if pts.size else 0.0
+            side = max(cutoff * (1.0 + 1e-6), maxabs * 2.0**-29)
+            grid = PointGrid.build(pts, side, max_ring=1)
 
     if grid is not None:
         for idx in order:
@@ -190,6 +215,8 @@ def mbc_construction(
     dtype=None,
     kernel_chunk: "int | None" = None,
     kernel_backend: "str | None" = None,
+    prune: "str | None" = None,
+    decision_jobs: "int | None" = None,
 ) -> MiniBallCovering:
     """Algorithm 1: ``MBCConstruction(P, k, z, eps)``.
 
@@ -202,10 +229,12 @@ def mbc_construction(
     order:
         Optional permutation controlling which 'arbitrary point' is picked
         first (the guarantee holds for any order).
-    dtype, kernel_chunk, kernel_backend:
-        Distance-kernel knobs for the embedded radius search (see
-        :func:`repro.core.greedy.charikar_greedy`); the absorption itself
-        always evaluates exact float64 distances.
+    dtype, kernel_chunk, kernel_backend, prune, decision_jobs:
+        Distance-kernel and pruning knobs for the embedded radius search
+        (see :func:`repro.core.greedy.charikar_greedy`); the absorption
+        itself always evaluates exact float64 distances.  When the radius
+        search ran its grid-pruned path, the absorption reuses its
+        persistent grid ladder instead of re-bucketing the points.
 
     Returns an ``(eps', k, z)``-mini-ball covering with
     ``eps' = eps * (r / (3 opt)) <= eps`` — i.e. at least as good as
@@ -214,13 +243,20 @@ def mbc_construction(
     if eps < 0:
         raise ValueError("eps must be non-negative")
     metric = get_metric(metric)
+    hierarchy = None
     if radius is None:
-        radius = charikar_greedy(
+        res = charikar_greedy(
             wps, k, z, metric, dtype=dtype, kernel_chunk=kernel_chunk,
             kernel_backend=kernel_backend,
-        ).radius
+            prune=prune if prune is not None else "auto",
+            decision_jobs=decision_jobs,
+        )
+        radius = res.radius
+        hierarchy = res.geometry
     delta = eps * radius / 3.0
-    coreset, assignment = _greedy_absorb(wps, delta, metric, order)
+    coreset, assignment = _greedy_absorb(
+        wps, delta, metric, order, hierarchy=hierarchy
+    )
     return MiniBallCovering(
         coreset=coreset,
         assignment=assignment,

@@ -18,6 +18,7 @@ from .executor import (
     derive_seeds,
     get_executor,
     map_machines,
+    shard_ranges,
 )
 
 __all__ = [
@@ -32,4 +33,5 @@ __all__ = [
     "derive_seeds",
     "get_executor",
     "map_machines",
+    "shard_ranges",
 ]

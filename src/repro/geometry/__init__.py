@@ -1,7 +1,7 @@
 """Geometric substrates: hierarchical grids over ``[Delta]^d`` (§5.1) and
 packing/counting arguments in doubling metrics (Lemma 6, Lemma 25)."""
 
-from .grid import GridHierarchy, GridLevel, PointGrid
+from .grid import GridHierarchy, GridLevel, PointGrid, PointGridHierarchy
 from .packing import (
     doubling_cover_count,
     grid_cell_bound,
@@ -13,6 +13,7 @@ __all__ = [
     "GridHierarchy",
     "GridLevel",
     "PointGrid",
+    "PointGridHierarchy",
     "doubling_cover_count",
     "grid_cell_bound",
     "packing_bound",

@@ -24,7 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = ["HAVE_NUMBA", "require", "pairwise", "pair_distances",
-           "gain_seed", "gain_subtract"]
+           "gain_seed", "gain_subtract", "gain_pairs"]
 
 try:  # pragma: no cover - exercised only on the CI accel leg
     from numba import njit, prange
@@ -104,6 +104,35 @@ if HAVE_NUMBA:  # pragma: no cover - exercised only on the CI accel leg
                     s += abs(pts[i, c] - pts[j, c])
             out[t] = s
 
+    @njit(cache=True, nogil=True)
+    def _gain_pairs_impl(pts, rows, cols, w, cutoff, sign, kind, gain):
+        # fused pair-distance + threshold + weight scatter over the
+        # precomputed cell-slice pairs of the grid-pruned decision: no
+        # dist/sel temporaries, and per-pair distances accumulate over
+        # coordinates in index order — bit-identical to cdist entries.
+        # Serial on purpose (gain[i] += w would race under prange);
+        # nogil=True lets the engine-level thread shards run these
+        # concurrently, each on its own gain accumulator.
+        d = pts.shape[1]
+        for t in range(len(rows)):
+            i, j = rows[t], cols[t]
+            s = 0.0
+            if kind == 0:  # euclidean
+                for c in range(d):
+                    diff = pts[i, c] - pts[j, c]
+                    s += diff * diff
+                s = np.sqrt(s)
+            elif kind == 1:  # chebyshev
+                for c in range(d):
+                    diff = abs(pts[i, c] - pts[j, c])
+                    if diff > s:
+                        s = diff
+            else:  # manhattan
+                for c in range(d):
+                    s += abs(pts[i, c] - pts[j, c])
+            if s <= cutoff:
+                gain[i] += sign * w[j]
+
     @njit(parallel=True, cache=True)
     def _gain_seed_impl(D, w, cutoff, out):
         n, m = D.shape
@@ -156,6 +185,26 @@ def pair_distances(kind: str, pts: np.ndarray, rows: np.ndarray,
                          np.ascontiguousarray(cols, dtype=np.int64),
                          _PAIR_KINDS[kind], out)
     return out
+
+
+def gain_pairs(kind: str, pts: np.ndarray, rows: np.ndarray,
+               cols: np.ndarray, w: np.ndarray, cutoff: float,
+               sign: float, gain: np.ndarray) -> None:
+    """In-place ``gain[rows[t]] += sign * w[cols[t]]`` for every pair with
+    ``dist(pts[rows[t]], pts[cols[t]]) <= cutoff``.
+
+    The compiled form of the grid-pruned COO accumulation: it takes the
+    precomputed cell-slice pairs (``rows``/``cols``) directly, skipping
+    the ``pair_distances`` + mask + ``bincount`` temporaries of the numpy
+    path.  Exact for integer-valued float64 weights in any order, so
+    results are bit-identical to the numpy path.
+    """
+    require()
+    _gain_pairs_impl(np.ascontiguousarray(pts, dtype=np.float64),
+                     np.ascontiguousarray(rows, dtype=np.int64),
+                     np.ascontiguousarray(cols, dtype=np.int64),
+                     np.ascontiguousarray(w, dtype=np.float64),
+                     float(cutoff), float(sign), _PAIR_KINDS[kind], gain)
 
 
 def gain_seed(D: np.ndarray, w: np.ndarray, cutoff: float) -> np.ndarray:

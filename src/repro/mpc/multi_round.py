@@ -35,6 +35,8 @@ def multi_round_coreset(
     dtype=None,
     kernel_chunk: "int | None" = None,
     kernel_backend: "str | None" = None,
+    prune: "str | None" = None,
+    decision_jobs: "int | None" = None,
 ) -> MPCCoresetResult:
     """Run Algorithm 7 with ``R = rounds`` communication rounds.
 
@@ -43,8 +45,10 @@ def multi_round_coreset(
     The per-round machine-local MBC constructions fan out through
     ``executor`` (bit-identical results under every executor);
     ``parallel=True`` is the legacy spelling of ``executor="thread"``.
-    ``dtype`` / ``kernel_chunk`` / ``kernel_backend`` select the distance kernel
-    (:mod:`repro.kernels`) for every per-round MBC construction.
+    ``dtype`` / ``kernel_chunk`` / ``kernel_backend`` / ``prune`` /
+    ``decision_jobs`` select the distance kernel and grid pruning
+    (:mod:`repro.kernels`, :func:`repro.core.greedy.charikar_greedy`) for
+    every per-round MBC construction.
     """
     metric = get_metric(metric)
     m = len(parts)
@@ -74,7 +78,7 @@ def multi_round_coreset(
             exec_,
             mbc_task,
             [(Q[i], k, z, eps, metric, None, dtype, kernel_chunk,
-              kernel_backend)
+              kernel_backend, prune, decision_jobs)
              for i in range(active)],
             machines=machines[:active],
             charge=lambda mach, task, mbc: mach.charge(mbc.size),

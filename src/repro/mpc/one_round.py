@@ -49,6 +49,8 @@ def one_round_coreset(
     dtype=None,
     kernel_chunk: "int | None" = None,
     kernel_backend: "str | None" = None,
+    prune: "str | None" = None,
+    decision_jobs: "int | None" = None,
 ) -> MPCCoresetResult:
     """Run Algorithm 6 on randomly partitioned input.
 
@@ -61,9 +63,10 @@ def one_round_coreset(
     (name, :class:`~repro.engine.Executor`, or ``None`` for serial);
     results are bit-identical under every executor.  ``parallel=True``
     is the legacy spelling of ``executor="thread"``.  ``dtype`` /
-    ``kernel_chunk`` / ``kernel_backend`` select the distance kernel
-    (:mod:`repro.kernels`) for the machine-local and coordinator MBC
-    constructions.
+    ``kernel_chunk`` / ``kernel_backend`` / ``prune`` / ``decision_jobs``
+    select the distance kernel and grid pruning (:mod:`repro.kernels`,
+    :func:`repro.core.greedy.charikar_greedy`) for the machine-local and
+    coordinator MBC constructions.
     """
     metric = get_metric(metric)
     m = len(parts)
@@ -80,7 +83,7 @@ def one_round_coreset(
         resolve_executor(executor, parallel),
         mbc_task,
         [(part, k, zprime, eps, metric, None, dtype, kernel_chunk,
-          kernel_backend)
+          kernel_backend, prune, decision_jobs)
          for part in parts],
         machines=machines,
         charge=lambda mach, task, mbc: (mach.charge(len(task[0])), mach.charge(mbc.size)),
@@ -98,7 +101,8 @@ def one_round_coreset(
     if final_compress and len(union):
         final_mbc = mbc_construction(
             union, k, z, eps, metric, dtype=dtype, kernel_chunk=kernel_chunk,
-            kernel_backend=kernel_backend,
+            kernel_backend=kernel_backend, prune=prune,
+            decision_jobs=decision_jobs,
         )
         coreset = final_mbc.coreset
         machines[0].charge(final_mbc.size)

@@ -108,6 +108,8 @@ def two_round_coreset(
     dtype=None,
     kernel_chunk: "int | None" = None,
     kernel_backend: "str | None" = None,
+    prune: "str | None" = None,
+    decision_jobs: "int | None" = None,
 ) -> MPCCoresetResult:
     """Run Algorithm 2 on pre-partitioned input.
 
@@ -130,8 +132,9 @@ def two_round_coreset(
         (``"serial"``, ``"thread"``, ``"process"``), a
         :class:`~repro.engine.Executor` instance, or ``None`` (serial).
         Results are bit-identical under every executor.
-    dtype, kernel_chunk, kernel_backend:
-        Distance-kernel knobs (:mod:`repro.kernels`), shipped inside the
+    dtype, kernel_chunk, kernel_backend, prune, decision_jobs:
+        Distance-kernel and grid-pruning knobs (:mod:`repro.kernels`,
+        :func:`repro.core.greedy.charikar_greedy`), shipped inside the
         task tuples so process workers honor them too.
 
     Returns the coordinator's coreset with ``eps_guarantee = 3*eps`` when
@@ -158,7 +161,8 @@ def two_round_coreset(
         vectors = map_machines(
             exec_,
             radius_vector_task,
-            [(part, k, veclen, metric, dtype, kernel_chunk, kernel_backend)
+            [(part, k, veclen, metric, dtype, kernel_chunk, kernel_backend,
+              prune, decision_jobs)
              for part in parts],
             machines=machines,
             charge=lambda mach, task, vec: mach.charge(veclen),  # own vector
@@ -177,7 +181,7 @@ def two_round_coreset(
             mbc_task,
             [
                 (part, k, (1 << jhat) - 1, eps, metric, float(vec[jhat]),
-                 dtype, kernel_chunk, kernel_backend)
+                 dtype, kernel_chunk, kernel_backend, prune, decision_jobs)
                 for part, jhat, vec in zip(parts, jhats, vectors)
             ],
             machines=machines,
@@ -193,7 +197,7 @@ def two_round_coreset(
             exec_,
             mbc_task,
             [(part, k, z, eps, metric, None, dtype, kernel_chunk,
-              kernel_backend)
+              kernel_backend, prune, decision_jobs)
              for part in parts],
             machines=machines,
             charge=lambda mach, task, mbc: mach.charge(mbc.size),
@@ -211,7 +215,8 @@ def two_round_coreset(
     if final_compress and len(union):
         final_mbc = mbc_construction(
             union, k, z, eps, metric, dtype=dtype, kernel_chunk=kernel_chunk,
-            kernel_backend=kernel_backend,
+            kernel_backend=kernel_backend, prune=prune,
+            decision_jobs=decision_jobs,
         )
         coreset = final_mbc.coreset
         machines[0].charge(final_mbc.size)

@@ -15,8 +15,8 @@ Cells are independent, so the harness shards them across a
 :class:`repro.engine` executor (``--jobs``) and caches each cell in a
 :class:`~repro.engine.ResultsCache` keyed by the *fully resolved* cell
 identity — scenario, backend, quick, seed, the complete spec dict
-(including ``dtype``/``kernel_chunk``) and the derived session options —
-so a knob change can never serve a stale cell.  With
+(including ``dtype``/``kernel_chunk``/``decision_jobs``) and the derived
+session options — so a knob change can never serve a stale cell.  With
 ``--checkpoint-dir`` each in-flight cell additionally saves a durable
 session snapshot (:mod:`repro.persist`) after every batch: a killed
 sweep resumes *mid-stream* from the checkpoint (bit-identical to the
@@ -138,13 +138,16 @@ def _storage_probe(stats: dict) -> "int | None":
     return None
 
 
-def _resolved_spec(spec, dtype: "str | None", kernel_chunk: "int | None"):
+def _resolved_spec(spec, dtype: "str | None", kernel_chunk: "int | None",
+                   decision_jobs: "int | None" = None):
     """The scenario's spec with sweep-level kernel knobs layered on."""
     changes = {}
     if dtype is not None:
         changes["dtype"] = dtype
     if kernel_chunk is not None:
         changes["kernel_chunk"] = int(kernel_chunk)
+    if decision_jobs is not None:
+        changes["decision_jobs"] = int(decision_jobs)
     return spec.replace(**changes) if changes else spec
 
 
@@ -214,6 +217,7 @@ def run_cell(
     reference: "float | None" = None,
     dtype: "str | None" = None,
     kernel_chunk: "int | None" = None,
+    decision_jobs: "int | None" = None,
     checkpoint_dir: "str | None" = None,
     instance=None,
 ) -> CellResult:
@@ -240,6 +244,11 @@ def run_cell(
     dtype, kernel_chunk:
         Distance-kernel knobs layered onto the scenario's spec
         (:mod:`repro.kernels`); part of the cell's cache identity.
+    decision_jobs:
+        Thread count for sharded grid-pruned greedy decisions
+        (:func:`repro.core.greedy.charikar_greedy`); bit-identical to
+        serial, so results match for any value, but it is still part of
+        the cell's cache identity (it is a spec field).
     checkpoint_dir:
         When set, the in-flight session is snapshotted here after every
         batch (streaming-model backends) or on a power-of-two batch
@@ -268,7 +277,7 @@ def run_cell(
             note=f"{info.model} backend incompatible with this stream",
         )
     try:
-        spec = _resolved_spec(inst.spec, dtype, kernel_chunk)
+        spec = _resolved_spec(inst.spec, dtype, kernel_chunk, decision_jobs)
         options = inst.session_options(info)
         ckpt = None
         if checkpoint_dir:
@@ -391,7 +400,7 @@ def _cell_task(task: tuple) -> dict:
     """One unit of matrix fan-out (module-level so process pools pickle
     it); opens its own cache handle and returns the cell as a dict."""
     (scenario, backend, quick, seed, cache_root, force,
-     dtype, kernel_chunk, checkpoint_dir) = task
+     dtype, kernel_chunk, decision_jobs, checkpoint_dir) = task
     cache = ResultsCache(cache_root) if cache_root else None
     cell_fields = {f.name for f in fields(CellResult)}
     info = get_backend(backend)
@@ -406,7 +415,8 @@ def _cell_task(task: tuple) -> dict:
     # unavailable dataset can still serve its last-known-good cell
     alias_params = {"scenario": scenario, "backend": backend,
                     "quick": bool(quick), "seed": int(seed),
-                    "dtype": dtype, "kernel_chunk": kernel_chunk}
+                    "dtype": dtype, "kernel_chunk": kernel_chunk,
+                    "decision_jobs": decision_jobs}
     sc = get_scenario(scenario)
     try:
         # memoized per process: the resolved spec/options the instance
@@ -421,7 +431,7 @@ def _cell_task(task: tuple) -> dict:
                 return hit
         return asdict(CellResult(scenario, backend, "unavailable",
                                  note=str(exc)))
-    spec = _resolved_spec(inst.spec, dtype, kernel_chunk)
+    spec = _resolved_spec(inst.spec, dtype, kernel_chunk, decision_jobs)
     params = cell_cache_params(
         scenario, backend, quick, seed, spec, inst.session_options(info)
     )
@@ -433,6 +443,7 @@ def _cell_task(task: tuple) -> dict:
     cell = asdict(run_cell(scenario, backend, quick=quick, seed=seed,
                            reference=ref, dtype=dtype,
                            kernel_chunk=kernel_chunk,
+                           decision_jobs=decision_jobs,
                            checkpoint_dir=checkpoint_dir, instance=inst))
     # only settled results are cached: transient failures ("unavailable",
     # "error") must retry on the next run, and "skipped" is free anyway
@@ -613,6 +624,7 @@ def run_matrix(
     force: bool = False,
     dtype: "str | None" = None,
     kernel_chunk: "int | None" = None,
+    decision_jobs: "int | None" = None,
     checkpoint_dir: "str | None" = None,
 ) -> MatrixResult:
     """Sweep ``backends`` x ``scenarios`` and collect the matrix.
@@ -638,6 +650,11 @@ def run_matrix(
     dtype, kernel_chunk:
         Distance-kernel knobs layered onto every cell's spec; part of
         each cell's cache identity.
+    decision_jobs:
+        Sharded-decision thread count layered onto every cell's spec;
+        results are bit-identical for any value (deterministic
+        index-ordered reduction), which the CI parity step exploits by
+        byte-comparing ``--decision-jobs 1`` against ``2``.
     checkpoint_dir:
         Per-cell mid-stream checkpoint directory (see :func:`run_cell`);
         a killed sweep rerun with the same directory resumes in-flight
@@ -662,7 +679,7 @@ def run_matrix(
         get_backend(name)
     tasks = [
         (s, b, quick, seed, cache_root, force, dtype, kernel_chunk,
-         checkpoint_dir)
+         decision_jobs, checkpoint_dir)
         for s in scenario_names
         for b in backend_names
     ]
@@ -723,6 +740,11 @@ def build_matrix_parser() -> argparse.ArgumentParser:
                         help="distance-kernel precision layered onto every "
                              "cell's spec (cache-keyed; default: the "
                              "scenario's own setting)")
+    parser.add_argument("--decision-jobs", type=int, default=None,
+                        metavar="N", dest="decision_jobs",
+                        help="threads for sharded grid-pruned greedy "
+                             "decisions (cache-keyed; bit-identical results "
+                             "for any N)")
     parser.add_argument("--checkpoint-dir", default=None, metavar="DIR",
                         help="save a durable session snapshot per cell after "
                              "every batch; a killed sweep rerun with the same "
@@ -752,6 +774,9 @@ def matrix_main(argv: "list[str]") -> int:
         return 0
     if args.jobs < 1:
         print("--jobs must be >= 1")
+        return 2
+    if args.decision_jobs is not None and args.decision_jobs < 1:
+        print("--decision-jobs must be >= 1")
         return 2
 
     try:
@@ -784,7 +809,8 @@ def matrix_main(argv: "list[str]") -> int:
         quick=args.quick, seed=args.seed,
         jobs=args.jobs if args.jobs > 1 else None,
         cache_root=cache_root, force=args.force,
-        dtype=args.dtype, checkpoint_dir=args.checkpoint_dir,
+        dtype=args.dtype, decision_jobs=args.decision_jobs,
+        checkpoint_dir=args.checkpoint_dir,
     )
 
     os.makedirs(results_dir, exist_ok=True)

@@ -334,6 +334,8 @@ class _Handler(BaseHTTPRequestHandler):
         out = self._timed_op(
             "solve", name, lambda: app.manager.solve(name, method=method))
         app.counter_solves.labels(backend=out["backend"]).inc()
+        if out.get("greedy_stats"):
+            app.observe_greedy(out["backend"], out["greedy_stats"])
         self._send_json(200, out)
         return 200
 
@@ -394,6 +396,16 @@ class ReproServer:
             "repro_serve_solve_seconds",
             "Solve latency by coreset backend and distance-kernel backend.",
             ("backend", "kernel"), buckets=DEFAULT_BUCKETS)
+        self.counter_grid_levels = reg.counter(
+            "repro_serve_greedy_grid_levels_total",
+            "Grid ladder levels touched by pruned radius searches, by how "
+            "they were obtained (direct build / derived from a finer level "
+            "/ reused across guesses).",
+            ("backend", "kind"))
+        self.counter_sharded_scans = reg.counter(
+            "repro_serve_greedy_sharded_scans_total",
+            "Pruned-decision cell scans that fanned out across decision "
+            "threads.", ("backend",))
         self.gauge_up = reg.gauge(
             "repro_serve_ready",
             "1 when the server is accepting traffic, else 0.")
@@ -418,6 +430,19 @@ class ReproServer:
                                        kernel=kernel).observe(seconds)
         if points:
             self.counter_points.labels(op=op, backend=backend).inc(points)
+
+    def observe_greedy(self, backend: str, greedy_stats: dict) -> None:
+        """Record a pruned radius search's geometry/sharding breakdown."""
+        for kind, key in (("direct", "grid_builds"),
+                          ("derived", "grid_derived"),
+                          ("reused", "grid_reuses")):
+            v = int(greedy_stats.get(key, 0) or 0)
+            if v:
+                self.counter_grid_levels.labels(
+                    backend=backend, kind=kind).inc(v)
+        v = int(greedy_stats.get("sharded_scans", 0) or 0)
+        if v:
+            self.counter_sharded_scans.labels(backend=backend).inc(v)
 
     def render_metrics(self) -> str:
         """The current scrape body."""

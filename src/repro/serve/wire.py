@@ -243,4 +243,8 @@ def solution_to_wire(sol) -> dict:
         out["kernel_backend"] = sol.stats["kernel_backend"]
     if "greedy_path" in sol.stats:
         out["greedy_path"] = sol.stats["greedy_path"]
+    if "greedy_stats" in sol.stats:
+        # grid_builds / grid_reuses / decision_shards breakdown of the
+        # grid-pruned radius search (already JSON-safe ints)
+        out["greedy_stats"] = dict(sol.stats["greedy_stats"])
     return out

@@ -35,10 +35,19 @@ class TestProblemSpec:
         {"k": 1, "z": 1, "eps": 1.5},
         {"k": 1, "z": 1, "eps": 0.5, "dim": 0},
         {"k": 1, "z": 1, "eps": 0.5, "seed": -3},
+        {"k": 1, "z": 1, "eps": 0.5, "prune": "maybe"},
+        {"k": 1, "z": 1, "eps": 0.5, "decision_jobs": 0},
+        {"k": 1, "z": 1, "eps": 0.5, "decision_jobs": -2},
     ])
     def test_validation(self, kwargs):
         with pytest.raises(ValueError):
             ProblemSpec(**kwargs)
+
+    def test_prune_and_decision_jobs_accepted(self):
+        spec = ProblemSpec(1, 0, 1.0, prune="grid", decision_jobs=4)
+        assert spec.prune == "grid"
+        assert spec.decision_jobs == 4 and isinstance(spec.decision_jobs, int)
+        assert ProblemSpec(1, 0, 1.0).prune is None
 
     def test_metric_resolution(self):
         assert ProblemSpec(1, 0, 1.0, metric="linf").metric_name == "chebyshev"
@@ -74,7 +83,8 @@ class TestProblemSpec:
         assert d == {"k": 2, "z": 3, "eps": 0.5, "metric": "euclidean",
                      "seed": 0, "dim": 1, "executor": None, "jobs": None,
                      "dtype": None, "kernel_chunk": None,
-                     "kernel_backend": None}
+                     "kernel_backend": None, "prune": None,
+                     "decision_jobs": None}
 
 
 class TestRegistry:
@@ -257,7 +267,7 @@ class TestSession:
     def test_top_level_exports(self):
         import repro
 
-        assert repro.__version__ == "1.7.0"
+        assert repro.__version__ == "1.8.0"
         assert repro.ProblemSpec is ProblemSpec
         assert repro.KCenterSession is KCenterSession
         assert "api" in repro.__all__

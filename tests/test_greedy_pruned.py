@@ -273,11 +273,59 @@ class TestPruneKnob:
         P = WeightedPointSet(pts, np.ones(64, dtype=np.int64))
         assert charikar_greedy(P, 3, 2, pairwise_limit=8).path == "dense"
 
-    def test_float32_kernel_stays_dense(self, rng):
-        pts = rng.uniform(0, 10, size=(64, 2))
-        P = WeightedPointSet(pts, np.ones(64, dtype=np.int64))
+    def test_float32_kernel_prunes_with_float64_parity(self, rng):
+        # float32 sessions now take the grid path too: the pruned scans
+        # always evaluate exact float64 sparse distances, so the result
+        # is bit-identical to the float64 dense reference (not merely to
+        # a float32 dense run)
+        pts = rng.uniform(0, 10, size=(300, 2))
+        P = WeightedPointSet(pts, np.ones(300, dtype=np.int64))
         res = charikar_greedy(P, 3, 2, pairwise_limit=8, dtype="float32")
-        assert res.path == "dense"
+        assert res.path in ("grid", "mixed")
+        dense64 = charikar_greedy(P, 3, 2, pairwise_limit=8, prune="off")
+        _assert_same_result(res, dense64)
+
+    def test_force_grid_and_dense(self, rng):
+        pts = rng.uniform(0, 10, size=(200, 2))
+        P = WeightedPointSet(pts, np.ones(200, dtype=np.int64))
+        forced = charikar_greedy(P, 3, 5, pairwise_limit=8, prune="grid")
+        assert forced.path in ("grid", "mixed")
+        assert forced.stats["grid_builds"] + forced.stats["grid_derived"] > 0
+        _assert_same_result(
+            forced,
+            charikar_greedy(P, 3, 5, pairwise_limit=8, prune="dense"),
+        )
+
+    def test_force_grid_rejected_when_gate_fails(self, rng):
+        # dimension 6 is above the grid gate: prune="grid" must refuse
+        # loudly instead of silently answering dense
+        pts = rng.uniform(0, 10, size=(64, 6))
+        P = WeightedPointSet(pts, np.ones(64, dtype=np.int64))
+        with pytest.raises(ValueError, match="grid"):
+            charikar_greedy(P, 3, 2, pairwise_limit=8, prune="grid")
+
+    def test_invalid_decision_jobs_rejected(self, rng):
+        P = WeightedPointSet.from_points(rng.uniform(0, 1, size=(10, 2)))
+        with pytest.raises(ValueError, match="decision_jobs"):
+            charikar_greedy(P, 2, 1, decision_jobs=0)
+
+    @pytest.mark.parametrize("jobs", [2, 8])
+    def test_sharded_decisions_bit_match_serial(self, rng, jobs, monkeypatch):
+        # drop the sharding floor so a small instance actually shards,
+        # then demand bit-parity with jobs=1 and with the dense path
+        monkeypatch.setattr(greedy_mod, "_GRID_SHARD_MIN_POINTS", 1)
+        pts = rng.uniform(0, 10, size=(600, 2))
+        P = WeightedPointSet(pts, rng.integers(1, 5, 600))
+        sharded = charikar_greedy(P, 4, 10, pairwise_limit=8,
+                                  decision_jobs=jobs)
+        assert sharded.stats["decision_jobs"] == jobs
+        assert sharded.stats["decision_shards"] >= 2
+        serial = charikar_greedy(P, 4, 10, pairwise_limit=8)
+        _assert_same_result(sharded, serial)
+        _assert_same_result(
+            sharded,
+            charikar_greedy(P, 4, 10, pairwise_limit=8, prune="off"),
+        )
 
 
 class TestGridDecisionDirect:

@@ -1,0 +1,256 @@
+"""The persistent grid ladder (:class:`repro.geometry.PointGridHierarchy`).
+
+The hierarchy is a performance structure only — soundness must come
+from the same ring arithmetic a fresh per-guess grid uses — so the
+tests here pin exactly that: for ANY guess radius, the snapped level's
+candidate superset contains every true neighbor (of both the ``g``-ball
+and the expanded ``3g``-ball the Charikar decision queries), the snap
+heuristic keeps rings within the ladder's ``max_ring`` budget, and
+derived levels partition the input exactly like direct builds do.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import PointGrid, PointGridHierarchy
+
+
+def _true_ball(pts, i, dist):
+    """Indices within Euclidean ``dist`` of point ``i`` (the tightest of
+    the supported metrics' balls, and the superset contract is metric-
+    independent: cells are Chebyshev boxes)."""
+    return set(np.nonzero(
+        np.linalg.norm(pts - pts[i], axis=1) <= dist
+    )[0].tolist())
+
+
+class TestLevelSnap:
+    def test_side_brackets_cutoff(self):
+        h = PointGridHierarchy(np.zeros((1, 2)), 0.01)
+        for cutoff in (0.01, 0.013, 0.04, 1.0, 7.3, 1e4):
+            lvl = h.level_for(cutoff)
+            target = cutoff * (1.0 + 1e-6)
+            # the snap-up rule keeps side in [target, 2*target): the
+            # cutoff ball fits in ring 1 and the 3g-ball in ring 3
+            assert h.side(lvl) >= target
+            assert h.side(lvl) < 2.0 * target
+
+    def test_rings_within_budget(self, rng):
+        pts = rng.uniform(0, 10, size=(500, 2))
+        h = PointGridHierarchy(pts, 1e-4)
+        for cutoff in (2e-4, 0.003, 0.1, 1.7, 9.0):
+            grid = h.grid_for(cutoff)
+            assert grid is not None
+            assert grid.ring(cutoff) == 1
+            assert grid.ring(3.0 * cutoff) <= 3
+
+    def test_invalid_cutoff_rejected(self):
+        h = PointGridHierarchy(np.zeros((1, 2)), 1.0)
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                h.level_for(bad)
+
+    def test_invalid_base_rejected(self):
+        for bad in (0.0, -1.0, float("nan")):
+            with pytest.raises(ValueError):
+                PointGridHierarchy(np.zeros((1, 2)), bad)
+
+
+class TestCounters:
+    def test_snap_hits_and_derives(self, rng):
+        pts = rng.uniform(0, 10, size=(300, 2))
+        h = PointGridHierarchy(pts, 0.01)
+        assert h.grid_for(0.5) is not None
+        assert (h.direct_builds, h.derived_builds, h.snap_hits) == (1, 0, 0)
+        # same cutoff again: served from the memoized level
+        assert h.grid_for(0.5) is not None
+        assert h.snap_hits == 1
+        # a coarser cutoff derives its level from the finer one
+        assert h.grid_for(4.0) is not None
+        assert h.derived_builds == 1 and h.direct_builds == 1
+        # nearby cutoffs snap into already-materialized levels
+        assert h.grid_for(3.9) is not None
+        assert h.snap_hits == 2
+
+
+class TestExactSideFastPath:
+    """``cell_budget`` turns on the refine step: grid_for may serve a
+    side-equals-cutoff grid instead of the snapped ladder level, chosen
+    by the scan-cost model — the superset contract is unchanged."""
+
+    def test_exact_side_served_and_memoized(self, rng):
+        # dense enough that the pair estimate demands tightness, and a
+        # cutoff whose snapped side overshoots by >5%
+        pts = rng.uniform(0, 10, size=(30_000, 2))
+        h = PointGridHierarchy(pts, 0.01, cell_budget=4096)
+        cutoff = 3.0  # snapped side 5.12 (ratio 1.71), few cells both ways
+        grid = h.grid_for(cutoff)
+        assert grid is not None
+        assert grid.side == pytest.approx(cutoff * (1.0 + 1e-6))
+        builds = h.direct_builds
+        again = h.grid_for(cutoff)
+        assert again is grid and h.direct_builds == builds
+        assert h.snap_hits >= 1
+        for i in (0, 100):
+            cand = set(grid.query_point(i, cutoff).tolist())
+            assert _true_ball(pts, i, cutoff) <= cand
+
+    def test_near_exact_snap_keeps_level(self, rng):
+        pts = rng.uniform(0, 10, size=(30_000, 2))
+        h = PointGridHierarchy(pts, 0.01, cell_budget=4096)
+        # base * 2^9 = 5.12: a cutoff within 5% below it keeps the level
+        cutoff = 5.12 / 1.04
+        grid = h.grid_for(cutoff)
+        assert grid is not None
+        assert grid.side == pytest.approx(5.12)
+
+    def test_blocked_regime_keeps_snapped_level(self, rng):
+        # snapped level under the budget, exact side estimated over it:
+        # only the snapped level reaches the blocked-matvec regime
+        pts = rng.uniform(0, 10, size=(50_000, 2))
+        h = PointGridHierarchy(pts, 1e-3, cell_budget=120)
+        cutoff = 0.75  # snapped side 1.024 -> 100 cells; exact ~186 est.
+        grid = h.grid_for(cutoff)
+        assert grid is not None
+        snapped_side = h.side(h.level_for(cutoff))
+        assert grid.side == pytest.approx(snapped_side)
+
+    def test_budget_off_by_default(self, rng):
+        pts = rng.uniform(0, 10, size=(2_000, 2))
+        h = PointGridHierarchy(pts, 0.01)
+        grid = h.grid_for(3.0)
+        assert grid is not None
+        assert grid.side == pytest.approx(h.side(h.level_for(3.0)))
+
+
+class TestDerivedLevels:
+    def test_derived_level_partitions_points(self, rng):
+        pts = rng.uniform(-5, 5, size=(400, 3))
+        h = PointGridHierarchy(pts, 0.05)
+        fine = h.grid_for(0.1)
+        coarse = h.grid_for(3.0)
+        assert fine is not None and coarse is not None
+        assert h.derived_builds >= 1
+        for grid in (fine, coarse):
+            assert int(grid.cell_counts.sum()) == len(pts)
+            assert np.array_equal(np.sort(grid.order), np.arange(len(pts)))
+            # every point's quantized coordinate matches its cell's axes
+            q = np.floor(pts / grid.side).astype(np.int64)
+            np.testing.assert_array_equal(
+                grid.cell_axes[grid.point_cell], q)
+
+    def test_derived_equals_direct_cell_structure(self, rng):
+        # the nested-floor identity: deriving level L from a finer level
+        # assigns every point the same absolute cell index a direct
+        # quantization at side(L) would (the float divisions differ, but
+        # both floor the same exact integer grid)
+        pts = rng.uniform(0, 8, size=(250, 2))
+        h = PointGridHierarchy(pts, 0.07)
+        h.grid_for(0.07)  # materialize a fine level first
+        derived = h.grid_for(2.0)
+        assert derived is not None and h.derived_builds >= 1
+        q = np.floor(pts / derived.side).astype(np.int64)
+        np.testing.assert_array_equal(derived.cell_axes[derived.point_cell], q)
+
+
+class TestAdversarialLayouts:
+    def test_all_points_in_one_cell(self, rng):
+        # a tight cluster far from the origin: every snapped level above
+        # the spread has exactly one non-empty cell, and the superset
+        # still covers the whole cluster
+        pts = 1000.0 + rng.uniform(0, 1e-3, size=(200, 2))
+        h = PointGridHierarchy(pts, 1e-2)
+        for cutoff in (0.01, 0.5, 30.0):
+            grid = h.grid_for(cutoff)
+            assert grid is not None
+            for i in (0, 50, 199):
+                cand = set(grid.query_point(i, cutoff).tolist())
+                assert _true_ball(pts, i, cutoff) <= cand
+        assert h.grid_for(30.0).num_cells == 1
+
+    def test_one_point_per_cell(self, rng):
+        # a spread lattice at a fine cutoff: every point is alone in its
+        # cell and the candidate superset still contains each g-ball
+        pts = np.array([[float(i), float(j)]
+                        for i in range(16) for j in range(16)])
+        h = PointGridHierarchy(pts, 0.3)
+        grid = h.grid_for(0.4)
+        assert grid is not None
+        assert grid.num_cells == len(pts)
+        for i in (0, 17, 255):
+            cand = set(grid.query_point(i, 0.4).tolist())
+            assert _true_ball(pts, i, 0.4) <= cand
+
+    def test_huge_coordinates_snap_coarser_or_refuse(self):
+        # untrusted fine levels: grid_for may serve a coarser (always
+        # sound) level or refuse entirely, never a corrupt grid
+        pts = np.array([[0.0, 0.0], [1e12, 1e12]])
+        h = PointGridHierarchy(pts, 1e-3)
+        grid = h.grid_for(1e-3)
+        if grid is not None:
+            assert grid.side >= 1e-3
+            cand = set(grid.query_point(0, 1e-3).tolist())
+            assert _true_ball(pts, 0, 1e-3) <= cand
+
+
+# ---------------------------------------------------------------------------
+# Property: hierarchy-snapped levels are sound for EVERY guess radius
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n=st.integers(5, 120),
+    d=st.integers(1, 4),
+    scale=st.sampled_from([1e-3, 1.0, 1e4]),
+    cutoff_mult=st.floats(1e-4, 50.0),
+)
+def test_snapped_level_superset_property(seed, n, d, scale, cutoff_mult):
+    """For any dataset and any guess radius: the snapped grid's
+    ``query_point`` superset contains the true ``cutoff``-ball AND the
+    expanded ``3 * cutoff``-ball (what ``_grid_decision`` queries), i.e.
+    the triangle-inequality slack of the ring rule survives the snap."""
+    rng = np.random.default_rng(seed)
+    pts = rng.normal(size=(n, d)) * scale
+    spread = float(np.max(np.abs(pts))) or 1.0
+    base = spread * 1e-5
+    cutoff = base * cutoff_mult * 10.0
+    h = PointGridHierarchy(pts, base)
+    grid = h.grid_for(cutoff)
+    if grid is None:  # refusing is allowed, serving corrupt cells is not
+        return
+    assert grid.ring(cutoff) == 1
+    assert grid.ring(3.0 * cutoff) <= 3
+    for i in (0, n // 2, n - 1):
+        cand = set(grid.query_point(i, cutoff).tolist())
+        assert _true_ball(pts, i, cutoff) <= cand
+        cand3 = set(grid.query_point(i, 3.0 * cutoff).tolist())
+        assert _true_ball(pts, i, 3.0 * cutoff) <= cand3
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n=st.integers(10, 80),
+    d=st.integers(1, 3),
+)
+def test_derived_matches_direct_quantization_property(seed, n, d):
+    """A derived coarse level assigns every point the cell a direct
+    ``floor(p / side)`` quantization gives (nested-floor identity)."""
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(-20, 20, size=(n, d))
+    h = PointGridHierarchy(pts, 0.11)
+    h.grid_for(0.11)
+    for cutoff in (0.9, 6.5):
+        grid = h.grid_for(cutoff)
+        if grid is None:
+            continue
+        q = np.floor(pts / grid.side).astype(np.int64)
+        np.testing.assert_array_equal(grid.cell_axes[grid.point_cell], q)
+        direct = PointGrid.build(pts, grid.side, max_ring=grid.max_ring)
+        assert direct is not None
+        np.testing.assert_array_equal(
+            np.sort(direct.point_cell), np.sort(grid.point_cell))
