@@ -1,0 +1,432 @@
+"""Render the committed perf trajectory (all ``BENCH_PR*.json``) as a dashboard.
+
+Every perf PR commits a ``BENCH_PR<N>.json`` document produced by
+``benchmarks/run_all.py --json``.  This tool ingests the whole committed
+series, schema-validates each document, aligns entries by id across PRs,
+and renders a static dashboard:
+
+* ``docs/perf_trajectory.md`` — markdown: per-entry timing tables
+  PR-over-PR with regression/improvement annotations (vs best-of-last-3,
+  the same rule ``check_bench_schema.py --compare`` gates CI on);
+* ``docs/perf_trajectory.html`` — a self-contained HTML page with one
+  inline-SVG timing curve per entry (no JS, no external assets).
+
+Output is deterministic (no timestamps; content depends only on the
+input documents), so the rendered dashboard is committed next to the
+series and CI regenerates it and fails on drift, exactly like the
+registry catalogues::
+
+    PYTHONPATH=src python benchmarks/trajectory.py            # writes docs/
+    PYTHONPATH=src python benchmarks/trajectory.py --print    # stdout only
+
+Usage::
+
+    python benchmarks/trajectory.py [--root DIR] [--out-md PATH]
+                                    [--out-html PATH] [--max-slowdown R]
+                                    [--print]
+"""
+
+from __future__ import annotations
+
+import argparse
+import html
+import json
+import os
+import re
+import sys
+
+#: committed series file pattern; the captured group orders the series
+PR_PATTERN = re.compile(r"^BENCH_PR(\d+)\.json$")
+
+#: slowdown ratio (vs best-of-last-3) annotated as a regression
+DEFAULT_MAX_SLOWDOWN = 1.25
+
+#: speedup ratio (vs previous PR) annotated as an improvement
+IMPROVEMENT_RATIO = 0.8
+
+#: history window for the best-of reference (mirrors check_bench_schema)
+BEST_OF = 3
+
+
+class TrajectoryError(ValueError):
+    """A series document failed validation (message names the file)."""
+
+
+def discover(root: str) -> "list[tuple[str, str]]":
+    """The committed series under ``root``: ``[(label, path), ...]``.
+
+    Files are matched by :data:`PR_PATTERN` and ordered by PR number, so
+    the series reads oldest to newest regardless of directory order.
+    """
+    found = []
+    for name in os.listdir(root):
+        m = PR_PATTERN.match(name)
+        if m:
+            found.append((int(m.group(1)), name))
+    return [(f"PR{num}", os.path.join(root, name))
+            for num, name in sorted(found)]
+
+
+def load_doc(path: str) -> dict:
+    """Load and schema-validate one bench document.
+
+    Checks the structural contract documented in ``docs/benchmarks.md``:
+    a JSON object with a string ``suite``, a ``quick`` bool, and an
+    ``entries`` list of objects each carrying a unique string ``id``, a
+    ``params`` object, and a numeric-or-null ``new_s``/``old_s``.
+
+    Raises
+    ------
+    TrajectoryError
+        With the file name and the exact violated requirement, so a
+        malformed commit is actionable from the CI log alone.
+    """
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise TrajectoryError(f"{path}: unreadable bench document: {exc}") \
+            from exc
+    if not isinstance(doc, dict):
+        raise TrajectoryError(f"{path}: top level must be an object, "
+                              f"got {type(doc).__name__}")
+    if not isinstance(doc.get("suite"), str):
+        raise TrajectoryError(f"{path}: missing string 'suite'")
+    if not isinstance(doc.get("quick"), bool):
+        raise TrajectoryError(f"{path}: missing bool 'quick'")
+    entries = doc.get("entries")
+    if not isinstance(entries, list):
+        raise TrajectoryError(f"{path}: 'entries' must be a list, "
+                              f"got {type(entries).__name__}")
+    seen = set()
+    for i, entry in enumerate(entries):
+        where = f"{path}: entries[{i}]"
+        if not isinstance(entry, dict):
+            raise TrajectoryError(f"{where}: must be an object")
+        eid = entry.get("id")
+        if not isinstance(eid, str) or not eid:
+            raise TrajectoryError(f"{where}: missing string 'id'")
+        if eid in seen:
+            raise TrajectoryError(f"{path}: duplicate entry id {eid!r}")
+        seen.add(eid)
+        if not isinstance(entry.get("params"), dict):
+            raise TrajectoryError(f"{where} ({eid!r}): missing object 'params'")
+        for key in ("new_s", "old_s"):
+            value = entry.get(key, None)
+            if value is not None and (isinstance(value, bool)
+                                      or not isinstance(value, (int, float))):
+                raise TrajectoryError(
+                    f"{where} ({eid!r}): {key!r} must be a number or null, "
+                    f"got {type(value).__name__}")
+        if not isinstance(entry.get("new_s"), (int, float)):
+            raise TrajectoryError(f"{where} ({eid!r}): 'new_s' is required")
+    return doc
+
+
+def build_series(docs: "list[tuple[str, dict]]") -> dict:
+    """Align a list of ``(label, doc)`` into one per-entry series.
+
+    Returns
+    -------
+    dict
+        ``{"suite", "labels": [...], "entries": {id: [entry-or-None per
+        label]}}`` — entry ids in first-appearance order, one aligned
+        slot per PR so gaps (an entry introduced mid-series) are
+        explicit ``None`` values, never silently compacted.
+    """
+    suites = {doc.get("suite") for _, doc in docs}
+    if len(suites) > 1:
+        raise TrajectoryError(
+            f"series mixes suites {sorted(s or '?' for s in suites)}; "
+            "all BENCH_PR*.json documents must come from one suite")
+    labels = [label for label, _ in docs]
+    ids: "list[str]" = []
+    for _, doc in docs:
+        for entry in doc["entries"]:
+            if entry["id"] not in ids:
+                ids.append(entry["id"])
+    entries = {
+        eid: [
+            next((e for e in doc["entries"] if e["id"] == eid), None)
+            for _, doc in docs
+        ]
+        for eid in ids
+    }
+    return {"suite": docs[0][1].get("suite") if docs else "?",
+            "labels": labels, "entries": entries}
+
+
+def _comparable(prev: "dict | None", cur: "dict | None") -> bool:
+    """Whether two aligned slots can be compared by timing."""
+    return (prev is not None and cur is not None
+            and prev.get("params") == cur.get("params")
+            and isinstance(prev.get("new_s"), (int, float))
+            and prev["new_s"] > 0)
+
+
+def annotate(series: dict,
+             max_slowdown: float = DEFAULT_MAX_SLOWDOWN) -> dict:
+    """Per-slot verdicts for every entry in the series.
+
+    For each PR slot the reference is the fastest params-matched
+    ``new_s`` among the up-to-:data:`BEST_OF` preceding PRs (the same
+    best-of-last-3 rule the CI gate enforces).  Returns ``{id: [verdict
+    per label]}`` where a verdict is ``None`` (no basis), ``"ok"``,
+    ``"improved"`` (beat the previous PR by >= 1/0.8x) or
+    ``"regressed"`` (exceeded best-of-last-3 by > max_slowdown).
+    """
+    out = {}
+    for eid, slots in series["entries"].items():
+        verdicts: "list" = []
+        for i, cur in enumerate(slots):
+            if cur is None or not isinstance(cur.get("new_s"), (int, float)):
+                verdicts.append(None)
+                continue
+            window = [p for p in slots[max(0, i - BEST_OF):i]
+                      if _comparable(p, cur)]
+            if not window:
+                verdicts.append(None)
+                continue
+            best = min(p["new_s"] for p in window)
+            if cur["new_s"] > best * max_slowdown:
+                verdicts.append("regressed")
+            elif _comparable(slots[i - 1], cur) \
+                    and cur["new_s"] < slots[i - 1]["new_s"] * IMPROVEMENT_RATIO:
+                verdicts.append("improved")
+            else:
+                verdicts.append("ok")
+        out[eid] = verdicts
+    return out
+
+
+def _fmt_s(value) -> str:
+    """Seconds, compactly."""
+    if value is None:
+        return "–"
+    return f"{value:.4g}s"
+
+
+_MARK = {"regressed": " ⚠", "improved": " ▼", "ok": "", None: ""}
+
+
+def render_markdown(series: dict,
+                    max_slowdown: float = DEFAULT_MAX_SLOWDOWN) -> str:
+    """The markdown dashboard: overview pivot + per-entry detail."""
+    labels = series["labels"]
+    verdicts = annotate(series, max_slowdown)
+    lines = [
+        "# Performance trajectory",
+        "",
+        "Wall-clock `new_s` of every committed `BENCH_PR*.json` entry, "
+        "PR over PR.",
+        "Generated by `python benchmarks/trajectory.py` — regenerate "
+        "after committing",
+        "a new `BENCH_PR*.json` (CI diffs this file against the series).",
+        "",
+        f"Suite: `{series['suite']}` · PRs: "
+        + ", ".join(labels)
+        + f" · regression threshold: >{max_slowdown:g}x best-of-last-"
+        + f"{BEST_OF}",
+        "",
+        "Markers: ⚠ regression vs best-of-last-3 · ▼ improvement vs "
+        "previous PR · – not benchmarked in that PR.",
+        "",
+        "## Overview",
+        "",
+        "| entry | " + " | ".join(labels) + " |",
+        "|" + "---|" * (len(labels) + 1),
+    ]
+    for eid, slots in series["entries"].items():
+        row = [f"`{eid}`"]
+        for slot, verdict in zip(slots, verdicts[eid]):
+            cell = "–" if slot is None else _fmt_s(slot.get("new_s"))
+            row.append(cell + _MARK[verdict])
+        lines.append("| " + " | ".join(row) + " |")
+    lines += ["", "[Static HTML dashboard with timing curves]"
+                  "(perf_trajectory.html)", ""]
+    for eid, slots in series["entries"].items():
+        latest = next(s for s in reversed(slots) if s is not None)
+        lines += [f"## `{eid}`", ""]
+        params = ", ".join(f"{k}={v}" for k, v in
+                           sorted(latest.get("params", {}).items()))
+        if params:
+            lines += [f"Params (latest): `{params}`", ""]
+        header = ["PR", "new_s", "old_s", "speedup", "verdict"]
+        lines.append("| " + " | ".join(header) + " |")
+        lines.append("|" + "---|" * len(header))
+        for label, slot, verdict in zip(labels, slots, verdicts[eid]):
+            if slot is None:
+                lines.append(f"| {label} | – | – | – | not benchmarked |")
+                continue
+            speedup = slot.get("speedup")
+            note = verdict or "first measurement"
+            if verdict == "regressed":
+                window = [p for p in slots if _comparable(p, slot)]
+                note = f"**regressed** (> {max_slowdown:g}x best-of-last-3)" \
+                    if window else "regressed"
+            elif verdict == "improved":
+                note = "improved vs previous PR"
+            lines.append(
+                "| " + " | ".join([
+                    label, _fmt_s(slot.get("new_s")), _fmt_s(slot.get("old_s")),
+                    f"{speedup:.2f}x" if isinstance(speedup, (int, float))
+                    else "–",
+                    note,
+                ]) + " |"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _svg_curve(labels: "list[str]", slots: "list[dict | None]",
+               verdicts: "list", width: int = 520, height: int = 150) -> str:
+    """One inline-SVG timing curve (log-ish autoscaled, no deps)."""
+    pad = 34
+    points = [(i, s["new_s"]) for i, s in enumerate(slots)
+              if s is not None and isinstance(s.get("new_s"), (int, float))]
+    if not points:
+        return "<svg/>"
+    values = [v for _, v in points]
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or max(hi, 1e-9)
+    lo, hi = lo - 0.1 * span, hi + 0.1 * span
+
+    def x(i):
+        if len(labels) == 1:
+            return pad + (width - 2 * pad) / 2
+        return pad + (width - 2 * pad) * i / (len(labels) - 1)
+
+    def y(v):
+        return height - pad - (height - 2 * pad) * (v - lo) / (hi - lo)
+
+    colors = {"regressed": "#c62828", "improved": "#2e7d32"}
+    parts = [f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+             f'height="{height}" role="img">']
+    parts.append(
+        f'<line x1="{pad}" y1="{height - pad}" x2="{width - pad}" '
+        f'y2="{height - pad}" stroke="#999"/>')
+    poly = " ".join(f"{x(i):.1f},{y(v):.1f}" for i, v in points)
+    parts.append(f'<polyline points="{poly}" fill="none" stroke="#5e35b1" '
+                 'stroke-width="2"/>')
+    for i, v in points:
+        color = colors.get(verdicts[i], "#5e35b1")
+        parts.append(f'<circle cx="{x(i):.1f}" cy="{y(v):.1f}" r="4" '
+                     f'fill="{color}"><title>{html.escape(labels[i])}: '
+                     f'{v:.4g}s</title></circle>')
+        parts.append(f'<text x="{x(i):.1f}" y="{y(v) - 8:.1f}" '
+                     'font-size="10" text-anchor="middle" fill="#333">'
+                     f'{v:.3g}</text>')
+    for i, label in enumerate(labels):
+        parts.append(f'<text x="{x(i):.1f}" y="{height - pad + 14}" '
+                     'font-size="11" text-anchor="middle" fill="#555">'
+                     f'{html.escape(label)}</text>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def render_html(series: dict,
+                max_slowdown: float = DEFAULT_MAX_SLOWDOWN) -> str:
+    """The self-contained HTML dashboard (inline SVG, no JS/assets)."""
+    labels = series["labels"]
+    verdicts = annotate(series, max_slowdown)
+    body = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        "<title>Performance trajectory</title>",
+        "<style>",
+        "body{font-family:system-ui,sans-serif;margin:2rem auto;"
+        "max-width:60rem;color:#222}",
+        "h2{border-bottom:1px solid #ddd;padding-bottom:.2rem}",
+        ".regressed{color:#c62828;font-weight:bold}",
+        ".improved{color:#2e7d32}",
+        "code{background:#f4f2f8;padding:.1rem .3rem;border-radius:3px}",
+        "table{border-collapse:collapse}td,th{border:1px solid #ddd;"
+        "padding:.25rem .6rem;font-size:.9rem}",
+        "</style></head><body>",
+        "<h1>Performance trajectory</h1>",
+        f"<p>Suite <code>{html.escape(str(series['suite']))}</code> · "
+        + " → ".join(html.escape(lb) for lb in labels)
+        + f" · regression: &gt;{max_slowdown:g}&times; best-of-last-"
+        + f"{BEST_OF}.</p>",
+    ]
+    for eid, slots in series["entries"].items():
+        body.append(f"<h2><code>{html.escape(eid)}</code></h2>")
+        body.append(_svg_curve(labels, slots, verdicts[eid]))
+        rows = ["<table><tr><th>PR</th><th>new_s</th><th>speedup</th>"
+                "<th>verdict</th></tr>"]
+        for label, slot, verdict in zip(labels, slots, verdicts[eid]):
+            if slot is None:
+                rows.append(f"<tr><td>{html.escape(label)}</td>"
+                            "<td>–</td><td>–</td><td>not benchmarked</td></tr>")
+                continue
+            speedup = slot.get("speedup")
+            speedup_cell = f"{speedup:.2f}x" \
+                if isinstance(speedup, (int, float)) else "–"
+            cls = f' class="{verdict}"' if verdict in ("regressed",
+                                                       "improved") else ""
+            rows.append(
+                f"<tr><td>{html.escape(label)}</td>"
+                f"<td>{_fmt_s(slot.get('new_s'))}</td>"
+                f"<td>{speedup_cell}</td>"
+                f"<td{cls}>{html.escape(verdict or 'first')}</td></tr>")
+        rows.append("</table>")
+        body.extend(rows)
+    body.append("</body></html>")
+    return "\n".join(body)
+
+
+def main(argv: "list[str]") -> int:
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/trajectory.py",
+        description="Render the committed BENCH_PR*.json perf-trajectory "
+                    "series as a markdown + HTML dashboard.",
+    )
+    parser.add_argument("--root", default=os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), ".."),
+        help="directory holding the BENCH_PR*.json series (default: repo root)")
+    parser.add_argument("--out-md", default=None,
+                        help="markdown output (default: <root>/docs/"
+                             "perf_trajectory.md)")
+    parser.add_argument("--out-html", default=None,
+                        help="HTML output (default: <root>/docs/"
+                             "perf_trajectory.html)")
+    parser.add_argument("--max-slowdown", type=float,
+                        default=DEFAULT_MAX_SLOWDOWN,
+                        help="regression annotation threshold vs "
+                             "best-of-last-3 (default 1.25)")
+    parser.add_argument("--print", action="store_true", dest="print_only",
+                        help="print the markdown to stdout, write nothing")
+    args = parser.parse_args(argv)
+
+    root = os.path.normpath(args.root)
+    found = discover(root)
+    if not found:
+        print(f"no BENCH_PR*.json found under {root}", file=sys.stderr)
+        return 2
+    try:
+        docs = [(label, load_doc(path)) for label, path in found]
+        series = build_series(docs)
+        md = render_markdown(series, args.max_slowdown)
+        page = render_html(series, args.max_slowdown)
+    except TrajectoryError as exc:
+        print(f"TRAJECTORY ERROR: {exc}", file=sys.stderr)
+        return 1
+    if args.print_only:
+        print(md)
+        return 0
+    out_md = args.out_md or os.path.join(root, "docs", "perf_trajectory.md")
+    out_html = args.out_html or os.path.join(root, "docs",
+                                             "perf_trajectory.html")
+    for path, content in ((out_md, md + "\n"), (out_html, page + "\n")):
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(path, "w") as fh:
+            fh.write(content)
+    print(f"wrote {out_md} and {out_html} "
+          f"({len(series['entries'])} entries across {len(found)} PRs)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

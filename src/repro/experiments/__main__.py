@@ -22,7 +22,13 @@ matrix (:mod:`repro.scenarios.matrix`) through the same caching and
     python -m repro.experiments matrix --quick
     python -m repro.experiments matrix --scenarios drift,adversarial \\
         --backends insertion-only,mpc-two-round --jobs 4
+    python -m repro.experiments matrix --quick --replicates 5
     python -m repro.experiments matrix --list
+
+``matrix --replicates N`` runs every cell ``N`` times on
+``SeedSequence.spawn``-derived stream seeds and reports mean/CI/quantile
+aggregates plus a Holm-corrected pairwise backend significance matrix
+(:mod:`repro.verify`) instead of single-seed point estimates.
 
 With ``matrix --checkpoint-dir DIR`` every in-flight cell also saves a
 durable session snapshot (:mod:`repro.persist`) after each stream batch,

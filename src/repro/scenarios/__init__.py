@@ -40,6 +40,7 @@ from .matrix import (
     CellResult,
     MatrixResult,
     cell_cache_params,
+    replicate_seeds,
     run_cell,
     run_matrix,
 )
@@ -74,6 +75,7 @@ __all__ = [
     "get_scenario",
     "load_dataset",
     "register_scenario",
+    "replicate_seeds",
     "run_cell",
     "run_matrix",
     "scenario_table",

@@ -22,6 +22,15 @@ session snapshot (:mod:`repro.persist`) after every batch: a killed
 sweep resumes *mid-stream* from the checkpoint (bit-identical to the
 uninterrupted run) instead of replaying the cell from scratch.
 
+With ``--replicates N`` every ``(scenario, backend)`` pair runs ``N``
+times, each replicate on its own stream seed derived through the
+engine's ``SeedSequence.spawn`` discipline
+(:func:`repro.engine.derive_seeds`), each replicate a separate
+cached/checkpointed cell.  The emitters then report mean, bootstrap CI
+and quantiles per pair (:mod:`repro.verify`) plus a Holm-corrected
+pairwise backend significance matrix instead of single-seed point
+estimates.
+
 The result renders as JSON (machine-readable, schema documented in
 ``docs/benchmarks.md``) and as a markdown table (human-readable, quoted
 by the docs scenario catalogue)::
@@ -29,6 +38,7 @@ by the docs scenario catalogue)::
     python -m repro.experiments matrix --quick
     python -m repro.experiments matrix --scenarios drift,adversarial \\
         --backends insertion-only,mpc-two-round --jobs 4
+    python -m repro.experiments matrix --quick --replicates 5
 """
 
 from __future__ import annotations
@@ -41,7 +51,7 @@ from dataclasses import asdict, dataclass, fields
 
 from ..api.registry import UnknownBackendError, available_backends, get_backend
 from ..api.session import KCenterSession
-from ..engine import ResultsCache, default_results_dir, get_executor
+from ..engine import ResultsCache, default_results_dir, derive_seeds, get_executor
 from ..persist import read_snapshot
 from .datasets import DatasetUnavailableError
 from .registry import UnknownScenarioError, available_scenarios, get_scenario
@@ -51,6 +61,7 @@ __all__ = [
     "CellResult",
     "MatrixResult",
     "cell_cache_params",
+    "replicate_seeds",
     "run_cell",
     "run_matrix",
     "default_scenario_names",
@@ -102,6 +113,11 @@ class CellResult:
         Seconds inside backend calls (ingest + coreset + solve).
     note:
         Error text / skip reason / scenario provenance.
+    seed:
+        The stream seed this cell materialized with (the root seed for
+        single runs, a :func:`replicate_seeds`-derived child otherwise).
+    replicate:
+        Replicate index within the sweep (``0`` for single runs).
     """
 
     scenario: str
@@ -115,6 +131,26 @@ class CellResult:
     updates: "int | None" = None
     wall_time: "float | None" = None
     note: str = ""
+    seed: "int | None" = None
+    replicate: "int | None" = None
+
+
+def replicate_seeds(seed: int, replicates: int) -> "list[int]":
+    """Per-replicate stream seeds via the engine's spawn discipline.
+
+    A single replicate keeps the root seed itself, so ``--replicates 1``
+    is byte-identical to a plain sweep (and reuses its cached cells).
+    With ``N > 1`` replicates each seed is the first word of child ``i``
+    of ``SeedSequence(seed).spawn(N)`` (:func:`repro.engine.derive_seeds`),
+    so replicate ``i``'s stream depends only on ``(seed, i)`` — never on
+    sweep order, job count, or which process materializes it.
+    """
+    if replicates < 1:
+        raise ValueError(f"replicates must be >= 1, got {replicates}")
+    if replicates == 1:
+        return [int(seed)]
+    return [int(ss.generate_state(1)[0])
+            for ss in derive_seeds(int(seed), replicates)]
 
 
 #: stats keys probed (in order) for a backend's current storage figure
@@ -220,6 +256,7 @@ def run_cell(
     decision_jobs: "int | None" = None,
     checkpoint_dir: "str | None" = None,
     instance=None,
+    replicate: int = 0,
 ) -> CellResult:
     """Evaluate one backend on one scenario (one matrix cell).
 
@@ -259,15 +296,19 @@ def run_cell(
     instance:
         Pre-materialized :class:`~repro.scenarios.ScenarioInstance`
         (sweep optimization); ``None`` materializes here.
+    replicate:
+        Replicate index recorded in the cell (provenance only — the
+        replicate's stream identity is fully carried by ``seed``).
     """
     scenario = get_scenario(scenario_name)
     info = get_backend(backend_name)
+    ids = {"seed": int(seed), "replicate": int(replicate)}
     if instance is None:
         try:
             instance = scenario.make(quick=quick, seed=seed)
         except DatasetUnavailableError as exc:
             return CellResult(scenario_name, backend_name, "unavailable",
-                              note=str(exc))
+                              note=str(exc), **ids)
     inst = instance
     if reference is not None:
         inst.prime_reference(reference)
@@ -275,6 +316,7 @@ def run_cell(
         return CellResult(
             scenario_name, backend_name, "skipped",
             note=f"{info.model} backend incompatible with this stream",
+            **ids,
         )
     try:
         spec = _resolved_spec(inst.spec, dtype, kernel_chunk, decision_jobs)
@@ -333,10 +375,11 @@ def run_cell(
             updates=int(sol.updates),
             wall_time=float(sol.wall_time),
             note=inst.notes,
+            **ids,
         )
     except Exception as exc:  # one bad cell must not kill the sweep
         return CellResult(scenario_name, backend_name, "error",
-                          note=f"{type(exc).__name__}: {exc}")
+                          note=f"{type(exc).__name__}: {exc}", **ids)
 
 
 #: per-process memo of reference radii, keyed ``(scenario, quick, seed)``
@@ -399,7 +442,7 @@ def _scenario_reference(scenario: str, quick: bool, seed: int,
 def _cell_task(task: tuple) -> dict:
     """One unit of matrix fan-out (module-level so process pools pickle
     it); opens its own cache handle and returns the cell as a dict."""
-    (scenario, backend, quick, seed, cache_root, force,
+    (scenario, backend, quick, seed, replicate, cache_root, force,
      dtype, kernel_chunk, decision_jobs, checkpoint_dir) = task
     cache = ResultsCache(cache_root) if cache_root else None
     cell_fields = {f.name for f in fields(CellResult)}
@@ -415,6 +458,7 @@ def _cell_task(task: tuple) -> dict:
     # unavailable dataset can still serve its last-known-good cell
     alias_params = {"scenario": scenario, "backend": backend,
                     "quick": bool(quick), "seed": int(seed),
+                    "replicate": int(replicate),
                     "dtype": dtype, "kernel_chunk": kernel_chunk,
                     "decision_jobs": decision_jobs}
     sc = get_scenario(scenario)
@@ -430,7 +474,8 @@ def _cell_task(task: tuple) -> dict:
             if _valid(hit):
                 return hit
         return asdict(CellResult(scenario, backend, "unavailable",
-                                 note=str(exc)))
+                                 note=str(exc), seed=int(seed),
+                                 replicate=int(replicate)))
     spec = _resolved_spec(inst.spec, dtype, kernel_chunk, decision_jobs)
     params = cell_cache_params(
         scenario, backend, quick, seed, spec, inst.session_options(info)
@@ -444,7 +489,8 @@ def _cell_task(task: tuple) -> dict:
                            reference=ref, dtype=dtype,
                            kernel_chunk=kernel_chunk,
                            decision_jobs=decision_jobs,
-                           checkpoint_dir=checkpoint_dir, instance=inst))
+                           checkpoint_dir=checkpoint_dir, instance=inst,
+                           replicate=replicate))
     # only settled results are cached: transient failures ("unavailable",
     # "error") must retry on the next run, and "skipped" is free anyway
     if cache is not None and cell["status"] == "ok":
@@ -466,9 +512,16 @@ class MatrixResult:
     scenarios, backends:
         The swept registry names, in sweep order.
     quick, seed:
-        The materialization parameters every cell shared.
+        The materialization parameters every cell shared (``seed`` is
+        the *root* seed; replicated cells carry their own derived seed).
     cells:
-        One :class:`CellResult` per ``(scenario, backend)`` pair.
+        One :class:`CellResult` per ``(scenario, replicate, backend)``
+        triple, in sweep order.
+    replicates:
+        Replicates per ``(scenario, backend)`` pair (``1`` = the
+        classic single-seed sweep).
+    alpha:
+        Family-wise significance level the emitted verdicts use.
     """
 
     scenarios: "list[str]"
@@ -476,64 +529,145 @@ class MatrixResult:
     quick: bool
     seed: int
     cells: "list[CellResult]"
+    replicates: int = 1
+    alpha: float = 0.05
 
     def cell(self, scenario: str, backend: str) -> "CellResult | None":
-        """The cell for a pair, or ``None`` when it was not swept."""
+        """The first cell for a pair, or ``None`` when it was not swept."""
         for c in self.cells:
             if c.scenario == scenario and c.backend == backend:
                 return c
         return None
 
+    def replicate_cells(self, scenario: str, backend: str) -> "list[CellResult]":
+        """Every replicate cell of one pair, in replicate order."""
+        return sorted(
+            (c for c in self.cells
+             if c.scenario == scenario and c.backend == backend),
+            key=lambda c: (c.replicate or 0),
+        )
+
+    # -- statistical verification ------------------------------------------
+
+    def summary(self) -> "list[dict]":
+        """Mean/CI/quantile aggregates per ``(scenario, backend, metric)``.
+
+        Seeded with the sweep's root seed plus a stable digest of each
+        group key (:mod:`repro.verify`), so the aggregate — like the
+        cells — is byte-identical across ``--jobs`` values.
+        """
+        from ..verify import summarize_cells
+
+        return summarize_cells(self.cells, seed=self.seed)
+
+    def significance(self) -> dict:
+        """Pairwise Holm-corrected backend comparisons per metric.
+
+        Backends are paired on shared ``(scenario, seed)`` streams —
+        see :func:`repro.verify.significance_matrix`.
+        """
+        from ..verify import significance_matrix
+
+        return significance_matrix(self.cells, list(self.backends),
+                                   alpha=self.alpha, seed=self.seed)
+
     # -- serialization -----------------------------------------------------
 
     def to_json_dict(self) -> dict:
-        """The machine-readable document (schema: ``docs/benchmarks.md``)."""
+        """The machine-readable document (schema: ``docs/benchmarks.md``).
+
+        Replicated sweeps (``replicates > 1``) additionally carry a
+        ``summary`` list (mean/CI/quantiles per pair and metric) and a
+        ``significance`` object (the pairwise backend matrix).
+        """
         import repro
 
-        return {
+        doc = {
             "suite": "scenario-matrix",
             "version": repro.__version__,
             "quick": bool(self.quick),
             "seed": int(self.seed),
+            "replicates": int(self.replicates),
             "scenarios": list(self.scenarios),
             "backends": list(self.backends),
             "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
             "cells": [asdict(c) for c in self.cells],
         }
+        if self.replicates > 1:
+            doc["summary"] = self.summary()
+            doc["significance"] = self.significance()
+        return doc
 
     def write_json(self, path: str) -> None:
         """Write :meth:`to_json_dict` to ``path`` (pretty-printed)."""
         with open(path, "w") as fh:
             json.dump(self.to_json_dict(), fh, indent=2)
 
+    def _pivot_entry(self, scenario: str, backend: str) -> str:
+        """One radius-ratio pivot cell: a point estimate for single
+        sweeps, ``mean [ci_lo, ci_hi]`` over the replicates otherwise."""
+        reps = self.replicate_cells(scenario, backend)
+        if not reps:
+            return ""
+        ok = [c for c in reps if c.status == "ok"]
+        if not ok:
+            return reps[0].status
+        if self.replicates <= 1 or len(ok) == 1:
+            return f"{ok[0].radius_ratio:.3f}"
+        from ..verify import summarize
+
+        s = summarize([c.radius_ratio for c in ok], seed=self.seed,
+                      key=(scenario, backend, "radius_ratio"))
+        return f"{s.mean:.3f} [{s.ci_lo:.3f}, {s.ci_hi:.3f}]"
+
     def to_markdown(self) -> str:
-        """Render the sweep as markdown: a radius-ratio pivot (scenario
-        rows x backend columns) followed by the full per-cell table."""
-        lines = ["### Radius ratio vs reference (lower is better)", ""]
+        """Render the sweep as markdown.
+
+        A radius-ratio pivot (scenario rows x backend columns; mean and
+        bootstrap CI when replicated) followed by the full per-cell
+        table; replicated sweeps append the statistical summary and the
+        pairwise significance matrix (:mod:`repro.verify`).
+        """
+        title = "### Radius ratio vs reference (lower is better)"
+        if self.replicates > 1:
+            title += (f" — mean [95% CI] over {self.replicates} replicates")
+        lines = [title, ""]
         header = ["scenario"] + list(self.backends)
         lines.append("| " + " | ".join(header) + " |")
         lines.append("|" + "---|" * len(header))
         for s in self.scenarios:
-            row = [s]
-            for b in self.backends:
-                c = self.cell(s, b)
-                if c is None:
-                    row.append("")
-                elif c.status == "ok":
-                    row.append(f"{c.radius_ratio:.3f}")
-                else:
-                    row.append(c.status)
+            row = [s] + [self._pivot_entry(s, b) for b in self.backends]
             lines.append("| " + " | ".join(row) + " |")
+        if self.replicates > 1:
+            lines += ["", "### Statistical summary (per metric, "
+                          f"over {self.replicates} replicates)", ""]
+            cols = ["scenario", "backend", "metric", "n", "mean",
+                    "95% CI", "median", "min", "max"]
+            lines.append("| " + " | ".join(cols) + " |")
+            lines.append("|" + "---|" * len(cols))
+            for row in self.summary():
+                q = row["quantiles"]
+                lines.append(
+                    "| " + " | ".join([
+                        row["scenario"], row["backend"], row["metric"],
+                        str(row["n"]), _fmt(row["mean"]),
+                        f"[{_fmt(row['ci_lo'])}, {_fmt(row['ci_hi'])}]",
+                        _fmt(q["median"]), _fmt(q["min"]), _fmt(q["max"]),
+                    ]) + " |"
+                )
+            from ..verify import significance_markdown
+
+            lines += ["", significance_markdown(self.significance()).rstrip()]
         lines += ["", "### Full matrix", ""]
-        cols = ["scenario", "backend", "status", "radius", "ratio",
-                "coreset", "peak storage", "updates", "wall s"]
+        cols = ["scenario", "backend", "rep", "seed", "status", "radius",
+                "ratio", "coreset", "peak storage", "updates", "wall s"]
         lines.append("| " + " | ".join(cols) + " |")
         lines.append("|" + "---|" * len(cols))
         for c in self.cells:
             lines.append(
                 "| " + " | ".join([
-                    c.scenario, c.backend, c.status,
-                    _fmt(c.radius), _fmt(c.radius_ratio),
+                    c.scenario, c.backend, _fmt(c.replicate), _fmt(c.seed),
+                    c.status, _fmt(c.radius), _fmt(c.radius_ratio),
                     _fmt(c.coreset_size), _fmt(c.peak_storage),
                     _fmt(c.updates), _fmt(c.wall_time),
                 ]) + " |"
@@ -618,6 +752,8 @@ def run_matrix(
     *,
     quick: bool = False,
     seed: int = 0,
+    replicates: int = 1,
+    alpha: float = 0.05,
     executor: "str | None" = None,
     jobs: "int | None" = None,
     cache_root: "str | None" = None,
@@ -639,7 +775,16 @@ def run_matrix(
     quick:
         Reduced stream sizes (CI smoke).
     seed:
-        Root seed handed to every scenario factory and spec.
+        Root seed handed to every scenario factory and spec (and, for
+        replicated sweeps, to :func:`replicate_seeds`).
+    replicates:
+        Runs per ``(scenario, backend)`` pair, each on its own derived
+        stream seed and each a separately cached/checkpointed cell;
+        ``1`` keeps the classic single-seed sweep byte-identical
+        (including its cache keys).
+    alpha:
+        Family-wise significance level for the emitted verdicts
+        (replicated sweeps only).
     executor, jobs:
         Cell fan-out (see :func:`repro.engine.get_executor`); ``jobs``
         alone implies a process pool, neither means serial.
@@ -677,10 +822,15 @@ def run_matrix(
         get_scenario(name)  # raise early on typos, before any work
     for name in backend_names:
         get_backend(name)
+    seeds = replicate_seeds(seed, replicates)
+    # scenario-major, then replicate, then backend: consecutive tasks
+    # share a (scenario, seed) materialization, so the single-entry
+    # per-process instance memo keeps paying under replication
     tasks = [
-        (s, b, quick, seed, cache_root, force, dtype, kernel_chunk,
+        (s, b, quick, rep_seed, rep, cache_root, force, dtype, kernel_chunk,
          decision_jobs, checkpoint_dir)
         for s in scenario_names
+        for rep, rep_seed in enumerate(seeds)
         for b in backend_names
     ]
     if executor is None and jobs is not None and jobs > 1:
@@ -700,6 +850,8 @@ def run_matrix(
         quick=quick,
         seed=seed,
         cells=cells,
+        replicates=int(replicates),
+        alpha=float(alpha),
     )
 
 
@@ -726,6 +878,14 @@ def build_matrix_parser() -> argparse.ArgumentParser:
                         help="reduced stream sizes (seconds instead of minutes)")
     parser.add_argument("--seed", type=int, default=0,
                         help="root seed for scenario streams and specs")
+    parser.add_argument("--replicates", type=int, default=1, metavar="N",
+                        help="runs per (scenario, backend) pair, each on its "
+                             "own SeedSequence-derived stream seed; N > 1 "
+                             "emits mean/CI/quantile aggregates and a "
+                             "pairwise significance matrix")
+    parser.add_argument("--alpha", type=float, default=0.05,
+                        help="family-wise significance level for the "
+                             "replicated significance matrix (default 0.05)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="shard cells over N processes")
     parser.add_argument("--results-dir", default=None, metavar="DIR",
@@ -775,6 +935,12 @@ def matrix_main(argv: "list[str]") -> int:
     if args.jobs < 1:
         print("--jobs must be >= 1")
         return 2
+    if args.replicates < 1:
+        print("--replicates must be >= 1")
+        return 2
+    if not 0.0 < args.alpha < 1.0:
+        print("--alpha must be in (0, 1)")
+        return 2
     if args.decision_jobs is not None and args.decision_jobs < 1:
         print("--decision-jobs must be >= 1")
         return 2
@@ -807,6 +973,7 @@ def matrix_main(argv: "list[str]") -> int:
     result = run_matrix(
         scenarios, backends,
         quick=args.quick, seed=args.seed,
+        replicates=args.replicates, alpha=args.alpha,
         jobs=args.jobs if args.jobs > 1 else None,
         cache_root=cache_root, force=args.force,
         dtype=args.dtype, decision_jobs=args.decision_jobs,

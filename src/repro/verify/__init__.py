@@ -1,0 +1,68 @@
+"""`repro.verify` — statistical verification of cross-backend results.
+
+The evaluation matrix (:mod:`repro.scenarios.matrix`) measures each
+``(scenario, backend)`` cell; this package decides what those
+measurements *mean*.  It is the correctness-tooling layer every perf
+claim is gated on:
+
+* :mod:`repro.verify.stats` — deterministic, dependency-free
+  estimators: bootstrap confidence intervals and quantiles
+  (:func:`summarize`), the exact paired sign test (:func:`sign_test`),
+  sign-flip bootstrap mean differences (:func:`paired_bootstrap`) and
+  the Holm step-down correction (:func:`holm`);
+* :mod:`repro.verify.significance` — the pairwise backend significance
+  matrix over replicated cells (:func:`significance_matrix`), paired on
+  shared ``(scenario, seed)`` streams and Holm-corrected per metric.
+
+Quickstart::
+
+    from repro.scenarios import run_matrix
+    from repro.verify import significance_matrix, summarize_cells
+
+    result = run_matrix(["outlier-burst", "drifting-clusters"],
+                        ["offline", "insertion-only"],
+                        quick=True, replicates=5)
+    rows = summarize_cells(result.cells)           # mean/CI/quantiles
+    sig = significance_matrix(result.cells,        # who actually wins
+                              result.backends)
+
+CLI: ``python -m repro.experiments matrix --quick --replicates 5``.
+"""
+
+from .significance import (
+    METRICS,
+    cell_metric,
+    significance_markdown,
+    significance_matrix,
+    summarize_cells,
+)
+from .stats import (
+    PairedComparison,
+    SignTest,
+    Summary,
+    derived_rng,
+    holm,
+    paired_bootstrap,
+    paired_comparison,
+    sign_test,
+    stable_entropy,
+    summarize,
+)
+
+__all__ = [
+    "METRICS",
+    "PairedComparison",
+    "SignTest",
+    "Summary",
+    "cell_metric",
+    "derived_rng",
+    "holm",
+    "paired_bootstrap",
+    "paired_comparison",
+    "sign_test",
+    "significance_markdown",
+    "significance_matrix",
+    "stable_entropy",
+    "summarize",
+    "summarize_cells",
+]

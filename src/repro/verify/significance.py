@@ -1,0 +1,233 @@
+"""Pairwise backend significance over replicated matrix cells.
+
+Takes the flat cell list a replicated sweep produced
+(:mod:`repro.scenarios.matrix`) and answers the question the single-seed
+matrix could not: *is backend A actually better than backend B, or did
+one seed get lucky?*  Backends are paired on shared ``(scenario, seed)``
+conditions — the same materialized stream — so the comparison is a
+paired design: per pair of backends and per metric it runs the exact
+sign test and the bootstrap mean-difference test
+(:mod:`repro.verify.stats`), then Holm-corrects each test family (all
+backend pairs of one metric) so the emitted verdicts control the
+family-wise error rate.
+
+All metrics compared here are *lower-is-better* (radius ratio, peak
+storage, wall time), so a significantly negative mean difference means
+the first backend wins.
+"""
+
+from __future__ import annotations
+
+from .stats import holm, paired_comparison, summarize
+
+__all__ = [
+    "METRICS",
+    "cell_metric",
+    "summarize_cells",
+    "significance_matrix",
+    "significance_markdown",
+]
+
+#: metrics aggregated and compared, all lower-is-better
+METRICS = ("radius_ratio", "peak_storage", "wall_time")
+
+
+def _get(cell, name):
+    """Read a field from a cell given as a dataclass or a dict."""
+    if isinstance(cell, dict):
+        return cell.get(name)
+    return getattr(cell, name, None)
+
+
+def cell_metric(cell, metric: str) -> "float | None":
+    """A cell's value for ``metric``, or ``None`` when unusable.
+
+    Only ``ok`` cells with a finite, non-``None`` value participate in
+    aggregation and pairing; everything else (skipped, errored,
+    unavailable, storage probes that never fired) is excluded rather
+    than imputed.
+    """
+    if _get(cell, "status") != "ok":
+        return None
+    value = _get(cell, metric)
+    if value is None:
+        return None
+    return float(value)
+
+
+def summarize_cells(
+    cells,
+    *,
+    metrics: "tuple[str, ...]" = METRICS,
+    confidence: float = 0.95,
+    n_boot: int = 1000,
+    seed: int = 0,
+) -> "list[dict]":
+    """Per-``(scenario, backend, metric)`` aggregates over replicates.
+
+    Parameters
+    ----------
+    cells:
+        Replicated cell results (dataclasses or dicts), each carrying
+        ``scenario``/``backend``/``status`` and the metric fields.
+    metrics, confidence, n_boot, seed:
+        Aggregation knobs; the bootstrap is seeded per group with a
+        stable digest of the group key, so output is process-independent.
+
+    Returns
+    -------
+    list of dict
+        One row per group, in first-seen cell order:
+        ``{"scenario", "backend", "metric", "n", "mean", "ci_lo",
+        "ci_hi", "confidence", "quantiles"}``.
+    """
+    groups: "dict[tuple, list[float]]" = {}
+    order: "list[tuple]" = []
+    for cell in cells:
+        for metric in metrics:
+            value = cell_metric(cell, metric)
+            if value is None:
+                continue
+            key = (_get(cell, "scenario"), _get(cell, "backend"), metric)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(value)
+    out = []
+    for key in order:
+        scenario, backend, metric = key
+        s = summarize(groups[key], confidence=confidence, n_boot=n_boot,
+                      seed=seed, key=key)
+        out.append({"scenario": scenario, "backend": backend,
+                    "metric": metric, **s.as_dict()})
+    return out
+
+
+def _paired_values(cells, metric: str) -> "dict[str, dict[tuple, float]]":
+    """Per-backend ``{(scenario, seed, replicate): value}`` maps."""
+    by_backend: "dict[str, dict[tuple, float]]" = {}
+    for cell in cells:
+        value = cell_metric(cell, metric)
+        if value is None:
+            continue
+        cond = (_get(cell, "scenario"), _get(cell, "seed"),
+                _get(cell, "replicate"))
+        by_backend.setdefault(_get(cell, "backend"), {})[cond] = value
+    return by_backend
+
+
+def significance_matrix(
+    cells,
+    backends: "list[str] | None" = None,
+    *,
+    metrics: "tuple[str, ...]" = METRICS,
+    alpha: float = 0.05,
+    confidence: float = 0.95,
+    n_boot: int = 1000,
+    seed: int = 0,
+) -> dict:
+    """Pairwise Holm-corrected backend comparisons per metric.
+
+    Parameters
+    ----------
+    cells:
+        Replicated cell results (dataclasses or dicts).
+    backends:
+        Backend order to compare in; ``None`` uses first-seen cell
+        order.  Every unordered pair is compared once, as
+        ``(earlier, later)``.
+    metrics:
+        Metric families; Holm correction is applied *within* each
+        metric across all its backend pairs.
+    alpha:
+        Family-wise significance level the ``better`` verdicts use.
+    confidence, n_boot, seed:
+        Passed through to :func:`repro.verify.stats.paired_comparison`.
+
+    Returns
+    -------
+    dict
+        ``{"alpha", "metrics": {metric: [comparison, ...]}}`` where
+        each comparison dict carries the pair names, the
+        :class:`~repro.verify.stats.PairedComparison` fields, the
+        Holm-adjusted p-values (``sign_p_holm``, ``boot_p_holm``) and
+        ``better`` — the winning backend name when the adjusted
+        bootstrap p-value clears ``alpha`` (with the sign test
+        agreeing on direction), else ``None``.
+    """
+    if backends is None:
+        backends = []
+        for cell in cells:
+            b = _get(cell, "backend")
+            if b not in backends:
+                backends.append(b)
+    result: dict = {"alpha": float(alpha), "metrics": {}}
+    for metric in metrics:
+        by_backend = _paired_values(cells, metric)
+        comparisons = []
+        for i, a in enumerate(backends):
+            for b in backends[i + 1:]:
+                conds = sorted(
+                    set(by_backend.get(a, {})) & set(by_backend.get(b, {}))
+                )
+                if len(conds) < 2:
+                    continue  # one shared condition proves nothing
+                av = [by_backend[a][c] for c in conds]
+                bv = [by_backend[b][c] for c in conds]
+                cmp_ = paired_comparison(
+                    av, bv, confidence=confidence, n_boot=n_boot,
+                    seed=seed, key=(metric, a, b),
+                )
+                comparisons.append({"a": a, "b": b, **cmp_.as_dict()})
+        sign_adj = holm([c["sign_p"] for c in comparisons])
+        boot_adj = holm([c["boot_p"] for c in comparisons])
+        for c, sp, bp in zip(comparisons, sign_adj, boot_adj):
+            c["sign_p_holm"] = sp
+            c["boot_p_holm"] = bp
+            better = None
+            if bp < alpha and c["mean_diff"] != 0:
+                winner_is_a = c["mean_diff"] < 0  # lower is better
+                # the sign test must not point the other way
+                agrees = (c["n_pos"] <= c["n_neg"]) if winner_is_a \
+                    else (c["n_neg"] <= c["n_pos"])
+                if agrees:
+                    better = c["a"] if winner_is_a else c["b"]
+            c["better"] = better
+        result["metrics"][metric] = comparisons
+    return result
+
+
+def significance_markdown(sig: dict) -> str:
+    """Render a :func:`significance_matrix` result as markdown tables.
+
+    One table per metric: each row is a backend pair with its pair
+    count, mean difference (negative favours the first backend), both
+    Holm-adjusted p-values and the verdict.
+    """
+    lines = [f"### Pairwise significance (Holm-corrected, "
+             f"alpha={sig['alpha']:g}; lower is better)", ""]
+    for metric, comparisons in sig["metrics"].items():
+        lines.append(f"#### {metric}")
+        lines.append("")
+        if not comparisons:
+            lines += ["(no backend pair shares enough replicated cells)", ""]
+            continue
+        header = ["pair", "n", "mean diff [95% CI]", "sign p (Holm)",
+                  "boot p (Holm)", "verdict"]
+        lines.append("| " + " | ".join(header) + " |")
+        lines.append("|" + "---|" * len(header))
+        for c in comparisons:
+            verdict = f"**{c['better']} wins**" if c["better"] else "no call"
+            lines.append(
+                "| " + " | ".join([
+                    f"{c['a']} vs {c['b']}",
+                    str(c["n_pairs"]),
+                    f"{c['mean_diff']:+.4g} [{c['ci_lo']:+.4g}, "
+                    f"{c['ci_hi']:+.4g}]",
+                    f"{c['sign_p']:.3g} ({c['sign_p_holm']:.3g})",
+                    f"{c['boot_p']:.3g} ({c['boot_p_holm']:.3g})",
+                    verdict,
+                ]) + " |"
+            )
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,408 @@
+"""Dependency-free statistics for the verification harness.
+
+Every estimator here is deterministic under a fixed seed and safe on
+degenerate input (one sample, all ties, constant values), because the
+callers are CI gates: a flaky or crashing statistic would be worse than
+no statistic at all.  Randomized procedures (bootstrap resampling,
+sign-flip permutation) derive their generators from
+:class:`numpy.random.SeedSequence` seeded with the caller's root seed
+plus a *stable* digest of the caller-supplied key (scenario/backend
+names hashed with SHA-256, never Python's randomized ``hash``), so the
+same inputs produce the same intervals and p-values in every process —
+the foundation of the matrix's ``--jobs`` byte-parity guarantee.
+
+Provided:
+
+* :func:`summarize` — mean, bootstrap confidence interval and quantiles
+  of one sample (the replicated-cell aggregate);
+* :func:`sign_test` — exact two-sided paired sign test (ties dropped);
+* :func:`paired_bootstrap` — paired mean difference with a bootstrap
+  CI and a sign-flip permutation p-value;
+* :func:`holm` — Holm step-down multiple-comparison correction;
+* :func:`paired_comparison` — the combined paired report the
+  significance matrix (:mod:`repro.verify.significance`) is built from.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "Summary",
+    "SignTest",
+    "PairedComparison",
+    "stable_entropy",
+    "derived_rng",
+    "summarize",
+    "sign_test",
+    "paired_bootstrap",
+    "holm",
+    "paired_comparison",
+]
+
+#: quantile levels reported by :func:`summarize`, with their JSON names
+QUANTILES = (
+    ("min", 0.0),
+    ("p25", 0.25),
+    ("median", 0.5),
+    ("p75", 0.75),
+    ("max", 1.0),
+)
+
+
+def stable_entropy(*tokens) -> "list[int]":
+    """Process-independent entropy words derived from ``tokens``.
+
+    SHA-256 over the ``repr`` of each token (joined with a separator
+    byte) folded into eight 32-bit words — unlike builtin ``hash``,
+    identical across processes, platforms and ``PYTHONHASHSEED``
+    values, so seeding a generator with it keeps randomized statistics
+    reproducible wherever they run.
+
+    Parameters
+    ----------
+    *tokens:
+        Any reprable values identifying the consumer (metric names,
+        scenario/backend pairs, ...).
+
+    Returns
+    -------
+    list of int
+        Eight unsigned 32-bit words.
+    """
+    digest = hashlib.sha256(
+        b"\x1f".join(repr(t).encode() for t in tokens)
+    ).digest()
+    return [int.from_bytes(digest[i:i + 4], "little") for i in range(0, 32, 4)]
+
+
+def derived_rng(seed: int, *tokens) -> np.random.Generator:
+    """A generator depending only on ``(seed, tokens)``.
+
+    The :class:`~numpy.random.SeedSequence` is fed the root seed plus
+    :func:`stable_entropy` of the tokens, mirroring the engine's
+    ``SeedSequence.spawn`` discipline: every consumer gets an
+    independent, replayable stream no matter which process runs it.
+    """
+    return np.random.default_rng(
+        np.random.SeedSequence([int(seed) & 0xFFFFFFFF, *stable_entropy(*tokens)])
+    )
+
+
+def _clean(values) -> np.ndarray:
+    """Input sample as a finite float64 vector (raises on empty/NaN)."""
+    arr = np.asarray(list(values), dtype=float).ravel()
+    if arr.size == 0:
+        raise ValueError("empty sample")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("sample contains non-finite values")
+    return arr
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Aggregate of one replicated sample.
+
+    Attributes
+    ----------
+    n:
+        Sample size.
+    mean:
+        Sample mean.
+    ci_lo, ci_hi:
+        Bootstrap percentile confidence interval for the mean, widened
+        (if ever necessary) to contain the sample mean itself.
+    confidence:
+        The interval's nominal coverage (e.g. ``0.95``).
+    quantiles:
+        ``{"min", "p25", "median", "p75", "max"}`` of the sample.
+    """
+
+    n: int
+    mean: float
+    ci_lo: float
+    ci_hi: float
+    confidence: float
+    quantiles: "dict[str, float]" = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """The JSON-ready form emitted by the matrix."""
+        return {
+            "n": int(self.n),
+            "mean": float(self.mean),
+            "ci_lo": float(self.ci_lo),
+            "ci_hi": float(self.ci_hi),
+            "confidence": float(self.confidence),
+            "quantiles": {k: float(v) for k, v in self.quantiles.items()},
+        }
+
+
+def summarize(
+    values,
+    *,
+    confidence: float = 0.95,
+    n_boot: int = 1000,
+    seed: int = 0,
+    key: tuple = (),
+) -> Summary:
+    """Mean, bootstrap CI and quantiles of one sample.
+
+    Parameters
+    ----------
+    values:
+        The sample (non-empty, finite).
+    confidence:
+        Nominal CI coverage, in ``(0, 1)``.
+    n_boot:
+        Bootstrap resamples; a single-value sample skips resampling
+        (its interval is the point itself).
+    seed, key:
+        Determinism anchors — see :func:`derived_rng`.
+
+    Returns
+    -------
+    Summary
+        The aggregate.  ``ci_lo <= mean <= ci_hi`` always holds: the
+        percentile interval is clamped around the sample mean, so a
+        downstream gate can rely on the point estimate being covered.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    arr = _clean(values)
+    mean = float(arr.mean())
+    if arr.size == 1 or np.all(arr == arr[0]):
+        lo = hi = mean
+    else:
+        rng = derived_rng(seed, "summarize", *key)
+        idx = rng.integers(0, arr.size, size=(int(n_boot), arr.size))
+        means = arr[idx].mean(axis=1)
+        alpha = (1.0 - confidence) / 2.0
+        lo = float(np.quantile(means, alpha))
+        hi = float(np.quantile(means, 1.0 - alpha))
+        lo, hi = min(lo, mean), max(hi, mean)
+    qs = {name: float(np.quantile(arr, q)) for name, q in QUANTILES}
+    return Summary(n=int(arr.size), mean=mean, ci_lo=lo, ci_hi=hi,
+                   confidence=float(confidence), quantiles=qs)
+
+
+@dataclass(frozen=True)
+class SignTest:
+    """Exact two-sided paired sign test.
+
+    Attributes
+    ----------
+    n_pairs:
+        Pairs supplied (ties included).
+    n_pos, n_neg, n_ties:
+        Sign counts of the differences.
+    p:
+        Two-sided exact binomial p-value over the untied pairs;
+        ``1.0`` when every pair is a tie (no evidence either way).
+    """
+
+    n_pairs: int
+    n_pos: int
+    n_neg: int
+    n_ties: int
+    p: float
+
+
+def sign_test(diffs) -> SignTest:
+    """Exact two-sided sign test on paired differences.
+
+    Ties (zero differences) are dropped, the standard treatment; with
+    *every* pair tied the test degenerates gracefully to ``p = 1.0``
+    instead of dividing by zero.
+
+    Parameters
+    ----------
+    diffs:
+        Paired differences ``a_i - b_i``.
+
+    Returns
+    -------
+    SignTest
+        Counts and the exact p-value.  Swapping the labels (negating
+        every difference) provably leaves ``p`` unchanged.
+    """
+    arr = _clean(diffs)
+    n_pos = int(np.sum(arr > 0))
+    n_neg = int(np.sum(arr < 0))
+    n = n_pos + n_neg
+    if n == 0:
+        return SignTest(int(arr.size), 0, 0, int(arr.size), 1.0)
+    # two-sided exact binomial(n, 1/2) tail at min(n_pos, n_neg)
+    k = min(n_pos, n_neg)
+    tail = sum(math.comb(n, i) for i in range(k + 1)) / 2.0 ** n
+    p = min(1.0, 2.0 * tail)
+    return SignTest(int(arr.size), n_pos, n_neg, int(arr.size) - n, float(p))
+
+
+def paired_bootstrap(
+    diffs,
+    *,
+    confidence: float = 0.95,
+    n_boot: int = 1000,
+    seed: int = 0,
+    key: tuple = (),
+) -> "tuple[float, float, float, float]":
+    """Bootstrap mean difference with a sign-flip permutation p-value.
+
+    Two resampling procedures over the paired differences:
+
+    * a **percentile bootstrap** of the mean difference gives the
+      confidence interval (clamped to contain the observed mean, as in
+      :func:`summarize`);
+    * a **sign-flip permutation** gives the p-value — under the null of
+      a distribution symmetric about zero, each difference's sign is
+      exchangeable, so ``p`` is the fraction of random flips whose
+      ``|mean|`` reaches the observed one (with the standard ``+1``
+      smoothing so ``p`` is never exactly zero).
+
+    Parameters
+    ----------
+    diffs:
+        Paired differences ``a_i - b_i``.
+    confidence, n_boot, seed, key:
+        As in :func:`summarize`.
+
+    Returns
+    -------
+    tuple
+        ``(mean_diff, ci_lo, ci_hi, p)``.  All-tie input returns
+        ``(0.0, 0.0, 0.0, 1.0)`` — never a division by zero.
+    """
+    arr = _clean(diffs)
+    mean = float(arr.mean())
+    if np.all(arr == 0):
+        return 0.0, 0.0, 0.0, 1.0
+    if arr.size == 1:
+        return mean, mean, mean, 1.0
+    summary = summarize(arr, confidence=confidence, n_boot=n_boot,
+                        seed=seed, key=("paired-ci", *key))
+    rng = derived_rng(seed, "sign-flip", *key)
+    flips = rng.integers(0, 2, size=(int(n_boot), arr.size)) * 2 - 1
+    flipped = (flips * arr).mean(axis=1)
+    p = (1.0 + float(np.sum(np.abs(flipped) >= abs(mean) - 1e-15))) \
+        / (float(n_boot) + 1.0)
+    return mean, summary.ci_lo, summary.ci_hi, min(1.0, p)
+
+
+def holm(pvalues) -> "list[float]":
+    """Holm step-down adjusted p-values.
+
+    Sorts the raw p-values ascending, multiplies the *i*-th smallest by
+    ``(m - i)``, enforces monotonicity with a running maximum, clips at
+    one, and restores the input order.  Controls the family-wise error
+    rate at level alpha when comparing each adjusted value against
+    alpha, with no independence assumption.
+
+    Parameters
+    ----------
+    pvalues:
+        Raw p-values in ``[0, 1]`` (any order; empty input allowed).
+
+    Returns
+    -------
+    list of float
+        Adjusted p-values, in the input order.  The adjustment is
+        monotone: a smaller raw p-value never receives a larger
+        adjusted value than a bigger raw one.
+    """
+    raw = [float(p) for p in pvalues]
+    if not raw:
+        return []
+    for p in raw:
+        if not 0.0 <= p <= 1.0 or math.isnan(p):
+            raise ValueError(f"p-values must be in [0, 1], got {p}")
+    m = len(raw)
+    order = sorted(range(m), key=lambda i: raw[i])
+    adjusted = [0.0] * m
+    running = 0.0
+    for rank, i in enumerate(order):
+        running = max(running, (m - rank) * raw[i])
+        adjusted[i] = min(1.0, running)
+    return adjusted
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """One paired backend-vs-backend comparison on one metric.
+
+    Attributes
+    ----------
+    n_pairs:
+        Paired observations (shared ``(scenario, seed)`` cells).
+    mean_diff:
+        Mean of ``a - b`` (negative means ``a`` scored lower).
+    ci_lo, ci_hi:
+        Bootstrap CI of the mean difference.
+    sign:
+        The exact :class:`SignTest` over the same pairs.
+    p:
+        The sign-flip permutation p-value (:func:`paired_bootstrap`).
+    """
+
+    n_pairs: int
+    mean_diff: float
+    ci_lo: float
+    ci_hi: float
+    sign: SignTest
+    p: float
+
+    def as_dict(self) -> dict:
+        """The JSON-ready form emitted inside the significance matrix."""
+        return {
+            "n_pairs": int(self.n_pairs),
+            "mean_diff": float(self.mean_diff),
+            "ci_lo": float(self.ci_lo),
+            "ci_hi": float(self.ci_hi),
+            "sign_p": float(self.sign.p),
+            "n_pos": int(self.sign.n_pos),
+            "n_neg": int(self.sign.n_neg),
+            "n_ties": int(self.sign.n_ties),
+            "boot_p": float(self.p),
+        }
+
+
+def paired_comparison(
+    a,
+    b,
+    *,
+    confidence: float = 0.95,
+    n_boot: int = 1000,
+    seed: int = 0,
+    key: tuple = (),
+) -> PairedComparison:
+    """Compare two paired samples: sign test + bootstrap mean difference.
+
+    Parameters
+    ----------
+    a, b:
+        Equal-length paired samples (``a_i`` and ``b_i`` measured under
+        the same ``(scenario, seed)`` condition).
+    confidence, n_boot, seed, key:
+        As in :func:`summarize`.
+
+    Returns
+    -------
+    PairedComparison
+        The combined report; degenerate all-tie input yields
+        ``mean_diff = 0`` with both p-values at ``1.0``.
+    """
+    av, bv = _clean(a), _clean(b)
+    if av.size != bv.size:
+        raise ValueError(
+            f"paired samples must have equal length, got {av.size} != {bv.size}"
+        )
+    diffs = av - bv
+    st = sign_test(diffs)
+    mean, lo, hi, p = paired_bootstrap(
+        diffs, confidence=confidence, n_boot=n_boot, seed=seed, key=key
+    )
+    return PairedComparison(n_pairs=int(diffs.size), mean_diff=mean,
+                            ci_lo=lo, ci_hi=hi, sign=st, p=p)

@@ -1,0 +1,205 @@
+"""Tests for the perf-trajectory dashboard and the series bench gate.
+
+``benchmarks/`` is a script directory, not a package, so the modules
+under test (``trajectory.py``, ``check_bench_schema.py``) are loaded by
+file path.
+"""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_BENCH_DIR = os.path.join(os.path.dirname(__file__), "..", "benchmarks")
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(
+        name, os.path.join(_BENCH_DIR, f"{name}.py"))
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+trajectory = _load("trajectory")
+check = _load("check_bench_schema")
+
+
+def _entry(eid, new_s, params=None, **extra):
+    return {"id": eid, "params": params or {"n": 1000}, "new_s": new_s,
+            "old_s": None, **extra}
+
+
+def _doc(entries, suite="core-kernels"):
+    return {"suite": suite, "quick": False, "entries": entries}
+
+
+def _series_files(tmp_path, docs):
+    """Write ``docs`` as BENCH_PR1.json, BENCH_PR2.json, ... under tmp."""
+    for i, doc in enumerate(docs, start=1):
+        (tmp_path / f"BENCH_PR{i}.json").write_text(json.dumps(doc))
+    return str(tmp_path)
+
+
+# a healthy synthetic 3-PR series: steady entry + one that improves
+HEALTHY = [
+    _doc([_entry("steady", 1.0), _entry("shrinking", 4.0)]),
+    _doc([_entry("steady", 1.05), _entry("shrinking", 2.0)]),
+    _doc([_entry("steady", 0.95), _entry("shrinking", 1.0),
+          _entry("newcomer", 0.5)]),
+]
+
+
+class TestSeriesGate:
+    def test_improvement_and_steady_pass(self):
+        problems, notes = check.compare_timings(
+            HEALTHY[:2], HEALTHY[2], max_slowdown=1.25)
+        assert problems == []
+        assert any("newcomer" in n and "only in candidate" in n
+                   for n in notes)
+
+    def test_regression_is_flagged(self):
+        bad = _doc([_entry("steady", 5.0), _entry("shrinking", 1.0)])
+        problems, _ = check.compare_timings(HEALTHY[:2], bad,
+                                            max_slowdown=1.25)
+        assert len(problems) == 1
+        assert "steady" in problems[0] and "regressed" in problems[0]
+
+    def test_best_of_window_keeps_the_fastest_baseline(self):
+        # PR2 was slow (2.0); best-of-last-3 still holds the gate at
+        # PR1's 1.0, so a 1.6 candidate regresses even though it beats
+        # the immediately preceding PR
+        docs = [_doc([_entry("e", 1.0)]), _doc([_entry("e", 2.0)])]
+        cand = _doc([_entry("e", 1.6)])
+        problems, _ = check.compare_timings(docs, cand, max_slowdown=1.25)
+        assert problems and "1.60x" in problems[0]
+        # with the window truncated to the slow PR only, it passes
+        problems, _ = check.compare_timings(docs, cand, max_slowdown=1.25,
+                                            best_of=1)
+        assert problems == []
+
+    def test_dropped_entry_is_an_error(self):
+        cand = _doc([_entry("steady", 1.0)])  # "shrinking" gone
+        problems, _ = check.compare_timings(HEALTHY[:2], cand,
+                                            max_slowdown=1.25)
+        assert any("shrinking" in p and "dropped" in p for p in problems)
+
+    def test_type_drift_is_an_error(self):
+        cand = _doc([_entry("steady", "fast!"), _entry("shrinking", 1.0)])
+        problems, _ = check.compare_timings(HEALTHY[:2], cand,
+                                            max_slowdown=1.25)
+        assert any("steady" in p and "positive number" in p
+                   and "str" in p for p in problems)
+
+    def test_params_change_is_a_note_not_an_error(self):
+        cand = _doc([_entry("steady", 99.0, params={"n": 2000}),
+                     _entry("shrinking", 1.0)])
+        problems, notes = check.compare_timings(HEALTHY[:2], cand,
+                                                max_slowdown=1.25)
+        assert problems == []
+        assert any("steady" in n and "params changed" in n for n in notes)
+
+    def test_cli_gate_over_series_files(self, tmp_path, capsys):
+        root = _series_files(tmp_path, HEALTHY)
+        paths = [os.path.join(root, f"BENCH_PR{i}.json") for i in (1, 2, 3)]
+        assert check.main(["--compare", "--max-slowdown", "1.25", *paths]) == 0
+        assert "2 reference document(s)" in capsys.readouterr().out
+
+        bad = _doc([_entry("steady", 9.0), _entry("shrinking", 1.0),
+                    _entry("newcomer", 0.5)])
+        (tmp_path / "BENCH_PR4.json").write_text(json.dumps(bad))
+        rc = check.main(["--compare", "--max-slowdown", "1.25", *paths,
+                         os.path.join(root, "BENCH_PR4.json")])
+        assert rc == 1
+
+    def test_cli_rejects_bad_flags(self, capsys):
+        assert check.main(["--compare", "--best-of", "0",
+                           "a.json", "b.json"]) == 2
+        assert check.main(["--compare", "one.json"]) == 2
+
+
+class TestTrajectory:
+    def test_discover_orders_by_pr_number(self, tmp_path):
+        for n in (10, 2, 7):
+            (tmp_path / f"BENCH_PR{n}.json").write_text("{}")
+        (tmp_path / "BENCH_other.json").write_text("{}")
+        labels = [label for label, _ in trajectory.discover(str(tmp_path))]
+        assert labels == ["PR2", "PR7", "PR10"]
+
+    def test_annotate_verdicts(self):
+        docs = [(f"PR{i + 1}", doc) for i, doc in enumerate(HEALTHY)]
+        series = trajectory.build_series(docs)
+        verdicts = trajectory.annotate(series)
+        assert verdicts["steady"] == [None, "ok", "ok"]
+        # halving each PR: improved vs the previous PR both times
+        assert verdicts["shrinking"] == [None, "improved", "improved"]
+        assert verdicts["newcomer"] == [None, None, None]
+
+    def test_annotate_flags_regression_vs_best_of_window(self):
+        docs = [("PR1", _doc([_entry("e", 1.0)])),
+                ("PR2", _doc([_entry("e", 2.0)])),
+                ("PR3", _doc([_entry("e", 1.6)]))]
+        verdicts = trajectory.annotate(trajectory.build_series(docs))
+        assert verdicts["e"] == [None, "regressed", "regressed"]
+
+    def test_renders_markdown_and_html(self, tmp_path):
+        root = _series_files(tmp_path, HEALTHY)
+        rc = trajectory.main(["--root", root])
+        assert rc == 0
+        md = (tmp_path / "docs" / "perf_trajectory.md").read_text()
+        page = (tmp_path / "docs" / "perf_trajectory.html").read_text()
+        assert "# Performance trajectory" in md
+        for eid in ("steady", "shrinking", "newcomer"):
+            assert f"`{eid}`" in md
+            assert f"<code>{eid}</code>" in page
+        assert "not benchmarked" in md  # newcomer's PR1/PR2 gaps
+        assert "<svg" in page and "<script" not in page
+
+    def test_output_is_deterministic(self, tmp_path):
+        root = _series_files(tmp_path, HEALTHY)
+        assert trajectory.main(["--root", root]) == 0
+        first = (tmp_path / "docs" / "perf_trajectory.md").read_bytes()
+        assert trajectory.main(["--root", root]) == 0
+        assert (tmp_path / "docs" / "perf_trajectory.md").read_bytes() == first
+
+    def test_mixed_suites_rejected(self):
+        docs = [("PR1", _doc([_entry("e", 1.0)], suite="a")),
+                ("PR2", _doc([_entry("e", 1.0)], suite="b"))]
+        with pytest.raises(trajectory.TrajectoryError, match="mixes suites"):
+            trajectory.build_series(docs)
+
+    @pytest.mark.parametrize("mutate, message", [
+        (lambda d: d.pop("suite"), "suite"),
+        (lambda d: d.update(entries="nope"), "'entries' must be a list"),
+        (lambda d: d["entries"].append(_entry("steady", 1.0)),
+         "duplicate entry id"),
+        (lambda d: d["entries"][0].pop("new_s"), "'new_s' is required"),
+        (lambda d: d["entries"][0].update(new_s=True), "number or null"),
+        (lambda d: d["entries"][0].pop("params"), "missing object 'params'"),
+    ])
+    def test_malformed_doc_messages_are_actionable(self, tmp_path, mutate,
+                                                   message):
+        doc = json.loads(json.dumps(HEALTHY[0]))
+        mutate(doc)
+        path = tmp_path / "BENCH_PR1.json"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(trajectory.TrajectoryError) as ei:
+            trajectory.load_doc(str(path))
+        # the message names the file and the violated requirement
+        assert str(path) in str(ei.value)
+        assert message in str(ei.value)
+
+    def test_cli_fails_cleanly_on_malformed_series(self, tmp_path, capsys):
+        (tmp_path / "BENCH_PR1.json").write_text("not json")
+        assert trajectory.main(["--root", str(tmp_path)]) == 1
+        assert "TRAJECTORY ERROR" in capsys.readouterr().err
+
+    def test_cli_requires_a_series(self, tmp_path, capsys):
+        assert trajectory.main(["--root", str(tmp_path)]) == 2
+
+    def test_committed_series_renders(self, capsys):
+        root = os.path.normpath(os.path.join(_BENCH_DIR, ".."))
+        assert trajectory.main(["--root", root, "--print"]) == 0
+        md = capsys.readouterr().out
+        assert "charikar_greedy" in md

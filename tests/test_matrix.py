@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.experiments.__main__ import main as experiments_main
-from repro.scenarios import get_scenario, run_cell, run_matrix
+from repro.scenarios import get_scenario, replicate_seeds, run_cell, run_matrix
 from repro.scenarios.matrix import (
     DEFAULT_BACKENDS,
     default_scenario_names,
@@ -19,7 +19,7 @@ SMOKE_BACKENDS = ["offline", "insertion-only"]
 CELL_KEYS = {
     "scenario", "backend", "status", "radius", "reference_radius",
     "radius_ratio", "coreset_size", "peak_storage", "updates",
-    "wall_time", "note",
+    "wall_time", "note", "seed", "replicate",
 }
 
 
@@ -402,3 +402,137 @@ class TestCLI:
         out = capsys.readouterr().out
         assert rc == 0
         assert "E1" in out
+
+
+def _normalized_doc(result):
+    """A replicated sweep's JSON doc with the run-dependent parts
+    (timestamps, wall times and their aggregates) stripped — the same
+    normalization the CI byte-parity steps apply."""
+    doc = result.to_json_dict()
+    doc.pop("generated_at", None)
+    for cell in doc["cells"]:
+        cell.pop("wall_time", None)
+    if "summary" in doc:
+        doc["summary"] = [r for r in doc["summary"]
+                          if r["metric"] != "wall_time"]
+    if "significance" in doc:
+        doc["significance"]["metrics"].pop("wall_time", None)
+    return json.dumps(doc, sort_keys=True, indent=2)
+
+
+class TestReplicates:
+    SCENARIOS = ["clustered-baseline", "outlier-burst"]
+    BACKENDS = ["offline", "insertion-only"]
+
+    @pytest.fixture(scope="class")
+    def replicated(self):
+        """The 2x2x3-replicate sweep (computed once)."""
+        return run_matrix(self.SCENARIOS, self.BACKENDS, quick=True, seed=0,
+                          replicates=3)
+
+    def test_replicate_seeds_spawn_discipline(self):
+        # one replicate keeps the root seed (plain sweeps stay
+        # byte-identical); widening N never changes earlier seeds
+        assert replicate_seeds(7, 1) == [7]
+        assert replicate_seeds(0, 5)[:3] == replicate_seeds(0, 3)
+        assert len(set(replicate_seeds(0, 5))) == 5
+        with pytest.raises(ValueError):
+            replicate_seeds(0, 0)
+
+    def test_replicated_sweep_shape(self, replicated):
+        assert len(replicated.cells) == 2 * 2 * 3
+        seeds = replicate_seeds(0, 3)
+        for s in self.SCENARIOS:
+            for b in self.BACKENDS:
+                reps = replicated.replicate_cells(s, b)
+                assert [c.replicate for c in reps] == [0, 1, 2]
+                assert [c.seed for c in reps] == seeds
+                assert all(c.status == "ok" for c in reps)
+
+    def test_json_doc_carries_summary_and_significance(self, replicated):
+        doc = replicated.to_json_dict()
+        assert doc["replicates"] == 3
+        assert {"summary", "significance"} <= set(doc)
+        json.dumps(doc)  # JSON-serializable as-is
+        for row in doc["summary"]:
+            assert row["n"] == 3
+            assert row["ci_lo"] <= row["mean"] <= row["ci_hi"]
+        sig = doc["significance"]
+        assert sig["alpha"] == 0.05
+        for comparisons in sig["metrics"].values():
+            for c in comparisons:
+                assert c["n_pairs"] == 6  # 2 scenarios x 3 replicates
+
+    def test_single_sweep_doc_has_no_aggregates(self, smoke):
+        doc = smoke.to_json_dict()
+        assert doc["replicates"] == 1
+        assert "summary" not in doc and "significance" not in doc
+
+    def test_replicated_markdown(self, replicated):
+        md = replicated.to_markdown()
+        assert "over 3 replicates" in md
+        assert "### Statistical summary" in md
+        assert "### Pairwise significance" in md
+        # the pivot shows mean [lo, hi], not a bare point estimate
+        first_pivot_row = md.split("\n")[4]
+        assert "[" in first_pivot_row and "]" in first_pivot_row
+
+    def test_jobs_parity_is_byte_identical(self, replicated):
+        threaded = run_matrix(self.SCENARIOS, self.BACKENDS, quick=True,
+                              seed=0, replicates=3, executor="thread", jobs=2)
+        assert _normalized_doc(threaded) == _normalized_doc(replicated)
+
+    def test_replicate_cells_hit_the_cache(self, tmp_path):
+        first = run_matrix(self.SCENARIOS[:1], self.BACKENDS[:1], quick=True,
+                           seed=0, replicates=3, cache_root=str(tmp_path))
+        n_entries = len(list(tmp_path.glob("matrix-cell-*.pkl")))
+        assert n_entries == 3  # one cached cell per replicate
+        again = run_matrix(self.SCENARIOS[:1], self.BACKENDS[:1], quick=True,
+                           seed=0, replicates=3, cache_root=str(tmp_path))
+        assert again.cells == first.cells
+        assert len(list(tmp_path.glob("matrix-cell-*.pkl"))) == n_entries
+
+    def test_replicated_kill_and_resume_matches_uninterrupted(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.scenarios.matrix as matrix_mod
+
+        base = run_matrix(self.SCENARIOS[:1], self.BACKENDS, quick=True,
+                          seed=0, replicates=2)
+        ckpt_dir = str(tmp_path / "ckpts")
+        monkeypatch.setenv("REPRO_MATRIX_KILL_AFTER", "5")
+        monkeypatch.setattr(matrix_mod, "_ckpt_writes", 0)
+        with pytest.raises(SystemExit, match="simulated kill"):
+            run_matrix(self.SCENARIOS[:1], self.BACKENDS, quick=True, seed=0,
+                       replicates=2, checkpoint_dir=ckpt_dir)
+        monkeypatch.delenv("REPRO_MATRIX_KILL_AFTER")
+        resumed = run_matrix(self.SCENARIOS[:1], self.BACKENDS, quick=True,
+                             seed=0, replicates=2, checkpoint_dir=ckpt_dir)
+        assert _normalized_doc(resumed) == _normalized_doc(base)
+        assert not list((tmp_path / "ckpts").glob("*.ckpt"))
+
+
+class TestReplicatesCLI:
+    def test_replicated_sweep_writes_aggregated_outputs(self, tmp_path,
+                                                        capsys):
+        rc = experiments_main([
+            "matrix", "--quick", "--no-cache", "--seed", "0",
+            "--scenarios", "outlier-burst,duplicate-flood",
+            "--backends", "offline,insertion-only",
+            "--replicates", "2", "--results-dir", str(tmp_path),
+        ])
+        assert rc == 0
+        assert "Pairwise significance" in capsys.readouterr().out
+        doc = json.loads((tmp_path / "matrix.json").read_text())
+        assert doc["replicates"] == 2
+        assert len(doc["cells"]) == 2 * 2 * 2
+        assert {"summary", "significance"} <= set(doc)
+        assert "Statistical summary" in (tmp_path / "matrix.md").read_text()
+
+    def test_bad_replicates_exits_2(self, capsys):
+        assert experiments_main(["matrix", "--replicates", "0"]) == 2
+        assert "--replicates" in capsys.readouterr().out
+
+    def test_bad_alpha_exits_2(self, capsys):
+        assert experiments_main(["matrix", "--alpha", "1.5"]) == 2
+        assert "--alpha" in capsys.readouterr().out

@@ -1,0 +1,235 @@
+"""Property and unit tests for the verification statistics (repro.verify)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.verify import (
+    METRICS,
+    cell_metric,
+    derived_rng,
+    holm,
+    paired_bootstrap,
+    paired_comparison,
+    sign_test,
+    significance_markdown,
+    significance_matrix,
+    stable_entropy,
+    summarize,
+    summarize_cells,
+)
+
+# bounded, finite sample strategy (the statistics reject NaN/inf by design)
+finite = st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+samples = st.lists(finite, min_size=1, max_size=30)
+pvals = st.lists(st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+                 min_size=0, max_size=12)
+
+
+class TestStableEntropy:
+    def test_eight_words_process_independent(self):
+        words = stable_entropy("radius_ratio", "offline", "insertion-only")
+        assert len(words) == 8
+        assert all(0 <= w < 2 ** 32 for w in words)
+        # same tokens -> same words; different tokens -> different words
+        assert words == stable_entropy("radius_ratio", "offline",
+                                       "insertion-only")
+        assert words != stable_entropy("radius_ratio", "insertion-only",
+                                       "offline")
+
+    def test_derived_rng_replays(self):
+        a = derived_rng(0, "x").standard_normal(4)
+        b = derived_rng(0, "x").standard_normal(4)
+        c = derived_rng(0, "y").standard_normal(4)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+
+class TestSummarize:
+    @given(values=samples)
+    @settings(max_examples=60, deadline=None)
+    def test_ci_contains_sample_mean(self, values):
+        s = summarize(values, n_boot=200)
+        mean = float(np.mean(values))
+        assert s.ci_lo <= mean <= s.ci_hi
+        assert s.mean == pytest.approx(mean)
+        assert s.n == len(values)
+        assert s.quantiles["min"] <= s.quantiles["median"] <= s.quantiles["max"]
+
+    @given(values=samples, seed=st.integers(0, 2 ** 16))
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic_under_seed(self, values, seed):
+        assert summarize(values, seed=seed, n_boot=100) == \
+            summarize(values, seed=seed, n_boot=100)
+
+    def test_single_and_constant_samples_degenerate(self):
+        for values in ([3.5], [2.0, 2.0, 2.0]):
+            s = summarize(values)
+            assert s.ci_lo == s.mean == s.ci_hi
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            summarize([])
+        with pytest.raises(ValueError):
+            summarize([1.0, float("nan")])
+        with pytest.raises(ValueError):
+            summarize([1.0, 2.0], confidence=1.0)
+
+
+class TestSignTest:
+    @given(diffs=st.lists(finite, min_size=1, max_size=25))
+    @settings(max_examples=60, deadline=None)
+    def test_symmetric_under_label_swap(self, diffs):
+        fwd = sign_test(diffs)
+        rev = sign_test([-d for d in diffs])
+        assert fwd.p == pytest.approx(rev.p)
+        assert (fwd.n_pos, fwd.n_neg) == (rev.n_neg, rev.n_pos)
+        assert fwd.n_ties == rev.n_ties
+        assert 0.0 <= fwd.p <= 1.0
+
+    def test_exact_binomial_value(self):
+        # 5 wins, 0 losses: p = 2 * C(5,0) / 2^5 = 1/16
+        t = sign_test([1.0] * 5)
+        assert t.p == pytest.approx(2 / 32)
+        assert (t.n_pos, t.n_neg, t.n_ties) == (5, 0, 0)
+
+    def test_all_ties_is_p_one_not_division_by_zero(self):
+        t = sign_test([0.0] * 7)
+        assert t.p == 1.0
+        assert t.n_ties == 7 and t.n_pos == t.n_neg == 0
+
+
+class TestPairedBootstrap:
+    @given(diffs=st.lists(finite, min_size=2, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_ci_brackets_mean_and_p_in_range(self, diffs):
+        mean, lo, hi, p = paired_bootstrap(diffs, n_boot=200)
+        assert lo <= mean <= hi
+        assert 0.0 < p <= 1.0  # +1 smoothing: never exactly zero
+
+    def test_all_zero_differences_degenerate(self):
+        assert paired_bootstrap([0.0] * 6) == (0.0, 0.0, 0.0, 1.0)
+
+    def test_obvious_effect_is_significant(self):
+        mean, lo, hi, p = paired_bootstrap([1.0, 1.1, 0.9, 1.05, 0.95, 1.0,
+                                            1.02, 0.98], n_boot=500)
+        assert mean == pytest.approx(1.0)
+        assert p < 0.05
+
+
+class TestHolm:
+    @given(raw=pvals)
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_and_bounded(self, raw):
+        adj = holm(raw)
+        assert len(adj) == len(raw)
+        for a, r in zip(adj, raw):
+            assert r <= a <= 1.0
+        # order preservation: a smaller raw p never gets a larger adjusted p
+        for i in range(len(raw)):
+            for j in range(len(raw)):
+                if raw[i] <= raw[j]:
+                    assert adj[i] <= adj[j] + 1e-12
+
+    def test_known_example(self):
+        # m=3 sorted: 0.01*3=0.03, 0.03*2=0.06, max(0.06, 0.04*1)=0.06
+        assert holm([0.01, 0.04, 0.03]) == \
+            pytest.approx([0.03, 0.06, 0.06])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            holm([0.5, 1.5])
+        with pytest.raises(ValueError):
+            holm([float("nan")])
+        assert holm([]) == []
+
+
+class TestPairedComparison:
+    def test_combined_report(self):
+        c = paired_comparison([1.0, 1.2, 1.1, 1.3], [1.5, 1.6, 1.4, 1.7])
+        assert c.n_pairs == 4
+        assert c.mean_diff < 0  # first sample is lower (= better)
+        assert c.ci_lo <= c.mean_diff <= c.ci_hi
+        assert c.sign.n_neg == 4
+        d = c.as_dict()
+        assert {"n_pairs", "mean_diff", "ci_lo", "ci_hi", "sign_p",
+                "n_pos", "n_neg", "n_ties", "boot_p"} == set(d)
+
+    def test_unequal_lengths_raise(self):
+        with pytest.raises(ValueError, match="equal length"):
+            paired_comparison([1.0, 2.0], [1.0])
+
+    def test_identical_samples_are_null(self):
+        c = paired_comparison([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+        assert c.mean_diff == 0.0
+        assert c.p == 1.0 and c.sign.p == 1.0
+
+
+def _cell(scenario, backend, seed, replicate, ratio, status="ok"):
+    return {"scenario": scenario, "backend": backend, "status": status,
+            "seed": seed, "replicate": replicate, "radius_ratio": ratio,
+            "peak_storage": 10.0, "wall_time": 0.1}
+
+
+class TestSignificanceMatrix:
+    def _replicated(self, better="A", n=8):
+        # backend A consistently lower radius ratio than B on shared
+        # (scenario, seed, replicate) conditions
+        cells = []
+        for rep in range(n):
+            lo, hi = 1.0 + 0.01 * rep, 1.4 + 0.01 * rep
+            a_ratio, b_ratio = (lo, hi) if better == "A" else (hi, lo)
+            cells.append(_cell("s", "A", 100 + rep, rep, a_ratio))
+            cells.append(_cell("s", "B", 100 + rep, rep, b_ratio))
+        return cells
+
+    def test_detects_the_consistent_winner(self):
+        sig = significance_matrix(self._replicated("A"), ["A", "B"])
+        cmp_ = sig["metrics"]["radius_ratio"][0]
+        assert cmp_["better"] == "A"
+        assert cmp_["boot_p_holm"] < sig["alpha"]
+        assert cmp_["mean_diff"] < 0
+
+    def test_winner_flips_with_the_data(self):
+        sig = significance_matrix(self._replicated("B"), ["A", "B"])
+        assert sig["metrics"]["radius_ratio"][0]["better"] == "B"
+
+    def test_identical_backends_make_no_call(self):
+        cells = []
+        for rep in range(6):
+            cells.append(_cell("s", "A", rep, rep, 1.2))
+            cells.append(_cell("s", "B", rep, rep, 1.2))
+        sig = significance_matrix(cells, ["A", "B"])
+        cmp_ = sig["metrics"]["radius_ratio"][0]
+        assert cmp_["better"] is None
+        assert cmp_["boot_p"] == 1.0
+
+    def test_insufficient_pairs_are_skipped(self):
+        cells = [_cell("s", "A", 0, 0, 1.0), _cell("s", "B", 0, 0, 2.0)]
+        sig = significance_matrix(cells, ["A", "B"])
+        assert sig["metrics"]["radius_ratio"] == []
+
+    def test_non_ok_cells_are_excluded(self):
+        cells = self._replicated("A")
+        cells.append(_cell("s", "A", 999, 99, 0.0, status="error"))
+        assert cell_metric(cells[-1], "radius_ratio") is None
+        sig = significance_matrix(cells, ["A", "B"])
+        assert sig["metrics"]["radius_ratio"][0]["n_pairs"] == 8
+
+    def test_markdown_renders(self):
+        sig = significance_matrix(self._replicated("A"), ["A", "B"])
+        md = significance_markdown(sig)
+        assert "A vs B" in md
+        assert "**A wins**" in md
+        for metric in METRICS:
+            assert metric in md
+
+    def test_summarize_cells_groups_by_scenario_backend_metric(self):
+        rows = summarize_cells(self._replicated("A"))
+        keyed = {(r["scenario"], r["backend"], r["metric"]): r for r in rows}
+        assert len(rows) == 2 * len(METRICS)
+        row = keyed[("s", "A", "radius_ratio")]
+        assert row["n"] == 8
+        assert row["ci_lo"] <= row["mean"] <= row["ci_hi"]
+        assert set(row["quantiles"]) == {"min", "p25", "median", "p75", "max"}
