@@ -25,12 +25,18 @@ procedure by >= 2x.  ``grid_hierarchy_reuse`` isolates the persistent
 geometry ladder (one hierarchy snap-reused across every guess) against
 fresh per-guess grid builds at identical params in quick and full mode;
 ``--assert-hierarchy`` fails the run unless the reuse wins by >= 2x.
+``mbc_scale_10m`` ingests the out-of-core ``ooc-clustered-10m`` store
+(n=10^7 at full size) through the insertion-only session chunk by
+chunk and records throughput plus the process peak RSS;
+``--store-dir`` points the store cache at a persistent directory so
+the generated stream is reused across runs.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -386,11 +392,51 @@ def bench_charikar_scale_1m_mc(quick: bool) -> dict:
     }
 
 
+def bench_mbc_scale_10m(quick: bool) -> dict:
+    """Out-of-core ingest at n=10^7: the ``ooc-clustered-10m`` stream
+    served from its memory-mapped on-disk :class:`~repro.store.PointStore`
+    into the insertion-only session, one 65536-row chunk resident at a
+    time (the PR-10 headline — ingest never materializes the stream).
+
+    ``peak_rss_mb`` is the process-lifetime ``ru_maxrss`` at the end of
+    this bench — an upper bound that includes earlier benches in the
+    same run; the strict <2 GB out-of-core guard lives in
+    ``tests/test_out_of_core.py`` in a fresh subprocess.  The cached
+    store under ``--store-dir`` (default ``$REPRO_DATA_DIR``) is
+    generated chunk-wise on first use and reused after.  ``--quick``
+    keeps the id at the scenario's quick size (n=4*10^4).
+    """
+    import resource
+
+    from repro.api import KCenterSession
+    from repro.scenarios import get_scenario
+
+    inst = get_scenario("ooc-clustered-10m").make(quick=quick, seed=0)
+    sess = KCenterSession(inst.spec, backend="insertion-only")
+    n = inst.n
+    new_s, _ = _timed(lambda: sess.extend(inst.source))
+    sol = sess.solve()
+    peak_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    return {
+        "id": "mbc_scale_10m",
+        "params": {"scenario": "ooc-clustered-10m", "n": n,
+                   "chunk_rows": inst.chunk_rows,
+                   "backend": "insertion-only", "d": 2, "seed": 0},
+        "new_s": new_s,
+        "old_s": None,
+        "speedup": None,
+        "points_per_s": n / new_s,
+        "coreset": sol.coreset_size,
+        "radius": float(sol.radius),
+        "peak_rss_mb": peak_mb,
+    }
+
+
 BENCHES = (bench_charikar, bench_mbc, bench_mpc_two_round,
            bench_serve_replay, bench_charikar_scale_100k,
            bench_charikar_scale_1m, bench_charikar_scale_1m_mc,
            bench_grid_hierarchy_reuse, bench_mbc_scale_100k,
-           bench_mbc_scale_1m)
+           bench_mbc_scale_1m, bench_mbc_scale_10m)
 
 
 def main(argv: "list[str]") -> int:
@@ -411,7 +457,14 @@ def main(argv: "list[str]") -> int:
                         help="fail unless the persistent hierarchy's "
                              "geometry cost beats fresh per-guess grid "
                              "builds by >= 2x at n=2*10^5")
+    parser.add_argument("--store-dir", metavar="DIR", default=None,
+                        help="directory for cached on-disk point stores "
+                             "(sets REPRO_DATA_DIR for the out-of-core "
+                             "benches; default: ./.repro-data)")
     args = parser.parse_args(argv)
+
+    if args.store_dir:
+        os.environ["REPRO_DATA_DIR"] = args.store_dir
 
     import repro
 

@@ -70,7 +70,7 @@ from .core import (
     update_coreset,
 )
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "KCenterSession",

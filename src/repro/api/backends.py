@@ -47,6 +47,7 @@ from ..streaming.dynamic import DynamicCoreset
 from ..streaming.dynamic_deterministic import DeterministicDynamicCoreset
 from ..streaming.insertion_only import InsertionOnlyCoreset
 from ..streaming.sliding_window import SlidingWindowCoreset
+from ..store import is_chunked, iter_point_chunks
 from .registry import register_backend
 from .spec import ProblemSpec
 
@@ -142,8 +143,33 @@ class _BackendBase:
         )
 
     def extend(self, points) -> None:
+        if is_chunked(points):
+            return self._extend_chunks(points)
         for p in np.atleast_2d(np.asarray(points, dtype=float)):
             self.insert(p)
+
+    def _extend_chunks(self, chunks) -> None:
+        """Ingest a :class:`~repro.store.PointSource` / chunk iterator by
+        re-entering :meth:`extend` per chunk.  Bit-identical to one
+        monolithic ``extend``: every backend's batch path is
+        chunking-invariant (property-tested in
+        ``tests/test_out_of_core.py``).  Weighted chunks route through
+        ``extend_weighted`` where the backend has one."""
+        for pts, w in iter_point_chunks(chunks):
+            pts = np.atleast_2d(np.asarray(pts, dtype=float))
+            if not len(pts):
+                continue
+            if w is None:
+                self.extend(pts)
+                continue
+            ew = getattr(self, "extend_weighted", None)
+            if ew is None:
+                raise UnsupportedOperationError(
+                    f"{type(self).__name__} does not accept weighted "
+                    "chunks (no extend_weighted); expand the weights or "
+                    "use a buffered backend"
+                )
+            ew(WeightedPointSet(pts, np.asarray(w, dtype=np.int64)))
 
     def coreset(self) -> WeightedPointSet:
         raise NotImplementedError
@@ -209,6 +235,8 @@ class _BufferedBackendBase(_BackendBase):
         self.extend(np.asarray(point, dtype=float).reshape(1, -1))
 
     def extend(self, points) -> None:
+        if is_chunked(points):
+            return self._extend_chunks(points)
         pts = np.atleast_2d(np.asarray(points, dtype=float))
         if len(pts) == 0:
             return
@@ -340,6 +368,8 @@ class _StreamingBackendBase(_AlgoSnapshotMixin, _BackendBase):
 
     def extend(self, points) -> None:
         # vectorized batch path: one pairwise matrix per recompression epoch
+        if is_chunked(points):
+            return self._extend_chunks(points)
         self.algo.extend(points)
 
     def coreset(self) -> WeightedPointSet:
@@ -459,6 +489,8 @@ class DynamicBackend(_AlgoSnapshotMixin, _BackendBase):
 
     def extend(self, points) -> None:
         """Batched sketch updates for inserted points."""
+        if is_chunked(points):
+            return self._extend_chunks(points)
         self.algo.extend(points)
 
     def delete_many(self, points) -> None:
@@ -528,6 +560,8 @@ class DeterministicDynamicBackend(_AlgoSnapshotMixin, _BackendBase):
 
     def extend(self, points) -> None:
         """Batched sketch updates for inserted points."""
+        if is_chunked(points):
+            return self._extend_chunks(points)
         self.algo.extend(points)
 
     def delete_many(self, points) -> None:
@@ -608,6 +642,8 @@ class SlidingWindowBackend(_AlgoSnapshotMixin, _BackendBase):
 
     def extend(self, points) -> None:
         """Batched ingest across the whole guess ladder at once."""
+        if is_chunked(points):
+            return self._extend_chunks(points)
         self.algo.extend(points)
 
     def coreset(self) -> WeightedPointSet:

@@ -52,6 +52,7 @@ from ..core.metrics import get_metric
 from ..core.points import WeightedPointSet
 from ..core.solver import solve_kcenter_outliers
 from ..persist import SnapshotError, read_snapshot, write_snapshot
+from ..store import is_chunked, iter_point_chunks
 from .backends import CoresetBackend, Guarantee, UnsupportedOperationError
 from .registry import BackendInfo, get_backend
 from .spec import ProblemSpec
@@ -146,9 +147,40 @@ class KCenterSession:
             self._updates += 1
             self._wall_time += time.perf_counter() - t0
 
-    def extend(self, points) -> None:
+    def extend(self, points, batch: "int | None" = None) -> None:
         """Batched ingest: the whole array goes to the backend in one
-        call (the vectorized hot path)."""
+        call (the vectorized hot path).
+
+        ``points`` may also be a :class:`~repro.store.PointSource` or a
+        bare iterator/generator of ``(points, weights)`` chunks — the
+        out-of-core path.  Chunks are applied one at a time under the
+        session lock, so the working set is one chunk while the batch as
+        a whole stays atomic with respect to concurrent callers, and the
+        final state is bit-identical to one monolithic ``extend`` of the
+        same stream (every backend's batch path is chunking-invariant).
+        ``batch`` re-chunks a :class:`PointSource` to that many rows;
+        it is ignored for dense arrays and pre-chunked iterators.
+        """
+        if is_chunked(points):
+            with self._lock:
+                t0 = time.perf_counter()
+                for pts, w in iter_point_chunks(points, batch):
+                    pts = np.atleast_2d(np.asarray(pts, dtype=float))
+                    if not len(pts):
+                        continue
+                    if w is None:
+                        self.backend.extend(pts)
+                    else:
+                        ew = getattr(self.backend, "extend_weighted", None)
+                        if ew is None:
+                            raise UnsupportedOperationError(
+                                f"backend {self.info.name!r} does not accept "
+                                "weighted chunks (no extend_weighted)"
+                            )
+                        ew(WeightedPointSet(pts, np.asarray(w, dtype=np.int64)))
+                    self._updates += len(pts)
+                self._wall_time += time.perf_counter() - t0
+            return
         pts = np.atleast_2d(np.asarray(points, dtype=float))
         with self._lock:
             t0 = time.perf_counter()
@@ -339,7 +371,8 @@ class KCenterSession:
 
     @classmethod
     def load(cls, path: str, backend: "str | None" = None,
-             spec: "ProblemSpec | None" = None, **options) -> "KCenterSession":
+             spec: "ProblemSpec | None" = None,
+             mmap_dir: "str | None" = None, **options) -> "KCenterSession":
         """Rebuild a session from a :meth:`save` snapshot.
 
         The spec and backend are reconstructed from the manifest; the
@@ -357,6 +390,14 @@ class KCenterSession:
             (pass ``None`` to accept whatever was saved).
         spec:
             Expected :class:`ProblemSpec`; a mismatch raises.
+        mmap_dir:
+            Out-of-core restore: extract the array payload here and
+            memory-map large state arrays (copy-on-write, so backends
+            that mutate restored arrays stay correct while untouched
+            pages never enter RAM).  The extracted
+            ``<snapshot>.payload.npz`` must outlive the session; the
+            caller owns its cleanup.  See
+            :func:`repro.persist.read_snapshot`.
         **options:
             Overrides layered over the saved construction options.
             Only *recompute-time* knobs may change on resume
@@ -372,7 +413,8 @@ class KCenterSession:
             Unreadable file, unknown format version, kind/backend/spec
             mismatch, or state that fails the backend's validation.
         """
-        manifest, state = read_snapshot(path)
+        manifest, state = read_snapshot(path, mmap_dir=mmap_dir,
+                                        mmap_mode="c")
         if manifest.get("kind") != _SNAPSHOT_KIND:
             raise SnapshotError(
                 f"{path!r} is not a KCenterSession snapshot "

@@ -27,6 +27,7 @@ from typing import Protocol, runtime_checkable
 
 from .format import (
     DEFAULT_MAX_DECOMPRESSED_BYTES,
+    DEFAULT_MMAP_THRESHOLD,
     MANIFEST_MEMBER,
     PAYLOAD_MEMBER,
     SNAPSHOT_FORMAT_VERSION,
@@ -39,6 +40,7 @@ from .format import (
 __all__ = [
     "SNAPSHOT_FORMAT_VERSION",
     "DEFAULT_MAX_DECOMPRESSED_BYTES",
+    "DEFAULT_MMAP_THRESHOLD",
     "MANIFEST_MEMBER",
     "PAYLOAD_MEMBER",
     "SnapshotError",

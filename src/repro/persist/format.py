@@ -47,6 +47,7 @@ import numpy as np
 __all__ = [
     "SNAPSHOT_FORMAT_VERSION",
     "DEFAULT_MAX_DECOMPRESSED_BYTES",
+    "DEFAULT_MMAP_THRESHOLD",
     "MANIFEST_MEMBER",
     "PAYLOAD_MEMBER",
     "SnapshotError",
@@ -68,6 +69,10 @@ PAYLOAD_MEMBER = "payload.npz"
 #: Override per call (``max_bytes``) or process-wide with the
 #: ``REPRO_SNAPSHOT_MAX_BYTES`` environment variable.
 DEFAULT_MAX_DECOMPRESSED_BYTES = 1 << 30
+
+#: Arrays at or above this many bytes are memory-mapped instead of read
+#: into RAM when :func:`read_snapshot` is given an ``mmap_dir``.
+DEFAULT_MMAP_THRESHOLD = 1 << 20
 
 _MAX_BYTES_ENV = "REPRO_SNAPSHOT_MAX_BYTES"
 
@@ -305,8 +310,112 @@ def read_manifest(path: str, max_bytes: "int | None" = None) -> dict:
     return _parse_manifest(path, raw)
 
 
+def _extract_member(path: str, zf: zipfile.ZipFile, member: str,
+                    budget: int, dest: str) -> None:
+    """Stream one member to ``dest`` atomically, enforcing ``budget`` on
+    the decompressed bytes (the file-backed sibling of
+    :func:`_read_member` — holds one 1 MiB chunk in RAM, not the whole
+    payload)."""
+    tmp = f"{dest}.tmp.{os.getpid()}"
+    remaining = budget
+    try:
+        with zf.open(member) as src, open(tmp, "wb") as out:
+            while True:
+                chunk = src.read(min(1 << 20, remaining + 1))
+                if not chunk:
+                    break
+                remaining -= len(chunk)
+                if remaining < 0:
+                    raise SnapshotError(
+                        f"snapshot {path!r} member {member!r} decompresses "
+                        f"past the {budget}-byte budget; pass a larger "
+                        f"max_bytes (or set ${_MAX_BYTES_ENV}) if this "
+                        "snapshot is trusted"
+                    )
+                out.write(chunk)
+        os.replace(tmp, dest)
+    except (OSError, zipfile.BadZipFile) as exc:
+        raise SnapshotError(
+            f"cannot read snapshot {path!r} member {member!r}: {exc}"
+        ) from exc
+    finally:
+        if os.path.exists(tmp):
+            os.remove(tmp)
+
+
+def _memmap_npz_member(payload_path: str, zi: "zipfile.ZipInfo",
+                       mode: str) -> "np.ndarray | None":
+    """Memory-map one STORED ``.npy`` member in place inside an npz file.
+
+    ``np.savez`` stores members uncompressed, so the member's bytes *are*
+    a complete ``.npy`` file at a computable offset: local zip header
+    (whose filename/extra lengths may differ from the central directory's
+    — it must be re-read, not inferred) followed by the npy header,
+    followed by raw array data this maps directly.  Returns ``None``
+    when the member cannot be mapped (unexpected layout, exotic npy
+    version) — the caller then falls back to an in-RAM read.
+    """
+    try:
+        with open(payload_path, "rb") as fh:
+            fh.seek(zi.header_offset)
+            local = fh.read(30)
+            if len(local) != 30 or local[:4] != b"PK\x03\x04":
+                return None
+            fn_len = int.from_bytes(local[26:28], "little")
+            extra_len = int.from_bytes(local[28:30], "little")
+            fh.seek(zi.header_offset + 30 + fn_len + extra_len)
+            version = np.lib.format.read_magic(fh)
+            if version == (1, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_1_0(fh)
+            elif version == (2, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_2_0(fh)
+            else:
+                return None
+            if dtype.hasobject:
+                return None
+            offset = fh.tell()
+        return np.memmap(payload_path, dtype=dtype, mode=mode,
+                         offset=offset, shape=shape,
+                         order="F" if fortran else "C")
+    except (OSError, ValueError):
+        return None
+
+
+def _load_payload_mapped(path: str, payload_path: str, threshold: int,
+                         mode: str) -> "dict[str, np.ndarray]":
+    """Load an extracted ``payload.npz``, memory-mapping large members.
+
+    STORED members of at least ``threshold`` bytes are mapped in place;
+    everything else (small arrays, deflated members, unmappable layouts)
+    is read into RAM through the normal validated ``np.load`` path.
+    """
+    arrays: "dict[str, np.ndarray]" = {}
+    try:
+        with zipfile.ZipFile(payload_path) as zf:
+            infos = zf.infolist()
+        with np.load(payload_path, allow_pickle=False) as npz:
+            for zi in infos:
+                name = zi.filename
+                key = name[:-4] if name.endswith(".npy") else name
+                arr = None
+                if (zi.compress_type == zipfile.ZIP_STORED
+                        and zi.file_size >= threshold):
+                    arr = _memmap_npz_member(payload_path, zi, mode)
+                arrays[key] = arr if arr is not None else npz[key]
+    except SnapshotError:
+        raise
+    except Exception as exc:
+        raise SnapshotError(
+            f"cannot read snapshot payload of {path!r}: {exc}"
+        ) from exc
+    return arrays
+
+
 def read_snapshot(path: str,
-                  max_bytes: "int | None" = None) -> "tuple[dict, dict]":
+                  max_bytes: "int | None" = None,
+                  mmap_dir: "str | None" = None,
+                  mmap_threshold: int = DEFAULT_MMAP_THRESHOLD,
+                  mmap_mode: str = "r") -> "tuple[dict, dict]":
     """Read a snapshot file back into ``(manifest, state)``.
 
     Parameters
@@ -319,6 +428,23 @@ def read_snapshot(path: str,
         here, not in the allocator).  ``None`` resolves the
         ``REPRO_SNAPSHOT_MAX_BYTES`` environment variable, defaulting to
         1 GiB.
+    mmap_dir:
+        Out-of-core restore: when set, the array payload is streamed to
+        ``<mmap_dir>/<basename>.payload.npz`` (same budget enforcement,
+        one 1 MiB chunk in RAM at a time) and large uncompressed arrays
+        are **memory-mapped** from that file instead of loaded — restore
+        RAM stays O(small arrays) no matter how big the state is.  The
+        extracted file must outlive the returned arrays; the caller owns
+        its cleanup.  ``None`` (the default) is the classic fully
+        in-RAM read.
+    mmap_threshold:
+        Minimum member size in bytes to map rather than load (default
+        1 MiB); smaller/deflated/unmappable members are read into RAM.
+    mmap_mode:
+        ``numpy.memmap`` mode for mapped arrays: ``"r"`` (read-only
+        pages, the default) or ``"c"`` (copy-on-write — for state a
+        backend mutates in place; written pages are copied lazily, the
+        file is never modified).
 
     Raises
     ------
@@ -327,24 +453,44 @@ def read_snapshot(path: str,
         ``format`` version, holds member names with path separators or
         ``..`` components (zip-slip), or decompresses past the budget.
     """
+    if mmap_mode not in ("r", "c"):
+        raise SnapshotError(
+            f"mmap_mode must be 'r' or 'c', got {mmap_mode!r}"
+        )
     zf, budget = _open_validated(path, max_bytes)
+    payload_path = None
     with zf:
         try:
             raw_manifest = _read_member(path, zf, MANIFEST_MEMBER, budget)
-            payload = _read_member(
-                path, zf, PAYLOAD_MEMBER, budget - len(raw_manifest)
-            )
+            if mmap_dir is None:
+                payload = _read_member(
+                    path, zf, PAYLOAD_MEMBER, budget - len(raw_manifest)
+                )
+            else:
+                os.makedirs(mmap_dir, exist_ok=True)
+                payload_path = os.path.join(
+                    mmap_dir, f"{os.path.basename(path)}.payload.npz"
+                )
+                _extract_member(
+                    path, zf, PAYLOAD_MEMBER, budget - len(raw_manifest),
+                    payload_path,
+                )
         except KeyError as exc:
             raise SnapshotError(
                 f"cannot read snapshot {path!r}: {exc}"
             ) from exc
     manifest = _parse_manifest(path, raw_manifest)
-    try:
-        with np.load(io.BytesIO(payload), allow_pickle=False) as npz:
-            arrays = {name: npz[name] for name in npz.files}
-    except Exception as exc:
-        raise SnapshotError(
-            f"cannot read snapshot payload of {path!r}: {exc}"
-        ) from exc
+    if payload_path is not None:
+        arrays = _load_payload_mapped(
+            path, payload_path, int(mmap_threshold), mmap_mode
+        )
+    else:
+        try:
+            with np.load(io.BytesIO(payload), allow_pickle=False) as npz:
+                arrays = {name: npz[name] for name in npz.files}
+        except Exception as exc:
+            raise SnapshotError(
+                f"cannot read snapshot payload of {path!r}: {exc}"
+            ) from exc
     state = _merge_state(manifest.get("state", {}), arrays)
     return manifest, state

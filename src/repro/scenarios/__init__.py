@@ -34,6 +34,7 @@ from .datasets import (
     DatasetUnavailableError,
     default_data_dir,
     load_dataset,
+    load_dataset_source,
 )
 from .matrix import (
     DEFAULT_BACKENDS,
@@ -74,6 +75,7 @@ __all__ = [
     "default_data_dir",
     "get_scenario",
     "load_dataset",
+    "load_dataset_source",
     "register_scenario",
     "replicate_seeds",
     "run_cell",

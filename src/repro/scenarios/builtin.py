@@ -15,16 +15,19 @@ fully-dynamic input domain) and real point clouds.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from ..api.spec import ProblemSpec
 from ..lowerbounds.insertion_only import Lemma12Instance
+from ..store import PointStore, StoreError
 from ..workloads.synthetic import (
     clustered_with_outliers,
     drifting_stream,
     integer_workload,
 )
-from .datasets import load_dataset
+from .datasets import default_data_dir, load_dataset
 from .registry import register_scenario
 from .scenario import ScenarioInstance
 
@@ -263,6 +266,106 @@ def _integer_grid(quick: bool = False, seed: int = 0) -> ScenarioInstance:
     return ScenarioInstance(
         "integer-grid", spec, _split(w.points), delta_universe=delta,
     )
+
+
+def _ooc_clustered_store(n: int, k: int, z: int, d: int, seed: int,
+                         chunk_rows: int):
+    """Build (or reuse) an on-disk clustered store, chunk by chunk.
+
+    Deterministic in ``(n, k, z, d, seed)``: cluster centres come from
+    ``rng(seed)`` and each chunk's labels/noise from an independent
+    ``rng([seed, chunk_index])`` child, so the stream is identical
+    whether it is generated in one process or resumed — and the store is
+    cached under ``$REPRO_DATA_DIR/stores`` keyed by those parameters,
+    so repeated sweeps (and the bench ``--store-dir`` path) generate the
+    geometry once.  The writer's working set is one chunk: n=10^7 is
+    generated without ever holding more than ``chunk_rows`` rows.
+
+    The ``z`` planted outliers sit on a far shell at deterministic,
+    evenly spaced stream positions — spread out (not a tail burst) so
+    the bounded reference sample sees a proportional share of them.
+    """
+    root = os.path.join(default_data_dir(), "stores")
+    path = os.path.join(root, f"ooc-clustered-n{n}-k{k}-z{z}-d{d}-s{seed}")
+    try:
+        return PointStore.open(path)
+    except StoreError:
+        pass
+    os.makedirs(root, exist_ok=True)
+    rng0 = np.random.default_rng(seed)
+    centers = rng0.uniform(-40.0, 40.0, size=(k, d))
+    out_at = np.linspace(0, n - 1, num=z, dtype=np.int64) if z else \
+        np.zeros(0, dtype=np.int64)
+    store = PointStore.create(path, chunk_rows=chunk_rows, overwrite=True)
+    try:
+        for ci, lo in enumerate(range(0, n, chunk_rows)):
+            b = min(chunk_rows, n - lo)
+            rng = np.random.default_rng([seed, ci])
+            labels = rng.integers(0, k, size=b)
+            pts = centers[labels] + rng.normal(0.0, 0.8, size=(b, d))
+            local = out_at[(out_at >= lo) & (out_at < lo + b)] - lo
+            if len(local):
+                dirs = rng.normal(size=(len(local), d))
+                dirs /= np.maximum(
+                    np.linalg.norm(dirs, axis=1, keepdims=True), 1e-12
+                )
+                pts[local] = dirs * rng.uniform(
+                    400.0, 800.0, size=(len(local), 1)
+                )
+            store.append(pts)
+    except BaseException:
+        store.abort()
+        raise
+    return store.finalize()
+
+
+def _ooc_instance(name: str, n: int, chunk_rows: int, quick_n: int,
+                  quick: bool, seed: int) -> ScenarioInstance:
+    k, z = 8, 64
+    if quick:
+        n, chunk_rows = quick_n, max(quick_n // 8, 1)
+    source = _ooc_clustered_store(n, k, z, d=2, seed=seed,
+                                  chunk_rows=chunk_rows)
+    spec = ProblemSpec(k=k, z=z, eps=0.5, dim=2, seed=seed)
+    return ScenarioInstance(
+        name, spec, source=source, chunk_rows=chunk_rows,
+        reference_sample=4096,
+        notes=f"on-disk store {source.path} ({n} rows, "
+              f"{source.n_chunks} chunks of {chunk_rows})",
+    )
+
+
+@register_scenario(
+    "ooc-clustered-1m",
+    tags=("out-of-core", "scale"),
+    description="n=10^6 clustered stream served from a memory-mapped "
+                "on-disk store (quick: n=2*10^4)",
+)
+def _ooc_clustered_1m(quick: bool = False, seed: int = 0) -> ScenarioInstance:
+    """Out-of-core clustered stream at n=10^6 (see ROADMAP items 2-3).
+
+    The stream never exists in RAM: it is generated chunk-wise into a
+    cached :class:`~repro.store.PointStore` and replayed by memory-
+    mapping one chunk at a time.  The reference radius comes from a
+    deterministic 4096-row subsample.  Tagged ``"scale"`` and excluded
+    from the default sweep — opt in by name.
+    """
+    return _ooc_instance("ooc-clustered-1m", 1_000_000, 65_536, 20_000,
+                         quick, seed)
+
+
+@register_scenario(
+    "ooc-clustered-10m",
+    tags=("out-of-core", "scale"),
+    description="n=10^7 clustered stream served from a memory-mapped "
+                "on-disk store (quick: n=4*10^4)",
+)
+def _ooc_clustered_10m(quick: bool = False, seed: int = 0) -> ScenarioInstance:
+    """The n=10^7 scaling workload the kernel PRs (7/8) made feasible:
+    ~160 MB of geometry on disk, streamed through a working set of one
+    65536-row chunk.  Same construction as ``ooc-clustered-1m``."""
+    return _ooc_instance("ooc-clustered-10m", 10_000_000, 65_536, 40_000,
+                         quick, seed)
 
 
 @register_scenario(

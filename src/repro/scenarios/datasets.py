@@ -28,12 +28,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..store import MemmapSource, write_points_npy
+
 __all__ = [
     "DatasetSource",
     "DatasetUnavailableError",
     "DATASETS",
     "default_data_dir",
     "load_dataset",
+    "load_dataset_source",
 ]
 
 #: environment override for the dataset cache location
@@ -118,13 +121,16 @@ def _parse_rows(text: str, source: DatasetSource) -> np.ndarray:
 
 def _write_cached(root: str, source: DatasetSource, pts: np.ndarray,
                   origin: str) -> None:
-    """Atomically store ``pts`` plus a JSON provenance sidecar."""
+    """Atomically store ``pts`` plus a JSON provenance sidecar.
+
+    The array goes through the :func:`repro.store.write_points_npy`
+    spool (temp file, header finalized on close, rename into place), so
+    a killed or failed write can never publish a torn ``.npy`` — the
+    cache either holds the complete array or nothing.
+    """
     os.makedirs(root, exist_ok=True)
     npy = os.path.join(root, f"{source.name}.npy")
-    tmp = npy + f".tmp.{os.getpid()}"
-    with open(tmp, "wb") as f:
-        np.save(f, pts)
-    os.replace(tmp, npy)
+    write_points_npy(npy, (np.atleast_2d(np.asarray(pts, dtype=float)),))
     meta = os.path.join(root, f"{source.name}.json")
     meta_tmp = meta + f".tmp.{os.getpid()}"
     with open(meta_tmp, "w") as f:
@@ -213,3 +219,36 @@ def load_dataset(
     pts = _parse_rows(_fetch(source, timeout), source)
     _write_cached(root, source, pts, origin=source.url)
     return pts
+
+
+def load_dataset_source(
+    name: str,
+    data_dir: "str | None" = None,
+    timeout: float = 30.0,
+) -> MemmapSource:
+    """Load a registered real dataset as a memory-mapped
+    :class:`~repro.store.PointSource`.
+
+    Same resolution order (and cache population) as
+    :func:`load_dataset`, but the cached ``<name>.npy`` is served with
+    ``mmap_mode="r"`` instead of being read into RAM — the out-of-core
+    form real-data scenarios and sweeps consume.
+    """
+    try:
+        source = DATASETS[name]
+    except KeyError:
+        raise DatasetUnavailableError(
+            f"unknown dataset {name!r}; registered: {sorted(DATASETS)}"
+        ) from None
+    root = data_dir if data_dir is not None else default_data_dir()
+    npy = os.path.join(root, f"{source.name}.npy")
+    if not os.path.exists(npy):
+        # populates the atomic .npy cache (or raises DatasetUnavailableError)
+        load_dataset(name, data_dir=data_dir, timeout=timeout)
+    try:
+        return MemmapSource(npy)
+    except Exception as exc:
+        raise DatasetUnavailableError(
+            f"dataset {name!r}: cached {npy!r} is unreadable ({exc}); "
+            "delete it to force a rebuild"
+        ) from None

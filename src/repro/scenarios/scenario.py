@@ -23,6 +23,7 @@ import numpy as np
 
 from ..api.spec import ProblemSpec
 from ..core.points import WeightedPointSet
+from ..store import DEFAULT_CHUNK_ROWS, PointSource
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..api.registry import BackendInfo
@@ -34,6 +35,14 @@ __all__ = ["Scenario", "ScenarioInstance"]
 class ScenarioInstance:
     """One materialized workload: a point stream plus evaluation context.
 
+    The stream is carried either as in-RAM ``batches`` (the classic
+    form) or as a lazy :class:`~repro.store.PointSource` (the
+    out-of-core form, for datasets ≫ RAM).  Harnesses that iterate
+    :meth:`chunks` work identically over both; the dense views
+    (:attr:`points`, :meth:`point_set`) stay available for list-backed
+    instances and *materialize* a source-backed stream — out-of-core
+    consumers must not touch them.
+
     Parameters
     ----------
     name:
@@ -44,7 +53,7 @@ class ScenarioInstance:
     batches:
         The stream, in arrival order, as a list of ``(b_i, d)`` arrays.
         Harnesses feed one batch per ``extend`` call and may checkpoint
-        storage between batches.
+        storage between batches.  ``None`` for source-backed instances.
     reference_radius:
         Planted/ground-truth radius when the construction certifies one;
         ``None`` means :meth:`reference` computes a greedy reference on
@@ -59,37 +68,95 @@ class ScenarioInstance:
         everything, so cross-backend ratios stay comparable).
     notes:
         Free-form provenance (construction constants, dataset source).
+    source:
+        Lazy stream carrier for out-of-core instances (mutually
+        exclusive with ``batches``).
+    chunk_rows:
+        Batch size :meth:`chunks` reads a ``source`` with; chunk
+        boundaries are a function of this alone, so a checkpoint's
+        chunk index identifies an exact stream position.
+    reference_sample:
+        Row cap for the sampled greedy reference of source-backed
+        streams without a planted radius (default 4096).
     """
 
     name: str
     spec: ProblemSpec
-    batches: "list[np.ndarray]"
+    batches: "list[np.ndarray] | None" = None
     reference_radius: "float | None" = None
     delta_universe: "int | None" = None
     window: "int | None" = None
     notes: str = ""
+    source: "PointSource | None" = field(default=None, repr=False)
+    chunk_rows: "int | None" = None
+    reference_sample: "int | None" = None
     _points: "np.ndarray | None" = field(default=None, repr=False)
     _reference: "float | None" = field(default=None, repr=False)
+    _scale: "float | None" = field(default=None, repr=False)
+
+    def __post_init__(self):
+        if (self.batches is None) == (self.source is None):
+            raise ValueError(
+                "ScenarioInstance needs exactly one stream carrier: "
+                "batches or source"
+            )
 
     # -- stream views ------------------------------------------------------
 
+    def chunks(self, start: int = 0):
+        """The stream as an ordered batch generator (the ingest path).
+
+        List-backed instances yield their ``batches`` unchanged;
+        source-backed instances read fixed ``chunk_rows``-sized chunks
+        lazily (for store/memmap sources each yield is a view of the
+        mapping — the working set is one chunk).  ``start`` skips that
+        many leading batches *without reading them* where the source
+        supports seeking — the resume path of checkpointed sweeps.
+        """
+        if self.source is not None:
+            for pts, _w in self.source.chunks(self.chunk_rows, start=start):
+                yield pts
+        else:
+            for b in self.batches[int(start):]:
+                yield np.atleast_2d(b)
+
+    @property
+    def num_batches(self) -> int:
+        """Number of batches :meth:`chunks` yields from the start."""
+        if self.source is not None:
+            cr = int(self.chunk_rows or DEFAULT_CHUNK_ROWS)
+            return -(-len(self.source) // cr)
+        return len(self.batches)
+
     @property
     def points(self) -> np.ndarray:
-        """The full stream as one ``(n, d)`` array (cached concat)."""
+        """The full stream as one ``(n, d)`` array (cached concat).
+
+        Materializes source-backed streams — in-RAM consumers only.
+        """
         if self._points is None:
-            self._points = np.concatenate(
-                [np.atleast_2d(b) for b in self.batches], axis=0
-            )
+            if self.source is not None:
+                self._points = np.asarray(
+                    self.source.materialize()[0], dtype=float
+                )
+            else:
+                self._points = np.concatenate(
+                    [np.atleast_2d(b) for b in self.batches], axis=0
+                )
         return self._points
 
     @property
     def n(self) -> int:
         """Total number of stream points."""
+        if self.source is not None:
+            return len(self.source)
         return len(self.points)
 
     @property
     def dim(self) -> int:
         """Ambient dimension of the stream."""
+        if self.source is not None:
+            return int(self.source.dim)
         return int(self.points.shape[1])
 
     def point_set(self) -> WeightedPointSet:
@@ -106,13 +173,26 @@ class ScenarioInstance:
         3-approximation on the (merged) full stream once and caches the
         result — the same solver every backend's coreset is solved with,
         so the ratio isolates coreset quality from solver quality.
+
+        Source-backed streams without a planted radius never
+        materialize: the greedy runs on a deterministic bounded
+        subsample (``reference_sample`` rows, default 4096) instead —
+        an approximate normalizer, but identical across backends, so
+        cross-backend ratios remain comparable.
         """
         if self.reference_radius is not None:
             return float(self.reference_radius)
         if self._reference is None:
             from ..core.greedy import charikar_greedy
 
-            P = self.point_set().merged()
+            if self.source is not None:
+                cap = int(self.reference_sample or 4096)
+                pts = np.asarray(
+                    self.source.sample(cap, self.chunk_rows), dtype=float
+                )
+                P = WeightedPointSet.from_points(pts).merged()
+            else:
+                P = self.point_set().merged()
             res = charikar_greedy(
                 P, self.spec.k, self.spec.z, self.spec.resolved_metric
             )
@@ -125,12 +205,23 @@ class ScenarioInstance:
         self._reference = float(value)
 
     def scale(self) -> float:
-        """Bounding-box diagonal of the stream (the data's distance scale)."""
-        pts = self.points
-        if len(pts) == 0:
-            return 1.0
-        span = np.ptp(pts, axis=0)
-        return float(max(np.linalg.norm(span), 1e-9))
+        """Bounding-box diagonal of the stream (the data's distance
+        scale).  Source-backed streams compute it by streaming min/max
+        over chunks (cached — one pass regardless of how many backends
+        ask)."""
+        if self._scale is None:
+            if self.source is not None:
+                if len(self.source) == 0:
+                    return 1.0
+                mins, maxs = self.source.bounds(self.chunk_rows)
+                span = maxs - mins
+            else:
+                pts = self.points
+                if len(pts) == 0:
+                    return 1.0
+                span = np.ptp(pts, axis=0)
+            self._scale = float(max(np.linalg.norm(span), 1e-9))
+        return self._scale
 
     # -- backend adaptation ------------------------------------------------
 

@@ -37,9 +37,11 @@ the manager's lifecycle metrics (see :mod:`repro.serve.manager`).
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import re
+import shutil
 import signal
 import sys
 import tempfile
@@ -53,11 +55,13 @@ from .manager import SessionManager
 from .metrics import DEFAULT_BUCKETS, MetricsRegistry
 from .wire import (
     MAX_BODY_BYTES,
+    SPOOL_BODY_BYTES,
     WireError,
     decode_points,
     error_body,
     parse_create_payload,
     parse_json_body,
+    spool_binary_points,
     validate_session_name,
 )
 
@@ -126,6 +130,10 @@ _ROUTES = (
     ("GET", re.compile(r"^/sessions/(?P<name>[^/]+)/solve$"), "solve"),
     ("POST", re.compile(r"^/sessions/(?P<name>[^/]+)/save$"), "save"),
 )
+
+#: Per-process ids for concurrently spooled extend bodies (one
+#: handler thread per connection under ThreadingHTTPServer).
+_SPOOL_IDS = itertools.count()
 
 #: Route templates for the request counter's ``route`` label.
 _TEMPLATES = {
@@ -306,12 +314,50 @@ class _Handler(BaseHTTPRequestHandler):
     def _op_extend(self, query, name: str) -> int:
         app = self.server.app
         name = validate_session_name(name)
+        ctype = (self.headers.get("Content-Type") or "")
+        length = int(self.headers.get("Content-Length") or 0)
+        if (ctype.split(";")[0].strip() == "application/octet-stream"
+                and length >= SPOOL_BODY_BYTES):
+            return self._extend_spooled(name, length)
         pts = decode_points(
-            self._read_body(), self.headers.get("Content-Type", ""),
-            self.headers.get("X-Repro-Shape"),
+            self._read_body(), ctype, self.headers.get("X-Repro-Shape"),
         )
         out = self._timed_op("extend", name,
                              lambda: app.manager.extend(name, pts))
+        self._send_json(200, out)
+        return 200
+
+    def _extend_spooled(self, name: str, length: int) -> int:
+        """Oversized binary extends stream through a disk spool.
+
+        Bodies at or above :data:`~repro.serve.wire.SPOOL_BODY_BYTES`
+        never materialize on the heap: they are read in row-aligned
+        slices into an atomic :class:`~repro.store.PointStore` under the
+        spool directory and handed to the manager as a memory-mapped
+        :class:`~repro.store.StoreSource` (the session's chunked extend
+        path ingests it chunk by chunk).  The body caps are unchanged —
+        this only moves where the bytes sit while they are validated.
+        """
+        app = self.server.app
+        if length > MAX_BODY_BYTES:
+            self.close_connection = True  # too big to drain; drop the conn
+            self._body_read = True
+            raise WireError(413, "body-too-large",
+                            f"request body exceeds {MAX_BODY_BYTES} bytes")
+        # spool_binary_points either consumes the body fully (success or
+        # validation error) or the connection is already dead, so framing
+        # is safe to mark handled up front.
+        self._body_read = True
+        path = os.path.join(
+            app.config.spool_dir,
+            f".extend-{os.getpid()}-{next(_SPOOL_IDS)}.store")
+        try:
+            src = spool_binary_points(
+                self.rfile, length, self.headers.get("X-Repro-Shape"), path)
+            out = self._timed_op("extend", name,
+                                 lambda: app.manager.extend(name, src))
+        finally:
+            shutil.rmtree(path, ignore_errors=True)
         self._send_json(200, out)
         return 200
 

@@ -28,15 +28,19 @@ import numpy as np
 
 from ..api import ProblemSpec
 from ..api.registry import UnknownBackendError, get_backend
+from ..store import PointStore
 
 __all__ = [
     "MAX_BODY_BYTES",
     "MAX_BATCH_POINTS",
+    "SPOOL_BODY_BYTES",
     "SESSION_NAME_RE",
     "WireError",
     "validate_session_name",
     "parse_json_body",
     "decode_points",
+    "parse_binary_shape",
+    "spool_binary_points",
     "parse_create_payload",
     "solution_to_wire",
     "error_body",
@@ -47,6 +51,10 @@ MAX_BODY_BYTES = 64 << 20
 
 #: Hard cap on points per batched extend/delete request.
 MAX_BATCH_POINTS = 1 << 20
+
+#: Binary extend bodies at or above this size are spooled to disk
+#: (:func:`spool_binary_points`) instead of buffered on the heap.
+SPOOL_BODY_BYTES = 8 << 20
 
 #: Accepted session names — also guarantees a safe spool filename.
 SESSION_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$")
@@ -106,8 +114,8 @@ def parse_json_body(body: bytes) -> dict:
     return doc
 
 
-def _decode_binary_points(body: bytes, shape_header: "str | None") -> np.ndarray:
-    """The binary ingest fast path: raw C-order float64 + shape header."""
+def parse_binary_shape(shape_header: "str | None") -> "tuple[int, int]":
+    """Validate an ``X-Repro-Shape: n,d`` header into ``(n, d)``."""
     if not shape_header:
         raise WireError(400, "bad-shape",
                         "binary point payloads need an X-Repro-Shape header "
@@ -120,6 +128,12 @@ def _decode_binary_points(body: bytes, shape_header: "str | None") -> np.ndarray
     if n < 0 or d < 1:
         raise WireError(400, "bad-shape",
                         f"invalid X-Repro-Shape {shape_header!r}")
+    return n, d
+
+
+def _decode_binary_points(body: bytes, shape_header: "str | None") -> np.ndarray:
+    """The binary ingest fast path: raw C-order float64 + shape header."""
+    n, d = parse_binary_shape(shape_header)
     expected = n * d * 8
     if len(body) != expected:
         raise WireError(
@@ -128,6 +142,88 @@ def _decode_binary_points(body: bytes, shape_header: "str | None") -> np.ndarray
             f"needs {expected}",
         )
     return np.frombuffer(body, dtype="<f8").reshape(n, d).copy()
+
+
+def _drain_exact(rfile, remaining: int) -> None:
+    """Consume ``remaining`` body bytes (best effort) to keep the
+    connection's request framing intact after a validation failure."""
+    while remaining > 0:
+        skip = rfile.read(min(1 << 20, remaining))
+        if not skip:
+            return
+        remaining -= len(skip)
+
+
+def _read_exact(rfile, want: int) -> bytes:
+    """Read exactly ``want`` bytes, looping over short reads."""
+    parts, got = [], 0
+    while got < want:
+        data = rfile.read(want - got)
+        if not data:
+            raise WireError(400, "bad-points",
+                            f"connection closed mid-body ({got}/{want} "
+                            "bytes of this slice)")
+        parts.append(data)
+        got += len(data)
+    return parts[0] if len(parts) == 1 else b"".join(parts)
+
+
+def spool_binary_points(rfile, length: int, shape_header: "str | None",
+                        store_path: str):
+    """Stream an oversized binary extend body to disk, never the heap.
+
+    Reads exactly ``length`` bytes of raw C-order little-endian float64
+    from ``rfile`` in row-aligned ~4 MiB slices, validates each slice
+    (finiteness — the same check :func:`decode_points` applies), and
+    appends it to an atomic :class:`~repro.store.PointStore` at
+    ``store_path``.  Returns the published
+    :class:`~repro.store.StoreSource`, whose ``len()`` is the row count
+    — a drop-in carrier for the manager's ``extend``.  The caller owns
+    deleting the store directory after the extend is applied.
+
+    Error contract: whenever this raises :class:`WireError`, the body
+    has been fully consumed (drained) so HTTP keep-alive framing stays
+    intact — unless the connection itself died mid-body, in which case
+    there is no framing left to protect.  On any failure the staged
+    store is discarded (a killed request never leaves a store that
+    opens).
+    """
+    try:
+        n, d = parse_binary_shape(shape_header)
+        expected = n * d * 8
+        if length != expected:
+            raise WireError(
+                400, "bad-shape",
+                f"binary payload is {length} bytes, shape ({n},{d}) "
+                f"needs {expected}",
+            )
+        if n > MAX_BATCH_POINTS:
+            raise WireError(413, "batch-too-large",
+                            f"batch of {n} exceeds {MAX_BATCH_POINTS} "
+                            "points; split the extend")
+    except WireError:
+        _drain_exact(rfile, length)
+        raise
+    row = d * 8
+    chunk_rows = max(1, (4 << 20) // row)
+    store = PointStore.create(store_path, chunk_rows=chunk_rows,
+                              overwrite=True)
+    remaining = expected
+    try:
+        while remaining:
+            want = min(chunk_rows * row, remaining)
+            buf = _read_exact(rfile, want)
+            remaining -= want
+            pts = np.frombuffer(buf, dtype="<f8").reshape(-1, d)
+            if not np.isfinite(pts).all():
+                _drain_exact(rfile, remaining)
+                raise WireError(400, "bad-points",
+                                "points must be finite (no NaN/Inf)")
+            store.append(pts)
+        return store.finalize()
+    except BaseException:
+        store.abort()
+        raise
 
 
 def decode_points(body: bytes, content_type: str,

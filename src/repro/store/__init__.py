@@ -1,0 +1,65 @@
+"""`repro.store` — the chunked, memory-mapped point pipeline.
+
+Every ingestion path in the library historically assumed the whole
+stream fits in RAM: scenarios materialized dense arrays, sessions took
+monolithic batches, snapshot restore loaded every payload array eagerly.
+This package is the out-of-core boundary that removes that assumption:
+
+* :class:`PointSource` — the lazy reader protocol.  A source knows its
+  length and dimension and yields the stream as fixed-size
+  ``(points, weights)`` chunks (``weights`` is ``None`` for unit-weight
+  streams) without ever materializing the whole thing.  Adapters wrap
+  the common carriers: :func:`from_array` (in-RAM), :func:`from_npy_memmap`
+  (an ``.npy`` file opened with ``mmap_mode="r"``), :func:`from_iterable`
+  (a generator of chunks, re-chunked to fixed boundaries).
+* :class:`PointStore` — the chunked on-disk writer.  Appends points
+  (and optional weights) into per-chunk ``.npy`` spool files, each
+  written atomically (temp + rename), and publishes the store by writing
+  its manifest last — a killed writer can never leave a store that
+  *opens*; either the manifest is complete and every chunk it names is
+  durable, or :meth:`PointStore.open` refuses.  The reader side
+  (:class:`StoreSource`) memory-maps chunks lazily.
+* :func:`write_points_npy` — the single-file spool primitive: streams
+  chunks into a temp ``.npy`` (header rewritten with the final shape on
+  close) and renames it into place, so partial downloads or killed
+  generators never publish a torn file (``repro.scenarios.datasets``
+  writes its cache through this).
+
+Chunking is *semantically invisible*: for every registered backend,
+``extend`` over any chunking of a stream is bit-identical to one
+monolithic ``extend`` (property-tested in ``tests/test_out_of_core.py``),
+so callers choose chunk sizes purely for memory footprint.
+"""
+
+from .source import (
+    DEFAULT_CHUNK_ROWS,
+    ArraySource,
+    IterableSource,
+    MemmapSource,
+    PointSource,
+    as_source,
+    from_array,
+    from_iterable,
+    from_npy_memmap,
+    is_chunked,
+    iter_point_chunks,
+)
+from .spool import PointStore, StoreError, StoreSource, write_points_npy
+
+__all__ = [
+    "DEFAULT_CHUNK_ROWS",
+    "PointSource",
+    "ArraySource",
+    "MemmapSource",
+    "IterableSource",
+    "StoreSource",
+    "PointStore",
+    "StoreError",
+    "from_array",
+    "from_npy_memmap",
+    "from_iterable",
+    "as_source",
+    "is_chunked",
+    "iter_point_chunks",
+    "write_points_npy",
+]

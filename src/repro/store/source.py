@@ -1,0 +1,380 @@
+"""The lazy :class:`PointSource` reader protocol and its adapters.
+
+A source is anything that can replay an ordered point stream as
+fixed-size ``(points, weights)`` chunks.  Random-access sources (arrays,
+memmaps, on-disk stores) additionally support cheap seeking, which is
+what turns matrix checkpoint cursors into ``(chunk index, offset)``
+pairs: resuming skips ``start`` chunks without reading them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+__all__ = [
+    "DEFAULT_CHUNK_ROWS",
+    "PointSource",
+    "ArraySource",
+    "MemmapSource",
+    "IterableSource",
+    "from_array",
+    "from_npy_memmap",
+    "from_iterable",
+    "as_source",
+    "is_chunked",
+    "iter_point_chunks",
+]
+
+#: Default rows per chunk: 64k rows is ~1 MiB of float64 coordinates at
+#: d=2 — large enough to keep every vectorized backend in its batched
+#: regime, small enough that a chunk is working-set noise.
+DEFAULT_CHUNK_ROWS = 65536
+
+
+class PointSource:
+    """Base class of the lazy chunked-stream protocol.
+
+    Subclasses implement :meth:`_rows` (random access to a row range)
+    plus ``__len__`` and :attr:`dim`; everything else — fixed-boundary
+    chunking with seek, streamed bounds, deterministic subsampling,
+    materialization — is shared.  Sources without random access
+    (:class:`IterableSource`) override :meth:`chunks` instead.
+
+    The chunk contract: ``chunks(batch)`` yields ``(points, weights)``
+    pairs where chunk ``i`` holds rows ``[i*batch, (i+1)*batch)`` of the
+    stream, ``points`` is a ``(b, d)`` array and ``weights`` is a
+    ``(b,)`` array or ``None`` for unit-weight streams.  Chunk
+    boundaries are a function of ``batch`` alone, so a checkpoint cursor
+    ``(chunk index, batch)`` identifies an exact stream position.
+    """
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def dim(self) -> int:
+        """Ambient dimension of the stream."""
+        raise NotImplementedError
+
+    @property
+    def weighted(self) -> bool:
+        """Whether chunks carry an explicit weight vector."""
+        return False
+
+    def _rows(self, lo: int, hi: int) -> "tuple[np.ndarray, np.ndarray | None]":
+        """Rows ``[lo, hi)`` of the stream (random access)."""
+        raise NotImplementedError
+
+    def chunks(
+        self, batch: "int | None" = None, start: int = 0,
+    ) -> "Iterator[tuple[np.ndarray, np.ndarray | None]]":
+        """Yield the stream as fixed-size ``(points, weights)`` chunks.
+
+        Parameters
+        ----------
+        batch:
+            Rows per chunk (``None`` = :data:`DEFAULT_CHUNK_ROWS`).
+        start:
+            Chunk index to resume from: chunks ``[0, start)`` are
+            *skipped without being read* (random-access sources seek).
+        """
+        batch = int(batch or DEFAULT_CHUNK_ROWS)
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        n = len(self)
+        for lo in range(int(start) * batch, n, batch):
+            yield self._rows(lo, min(lo + batch, n))
+
+    def bounds(self, batch: "int | None" = None) -> "tuple[np.ndarray, np.ndarray]":
+        """Per-coordinate ``(mins, maxs)`` of the stream, streamed in
+        chunks (never materializes more than one chunk)."""
+        mins = maxs = None
+        for pts, _ in self.chunks(batch):
+            if not len(pts):
+                continue
+            lo, hi = pts.min(axis=0), pts.max(axis=0)
+            mins = lo if mins is None else np.minimum(mins, lo)
+            maxs = hi if maxs is None else np.maximum(maxs, hi)
+        if mins is None:
+            d = max(self.dim, 1)
+            return np.zeros(d), np.zeros(d)
+        return np.asarray(mins, dtype=float), np.asarray(maxs, dtype=float)
+
+    def sample(self, max_rows: int, batch: "int | None" = None) -> np.ndarray:
+        """A deterministic bounded subsample (every ``ceil(n/max)``-th
+        row), for priming reference solutions on streams too large to
+        solve in full.  Depends only on ``(stream, max_rows)`` — never
+        on the chunking it was read with."""
+        if max_rows < 1:
+            raise ValueError(f"max_rows must be >= 1, got {max_rows}")
+        n = len(self)
+        if n <= max_rows:
+            return self.materialize()[0]
+        stride = -(-n // int(max_rows))  # ceil
+        out = []
+        for i, (pts, _) in enumerate(self.chunks(batch)):
+            b = int(batch or DEFAULT_CHUNK_ROWS)
+            lo = i * b
+            first = (-lo) % stride
+            out.append(np.asarray(pts[first::stride], dtype=float))
+        return np.concatenate(out, axis=0)
+
+    def materialize(self) -> "tuple[np.ndarray, np.ndarray | None]":
+        """The whole stream as in-RAM ``(points, weights)`` arrays.
+
+        Only for streams known to fit; the chunked consumers never call
+        this.
+        """
+        pts, ws = [], []
+        any_w = False
+        for p, w in self.chunks():
+            pts.append(np.asarray(p, dtype=float))
+            ws.append(w)
+            any_w = any_w or w is not None
+        if not pts:
+            return np.zeros((0, max(self.dim, 1))), None
+        points = np.concatenate(pts, axis=0)
+        if not any_w:
+            return points, None
+        weights = np.concatenate([
+            np.asarray(w if w is not None else np.ones(len(p)))
+            for p, w in zip(pts, ws)
+        ])
+        return points, weights
+
+
+class ArraySource(PointSource):
+    """A :class:`PointSource` over in-RAM arrays (the trivial adapter
+    that makes one code path serve both worlds)."""
+
+    def __init__(self, points, weights=None):
+        pts = np.atleast_2d(np.asarray(points))
+        if pts.ndim != 2:
+            raise ValueError(f"points must be 2-d, got shape {pts.shape}")
+        self._pts = pts
+        self._w = None
+        if weights is not None:
+            w = np.asarray(weights)
+            if w.shape != (len(pts),):
+                raise ValueError(
+                    f"weights shape {w.shape} != ({len(pts)},)"
+                )
+            self._w = w
+
+    def __len__(self) -> int:
+        return int(len(self._pts))
+
+    @property
+    def dim(self) -> int:
+        return int(self._pts.shape[1])
+
+    @property
+    def weighted(self) -> bool:
+        return self._w is not None
+
+    def _rows(self, lo: int, hi: int):
+        w = self._w[lo:hi] if self._w is not None else None
+        return self._pts[lo:hi], w
+
+
+class MemmapSource(ArraySource):
+    """A :class:`PointSource` over an ``.npy`` file opened with
+    ``mmap_mode="r"`` — chunks are slices of the mapping, so reading the
+    stream touches only the pages each chunk needs."""
+
+    def __init__(self, path: str, weights_path: "str | None" = None):
+        pts = np.load(path, mmap_mode="r", allow_pickle=False)
+        if pts.ndim != 2:
+            raise ValueError(
+                f"{path!r} holds a {pts.ndim}-d array; point files are (n, d)"
+            )
+        w = None
+        if weights_path is not None:
+            w = np.load(weights_path, mmap_mode="r", allow_pickle=False)
+        super().__init__(pts, w)
+        self.path = path
+
+
+class IterableSource(PointSource):
+    """A :class:`PointSource` over a chunk iterable / generator factory.
+
+    Items may be ``(b, d)`` arrays or ``(points, weights)`` pairs; they
+    are normalized and re-chunked to the requested fixed boundaries.  A
+    *factory* (zero-argument callable returning a fresh iterator) makes
+    the source replayable; a bare iterator is single-shot and a second
+    :meth:`chunks` call raises.  ``n`` is required only when a consumer
+    needs ``len`` before exhausting the stream.
+    """
+
+    def __init__(self, chunks, n: "int | None" = None,
+                 dim: "int | None" = None):
+        self._factory = chunks if callable(chunks) else None
+        self._iter = None if callable(chunks) else iter(chunks)
+        self._n = None if n is None else int(n)
+        self._dim = None if dim is None else int(dim)
+
+    def __len__(self) -> int:
+        if self._n is None:
+            raise TypeError(
+                "IterableSource has no known length; pass n= at construction"
+            )
+        return self._n
+
+    @property
+    def dim(self) -> int:
+        if self._dim is None:
+            raise TypeError(
+                "IterableSource has no known dim; pass dim= at construction"
+            )
+        return self._dim
+
+    def _take(self):
+        if self._factory is not None:
+            return self._factory()
+        it, self._iter = self._iter, None
+        if it is None:
+            raise RuntimeError(
+                "single-shot IterableSource already consumed; construct it "
+                "from a factory to make it replayable"
+            )
+        return it
+
+    def chunks(self, batch: "int | None" = None, start: int = 0):
+        """Re-chunk the underlying iterable to fixed ``batch`` rows.
+
+        ``start`` chunks are skipped, but — unlike random-access
+        sources — the skipped rows still stream through this process.
+        """
+        batch = int(batch or DEFAULT_CHUNK_ROWS)
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        buf_p: "list[np.ndarray]" = []
+        buf_w: "list[np.ndarray | None]" = []
+        held = 0
+        emitted = 0
+        seen = 0
+
+        def _flush(rows):
+            nonlocal held
+            pts = np.concatenate(buf_p, axis=0) if len(buf_p) != 1 else buf_p[0]
+            weighted = any(w is not None for w in buf_w)
+            w = None
+            if weighted:
+                w = np.concatenate([
+                    np.asarray(wi) if wi is not None
+                    else np.ones(len(pi), dtype=np.int64)
+                    for pi, wi in zip(buf_p, buf_w)
+                ])
+            out = (pts[:rows], None if w is None else w[:rows])
+            rest_p, rest_w = pts[rows:], None if w is None else w[rows:]
+            buf_p.clear()
+            buf_w.clear()
+            if len(rest_p):
+                buf_p.append(rest_p)
+                buf_w.append(rest_w)
+            held = len(rest_p)
+            return out
+
+        for item in self._take():
+            pts, w = _normalize_chunk(item)
+            if self._dim is None:
+                self._dim = int(pts.shape[1])
+            seen += len(pts)
+            buf_p.append(pts)
+            buf_w.append(w)
+            held += len(pts)
+            while held >= batch:
+                chunk = _flush(batch)
+                if emitted >= int(start):
+                    yield chunk
+                emitted += 1
+        if held:
+            chunk = _flush(held)
+            if emitted >= int(start):
+                yield chunk
+            emitted += 1
+        if self._n is None:
+            self._n = seen
+
+
+def _normalize_chunk(item) -> "tuple[np.ndarray, np.ndarray | None]":
+    """Normalize one iterable item into a ``(points, weights)`` pair."""
+    w = None
+    if isinstance(item, tuple) and len(item) == 2:
+        pts, w = item
+    else:
+        pts = item
+    pts = np.atleast_2d(np.asarray(pts))
+    if pts.ndim != 2:
+        raise ValueError(f"chunk must be 2-d, got shape {pts.shape}")
+    if w is not None:
+        w = np.asarray(w)
+        if w.shape != (len(pts),):
+            raise ValueError(f"chunk weights shape {w.shape} != ({len(pts)},)")
+    return pts, w
+
+
+def from_array(points, weights=None) -> ArraySource:
+    """Wrap in-RAM arrays as a :class:`PointSource`."""
+    return ArraySource(points, weights)
+
+
+def from_npy_memmap(path: str, weights_path: "str | None" = None) -> MemmapSource:
+    """Open an ``.npy`` file as a memory-mapped :class:`PointSource`."""
+    return MemmapSource(path, weights_path)
+
+
+def from_iterable(chunks, n: "int | None" = None,
+                  dim: "int | None" = None) -> IterableSource:
+    """Wrap an iterable (or factory) of chunks as a :class:`PointSource`."""
+    return IterableSource(chunks, n=n, dim=dim)
+
+
+def as_source(points, weights=None) -> PointSource:
+    """Coerce any ingest carrier into a :class:`PointSource`.
+
+    Sources pass through unchanged; bare iterators/generators become a
+    (single-shot) :class:`IterableSource`; dense array-likes become an
+    :class:`ArraySource`.
+    """
+    if isinstance(points, PointSource):
+        if weights is not None:
+            raise ValueError("cannot attach weights to an existing PointSource")
+        return points
+    if hasattr(points, "__next__"):
+        if weights is not None:
+            raise ValueError("pass weights inside the chunk tuples instead")
+        return IterableSource(points)
+    return ArraySource(np.asarray(points, dtype=float), weights)
+
+
+def is_chunked(points) -> bool:
+    """Whether ``points`` is a chunked carrier (a :class:`PointSource`
+    or a bare iterator/generator of chunks) rather than dense array-like
+    data.  Lists/tuples/arrays of coordinates are *dense* — only objects
+    that cannot be handed to ``np.asarray`` as one batch count."""
+    if isinstance(points, PointSource):
+        return True
+    return hasattr(points, "__next__")  # iterator/generator of chunks
+
+
+def iter_point_chunks(
+    points, batch: "int | None" = None,
+) -> "Iterable[tuple[np.ndarray, np.ndarray | None]]":
+    """Normalize any ingest carrier into ``(points, weights)`` chunks.
+
+    * a :class:`PointSource` yields its own chunks (``batch`` applies);
+    * a bare iterator/generator yields normalized items as-is (items are
+      already the caller's chosen chunking);
+    * dense array-likes yield one monolithic chunk.
+    """
+    if isinstance(points, PointSource):
+        yield from points.chunks(batch)
+    elif hasattr(points, "__next__"):
+        for item in points:
+            yield _normalize_chunk(item)
+    else:
+        pts = np.atleast_2d(np.asarray(points, dtype=float))
+        yield pts, None

@@ -1,0 +1,388 @@
+"""`PointStore` — the atomic chunked on-disk point store.
+
+Layout: a directory of per-chunk ``.npy`` spool files plus a manifest::
+
+    <store>/
+        store.json          # written LAST — publishing the store
+        points-00000.npy    # rows [0, chunk_rows)
+        points-00001.npy    # rows [chunk_rows, 2*chunk_rows)
+        ...
+        weights-00000.npy   # parallel to points-*, weighted stores only
+
+Every chunk except the last holds exactly ``chunk_rows`` rows, so a row
+range maps to chunk files by arithmetic alone.  The writer stages the
+whole directory under ``<store>.tmp.<pid>`` and publishes it with one
+``os.replace`` after fsyncing the manifest — a killed writer can never
+leave a store that :meth:`PointStore.open` accepts.
+
+:func:`write_points_npy` is the single-file flavour of the same
+guarantee: it streams chunks into a temp ``.npy`` whose fixed-size
+header is rewritten with the final shape on close, then renames it into
+place.  ``repro.scenarios.datasets`` writes its download cache through
+it so partial downloads never publish a torn file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+
+import numpy as np
+
+from .source import DEFAULT_CHUNK_ROWS, PointSource
+
+__all__ = ["StoreError", "PointStore", "StoreSource", "write_points_npy"]
+
+_MANIFEST = "store.json"
+_FORMAT = 1
+
+# npy v1 header: magic(6) + version(2) + hlen(2) + header-dict text padded
+# with spaces to a 64-byte-aligned total.  A 128-byte total leaves 118
+# text bytes — enough for any (n, d) we can store — and being *fixed*
+# lets the incremental writer rewrite the header in place on close.
+_NPY_TOTAL_HEADER = 128
+
+
+def _npy_header(descr: str, shape: "tuple[int, ...]") -> bytes:
+    dict_text = "{'descr': %r, 'fortran_order': False, 'shape': %r, }" % (
+        descr, tuple(int(s) for s in shape),
+    )
+    text_len = _NPY_TOTAL_HEADER - 10  # magic + version + hlen prefix
+    if len(dict_text) + 1 > text_len:
+        raise StoreError(f"npy header does not fit: {dict_text!r}")
+    padded = dict_text.ljust(text_len - 1) + "\n"
+    import struct
+
+    return (
+        b"\x93NUMPY" + bytes([1, 0]) + struct.pack("<H", text_len)
+        + padded.encode("latin1")
+    )
+
+
+class StoreError(RuntimeError):
+    """A malformed, truncated, or unpublished point store."""
+
+
+class _NpySpool:
+    """Incremental writer for one ``.npy`` file: placeholder header,
+    appended rows, header rewritten with the final shape on close."""
+
+    def __init__(self, path: str, dtype, ndim: int):
+        self.path = path
+        self.dtype = np.dtype(dtype)
+        self.ndim = ndim
+        self.rows = 0
+        self.cols: "int | None" = None
+        self._fh = open(path, "wb")
+        self._fh.write(_npy_header(self.dtype.str, (0,) * ndim))
+
+    def append(self, arr: np.ndarray) -> None:
+        arr = np.ascontiguousarray(arr, dtype=self.dtype)
+        if arr.ndim != self.ndim:
+            raise StoreError(f"expected {self.ndim}-d rows, got {arr.ndim}-d")
+        if self.ndim == 2:
+            if self.cols is None:
+                self.cols = int(arr.shape[1])
+            elif int(arr.shape[1]) != self.cols:
+                raise StoreError(
+                    f"dim mismatch: store is d={self.cols}, chunk is "
+                    f"d={arr.shape[1]}"
+                )
+        self._fh.write(arr.tobytes())
+        self.rows += int(arr.shape[0])
+
+    def close(self) -> None:
+        shape = (self.rows,) if self.ndim == 1 else (self.rows, self.cols or 0)
+        self._fh.seek(0)
+        self._fh.write(_npy_header(self.dtype.str, shape))
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._fh.close()
+
+    def abort(self) -> None:
+        try:
+            self._fh.close()
+        finally:
+            if os.path.exists(self.path):
+                os.unlink(self.path)
+
+
+def write_points_npy(path: str, chunks, dtype="float64") -> "tuple[int, int]":
+    """Stream ``chunks`` (arrays or ``(points, weights)`` pairs — weights
+    are ignored here) into ``path`` as one atomic ``.npy`` file.
+
+    The data is appended to ``<path>.tmp.<pid>`` behind a fixed-size
+    placeholder header; on success the header is rewritten with the
+    final shape, the file fsynced, and renamed into place.  Returns the
+    final ``(n, dim)``.
+    """
+    tmp = f"{path}.tmp.{os.getpid()}"
+    spool = _NpySpool(tmp, dtype, ndim=2)
+    try:
+        for item in chunks:
+            arr = item[0] if isinstance(item, tuple) else item
+            arr = np.atleast_2d(np.asarray(arr))
+            spool.append(arr)
+        spool.close()
+    except BaseException:
+        spool.abort()
+        raise
+    os.replace(tmp, path)
+    return spool.rows, int(spool.cols or 0)
+
+
+class PointStore:
+    """Atomic chunked writer.  Usage::
+
+        store = PointStore.create(path, chunk_rows=65536)
+        for pts, w in source.chunks():
+            store.append(pts, w)
+        src = store.finalize()       # publishes; returns a StoreSource
+
+    ``append`` accumulates rows and flushes full ``chunk_rows``-sized
+    spool files as they fill, so the writer's working set is one chunk
+    regardless of stream length.  ``abort()`` (or a crash) leaves only
+    the unpublished ``<path>.tmp.<pid>`` staging directory behind —
+    :meth:`open` never sees it.
+    """
+
+    def __init__(self, path: str, tmpdir: str, chunk_rows: int, dtype,
+                 weighted: bool):
+        self.path = path
+        self._tmpdir = tmpdir
+        self.chunk_rows = int(chunk_rows)
+        self.dtype = np.dtype(dtype)
+        self.weighted = bool(weighted)
+        self._n = 0
+        self._dim: "int | None" = None
+        self._chunks = 0
+        self._buf_p: "list[np.ndarray]" = []
+        self._buf_w: "list[np.ndarray]" = []
+        self._held = 0
+        self._done = False
+
+    @classmethod
+    def create(cls, path: str, *, chunk_rows: int = DEFAULT_CHUNK_ROWS,
+               dtype="float64", weighted: bool = False,
+               overwrite: bool = False) -> "PointStore":
+        if int(chunk_rows) < 1:
+            raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
+        if os.path.exists(path) and not overwrite:
+            raise StoreError(f"store already exists: {path}")
+        tmpdir = f"{path}.tmp.{os.getpid()}"
+        if os.path.exists(tmpdir):
+            shutil.rmtree(tmpdir)
+        os.makedirs(tmpdir)
+        return cls(path, tmpdir, chunk_rows, dtype, weighted)
+
+    def append(self, points, weights=None) -> None:
+        if self._done:
+            raise StoreError("store already finalized")
+        pts = np.atleast_2d(np.asarray(points, dtype=self.dtype))
+        if pts.ndim != 2:
+            raise StoreError(f"points must be 2-d, got shape {pts.shape}")
+        if self._dim is None:
+            self._dim = int(pts.shape[1])
+        elif int(pts.shape[1]) != self._dim:
+            raise StoreError(
+                f"dim mismatch: store is d={self._dim}, chunk is "
+                f"d={pts.shape[1]}"
+            )
+        if self.weighted:
+            w = (np.ones(len(pts), dtype=np.int64) if weights is None
+                 else np.asarray(weights))
+            if w.shape != (len(pts),):
+                raise StoreError(f"weights shape {w.shape} != ({len(pts)},)")
+        elif weights is not None:
+            raise StoreError(
+                "weights passed to an unweighted store; create(weighted=True)"
+            )
+        else:
+            w = None
+        self._buf_p.append(pts)
+        if w is not None:
+            self._buf_w.append(w)
+        self._held += len(pts)
+        while self._held >= self.chunk_rows:
+            self._flush(self.chunk_rows)
+
+    def _flush(self, rows: int) -> None:
+        pts = (self._buf_p[0] if len(self._buf_p) == 1
+               else np.concatenate(self._buf_p, axis=0))
+        self._buf_p = [pts[rows:]] if len(pts) > rows else []
+        self._write_chunk("points", pts[:rows], ndim=2)
+        if self.weighted:
+            w = (self._buf_w[0] if len(self._buf_w) == 1
+                 else np.concatenate(self._buf_w))
+            self._buf_w = [w[rows:]] if len(w) > rows else []
+            self._write_chunk("weights", w[:rows], ndim=1)
+        self._held -= rows
+        self._n += rows
+        self._chunks += 1
+
+    def _write_chunk(self, kind: str, arr: np.ndarray, ndim: int) -> None:
+        dtype = self.dtype if kind == "points" else arr.dtype
+        spool = _NpySpool(
+            os.path.join(self._tmpdir, f"{kind}-{self._chunks:05d}.npy"),
+            dtype, ndim=ndim,
+        )
+        try:
+            spool.append(arr)
+            spool.close()
+        except BaseException:
+            spool.abort()
+            raise
+
+    def finalize(self) -> "StoreSource":
+        """Publish the store atomically and return a reader over it."""
+        if self._done:
+            raise StoreError("store already finalized")
+        if self._held:
+            self._flush(self._held)
+        manifest = {
+            "format": _FORMAT,
+            "n": self._n,
+            "dim": int(self._dim or 0),
+            "dtype": self.dtype.str,
+            "chunk_rows": self.chunk_rows,
+            "chunks": self._chunks,
+            "weighted": self.weighted,
+        }
+        mpath = os.path.join(self._tmpdir, _MANIFEST)
+        with open(mpath, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        if os.path.exists(self.path):
+            old = f"{self.path}.old.{os.getpid()}"
+            os.replace(self.path, old)
+            os.replace(self._tmpdir, self.path)
+            shutil.rmtree(old)
+        else:
+            os.replace(self._tmpdir, self.path)
+        self._done = True
+        return StoreSource(self.path)
+
+    def abort(self) -> None:
+        """Discard the staged (unpublished) store."""
+        self._done = True
+        if os.path.exists(self._tmpdir):
+            shutil.rmtree(self._tmpdir)
+
+    def __enter__(self) -> "PointStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.abort()
+        elif not self._done:
+            self.finalize()
+
+    @staticmethod
+    def open(path: str) -> "StoreSource":
+        """Open a published store for lazy memory-mapped reading."""
+        return StoreSource(path)
+
+    @staticmethod
+    def write(path: str, chunks, *, chunk_rows: int = DEFAULT_CHUNK_ROWS,
+              dtype="float64", weighted: bool = False,
+              overwrite: bool = False) -> "StoreSource":
+        """One-shot convenience: spool ``chunks`` (arrays or
+        ``(points, weights)`` pairs) into a new store and publish it."""
+        store = PointStore.create(
+            path, chunk_rows=chunk_rows, dtype=dtype, weighted=weighted,
+            overwrite=overwrite,
+        )
+        try:
+            for item in chunks:
+                if isinstance(item, tuple) and len(item) == 2:
+                    store.append(item[0], item[1] if weighted else None)
+                else:
+                    store.append(item)
+        except BaseException:
+            store.abort()
+            raise
+        return store.finalize()
+
+
+class StoreSource(PointSource):
+    """Lazy memory-mapped reader over a published :class:`PointStore`.
+
+    Chunk files are opened with ``mmap_mode="r"`` on first touch and the
+    mappings cached; reading rows touches only the pages those rows live
+    on.  Aligned access (``batch == chunk_rows``, the default) returns
+    memmap slices without copying.
+    """
+
+    def __init__(self, path: str):
+        mpath = os.path.join(path, _MANIFEST)
+        if not os.path.isfile(mpath):
+            raise StoreError(f"not a published point store: {path}")
+        with open(mpath, "r", encoding="utf-8") as fh:
+            m = json.load(fh)
+        if m.get("format") != _FORMAT:
+            raise StoreError(f"unsupported store format: {m.get('format')!r}")
+        self.path = path
+        self.manifest = m
+        self._n = int(m["n"])
+        self._dim = int(m["dim"])
+        self.chunk_rows = int(m["chunk_rows"])
+        self.n_chunks = int(m["chunks"])
+        self._weighted = bool(m.get("weighted", False))
+        self._maps: "dict[tuple[str, int], np.ndarray]" = {}
+        expect = -(-self._n // self.chunk_rows) if self._n else 0
+        if expect != self.n_chunks:
+            raise StoreError(
+                f"manifest inconsistent: n={self._n} chunk_rows="
+                f"{self.chunk_rows} implies {expect} chunks, manifest says "
+                f"{self.n_chunks}"
+            )
+        for i in range(self.n_chunks):
+            if not os.path.isfile(self._chunk_path("points", i)):
+                raise StoreError(f"store missing chunk file points-{i:05d}.npy")
+
+    def _chunk_path(self, kind: str, i: int) -> str:
+        return os.path.join(self.path, f"{kind}-{i:05d}.npy")
+
+    def _map(self, kind: str, i: int) -> np.ndarray:
+        key = (kind, i)
+        arr = self._maps.get(key)
+        if arr is None:
+            arr = np.load(self._chunk_path(kind, i), mmap_mode="r",
+                          allow_pickle=False)
+            self._maps[key] = arr
+        return arr
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    @property
+    def weighted(self) -> bool:
+        return self._weighted
+
+    def _rows(self, lo: int, hi: int):
+        cr = self.chunk_rows
+        parts_p, parts_w = [], []
+        for ci in range(lo // cr, -(-hi // cr)):
+            a, b = max(lo - ci * cr, 0), min(hi - ci * cr, cr)
+            parts_p.append(self._map("points", ci)[a:b])
+            if self._weighted:
+                parts_w.append(self._map("weights", ci)[a:b])
+        if len(parts_p) == 1:
+            pts = parts_p[0]
+            w = parts_w[0] if self._weighted else None
+        else:
+            pts = np.concatenate(parts_p, axis=0)
+            w = np.concatenate(parts_w) if self._weighted else None
+        return pts, w
+
+    def chunks(self, batch: "int | None" = None, start: int = 0):
+        """Chunks default to the store's native ``chunk_rows`` so aligned
+        reads stay zero-copy memmap slices."""
+        return super().chunks(batch or self.chunk_rows, start)

@@ -11,7 +11,14 @@ from .sliding_window import (
     SlidingWindowCoreset,
     default_cell_capacity,
 )
-from .stream import UpdateEvent, dynamic_stream, insertion_stream, live_set, replay
+from .stream import (
+    UpdateEvent,
+    dynamic_stream,
+    insertion_stream,
+    live_set,
+    replay,
+    replay_chunks,
+)
 
 __all__ = [
     "CeccarelloStreamingCoreset",
@@ -31,4 +38,5 @@ __all__ = [
     "live_set",
     "paper_size_threshold",
     "replay",
+    "replay_chunks",
 ]

@@ -8,9 +8,14 @@ Three stream flavours appear in the paper:
 * sliding window (§6): arrivals with implicit expiration after ``W``
   steps.
 
-:class:`UpdateEvent` is the common currency; the helpers build event
-sequences from arrays and replay them into any object exposing
-``insert`` / ``delete`` methods.
+:class:`UpdateEvent` is the common currency for the sparse/dynamic
+flavours; the helpers build event sequences from arrays and replay them
+into any object exposing ``insert`` / ``delete`` methods.  For large
+pure-insertion arrays, :func:`replay_chunks` is the vectorized path: it
+feeds the sink's batched ``extend`` with array chunks instead of boxing
+one Python tuple per point (``insertion_stream`` allocates an
+:class:`UpdateEvent` — a tuple, a dataclass and an int — per row, which
+dominates replay time and RAM long before the geometry does).
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ __all__ = [
     "insertion_stream",
     "dynamic_stream",
     "replay",
+    "replay_chunks",
     "live_set",
 ]
 
@@ -82,6 +88,39 @@ def replay(events: "Iterable[UpdateEvent]", sink) -> None:
             sink.insert(np.asarray(ev.point))
         else:
             sink.delete(np.asarray(ev.point))
+
+
+def replay_chunks(points, sink, batch: "int | None" = None) -> int:
+    """Vectorized pure-insertion replay: feed ``points`` into ``sink``
+    as array chunks via its batched ``extend``.
+
+    ``points`` may be a dense ``(n, d)`` array, a
+    :class:`~repro.store.PointSource`, or an iterator of chunks; the
+    result is identical to ``replay(insertion_stream(points), sink)``
+    (every backend's ``extend`` is bit-identical to per-point
+    ``insert``) without materializing one event object per row.
+    Returns the number of rows replayed.
+    """
+    from ..store import iter_point_chunks
+
+    extend = getattr(sink, "extend", None)
+    n = 0
+    for pts, w in iter_point_chunks(points, batch):
+        if w is not None:
+            raise ValueError(
+                "replay_chunks replays unit-weight insertion streams; "
+                "weighted chunks have no event-stream equivalent"
+            )
+        pts = np.atleast_2d(np.asarray(pts))
+        if not len(pts):
+            continue
+        if extend is not None:
+            extend(pts)
+        else:  # per-point fallback for insert-only sinks
+            for p in pts:
+                sink.insert(p)
+        n += len(pts)
+    return n
 
 
 def live_set(events: "Iterable[UpdateEvent]") -> "list[tuple]":

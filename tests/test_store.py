@@ -1,0 +1,222 @@
+"""The chunked on-disk point store and its PointSource adapters.
+
+Covers the container (`PointStore` writer -> `StoreSource` reader):
+roundtrip fidelity, manifest-written-last atomicity (an aborted or
+killed write never leaves a store that opens), memory-mapped zero-copy
+reads, chunk-cursor seeks; and the adapter layer (`from_array`,
+`from_npy_memmap`, `from_iterable`, `as_source`, `iter_point_chunks`)
+including the chunking-independence of `sample()` and `bounds()`.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.store import (
+    ArraySource,
+    IterableSource,
+    MemmapSource,
+    PointStore,
+    StoreError,
+    as_source,
+    from_array,
+    from_iterable,
+    from_npy_memmap,
+    is_chunked,
+    iter_point_chunks,
+    write_points_npy,
+)
+
+
+def _pts(n, d=2, seed=0):
+    return np.random.default_rng(seed).normal(size=(n, d)) * 3.0
+
+
+class TestPointStore:
+    def test_write_read_roundtrip(self, tmp_path):
+        pts = _pts(1000, 3)
+        path = str(tmp_path / "store")
+        src = PointStore.write(path, (pts[i:i + 137] for i in
+                                      range(0, len(pts), 137)),
+                               chunk_rows=256)
+        assert len(src) == 1000 and src.dim == 3
+        assert np.array_equal(src.materialize()[0], pts)
+
+    def test_append_across_chunk_boundaries(self, tmp_path):
+        pts = _pts(777)
+        store = PointStore.create(str(tmp_path / "s"), chunk_rows=100)
+        for lo in range(0, 777, 50):
+            store.append(pts[lo:lo + 50])
+        src = store.finalize()
+        assert src.n_chunks == 8  # ceil(777/100)
+        assert np.array_equal(src.materialize()[0], pts)
+
+    def test_weighted_roundtrip(self, tmp_path):
+        pts = _pts(300)
+        w = np.random.default_rng(1).integers(1, 9, 300)
+        store = PointStore.create(str(tmp_path / "s"), chunk_rows=64,
+                                  weighted=True)
+        store.append(pts, w)
+        src = store.finalize()
+        assert src.weighted
+        got_p, got_w = src.materialize()
+        assert np.array_equal(got_p, pts)
+        assert np.array_equal(got_w, w)
+
+    def test_abort_leaves_nothing(self, tmp_path):
+        path = str(tmp_path / "s")
+        store = PointStore.create(path, chunk_rows=16)
+        store.append(_pts(40))
+        store.abort()
+        assert not os.path.exists(path)
+        with pytest.raises(StoreError):
+            PointStore.open(path)
+
+    def test_killed_write_never_opens(self, tmp_path):
+        """Manifest-written-last: a staging dir without the manifest (a
+        process killed mid-write) is invisible to open()."""
+        path = str(tmp_path / "s")
+        store = PointStore.create(path, chunk_rows=16)
+        store.append(_pts(40))
+        # simulate the kill: staging dir exists, finalize never ran
+        assert not os.path.exists(path)
+        staged = [p for p in os.listdir(tmp_path) if p.startswith("s.tmp.")]
+        assert staged, "writer must stage under <path>.tmp.<pid>"
+        with pytest.raises(StoreError):
+            PointStore.open(path)
+        store.abort()
+
+    def test_finalize_replaces_existing(self, tmp_path):
+        path = str(tmp_path / "s")
+        PointStore.write(path, (_pts(10, seed=1),))
+        new = _pts(20, seed=2)
+        src = PointStore.write(path, (new,), overwrite=True)
+        assert len(src) == 20
+        reopened = PointStore.open(path)
+        assert np.array_equal(reopened.materialize()[0], new)
+
+    def test_open_rejects_truncated_chunk(self, tmp_path):
+        path = str(tmp_path / "s")
+        PointStore.write(path, (_pts(100),), chunk_rows=32)
+        victim = os.path.join(path, "points-00001.npy")
+        os.unlink(victim)
+        with pytest.raises(StoreError):
+            PointStore.open(path)
+
+    def test_reader_is_memory_mapped(self, tmp_path):
+        src = PointStore.write(str(tmp_path / "s"), (_pts(128),),
+                               chunk_rows=64)
+        (chunk, _w) = next(iter(src.chunks()))
+        assert isinstance(chunk, np.memmap) or isinstance(
+            getattr(chunk, "base", None), np.memmap)
+
+    def test_chunks_seek_matches_slice(self, tmp_path):
+        pts = _pts(500)
+        src = PointStore.write(str(tmp_path / "s"), (pts,), chunk_rows=64)
+        tail = np.concatenate([c for c, _ in src.chunks(batch=64, start=3)])
+        assert np.array_equal(tail, pts[3 * 64:])
+
+
+class TestWritePointsNpy:
+    def test_single_file_roundtrip(self, tmp_path):
+        pts = _pts(321, 4)
+        path = str(tmp_path / "p.npy")
+        n, dim = write_points_npy(path, (pts[:100], pts[100:]))
+        assert (n, dim) == (321, 4)
+        assert np.array_equal(np.load(path), pts)
+        # and it memory-maps (a plain uncompressed npy)
+        assert np.array_equal(np.load(path, mmap_mode="r"), pts)
+
+    def test_atomic_tmp_rename(self, tmp_path):
+        path = str(tmp_path / "p.npy")
+
+        def chunks():
+            yield _pts(10)
+            raise RuntimeError("mid-stream failure")
+
+        with pytest.raises(RuntimeError):
+            write_points_npy(path, chunks())
+        assert not os.path.exists(path)
+
+
+class TestAdapters:
+    def test_array_source_chunks(self):
+        pts = _pts(100)
+        src = from_array(pts)
+        assert isinstance(src, ArraySource)
+        assert len(src) == 100 and src.dim == 2 and not src.weighted
+        got = np.concatenate([c for c, _ in src.chunks(batch=7)])
+        assert np.array_equal(got, pts)
+
+    def test_memmap_source(self, tmp_path):
+        pts = _pts(64, 3)
+        path = str(tmp_path / "m.npy")
+        np.save(path, pts)
+        src = from_npy_memmap(path)
+        assert isinstance(src, MemmapSource)
+        assert np.array_equal(src.materialize()[0], pts)
+
+    def test_iterable_source_factory_is_replayable(self):
+        pts = _pts(90)
+        src = from_iterable(lambda: (pts[i:i + 13] for i in
+                                     range(0, 90, 13)), n=90, dim=2)
+        for _ in range(2):  # factory => reusable
+            got = np.concatenate([c for c, _ in src.chunks(batch=31)])
+            assert np.array_equal(got, pts)
+
+    def test_iterable_source_bare_iterator_single_shot(self):
+        pts = _pts(40)
+        src = from_iterable(iter([pts]))
+        assert np.array_equal(
+            np.concatenate([c for c, _ in src.chunks(batch=16)]), pts)
+        with pytest.raises(RuntimeError):
+            list(src.chunks(batch=16))
+
+    def test_as_source_passthrough_and_wrap(self):
+        pts = _pts(10)
+        src = from_array(pts)
+        assert as_source(src) is src
+        assert isinstance(as_source(pts), ArraySource)
+        assert isinstance(as_source(iter([pts])), IterableSource)
+
+    def test_is_chunked(self):
+        pts = _pts(5)
+        assert is_chunked(from_array(pts))
+        assert is_chunked(iter([pts]))
+        assert not is_chunked(pts)
+        assert not is_chunked([[0.0, 1.0]])
+
+    def test_iter_point_chunks_dense_is_one_chunk(self):
+        pts = _pts(33)
+        chunks = list(iter_point_chunks(pts, 8))
+        # dense carriers are the in-RAM fast path: untouched, one chunk
+        assert len(chunks) == 1
+        assert np.array_equal(chunks[0][0], pts)
+
+    def test_iter_point_chunks_source_rechunks(self):
+        pts = _pts(33)
+        chunks = list(iter_point_chunks(from_array(pts), 8))
+        assert [len(c) for c, _ in chunks] == [8, 8, 8, 8, 1]
+
+
+class TestChunkingIndependence:
+    """sample() and bounds() must not depend on how the stream is cut —
+    that is what makes the scenario reference reproducible across
+    chunk sizes."""
+
+    @pytest.mark.parametrize("batch", [7, 64, 1000])
+    def test_sample_is_chunking_invariant(self, tmp_path, batch):
+        pts = _pts(1000)
+        base = from_array(pts).sample(100, batch=None)
+        assert np.array_equal(from_array(pts).sample(100, batch=batch), base)
+        src = PointStore.write(str(tmp_path / f"s{batch}"), (pts,),
+                               chunk_rows=97)
+        assert np.array_equal(src.sample(100, batch=batch), base)
+
+    @pytest.mark.parametrize("batch", [11, 256])
+    def test_bounds_is_chunking_invariant(self, batch):
+        pts = _pts(500, 3)
+        lo, hi = from_array(pts).bounds(batch)
+        assert np.array_equal(lo, pts.min(axis=0))
+        assert np.array_equal(hi, pts.max(axis=0))
